@@ -1,0 +1,91 @@
+//! Runtime cost of the QCR design choices that DESIGN.md calls out:
+//! mandate routing, rewriting, the mandate cap, and reaction
+//! normalization. (Their *quality* impact is measured by the
+//! `ablation_qcr` binary; this bench measures their *overhead*.)
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+use std::sync::Arc;
+
+use impatience_core::demand::Popularity;
+use impatience_core::utility::{DelayUtility, Power};
+use impatience_sim::config::{ContactSource, SimConfig};
+use impatience_sim::engine::run_trial;
+use impatience_sim::policy::{PolicyKind, QcrConfig, Reaction};
+
+fn setup() -> (SimConfig, ContactSource) {
+    let utility: Arc<dyn DelayUtility> = Arc::new(Power::new(0.0));
+    let config = SimConfig::builder(50, 5)
+        .demand(Popularity::pareto(50, 1.0).demand_rates(1.0))
+        .utility(utility)
+        .bin(100.0)
+        .build();
+    let source = ContactSource::homogeneous(50, 0.05, 1_000.0);
+    (config, source)
+}
+
+fn bench_qcr_knobs(c: &mut Criterion) {
+    let (config, source) = setup();
+    let contacts = (1_225.0 * 0.05 * 1_000.0) as u64;
+    let variants: Vec<(&str, QcrConfig)> = vec![
+        ("default", QcrConfig::default()),
+        (
+            "no_routing",
+            QcrConfig {
+                mandate_routing: false,
+                ..QcrConfig::default()
+            },
+        ),
+        (
+            "rewriting",
+            QcrConfig {
+                rewriting: true,
+                ..QcrConfig::default()
+            },
+        ),
+        (
+            "uncapped",
+            QcrConfig {
+                mandate_cap: u64::MAX,
+                ..QcrConfig::default()
+            },
+        ),
+        (
+            "no_normalization_low_gain",
+            QcrConfig {
+                normalize_reaction: false,
+                gain_scale: 0.02,
+                ..QcrConfig::default()
+            },
+        ),
+        (
+            "passive_constant",
+            QcrConfig {
+                reaction: Reaction::Constant(1.0),
+                ..QcrConfig::default()
+            },
+        ),
+    ];
+    let mut group = c.benchmark_group("qcr_knobs_runtime");
+    group.warm_up_time(Duration::from_millis(800));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(contacts));
+    for (name, cfg) in variants {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(run_trial(
+                    &config,
+                    &source,
+                    PolicyKind::Qcr(cfg.clone()),
+                    1,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qcr_knobs);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Simulator throughput: contacts processed per second for the QCR
+//! policy and a pinned allocation, on the paper's §6.2 system size.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+use std::sync::Arc;
+
+use impatience_core::demand::Popularity;
+use impatience_core::prelude::uniform;
+use impatience_core::utility::{DelayUtility, Step};
+use impatience_sim::config::{ContactSource, SimConfig};
+use impatience_sim::engine::run_trial;
+use impatience_sim::policy::PolicyKind;
+
+fn setup(duration: f64) -> (SimConfig, ContactSource, u64) {
+    let utility: Arc<dyn DelayUtility> = Arc::new(Step::new(10.0));
+    let config = SimConfig::builder(50, 5)
+        .demand(Popularity::pareto(50, 1.0).demand_rates(1.0))
+        .utility(utility)
+        .bin(100.0)
+        .build();
+    let source = ContactSource::homogeneous(50, 0.05, duration);
+    // 1225 pairs × 0.05/min × duration contacts expected.
+    let contacts = (1_225.0 * 0.05 * duration) as u64;
+    (config, source, contacts)
+}
+
+fn bench_trial_throughput(c: &mut Criterion) {
+    let (config, source, contacts) = setup(1_000.0);
+    let mut group = c.benchmark_group("run_trial_50n_1000min");
+    group.warm_up_time(Duration::from_millis(800));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(contacts));
+    group.bench_function("qcr", |b| {
+        b.iter(|| black_box(run_trial(&config, &source, PolicyKind::qcr_default(), 1)))
+    });
+    group.bench_function("static_uni", |b| {
+        let policy = PolicyKind::Static {
+            label: "UNI",
+            counts: uniform(50, 50, 5),
+        };
+        b.iter(|| black_box(run_trial(&config, &source, policy.clone(), 1)))
+    });
+    group.finish();
+}
+
+fn bench_trace_realization(c: &mut Criterion) {
+    let (_, source, contacts) = setup(1_000.0);
+    let mut group = c.benchmark_group("contact_generation");
+    group.warm_up_time(Duration::from_millis(800));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(contacts));
+    group.bench_function("poisson_homogeneous_50n", |b| {
+        let mut rng = impatience_core::rng::Xoshiro256::seed_from_u64(3);
+        b.iter(|| black_box(source.realize(&mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trial_throughput, bench_trace_realization);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Solver micro-benchmarks: the greedy of Theorem 2 (with its
+//! `O(|I| + ρ|S| log |I|)` bound), the water-filling relaxed optimum of
+//! Property 1, the CELF heterogeneous greedy of Theorem 1, and the fixed
+//! heuristics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use impatience_core::demand::{DemandProfile, Popularity};
+use impatience_core::solver::fixed::{dominant, proportional, sqrt_proportional, uniform};
+use impatience_core::solver::greedy::greedy_homogeneous;
+use impatience_core::solver::het_greedy::greedy_heterogeneous;
+use impatience_core::solver::relaxed::relaxed_optimum;
+use impatience_core::types::SystemModel;
+use impatience_core::utility::{Exponential, Step};
+use impatience_core::welfare::{ContactRates, HeterogeneousSystem};
+
+fn bench_greedy_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_homogeneous");
+    group.warm_up_time(Duration::from_millis(800));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(20);
+    for &items in &[50usize, 500, 5_000] {
+        let system = SystemModel::pure_p2p(50, 5, 0.05);
+        let demand = Popularity::pareto(items, 1.0).demand_rates(1.0);
+        let utility = Step::new(10.0);
+        group.bench_with_input(BenchmarkId::from_parameter(items), &items, |b, _| {
+            b.iter(|| black_box(greedy_homogeneous(&system, &demand, &utility)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_relaxed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relaxed_water_filling");
+    group.warm_up_time(Duration::from_millis(800));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(20);
+    for &items in &[50usize, 500] {
+        let system = SystemModel::dedicated(100, 50, 5, 0.05);
+        let demand = Popularity::pareto(items, 1.0).demand_rates(1.0);
+        let utility = Exponential::new(0.5);
+        group.bench_with_input(BenchmarkId::from_parameter(items), &items, |b, _| {
+            b.iter(|| black_box(relaxed_optimum(&system, &demand, &utility)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_het_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heterogeneous_celf_greedy");
+    group.warm_up_time(Duration::from_millis(800));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    for &nodes in &[20usize, 50] {
+        let rates = ContactRates::from_fn(nodes, |a, b| 0.01 * ((a + b) % 7 + 1) as f64);
+        let system = HeterogeneousSystem::pure_p2p(rates, 5);
+        let demand = Popularity::pareto(50, 1.0).demand_rates(1.0);
+        let profile = DemandProfile::uniform(50, nodes);
+        let utility = Step::new(10.0);
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            b.iter(|| black_box(greedy_heterogeneous(&system, &demand, &profile, &utility)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fixed_heuristics(c: &mut Criterion) {
+    let demand = Popularity::pareto(5_000, 1.0).demand_rates(1.0);
+    let mut group = c.benchmark_group("fixed_allocations_5000_items");
+    group.warm_up_time(Duration::from_millis(800));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(30);
+    group.bench_function("uniform", |b| b.iter(|| black_box(uniform(5_000, 50, 5))));
+    group.bench_function("sqrt", |b| {
+        b.iter(|| black_box(sqrt_proportional(&demand, 50, 5)))
+    });
+    group.bench_function("prop", |b| {
+        b.iter(|| black_box(proportional(&demand, 50, 5)))
+    });
+    group.bench_function("dom", |b| b.iter(|| black_box(dominant(&demand, 50, 5))));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_greedy_scaling,
+    bench_relaxed,
+    bench_het_greedy,
+    bench_fixed_heuristics
+);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Trace-infrastructure benchmarks: synthetic generation (Poisson,
+//! conference, vehicular), statistics estimation, and I/O.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use impatience_core::rng::Xoshiro256;
+use impatience_traces::gen::{poisson_homogeneous, ConferenceConfig, VehicularConfig};
+use impatience_traces::{read_trace, resynthesize_memoryless, write_trace, TraceStats};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    group.warm_up_time(Duration::from_millis(800));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    group.bench_function("poisson_50n_5000min", |b| {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        b.iter(|| black_box(poisson_homogeneous(50, 0.05, 5_000.0, &mut rng)))
+    });
+    group.bench_function("conference_50n_3days", |b| {
+        let cfg = ConferenceConfig::default();
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        b.iter(|| black_box(cfg.generate(&mut rng)))
+    });
+    group.bench_function("vehicular_20cabs_4h", |b| {
+        let cfg = VehicularConfig {
+            cabs: 20,
+            duration: 240.0,
+            city_size: 4_000.0,
+            sample_step: 0.25,
+            ..VehicularConfig::default()
+        };
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        b.iter(|| black_box(cfg.generate(&mut rng)))
+    });
+    group.finish();
+}
+
+fn bench_stats_and_synthesis(c: &mut Criterion) {
+    let mut rng = Xoshiro256::seed_from_u64(4);
+    let trace = poisson_homogeneous(50, 0.05, 5_000.0, &mut rng);
+    let mut group = c.benchmark_group("trace_analysis");
+    group.warm_up_time(Duration::from_millis(800));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    group.bench_function("stats_estimation", |b| {
+        b.iter(|| black_box(TraceStats::from_trace(&trace)))
+    });
+    group.bench_function("memoryless_resynthesis", |b| {
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        b.iter(|| black_box(resynthesize_memoryless(&trace, &mut rng)))
+    });
+    group.finish();
+}
+
+fn bench_io(c: &mut Criterion) {
+    let mut rng = Xoshiro256::seed_from_u64(6);
+    let trace = poisson_homogeneous(50, 0.05, 2_000.0, &mut rng);
+    let mut encoded = Vec::new();
+    write_trace(&trace, &mut encoded).unwrap();
+    let mut group = c.benchmark_group("trace_io");
+    group.warm_up_time(Duration::from_millis(800));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(20);
+    group.bench_function("write_text", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(encoded.len());
+            write_trace(&trace, &mut buf).unwrap();
+            black_box(buf)
+        })
+    });
+    group.bench_function("read_text", |b| {
+        b.iter(|| black_box(read_trace(encoded.as_slice()).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators, bench_stats_and_synthesis, bench_io);
+criterion_main!(benches);

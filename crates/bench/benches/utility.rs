@@ -1,0 +1,62 @@
+//! Delay-utility transform costs: closed forms (Table 1) versus the
+//! generic numeric integration path used by `Custom` utilities — the
+//! price of not knowing your impatience model analytically.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use impatience_core::utility::{Custom, DelayUtility, Exponential, Power, Step};
+
+fn bench_closed_forms(c: &mut Criterion) {
+    let step = Step::new(1.0);
+    let expo = Exponential::new(0.5);
+    let power = Power::new(0.5);
+    let mut group = c.benchmark_group("closed_form");
+    group.warm_up_time(Duration::from_millis(800));
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_function("step_gain", |b| b.iter(|| black_box(step.gain(0.25))));
+    group.bench_function("exp_phi", |b| b.iter(|| black_box(expo.phi(5.0, 0.05))));
+    group.bench_function("power_psi", |b| {
+        b.iter(|| black_box(power.psi(10.0, 50.0, 0.05)))
+    });
+    group.finish();
+}
+
+fn bench_numeric_fallbacks(c: &mut Criterion) {
+    let expo = Exponential::new(0.5);
+    let custom = Custom::new(|t| (-0.5 * t).exp(), 1.0, 0.0);
+    let mut group = c.benchmark_group("numeric_vs_closed");
+    group.warm_up_time(Duration::from_millis(800));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(20);
+    group.bench_function("exp_gain_closed", |b| b.iter(|| black_box(expo.gain(0.25))));
+    group.bench_function("exp_gain_numeric", |b| {
+        b.iter(|| black_box(expo.gain_numeric(0.25).unwrap()))
+    });
+    group.bench_function("custom_phi_numeric", |b| {
+        b.iter(|| black_box(custom.phi(5.0, 0.05)))
+    });
+    group.finish();
+}
+
+fn bench_welfare_evaluation(c: &mut Criterion) {
+    use impatience_core::demand::Popularity;
+    use impatience_core::types::SystemModel;
+    use impatience_core::welfare::social_welfare_homogeneous;
+    let system = SystemModel::pure_p2p(50, 5, 0.05);
+    let demand = Popularity::pareto(1_000, 1.0).demand_rates(1.0);
+    let counts: Vec<f64> = (0..1_000).map(|i| (i % 10) as f64 + 1.0).collect();
+    let step = Step::new(10.0);
+    c.bench_function("welfare_homogeneous_1000_items", |b| {
+        b.iter(|| black_box(social_welfare_homogeneous(&system, &demand, &step, &counts)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_closed_forms,
+    bench_numeric_fallbacks,
+    bench_welfare_evaluation
+);
+criterion_main!(benches);

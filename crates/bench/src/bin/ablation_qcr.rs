@@ -1,0 +1,126 @@
+//! Quality ablation of the QCR implementation choices DESIGN.md calls
+//! out. For each knob we run the §6.2 homogeneous setting under two
+//! impatience regimes (step τ = 1, power α = −1 — the regimes most
+//! sensitive to replication dynamics) and report the achieved utility
+//! against simulated OPT.
+//!
+//! Knobs:
+//! * mandate routing on/off (the paper's §5.3 claim);
+//! * rewriting on/off (the analysis assumes rewriting, §6.1 runs without);
+//! * reaction normalization + steepness damping on/off;
+//! * mandate cap ∈ {5, 20, ∞};
+//! * reaction function: matched ψ vs constant (passive).
+
+use std::sync::Arc;
+
+use impatience_bench::{paper_homogeneous_setting, write_csv, RunOptions};
+use impatience_core::solver::greedy::greedy_homogeneous;
+use impatience_core::utility::{DelayUtility, Power, Step};
+use impatience_sim::policy::{PolicyKind, QcrConfig, Reaction};
+use impatience_sim::runner::run_trials;
+
+fn variants() -> Vec<(&'static str, QcrConfig)> {
+    vec![
+        ("default", QcrConfig::default()),
+        (
+            "no-routing",
+            QcrConfig {
+                mandate_routing: false,
+                ..QcrConfig::default()
+            },
+        ),
+        (
+            "rewriting",
+            QcrConfig {
+                rewriting: true,
+                ..QcrConfig::default()
+            },
+        ),
+        (
+            "cap-5",
+            QcrConfig {
+                mandate_cap: 5,
+                ..QcrConfig::default()
+            },
+        ),
+        (
+            "uncapped",
+            QcrConfig {
+                mandate_cap: u64::MAX,
+                ..QcrConfig::default()
+            },
+        ),
+        (
+            "raw-psi",
+            QcrConfig {
+                normalize_reaction: false,
+                ..QcrConfig::default()
+            },
+        ),
+        (
+            "passive-1",
+            QcrConfig {
+                reaction: Reaction::Constant(1.0),
+                ..QcrConfig::default()
+            },
+        ),
+    ]
+}
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let trials = opts.scaled(12, 4);
+    let duration = opts.scaled_f(5_000.0, 1_500.0);
+
+    let regimes: Vec<(&str, Arc<dyn DelayUtility>)> = vec![
+        ("step_tau1", Arc::new(Step::new(1.0))),
+        ("power_alpha-1", Arc::new(Power::new(-1.0))),
+    ];
+
+    let mut rows = Vec::new();
+    for (regime, utility) in &regimes {
+        let (config, source, system) = paper_homogeneous_setting(utility.clone(), duration);
+        let opt_counts = greedy_homogeneous(&system, &config.demand, utility.as_ref());
+        let opt = run_trials(
+            &config,
+            &source,
+            &PolicyKind::Static {
+                label: "OPT",
+                counts: opt_counts,
+            },
+            trials,
+            42,
+        );
+        println!("\n=== {regime}: OPT = {:.4} ===", opt.mean_rate);
+        let mut contenders: Vec<(&str, PolicyKind)> = variants()
+            .into_iter()
+            .map(|(name, cfg)| (name, PolicyKind::Qcr(cfg)))
+            .collect();
+        // §4.1's full-knowledge hill climber as an upper-reference for
+        // what *local moves* can achieve when the marginals are known.
+        contenders.push((
+            "hill-climb",
+            PolicyKind::HillClimb {
+                moves_per_contact: 1,
+            },
+        ));
+        for (name, policy) in contenders {
+            let agg = run_trials(&config, &source, &policy, trials, 42);
+            let loss = 100.0 * (agg.mean_rate - opt.mean_rate) / opt.mean_rate.abs();
+            println!(
+                "{name:<12} U = {:>10.4}  loss vs OPT = {loss:>8.2}%  tx = {:>9.0}",
+                agg.mean_rate, agg.mean_transmissions
+            );
+            rows.push(format!(
+                "{regime},{name},{},{loss},{}",
+                agg.mean_rate, agg.mean_transmissions
+            ));
+        }
+    }
+    write_csv(
+        &opts.out_dir,
+        "ablation_qcr",
+        "regime,variant,utility,loss_vs_opt_pct,transmissions",
+        &rows,
+    );
+}

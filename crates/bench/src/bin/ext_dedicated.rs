@@ -1,0 +1,97 @@
+//! Extension experiment: the **dedicated-node population** (§3.1's
+//! throwboxes/kiosks case), which the paper analyzes but does not
+//! simulate. Dedicated nodes legitimize the time-critical families
+//! (`h(0⁺) = ∞`): clients cannot self-serve, so no infinite gains occur.
+//!
+//! Setup: 10 throwbox servers among 50 nodes, inverse-power impatience
+//! swept over `α ∈ (1, 2)`. Competitors are the §6.1 suite computed with
+//! the *dedicated* closed forms; QCR runs unchanged (its mandates are
+//! minted at clients and routed to the throwboxes).
+
+use std::sync::Arc;
+
+use impatience_bench::{loss_header, loss_row, normalized_losses, write_csv, RunOptions};
+use impatience_core::demand::{DemandProfile, Popularity};
+use impatience_core::solver::fixed::{dominant, proportional, sqrt_proportional, uniform};
+use impatience_core::solver::greedy::greedy_homogeneous;
+use impatience_core::types::SystemModel;
+use impatience_core::utility::{DelayUtility, Power};
+use impatience_sim::config::{ContactSource, SimConfig};
+use impatience_sim::policy::PolicyKind;
+use impatience_sim::runner::run_trials;
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let trials = opts.scaled(15, 4);
+    let duration = opts.scaled_f(5_000.0, 1_500.0);
+    let (nodes, servers, items, rho, mu) = (50, 10, 50, 5, 0.05);
+    let clients = nodes - servers;
+    let demand = Popularity::pareto(items, 1.0).demand_rates(1.0);
+    let system = SystemModel::dedicated(clients, servers, rho, mu);
+
+    let alphas: Vec<f64> = if opts.quick {
+        vec![1.25, 1.5]
+    } else {
+        vec![1.1, 1.25, 1.5, 1.75, 1.9]
+    };
+
+    let mut rows = Vec::new();
+    let mut header = String::new();
+    for &alpha in &alphas {
+        let utility: Arc<dyn DelayUtility> = Arc::new(Power::new(alpha));
+        let config = SimConfig::builder(items, rho)
+            .demand(demand.clone())
+            .profile(DemandProfile::uniform(items, clients))
+            .utility(utility.clone())
+            .dedicated_servers(servers)
+            .bin(100.0)
+            .warmup_fraction(0.3)
+            .build();
+        let source = ContactSource::homogeneous(nodes, mu, duration);
+
+        let policies = vec![
+            PolicyKind::qcr_default(),
+            PolicyKind::Static {
+                label: "OPT",
+                counts: greedy_homogeneous(&system, &demand, utility.as_ref()),
+            },
+            PolicyKind::Static {
+                label: "UNI",
+                counts: uniform(items, servers, rho),
+            },
+            PolicyKind::Static {
+                label: "SQRT",
+                counts: sqrt_proportional(&demand, servers, rho),
+            },
+            PolicyKind::Static {
+                label: "PROP",
+                counts: proportional(&demand, servers, rho),
+            },
+            PolicyKind::Static {
+                label: "DOM",
+                counts: dominant(&demand, servers, rho),
+            },
+        ];
+        let suite: Vec<(String, _)> = policies
+            .into_iter()
+            .map(|p| {
+                let agg = run_trials(&config, &source, &p, trials, 808);
+                (p.label(), agg)
+            })
+            .collect();
+        println!("\n=== dedicated throwboxes, power α = {alpha} ===");
+        for (label, agg) in &suite {
+            println!("{label:<6} U = {:>10.4}/min", agg.mean_rate);
+        }
+        let losses = normalized_losses(&suite);
+        for (label, loss) in &losses {
+            println!("  loss vs OPT  {label:<6} {loss:>8.2}%");
+        }
+        if header.is_empty() {
+            header = loss_header("alpha", &losses);
+        }
+        rows.push(loss_row(alpha, &losses));
+    }
+    write_csv(&opts.out_dir, "ext_dedicated_power_loss", &header, &rows);
+    println!("\nDedicated-population sweep written.");
+}

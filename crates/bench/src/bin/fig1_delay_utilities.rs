@@ -1,0 +1,74 @@
+//! Fig. 1 reproduction: the delay-utility curves `h(t)` for the three
+//! motivating examples —
+//!
+//! (a) advertising revenue: step (τ=1) and exponential (ν ∈ {0.1, 1});
+//! (b) time-critical information: inverse power (α ∈ {2⁻, 1.5, 1⁺});
+//! (c) waiting cost: negative power (α ∈ {0.5, 0, −1}).
+//!
+//! Emits one CSV per panel with `t` in [0, 5] as in the paper's plots.
+
+use impatience_bench::{write_csv, RunOptions};
+use impatience_core::utility::{DelayUtility, Exponential, NegLog, Power, Step};
+
+fn series(utilities: &[(&str, Box<dyn DelayUtility>)]) -> (String, Vec<String>) {
+    let mut header = "t".to_string();
+    for (name, _) in utilities {
+        header.push(',');
+        header.push_str(name);
+    }
+    let mut rows = Vec::new();
+    for k in 1..=100 {
+        let t = 0.05 * k as f64;
+        let mut row = format!("{t}");
+        for (_, u) in utilities {
+            row.push_str(&format!(",{}", u.h(t)));
+        }
+        rows.push(row);
+    }
+    (header, rows)
+}
+
+fn main() {
+    let opts = RunOptions::from_args();
+
+    // Panel (a): advertising revenue.
+    let a: Vec<(&str, Box<dyn DelayUtility>)> = vec![
+        ("step_tau1", Box::new(Step::new(1.0))),
+        ("exp_nu0.1", Box::new(Exponential::new(0.1))),
+        ("exp_nu1", Box::new(Exponential::new(1.0))),
+    ];
+    let (h, rows) = series(&a);
+    write_csv(&opts.out_dir, "fig1a_advertising", &h, &rows);
+
+    // Panel (b): time-critical information (1 < α < 2; the paper labels
+    // the limiting α = 2 and α = 1 curves, realized here at 1.95/1.05).
+    let b: Vec<(&str, Box<dyn DelayUtility>)> = vec![
+        ("power_a1.95", Box::new(Power::new(1.95))),
+        ("power_a1.5", Box::new(Power::new(1.5))),
+        ("power_a1.05", Box::new(Power::new(1.05))),
+        ("neglog", Box::new(NegLog::new())),
+    ];
+    let (h, rows) = series(&b);
+    write_csv(&opts.out_dir, "fig1b_time_critical", &h, &rows);
+
+    // Panel (c): waiting cost.
+    let c: Vec<(&str, Box<dyn DelayUtility>)> = vec![
+        ("power_a0.5", Box::new(Power::new(0.5))),
+        ("power_a0", Box::new(Power::new(0.0))),
+        ("power_a-1", Box::new(Power::new(-1.0))),
+    ];
+    let (h, rows) = series(&c);
+    write_csv(&opts.out_dir, "fig1c_waiting_cost", &h, &rows);
+
+    // Shape checks mirroring the figure: all curves decrease; the
+    // time-critical family blows up near 0; the cost family is ≤ 0.
+    for (name, u) in a.iter().chain(b.iter()).chain(c.iter()) {
+        assert!(
+            u.h(0.5) >= u.h(4.5),
+            "{name} is not non-increasing"
+        );
+    }
+    assert!(Power::new(1.5).h(0.01) > 10.0);
+    assert!(Power::new(0.0).h(3.0) < 0.0);
+    println!("Fig. 1 series written.");
+}

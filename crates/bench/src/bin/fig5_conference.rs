@@ -1,0 +1,129 @@
+//! Fig. 5 reproduction: the conference scenario (Infocom'06 substitute)
+//! with the step delay-utility.
+//!
+//! (a) utility over time (hourly bins) for τ = 1, showing the day/night
+//!     alternation of the trace;
+//! (b) normalized loss vs τ on the *actual* (bursty, diurnal) trace;
+//! (c) the same on the *synthesized* trace — identical pairwise rates,
+//!     memoryless time statistics — isolating heterogeneity from time
+//!     correlations, exactly as §6.3 does.
+//!
+//! Expected shape: DOM and PROP relatively stronger than in the
+//! homogeneous case, SQRT and UNI weak until τ grows large, QCR within
+//! ~15 % of OPT throughout; on the actual trace some fixed allocations
+//! can slightly beat OPT (which is computed under the memoryless
+//! approximation).
+
+use std::sync::Arc;
+
+use impatience_bench::{
+    loss_header, loss_row, normalized_losses, print_suite, run_policy_suite, trace_competitors,
+    write_csv, RunOptions,
+};
+use impatience_core::demand::{DemandProfile, Popularity};
+use impatience_core::rng::Xoshiro256;
+use impatience_core::utility::Step;
+use impatience_sim::config::{ContactSource, SimConfig};
+use impatience_traces::gen::ConferenceConfig;
+use impatience_traces::{resynthesize_memoryless, ContactTrace, TraceStats};
+
+fn run_tau_sweep(
+    name: &str,
+    trace: &ContactTrace,
+    taus: &[f64],
+    trials: usize,
+    opts: &RunOptions,
+) {
+    let stats = TraceStats::from_trace(trace);
+    let items = 50;
+    let rho = 5;
+    let demand = Popularity::pareto(items, 1.0).demand_rates(1.0);
+    let profile = DemandProfile::uniform(items, trace.nodes());
+    let source = ContactSource::trace(trace.clone());
+
+    let mut rows = Vec::new();
+    let mut header = String::new();
+    for &tau in taus {
+        let utility = Arc::new(Step::new(tau));
+        let config = SimConfig::builder(items, rho)
+            .demand(demand.clone())
+            .profile(profile.clone())
+            .utility(utility.clone())
+            .bin(60.0)
+            .warmup_fraction(0.25)
+            .build();
+        let competitors = trace_competitors(&stats, rho, &demand, &profile, utility.as_ref());
+        let suite = run_policy_suite(&config, &source, competitors, trials, 4242);
+        print_suite(&format!("{name} τ = {tau}"), &suite);
+        let losses = normalized_losses(&suite);
+        if header.is_empty() {
+            header = loss_header("tau", &losses);
+        }
+        rows.push(loss_row(tau, &losses));
+    }
+    write_csv(&opts.out_dir, name, &header, &rows);
+}
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let trials = opts.scaled(15, 3);
+    let mut rng = Xoshiro256::seed_from_u64(20_060_424); // Infocom'06 dates
+
+    // 50 attendees over 3 conference days.
+    let trace = ConferenceConfig::default().generate(&mut rng);
+    let stats = TraceStats::from_trace(&trace);
+    println!(
+        "conference trace: {} contacts, mean rate {:.4}/min, rate CV {:.2}, burst CV {:.2}",
+        trace.len(),
+        stats.rates().mean_rate(),
+        stats.rate_cv(),
+        stats.normalized_intercontact_cv()
+    );
+
+    // --- Panel (a): utility over time at τ = 1 ---
+    {
+        let items = 50;
+        let rho = 5;
+        let demand = Popularity::pareto(items, 1.0).demand_rates(1.0);
+        let profile = DemandProfile::uniform(items, trace.nodes());
+        let utility = Arc::new(Step::new(1.0));
+        let config = SimConfig::builder(items, rho)
+            .demand(demand.clone())
+            .profile(profile.clone())
+            .utility(utility.clone())
+            .bin(60.0)
+            .warmup_fraction(0.25)
+            .build();
+        let competitors = trace_competitors(&stats, rho, &demand, &profile, utility.as_ref());
+        let source = ContactSource::trace(trace.clone());
+        let suite = run_policy_suite(&config, &source, competitors, trials, 99);
+        print_suite("conference τ = 1 (time series)", &suite);
+
+        let bins = suite[0].1.observed_series.len();
+        let mut header = "time".to_string();
+        for (label, _) in &suite {
+            header.push_str(&format!(",{label}"));
+        }
+        let mut rows = Vec::new();
+        for b in 0..bins {
+            let mut row = format!("{}", b as f64 * 60.0);
+            for (_, agg) in &suite {
+                row.push_str(&format!(",{}", agg.observed_series[b]));
+            }
+            rows.push(row);
+        }
+        write_csv(&opts.out_dir, "fig5a_utility_over_time", &header, &rows);
+    }
+
+    // --- Panels (b)/(c): loss vs τ, actual and synthesized traces ---
+    let taus: Vec<f64> = if opts.quick {
+        vec![1.0, 10.0, 100.0]
+    } else {
+        vec![1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1_000.0]
+    };
+    run_tau_sweep("fig5b_loss_actual", &trace, &taus, trials, &opts);
+    let synthesized = resynthesize_memoryless(&trace, &mut rng);
+    run_tau_sweep("fig5c_loss_synthesized", &synthesized, &taus, trials, &opts);
+
+    println!("\nFig. 5 series written ({trials} trials).");
+}

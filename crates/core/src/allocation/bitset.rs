@@ -1,0 +1,188 @@
+//! A compact fixed-capacity bit set used for per-server cache membership.
+//!
+//! Implemented in-repo (rather than pulling a dependency) because the
+//! allocation matrix is on the simulator's hot path and needs exactly four
+//! operations: test, set, clear, and iterate.
+
+/// Fixed-capacity set of small integers backed by `u64` words.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+    len: usize,
+}
+
+impl BitSet {
+    /// Create an empty set able to hold values in `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+            len: 0,
+        }
+    }
+
+    /// Maximum value (exclusive) this set can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of elements currently in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `value` is in the set.
+    #[inline]
+    pub fn contains(&self, value: usize) -> bool {
+        debug_assert!(value < self.capacity, "bitset index out of range");
+        self.words[value / 64] & (1u64 << (value % 64)) != 0
+    }
+
+    /// Insert `value`; returns `true` if it was not already present.
+    #[inline]
+    pub fn insert(&mut self, value: usize) -> bool {
+        assert!(value < self.capacity, "bitset index out of range");
+        let word = &mut self.words[value / 64];
+        let mask = 1u64 << (value % 64);
+        if *word & mask == 0 {
+            *word |= mask;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove `value`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, value: usize) -> bool {
+        assert!(value < self.capacity, "bitset index out of range");
+        let word = &mut self.words[value / 64];
+        let mask = 1u64 << (value % 64);
+        if *word & mask != 0 {
+            *word &= !mask;
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove all elements.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+
+    /// Iterate elements in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + bit)
+                }
+            })
+        })
+    }
+}
+
+impl std::fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collect values into a set sized to the maximum value seen.
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let values: Vec<usize> = iter.into_iter().collect();
+        let capacity = values.iter().max().map_or(0, |&m| m + 1);
+        let mut set = BitSet::new(capacity);
+        for v in values {
+            set.insert(v);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(130);
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(129)); // duplicate
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(64));
+        assert!(!s.contains(65));
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn iter_is_sorted_and_complete() {
+        let mut s = BitSet::new(200);
+        let values = [5usize, 0, 199, 64, 63, 100];
+        for &v in &values {
+            s.insert(v);
+        }
+        let got: Vec<usize> = s.iter().collect();
+        assert_eq!(got, vec![0, 5, 63, 64, 100, 199]);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = BitSet::new(10);
+        s.insert(3);
+        s.insert(7);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(3));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: BitSet = [3usize, 1, 4, 1, 5].into_iter().collect();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.capacity(), 6);
+        assert!(s.contains(5));
+    }
+
+    #[test]
+    fn debug_format() {
+        let s: BitSet = [2usize, 0].into_iter().collect();
+        assert_eq!(format!("{s:?}"), "{0, 2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        let mut s = BitSet::new(4);
+        s.insert(4);
+    }
+
+    #[test]
+    fn zero_capacity() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Full placement matrices `x = (x_{i,m})`: which server holds which item.
+//!
+//! Used by the heterogeneous solver (Theorem 1) and to seed the simulator's
+//! concrete caches from a count-level solution.
+
+use super::{BitSet, ReplicaCounts};
+use crate::rng::Xoshiro256;
+
+/// A binary item×server placement with per-server capacity `ρ`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllocationMatrix {
+    /// One bitset of items per server.
+    caches: Vec<BitSet>,
+    items: usize,
+    rho: usize,
+}
+
+impl AllocationMatrix {
+    /// Empty allocation for `servers` servers of capacity `rho` over a
+    /// catalog of `items` items.
+    pub fn new(items: usize, servers: usize, rho: usize) -> Self {
+        AllocationMatrix {
+            caches: (0..servers).map(|_| BitSet::new(items)).collect(),
+            items,
+            rho,
+        }
+    }
+
+    /// Number of items in the catalog.
+    pub fn items(&self) -> usize {
+        self.items
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> usize {
+        self.caches.len()
+    }
+
+    /// Per-server capacity `ρ`.
+    pub fn rho(&self) -> usize {
+        self.rho
+    }
+
+    /// Whether server `m` caches item `i` (`x_{i,m} = 1`).
+    pub fn holds(&self, item: usize, server: usize) -> bool {
+        self.caches[server].contains(item)
+    }
+
+    /// Items cached at server `m`.
+    pub fn cache_of(&self, server: usize) -> impl Iterator<Item = usize> + '_ {
+        self.caches[server].iter()
+    }
+
+    /// Free slots remaining at server `m`.
+    pub fn free_slots(&self, server: usize) -> usize {
+        self.rho - self.caches[server].len()
+    }
+
+    /// Place item `i` at server `m`. Returns `false` if already present.
+    ///
+    /// # Panics
+    /// Panics if the server's cache is full.
+    pub fn place(&mut self, item: usize, server: usize) -> bool {
+        if self.caches[server].contains(item) {
+            return false;
+        }
+        assert!(
+            self.caches[server].len() < self.rho,
+            "server {server} cache is full (ρ = {})",
+            self.rho
+        );
+        self.caches[server].insert(item)
+    }
+
+    /// Evict item `i` from server `m`. Returns `false` if absent.
+    pub fn evict(&mut self, item: usize, server: usize) -> bool {
+        self.caches[server].remove(item)
+    }
+
+    /// Servers currently holding item `i`.
+    pub fn holders(&self, item: usize) -> Vec<usize> {
+        (0..self.servers())
+            .filter(|&m| self.caches[m].contains(item))
+            .collect()
+    }
+
+    /// Collapse to replica counts `x_i = Σ_m x_{i,m}`.
+    pub fn to_counts(&self) -> ReplicaCounts {
+        let mut counts = vec![0u32; self.items];
+        for cache in &self.caches {
+            for item in cache.iter() {
+                counts[item] += 1;
+            }
+        }
+        ReplicaCounts::new(counts, self.servers())
+    }
+
+    /// Materialize counts into concrete placements, spreading each item's
+    /// replicas across distinct servers in a capacity-respecting round
+    /// robin. Deterministic; use [`Self::from_counts_shuffled`] to
+    /// randomize which server gets which item.
+    ///
+    /// # Panics
+    /// Panics if the counts do not fit (`Σ x_i > ρ·|S|` or `x_i > |S|`) —
+    /// infeasible inputs indicate a solver bug upstream.
+    pub fn from_counts(counts: &ReplicaCounts, rho: usize) -> Self {
+        Self::from_counts_inner(counts, rho, None)
+    }
+
+    /// As [`Self::from_counts`], but the server order is shuffled so
+    /// repeated trials see different concrete placements.
+    pub fn from_counts_shuffled(counts: &ReplicaCounts, rho: usize, rng: &mut Xoshiro256) -> Self {
+        Self::from_counts_inner(counts, rho, Some(rng))
+    }
+
+    fn from_counts_inner(
+        counts: &ReplicaCounts,
+        rho: usize,
+        rng: Option<&mut Xoshiro256>,
+    ) -> Self {
+        let servers = counts.servers();
+        assert!(
+            counts.total() <= (rho * servers) as u64,
+            "counts exceed the global budget ρ|S|"
+        );
+        let mut order: Vec<usize> = (0..servers).collect();
+        if let Some(rng) = rng {
+            rng.shuffle(&mut order);
+        }
+        let mut matrix = AllocationMatrix::new(counts.items(), servers, rho);
+        // Place items most-replicated first so the round robin can always
+        // find x_i distinct servers with room.
+        let mut items: Vec<usize> = (0..counts.items()).collect();
+        items.sort_by_key(|&i| std::cmp::Reverse(counts.count(i)));
+        let mut cursor = 0usize;
+        for &item in &items {
+            let mut remaining = counts.count(item);
+            let mut scanned = 0;
+            while remaining > 0 {
+                assert!(
+                    scanned <= servers,
+                    "infeasible counts: item {item} needs more distinct servers than available"
+                );
+                let server = order[cursor % servers];
+                cursor += 1;
+                scanned += 1;
+                if matrix.caches[server].len() < rho && !matrix.caches[server].contains(item) {
+                    matrix.caches[server].insert(item);
+                    remaining -= 1;
+                    scanned = 0;
+                }
+            }
+        }
+        matrix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn place_and_evict() {
+        let mut m = AllocationMatrix::new(10, 3, 2);
+        assert!(m.place(4, 0));
+        assert!(!m.place(4, 0)); // duplicate
+        assert!(m.place(7, 0));
+        assert_eq!(m.free_slots(0), 0);
+        assert!(m.holds(4, 0));
+        assert_eq!(m.holders(4), vec![0]);
+        assert!(m.evict(4, 0));
+        assert!(!m.evict(4, 0));
+        assert_eq!(m.free_slots(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cache is full")]
+    fn cannot_overfill_server() {
+        let mut m = AllocationMatrix::new(10, 1, 1);
+        m.place(0, 0);
+        m.place(1, 0);
+    }
+
+    #[test]
+    fn counts_roundtrip() {
+        let counts = ReplicaCounts::new(vec![3, 1, 0, 2], 3);
+        let m = AllocationMatrix::from_counts(&counts, 2);
+        assert_eq!(m.to_counts(), counts);
+        // Replicas of one item are on distinct servers by construction.
+        assert_eq!(m.holders(0).len(), 3);
+    }
+
+    #[test]
+    fn shuffled_materialization_preserves_counts() {
+        let counts = ReplicaCounts::new(vec![5, 2, 2, 1, 0], 5);
+        let mut rng = Xoshiro256::seed_from_u64(8);
+        let m = AllocationMatrix::from_counts_shuffled(&counts, 2, &mut rng);
+        assert_eq!(m.to_counts(), counts);
+        for s in 0..5 {
+            assert!(m.cache_of(s).count() <= 2);
+        }
+    }
+
+    #[test]
+    fn tight_packing_succeeds() {
+        // Full budget: 3 servers × ρ=2 = 6 slots, exactly 6 replicas.
+        let counts = ReplicaCounts::new(vec![3, 2, 1], 3);
+        let m = AllocationMatrix::from_counts(&counts, 2);
+        assert_eq!(m.to_counts(), counts);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the global budget")]
+    fn over_budget_counts_rejected() {
+        let counts = ReplicaCounts::new(vec![2, 2], 2);
+        let _ = AllocationMatrix::from_counts(&counts, 1);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = AllocationMatrix::new(5, 0, 3);
+        assert_eq!(m.servers(), 0);
+        assert_eq!(m.to_counts().items(), 5);
+    }
+}

@@ -1,0 +1,15 @@
+//! Cache-allocation state: who stores what.
+//!
+//! The paper's decision variable is the binary matrix `x = (x_{i,m})`
+//! (item `i` is cached at server `m`), constrained per server by the cache
+//! capacity `Σ_i x_{i,m} ≤ ρ` (§3.1). Under homogeneous contacts only the
+//! *replica counts* `x_i = Σ_m x_{i,m}` matter (Theorem 2), so both
+//! representations are provided with lossless conversions where possible.
+
+mod bitset;
+mod counts;
+mod matrix;
+
+pub use bitset::BitSet;
+pub use counts::ReplicaCounts;
+pub use matrix::AllocationMatrix;

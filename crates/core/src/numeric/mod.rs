@@ -1,0 +1,15 @@
+//! Small numerical toolbox: adaptive quadrature on finite and semi-infinite
+//! intervals, bracketing root finders, and the Gamma function.
+//!
+//! These back the *generic* code paths: every delay-utility family in the
+//! paper has closed forms for its transforms (Table 1), and the numeric
+//! routines here both (a) support arbitrary user-supplied utilities and
+//! (b) cross-validate the closed forms in tests.
+
+mod gamma;
+mod quadrature;
+mod roots;
+
+pub use gamma::gamma;
+pub use quadrature::{integrate, integrate_semi_infinite, integrate_semi_infinite_singular, QuadratureError};
+pub use roots::{bisect, BracketError};

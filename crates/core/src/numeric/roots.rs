@@ -1,0 +1,131 @@
+//! Bracketing root finder used to invert the (strictly monotone) transform
+//! `φ` in the water-filling solver of Property 1.
+
+/// Failure modes of [`bisect`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BracketError {
+    /// `f(lo)` and `f(hi)` have the same sign — no guaranteed root inside.
+    NoSignChange {
+        /// Value at the lower bracket end.
+        f_lo: f64,
+        /// Value at the upper bracket end.
+        f_hi: f64,
+    },
+    /// The function produced a non-finite value inside the bracket.
+    NotFinite,
+}
+
+impl std::fmt::Display for BracketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BracketError::NoSignChange { f_lo, f_hi } => {
+                write!(f, "no sign change over bracket (f(lo)={f_lo}, f(hi)={f_hi})")
+            }
+            BracketError::NotFinite => write!(f, "function not finite inside bracket"),
+        }
+    }
+}
+
+impl std::error::Error for BracketError {}
+
+/// Find a root of `f` in `[lo, hi]` by bisection, to absolute `x`-tolerance
+/// `tol`. Requires `f(lo)` and `f(hi)` to have opposite (or zero) signs.
+///
+/// Bisection is chosen over Newton/secant because the φ-inversions this
+/// serves involve numerically integrated functions whose derivatives are
+/// expensive and noisy; 60 bisection steps already reach `f64` resolution.
+pub fn bisect(
+    mut f: impl FnMut(f64) -> f64,
+    mut lo: f64,
+    mut hi: f64,
+    tol: f64,
+) -> Result<f64, BracketError> {
+    if lo > hi {
+        std::mem::swap(&mut lo, &mut hi);
+    }
+    let mut f_lo = f(lo);
+    let f_hi = f(hi);
+    if !f_lo.is_finite() || !f_hi.is_finite() {
+        return Err(BracketError::NotFinite);
+    }
+    if f_lo == 0.0 {
+        return Ok(lo);
+    }
+    if f_hi == 0.0 {
+        return Ok(hi);
+    }
+    if f_lo.signum() == f_hi.signum() {
+        return Err(BracketError::NoSignChange { f_lo, f_hi });
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if hi - lo <= tol || mid == lo || mid == hi {
+            return Ok(mid);
+        }
+        let f_mid = f(mid);
+        if !f_mid.is_finite() {
+            return Err(BracketError::NotFinite);
+        }
+        if f_mid == 0.0 {
+            return Ok(mid);
+        }
+        if f_mid.signum() == f_lo.signum() {
+            lo = mid;
+            f_lo = f_mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn accepts_swapped_bracket() {
+        let r = bisect(|x| x - 1.0, 3.0, 0.0, 1e-12).unwrap();
+        assert!((r - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn root_at_endpoint() {
+        let r = bisect(|x| x, 0.0, 5.0, 1e-12).unwrap();
+        assert_eq!(r, 0.0);
+        let r = bisect(|x| x - 5.0, 0.0, 5.0, 1e-12).unwrap();
+        assert_eq!(r, 5.0);
+    }
+
+    #[test]
+    fn no_sign_change_is_error() {
+        let e = bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-9).unwrap_err();
+        assert!(matches!(e, BracketError::NoSignChange { .. }));
+        assert!(e.to_string().contains("no sign change"));
+    }
+
+    #[test]
+    fn non_finite_is_error() {
+        let e = bisect(|_| f64::NAN, 0.0, 1.0, 1e-9).unwrap_err();
+        assert_eq!(e, BracketError::NotFinite);
+    }
+
+    #[test]
+    fn decreasing_function() {
+        // Decreasing through the root: ln(1/x) = 0 at x = 1.
+        let r = bisect(|x| (1.0 / x).ln(), 0.1, 10.0, 1e-12).unwrap();
+        assert!((r - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tight_tolerance_converges() {
+        let r = bisect(|x| x.cos() - x, 0.0, 1.0, 0.0).unwrap();
+        assert!((r.cos() - r).abs() < 1e-14);
+    }
+}

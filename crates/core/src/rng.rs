@@ -1,0 +1,437 @@
+//! Deterministic pseudo-random generation and the samplers used across the
+//! workspace.
+//!
+//! Simulation results in this repository must be *bit-stable*: re-running an
+//! experiment with the same seed must produce the same trajectory, including
+//! across dependency upgrades. We therefore implement the generator
+//! (xoshiro256++, seeded through splitmix64) and every distribution sampler
+//! in-repo instead of depending on `rand`'s (version-dependent) algorithms.
+//!
+//! Samplers provided: uniform `u64`/`f64`/range, Bernoulli, exponential,
+//! Pareto (continuous), Poisson counts, weighted discrete sampling via
+//! Walker's alias method, and Fisher–Yates shuffling.
+
+/// xoshiro256++ generator (Blackman & Vigna).
+///
+/// Not cryptographically secure; period `2^256 − 1`; passes BigCrush.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Xoshiro256 {
+    /// Create a generator from a 64-bit seed (expanded via splitmix64).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        // splitmix64 of any seed never yields the all-zero state, but be
+        // defensive: the all-zero state is a fixed point of xoshiro.
+        if s == [0, 0, 0, 0] {
+            Xoshiro256 { s: [1, 2, 3, 4] }
+        } else {
+            Xoshiro256 { s }
+        }
+    }
+
+    /// Derive an independent child generator (for per-trial streams).
+    ///
+    /// Mixes the stream index into a fresh splitmix64 expansion of the
+    /// current state, so children of the same parent are decorrelated.
+    pub fn split(&mut self, stream: u64) -> Self {
+        let mix = self.next_u64() ^ stream.wrapping_mul(0xA24B_AED4_963E_E407);
+        Xoshiro256::seed_from_u64(mix)
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in the open interval `(0, 1]` — safe for `ln`.
+    #[inline]
+    pub fn f64_open(&mut self) -> f64 {
+        1.0 - self.f64()
+    }
+
+    /// Uniform integer in `[0, bound)` using Lemire's rejection method.
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is meaningless");
+        // Widening-multiply rejection sampling: unbiased.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    pub fn index(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi);
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0,1]`).
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Exponentially distributed sample with rate `λ` (mean `1/λ`).
+    ///
+    /// # Panics
+    /// Panics if `rate` is not strictly positive.
+    pub fn exp(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "exponential rate must be positive");
+        -self.f64_open().ln() / rate
+    }
+
+    /// Pareto (Type I) sample with scale `x_min > 0` and shape `a > 0`:
+    /// density `a x_min^a / x^{a+1}` on `[x_min, ∞)`.
+    pub fn pareto(&mut self, x_min: f64, shape: f64) -> f64 {
+        assert!(x_min > 0.0 && shape > 0.0, "pareto parameters must be positive");
+        x_min / self.f64_open().powf(1.0 / shape)
+    }
+
+    /// Poisson-distributed count with mean `lambda ≥ 0`.
+    ///
+    /// Uses Knuth multiplication for small means and a normal approximation
+    /// with continuity correction above `λ = 64` (adequate for event counts
+    /// in trace generation; relative error of the tail is negligible there).
+    pub fn poisson(&mut self, lambda: f64) -> u64 {
+        assert!(lambda >= 0.0 && lambda.is_finite(), "poisson mean must be finite and ≥ 0");
+        if lambda == 0.0 {
+            return 0;
+        }
+        if lambda < 64.0 {
+            let l = (-lambda).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= self.f64_open();
+                if p <= l {
+                    return k;
+                }
+                k += 1;
+            }
+        } else {
+            let sample = lambda + lambda.sqrt() * self.normal();
+            sample.round().max(0.0) as u64
+        }
+    }
+
+    /// Standard normal sample (Box–Muller; one of the pair is discarded for
+    /// statelessness).
+    pub fn normal(&mut self) -> f64 {
+        let u1 = self.f64_open();
+        let u2 = self.f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.index(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Pick a uniformly random element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        assert!(!xs.is_empty(), "choose from empty slice");
+        &xs[self.index(xs.len())]
+    }
+}
+
+/// Walker's alias method for O(1) weighted discrete sampling.
+///
+/// Used wherever an item must be drawn according to its popularity
+/// (request generation draws millions of samples per trial).
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Build an alias table from non-negative weights (not all zero).
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative/NaN weight, or
+    /// sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        let total: f64 = weights
+            .iter()
+            .map(|&w| {
+                assert!(w >= 0.0 && w.is_finite(), "weights must be finite and ≥ 0");
+                w
+            })
+            .sum();
+        assert!(total > 0.0, "weights must not all be zero");
+
+        let n = weights.len();
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::with_capacity(n);
+        let mut large: Vec<usize> = Vec::with_capacity(n);
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s] = l;
+            prob[l] -= 1.0 - prob[s];
+            if prob[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Residual entries (floating point) saturate to probability one.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw one category index.
+    pub fn sample(&self, rng: &mut Xoshiro256) -> usize {
+        let i = rng.index(self.prob.len());
+        if rng.f64() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Xoshiro256::seed_from_u64(42);
+        let mut b = Xoshiro256::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Xoshiro256::seed_from_u64(1);
+        let mut b = Xoshiro256::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 3);
+    }
+
+    #[test]
+    fn split_streams_are_decorrelated() {
+        let mut parent = Xoshiro256::seed_from_u64(7);
+        let mut c1 = parent.split(0);
+        let mut c2 = parent.split(1);
+        let same = (0..64).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert!(same < 3);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x));
+            let y = rng.f64_open();
+            assert!(y > 0.0 && y <= 1.0);
+        }
+    }
+
+    #[test]
+    fn below_is_unbiased_enough() {
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        let mut counts = [0u32; 7];
+        let n = 70_000;
+        for _ in 0..n {
+            counts[rng.below(7) as usize] += 1;
+        }
+        for &c in &counts {
+            let expect = n as f64 / 7.0;
+            assert!((c as f64 - expect).abs() < 5.0 * expect.sqrt(), "count {c}");
+        }
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let rate = 0.25;
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| rng.exp(rate)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        for _ in 0..10_000 {
+            assert!(rng.pareto(2.0, 1.5) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn poisson_small_mean() {
+        let mut rng = Xoshiro256::seed_from_u64(9);
+        let lambda = 3.0;
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.poisson(lambda) as f64).sum::<f64>() / n as f64;
+        assert!((mean - lambda).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_large_mean_uses_normal_approx() {
+        let mut rng = Xoshiro256::seed_from_u64(10);
+        let lambda = 400.0;
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.poisson(lambda) as f64).sum::<f64>() / n as f64;
+        assert!((mean - lambda).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero() {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        assert_eq!(rng.poisson(0.0), 0);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Xoshiro256::seed_from_u64(12);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Xoshiro256::seed_from_u64(20);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn alias_table_matches_weights() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let table = AliasTable::new(&weights);
+        assert_eq!(table.len(), 4);
+        let mut rng = Xoshiro256::seed_from_u64(99);
+        let mut counts = [0u32; 4];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expect = n as f64 * w / total;
+            assert!(
+                (counts[i] as f64 - expect).abs() < 6.0 * expect.sqrt(),
+                "category {i}: {} vs {}",
+                counts[i],
+                expect
+            );
+        }
+    }
+
+    #[test]
+    fn alias_table_single_category() {
+        let table = AliasTable::new(&[5.0]);
+        let mut rng = Xoshiro256::seed_from_u64(0);
+        for _ in 0..100 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn alias_table_with_zero_weights() {
+        let table = AliasTable::new(&[0.0, 1.0, 0.0]);
+        let mut rng = Xoshiro256::seed_from_u64(0);
+        for _ in 0..1000 {
+            assert_eq!(table.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must not all be zero")]
+    fn alias_table_rejects_all_zero() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn alias_table_rejects_empty() {
+        let _ = AliasTable::new(&[]);
+    }
+}

@@ -1,0 +1,243 @@
+//! The fixed allocation heuristics of §6.1 — the perfect-control-channel
+//! competitors QCR is validated against:
+//!
+//! * **UNI** — memory evenly allocated among all items;
+//! * **SQRT** — allocation proportional to `√d_i` (Cohen & Shenker's
+//!   square-root allocation, optimal for random search message cost);
+//! * **PROP** — allocation proportional to `d_i` (the equilibrium of
+//!   passive path replication);
+//! * **DOM** — all nodes carry the `ρ` most popular items.
+//!
+//! All of them produce integer replica counts that exactly exhaust
+//! `min(ρ|S|, |I|·|S|)` slots, with each item capped at `|S|` replicas,
+//! via capped largest-remainder apportionment.
+
+use crate::allocation::ReplicaCounts;
+use crate::demand::DemandRates;
+
+/// Apportion `budget` integer slots across items proportionally to
+/// `weights`, capping each item at `cap` and redistributing the excess.
+///
+/// Returns counts summing to `min(budget, cap·|weights⁺|)` where
+/// `|weights⁺|` is the number of strictly positive weights (zero-weight
+/// items receive nothing).
+pub fn apportion(weights: &[f64], budget: usize, cap: usize) -> Vec<u32> {
+    assert!(!weights.is_empty(), "apportion needs at least one item");
+    for &w in weights {
+        assert!(w >= 0.0 && w.is_finite(), "weights must be finite and ≥ 0");
+    }
+    let n = weights.len();
+    let mut counts = vec![0u32; n];
+    let positive: Vec<usize> = (0..n).filter(|&i| weights[i] > 0.0).collect();
+    if positive.is_empty() || cap == 0 {
+        return counts;
+    }
+    let mut budget = budget.min(cap * positive.len());
+
+    // Iterative proportional fill with caps: items that would exceed the
+    // cap are frozen at the cap and the rest re-apportioned.
+    let mut active: Vec<usize> = positive.clone();
+    loop {
+        let total_w: f64 = active.iter().map(|&i| weights[i]).sum();
+        let mut capped = Vec::new();
+        for &i in &active {
+            let ideal = budget as f64 * weights[i] / total_w;
+            if ideal >= cap as f64 {
+                capped.push(i);
+            }
+        }
+        if capped.is_empty() {
+            break;
+        }
+        for &i in &capped {
+            counts[i] = cap as u32;
+            budget -= cap;
+        }
+        active.retain(|i| !capped.contains(i));
+        if active.is_empty() || budget == 0 {
+            return counts;
+        }
+    }
+
+    // Largest-remainder rounding over the surviving (uncapped) items.
+    let total_w: f64 = active.iter().map(|&i| weights[i]).sum();
+    let mut assigned = 0usize;
+    let mut remainders: Vec<(f64, usize)> = Vec::with_capacity(active.len());
+    for &i in &active {
+        let ideal = budget as f64 * weights[i] / total_w;
+        let floor = ideal.floor() as u32;
+        counts[i] = floor.min(cap as u32);
+        assigned += counts[i] as usize;
+        remainders.push((ideal - floor as f64, i));
+    }
+    // Distribute the leftovers to the largest remainders (ties by index
+    // for determinism), skipping items at the cap.
+    remainders.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    let mut k = 0;
+    while assigned < budget {
+        let (_, i) = remainders[k % remainders.len()];
+        if (counts[i] as usize) < cap {
+            counts[i] += 1;
+            assigned += 1;
+        }
+        k += 1;
+        assert!(
+            k < remainders.len() * (cap + 2),
+            "apportion failed to place the full budget"
+        );
+    }
+    counts
+}
+
+/// UNI: memory evenly allocated among all items (§6.1).
+pub fn uniform(items: usize, servers: usize, rho: usize) -> ReplicaCounts {
+    let weights = vec![1.0; items];
+    ReplicaCounts::new(apportion(&weights, rho * servers, servers), servers)
+}
+
+/// PROP: allocation proportional to demand — the steady state of passive
+/// one-replica-per-fulfillment replication.
+pub fn proportional(demand: &DemandRates, servers: usize, rho: usize) -> ReplicaCounts {
+    ReplicaCounts::new(
+        apportion(demand.rates(), rho * servers, servers),
+        servers,
+    )
+}
+
+/// SQRT: allocation proportional to the square root of demand.
+pub fn sqrt_proportional(demand: &DemandRates, servers: usize, rho: usize) -> ReplicaCounts {
+    let weights: Vec<f64> = demand.rates().iter().map(|&d| d.sqrt()).collect();
+    ReplicaCounts::new(apportion(&weights, rho * servers, servers), servers)
+}
+
+/// DOM: every node carries the `ρ` most popular items (ties broken by
+/// item index).
+pub fn dominant(demand: &DemandRates, servers: usize, rho: usize) -> ReplicaCounts {
+    let mut order: Vec<usize> = (0..demand.items()).collect();
+    order.sort_by(|&a, &b| {
+        demand
+            .rate(b)
+            .partial_cmp(&demand.rate(a))
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+    let mut counts = vec![0u32; demand.items()];
+    for &i in order.iter().take(rho.min(demand.items())) {
+        counts[i] = servers as u32;
+    }
+    ReplicaCounts::new(counts, servers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::Popularity;
+
+    #[test]
+    fn uniform_splits_evenly() {
+        let x = uniform(50, 50, 5);
+        assert_eq!(x.total(), 250);
+        for i in 0..50 {
+            assert_eq!(x.count(i), 5);
+        }
+    }
+
+    #[test]
+    fn uniform_with_remainder() {
+        let x = uniform(7, 5, 2); // budget 10 over 7 items
+        assert_eq!(x.total(), 10);
+        let (max, min) = (0..7).fold((0, u32::MAX), |(mx, mn), i| {
+            (mx.max(x.count(i)), mn.min(x.count(i)))
+        });
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn proportional_tracks_demand() {
+        let demand = Popularity::pareto(50, 1.0).demand_rates(1.0);
+        let x = proportional(&demand, 50, 5);
+        assert_eq!(x.total(), 250);
+        // d_0/d_1 = 2 ⇒ roughly twice the replicas.
+        let ratio = x.count(0) as f64 / x.count(1) as f64;
+        assert!((ratio - 2.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn sqrt_is_flatter_than_prop() {
+        let demand = Popularity::pareto(50, 1.0).demand_rates(1.0);
+        let prop = proportional(&demand, 50, 5);
+        let sqrt = sqrt_proportional(&demand, 50, 5);
+        assert_eq!(sqrt.total(), 250);
+        assert!(sqrt.count(0) < prop.count(0), "sqrt should give the head less");
+        assert!(
+            sqrt.count(49) >= prop.count(49),
+            "sqrt should give the tail at least as much"
+        );
+    }
+
+    #[test]
+    fn dominant_saturates_top_rho() {
+        let demand = Popularity::pareto(50, 1.0).demand_rates(1.0);
+        let x = dominant(&demand, 50, 5);
+        for i in 0..5 {
+            assert_eq!(x.count(i), 50);
+        }
+        for i in 5..50 {
+            assert_eq!(x.count(i), 0);
+        }
+        assert_eq!(x.total(), 250);
+    }
+
+    #[test]
+    fn dominant_with_rho_beyond_catalog() {
+        let demand = Popularity::uniform(3).demand_rates(1.0);
+        let x = dominant(&demand, 4, 5);
+        assert_eq!(x.total(), 12); // all 3 items everywhere
+    }
+
+    #[test]
+    fn apportion_caps_and_redistributes() {
+        // One overwhelming item capped at 4, remainder spread to others.
+        let counts = apportion(&[100.0, 1.0, 1.0], 10, 4);
+        assert_eq!(counts[0], 4);
+        assert_eq!(counts.iter().sum::<u32>(), 10);
+        assert!(counts[1] <= 4 && counts[2] <= 4);
+    }
+
+    #[test]
+    fn apportion_zero_weights_get_nothing() {
+        let counts = apportion(&[1.0, 0.0, 1.0], 6, 5);
+        assert_eq!(counts[1], 0);
+        assert_eq!(counts.iter().sum::<u32>(), 6);
+    }
+
+    #[test]
+    fn apportion_budget_exceeding_capacity() {
+        let counts = apportion(&[1.0, 2.0], 100, 3);
+        assert_eq!(counts, vec![3, 3]);
+    }
+
+    #[test]
+    fn apportion_exact_total_with_messy_weights() {
+        let weights = [0.3, 0.17, 0.253, 1.9, 0.02];
+        for budget in [1usize, 7, 23, 100] {
+            let counts = apportion(&weights, budget, 30);
+            let total: u32 = counts.iter().sum();
+            assert_eq!(total as usize, budget.min(30 * 5), "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn apportion_deterministic_tie_break() {
+        let a = apportion(&[1.0, 1.0, 1.0], 2, 5);
+        let b = apportion(&[1.0, 1.0, 1.0], 2, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.iter().sum::<u32>(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn apportion_rejects_empty() {
+        let _ = apportion(&[], 5, 5);
+    }
+}

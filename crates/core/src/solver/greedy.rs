@@ -1,0 +1,288 @@
+//! Greedy optimal allocation under homogeneous contacts (Theorem 2).
+//!
+//! `U(x)` is concave in the replica counts, so adding one replica at a time
+//! to the item with the largest marginal welfare yields the exact integer
+//! optimum in `O(|I| + ρ|S| log |I|)` heap operations. "As the popular
+//! items fill the cache with copies, the relative improvement … diminishes,
+//! and the greedy rule will choose to create copies for other less popular
+//! items" (§4.1).
+
+use std::collections::BinaryHeap;
+
+use super::HeapKey;
+use crate::allocation::ReplicaCounts;
+use crate::demand::DemandRates;
+use crate::types::SystemModel;
+use crate::utility::DelayUtility;
+use crate::welfare::{expected_gain_continuous, expected_gain_pure_p2p};
+
+/// Marginal welfare of taking item `i` from `x` to `x+1` replicas, per
+/// unit demand.
+fn marginal(system: &SystemModel, utility: &dyn DelayUtility, x: u32) -> f64 {
+    let gain = |replicas: f64| {
+        if system.population.is_pure_p2p() {
+            expected_gain_pure_p2p(utility, replicas, system.clients(), system.contact_rate)
+        } else {
+            expected_gain_continuous(utility, replicas, system.contact_rate)
+        }
+    };
+    let next = gain((x + 1) as f64);
+    let curr = gain(x as f64);
+    if curr == f64::NEG_INFINITY {
+        // First replica of a cost-type utility: infinitely valuable.
+        return f64::INFINITY;
+    }
+    next - curr
+}
+
+/// Exact optimal integer allocation under homogeneous contacts
+/// (Theorem 2). Fills the entire budget `ρ·|S|` (marginals are always
+/// ≥ 0 since `h` is non-increasing), capping each item at `|S|` replicas.
+///
+/// # Panics
+/// Panics if the utility requires a dedicated population but `system` is
+/// pure P2P, or if the demand catalog is empty.
+pub fn greedy_homogeneous(
+    system: &SystemModel,
+    demand: &DemandRates,
+    utility: &dyn DelayUtility,
+) -> ReplicaCounts {
+    assert!(
+        !(utility.requires_dedicated() && system.population.is_pure_p2p()),
+        "{} has h(0+)=∞ and requires a dedicated-node population",
+        utility.kind()
+    );
+    let items = demand.items();
+    let servers = system.servers();
+    let mut counts = ReplicaCounts::zero(items, servers);
+    let budget = system.total_slots();
+    if budget == 0 || servers == 0 {
+        return counts;
+    }
+
+    // Key: d_i·ΔG_i(x). Infinite marginals (first replica under a
+    // cost-type utility) all sort to the top and are ordered among
+    // themselves by demand, which is the limit order of d_i·ΔG as the
+    // marginals diverge.
+    let key_for = |x: u32, i: usize| {
+        let m = marginal(system, utility, x);
+        if m.is_infinite() {
+            HeapKey::new(f64::INFINITY, demand.rate(i))
+        } else {
+            HeapKey::new(m * demand.rate(i), demand.rate(i))
+        }
+    };
+
+    let mut heap: BinaryHeap<(HeapKey, usize)> = (0..items)
+        .filter(|&i| demand.rate(i) > 0.0)
+        .map(|i| (key_for(0, i), i))
+        .collect();
+
+    for _ in 0..budget {
+        let Some((_, i)) = heap.pop() else { break };
+        counts.add(i);
+        let x = counts.count(i);
+        if (x as usize) < servers {
+            heap.push((key_for(x, i), i));
+        }
+    }
+    counts
+}
+
+/// Brute-force optimum by exhaustive enumeration — exponential, for tiny
+/// instances only; used to validate the greedy in tests and property
+/// tests.
+pub fn brute_force_homogeneous(
+    system: &SystemModel,
+    demand: &DemandRates,
+    utility: &dyn DelayUtility,
+) -> (ReplicaCounts, f64) {
+    use crate::welfare::social_welfare_homogeneous;
+    let items = demand.items();
+    let servers = system.servers() as u32;
+    let budget = system.total_slots() as u64;
+    assert!(
+        (servers as u64 + 1).pow(items as u32) <= 2_000_000,
+        "instance too large for brute force"
+    );
+
+    let mut best: Option<(Vec<u32>, f64)> = None;
+    let mut current = vec![0u32; items];
+    loop {
+        let total: u64 = current.iter().map(|&c| c as u64).sum();
+        if total <= budget {
+            let xs: Vec<f64> = current.iter().map(|&c| c as f64).collect();
+            let w = social_welfare_homogeneous(system, demand, utility, &xs);
+            if best.as_ref().is_none_or(|(_, bw)| w > *bw) {
+                best = Some((current.clone(), w));
+            }
+        }
+        // Odometer increment over {0..servers}^items.
+        let mut pos = 0;
+        loop {
+            if pos == items {
+                let (counts, w) = best.expect("at least the zero allocation is feasible");
+                return (ReplicaCounts::new(counts, system.servers()), w);
+            }
+            if current[pos] < servers {
+                current[pos] += 1;
+                break;
+            }
+            current[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::Popularity;
+    use crate::utility::{Exponential, NegLog, Power, Step};
+    use crate::welfare::social_welfare_homogeneous;
+
+    #[test]
+    fn fills_budget_and_respects_caps() {
+        let system = SystemModel::pure_p2p(50, 5, 0.05);
+        let demand = Popularity::pareto(50, 1.0).demand_rates(1.0);
+        let utility = Step::new(1.0);
+        let opt = greedy_homogeneous(&system, &demand, &utility);
+        assert_eq!(opt.total(), 250);
+        for i in 0..50 {
+            assert!(opt.count(i) <= 50);
+        }
+    }
+
+    #[test]
+    fn popular_items_get_more_replicas() {
+        let system = SystemModel::pure_p2p(50, 5, 0.05);
+        let demand = Popularity::pareto(50, 1.0).demand_rates(1.0);
+        for utility in [
+            Box::new(Step::new(1.0)) as Box<dyn DelayUtility>,
+            Box::new(Exponential::new(0.5)),
+            Box::new(Power::new(0.0)),
+        ] {
+            let opt = greedy_homogeneous(&system, &demand, utility.as_ref());
+            for i in 1..50 {
+                assert!(
+                    opt.count(i - 1) >= opt.count(i),
+                    "{}: x[{}]={} < x[{}]={}",
+                    utility.kind(),
+                    i - 1,
+                    opt.count(i - 1),
+                    i,
+                    opt.count(i)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cost_utility_covers_every_item_first() {
+        // With h(∞) = −∞ the first replica of each item is infinitely
+        // valuable: no item may be left unreplicated when budget permits.
+        let system = SystemModel::pure_p2p(50, 5, 0.05);
+        let demand = Popularity::pareto(50, 1.0).demand_rates(1.0);
+        let opt = greedy_homogeneous(&system, &demand, &Power::new(0.0));
+        assert_eq!(opt.missing_items(), 0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_instances() {
+        let system = SystemModel::dedicated(6, 3, 2, 0.2);
+        let demand = Popularity::pareto(4, 1.0).demand_rates(1.0);
+        for utility in [
+            Box::new(Step::new(1.5)) as Box<dyn DelayUtility>,
+            Box::new(Exponential::new(0.8)),
+            Box::new(Power::new(0.5)),
+            Box::new(Power::new(1.5)),
+        ] {
+            let greedy = greedy_homogeneous(&system, &demand, utility.as_ref());
+            let (_, w_best) = brute_force_homogeneous(&system, &demand, utility.as_ref());
+            let w_greedy =
+                social_welfare_homogeneous(&system, &demand, utility.as_ref(), &greedy.as_f64());
+            assert!(
+                w_greedy >= w_best - 1e-9,
+                "{}: greedy {w_greedy} < brute {w_best}",
+                utility.kind()
+            );
+        }
+    }
+
+    #[test]
+    fn dominant_regime_at_extreme_alpha() {
+        // α → 2: optimal allocation skews hard toward the most demanded
+        // items (Fig. 2 right edge).
+        let system = SystemModel::dedicated(50, 50, 5, 0.05);
+        let demand = Popularity::pareto(50, 1.0).demand_rates(1.0);
+        let opt = greedy_homogeneous(&system, &demand, &Power::new(1.9));
+        assert_eq!(opt.count(0), 50, "most popular item should saturate");
+    }
+
+    #[test]
+    fn uniform_regime_at_extreme_negative_alpha() {
+        // α → −∞: optimal allocation approaches uniform (Fig. 2 left
+        // edge). At α = −20 the allocation exponent is 1/22, so counts
+        // over a Pareto(1) catalog spread by at most a couple of replicas.
+        let system = SystemModel::pure_p2p(50, 5, 0.05);
+        let demand = Popularity::pareto(50, 1.0).demand_rates(1.0);
+        let opt = greedy_homogeneous(&system, &demand, &Power::new(-20.0));
+        let max = (0..50).map(|i| opt.count(i)).max().unwrap();
+        let min = (0..50).map(|i| opt.count(i)).min().unwrap();
+        assert!(max - min <= 2, "spread {max}−{min} too wide for α→−∞");
+    }
+
+    #[test]
+    fn neglog_allocation_is_near_proportional() {
+        // α = 1 ⇒ x_i ∝ d_i (Fig. 2 center). ρ = 1 keeps the most popular
+        // item's target (≈ 96 of 200 replicas) inside the |S| = 200 cap.
+        let system = SystemModel::dedicated(50, 200, 1, 0.05);
+        let demand = Popularity::pareto(4, 1.0).demand_rates(1.0);
+        let opt = greedy_homogeneous(&system, &demand, &NegLog::new());
+        let total = opt.total() as f64;
+        for i in 0..4 {
+            let share = opt.count(i) as f64 / total;
+            let expect = demand.rate(i) / demand.total();
+            assert!(
+                (share - expect).abs() < 0.02,
+                "item {i}: share {share} vs demand {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_budget_returns_zero() {
+        let system = SystemModel::pure_p2p(10, 0, 0.05);
+        let demand = Popularity::uniform(5).demand_rates(1.0);
+        let opt = greedy_homogeneous(&system, &demand, &Step::new(1.0));
+        assert_eq!(opt.total(), 0);
+    }
+
+    #[test]
+    fn budget_larger_than_catalog_capacity() {
+        // ρ|S| > |I|·|S|: every item saturates at |S|.
+        let system = SystemModel::pure_p2p(4, 10, 0.05);
+        let demand = Popularity::uniform(3).demand_rates(1.0);
+        let opt = greedy_homogeneous(&system, &demand, &Step::new(1.0));
+        for i in 0..3 {
+            assert_eq!(opt.count(i), 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a dedicated-node population")]
+    fn rejects_time_critical_in_pure_p2p() {
+        let system = SystemModel::pure_p2p(10, 2, 0.05);
+        let demand = Popularity::uniform(5).demand_rates(1.0);
+        let _ = greedy_homogeneous(&system, &demand, &Power::new(1.5));
+    }
+
+    #[test]
+    fn ignores_zero_demand_items() {
+        let system = SystemModel::pure_p2p(5, 2, 0.05);
+        let demand = DemandRates::new(vec![1.0, 0.0, 2.0]);
+        let opt = greedy_homogeneous(&system, &demand, &Step::new(1.0));
+        assert_eq!(opt.count(1), 0);
+        assert_eq!(opt.total(), 10);
+    }
+}

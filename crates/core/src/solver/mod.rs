@@ -1,0 +1,76 @@
+//! Cache-allocation solvers for the optimization problem of Eq. (6):
+//! maximize `U(x)` subject to per-server capacity `ρ`.
+//!
+//! * [`greedy`] — homogeneous contacts: exact greedy (Theorem 2), one
+//!   replica at a time by largest marginal welfare.
+//! * [`relaxed`] — homogeneous contacts, fractional counts: the
+//!   water-filling solution of Property 1's equilibrium condition, plus a
+//!   projected-gradient solver for cross-validation (Theorem 2's
+//!   "gradient descent").
+//! * [`het_greedy`] — heterogeneous contacts: lazy (CELF) submodular
+//!   greedy over (item, server) placements with the `(1 − 1/e)` guarantee
+//!   of Theorem 1 / Nemhauser et al.
+//! * [`fixed`] — the perfect-control-channel heuristics of §6.1:
+//!   UNI, SQRT, PROP, DOM.
+
+pub mod fixed;
+pub mod greedy;
+pub mod het_greedy;
+pub mod relaxed;
+
+/// Totally ordered `f64` key with tie-breakers, for solver heaps.
+///
+/// NaN keys are rejected at construction so the ordering is total in
+/// practice; `+∞` marginals (first replica of a cost-type utility) sort
+/// above all finite values and among themselves by the tie-break value
+/// (demand rate), exactly the order the theory prescribes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) struct HeapKey {
+    pub primary: f64,
+    pub tie: f64,
+}
+
+impl HeapKey {
+    pub fn new(primary: f64, tie: f64) -> Self {
+        assert!(!primary.is_nan() && !tie.is_nan(), "heap keys must not be NaN");
+        HeapKey { primary, tie }
+    }
+}
+
+impl Eq for HeapKey {}
+
+impl PartialOrd for HeapKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.primary
+            .total_cmp(&other.primary)
+            .then(self.tie.total_cmp(&other.tie))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_with_infinities_and_ties() {
+        let a = HeapKey::new(f64::INFINITY, 2.0);
+        let b = HeapKey::new(f64::INFINITY, 1.0);
+        let c = HeapKey::new(10.0, 0.0);
+        assert!(a > b);
+        assert!(b > c);
+        assert!(HeapKey::new(1.0, 0.0) < HeapKey::new(2.0, 0.0));
+        assert_eq!(HeapKey::new(1.0, 1.0), HeapKey::new(1.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn rejects_nan() {
+        let _ = HeapKey::new(f64::NAN, 0.0);
+    }
+}

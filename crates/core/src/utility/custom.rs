@@ -1,0 +1,154 @@
+//! Arbitrary user-supplied delay-utility functions.
+//!
+//! The paper's theory (Lemma 1, Theorems 1–2, Properties 1–2) only needs
+//! `h` to be monotonically non-increasing; [`Custom`] lets downstream users
+//! plug in any such function — e.g. one fitted to observed abandonment
+//! behaviour — and still use every solver and the QCR reaction function,
+//! through the numeric defaults of [`DelayUtility`].
+
+use super::{DelayUtility, UtilityKind};
+use std::sync::Arc;
+
+type HFn = dyn Fn(f64) -> f64 + Send + Sync;
+
+/// A delay-utility defined by closures.
+///
+/// ```
+/// use impatience_core::utility::{Custom, DelayUtility};
+///
+/// // A logistic abandonment curve fitted from user feedback.
+/// let u = Custom::new(|t| 1.0 / (1.0 + (2.0 * (t - 3.0)).exp()), 1.0, 0.0);
+/// assert!(u.h(0.1) > 0.99);
+/// assert!(u.h(10.0) < 0.01);
+/// // φ is available numerically:
+/// let phi = u.phi(5.0, 0.05);
+/// assert!(phi > 0.0);
+/// ```
+#[derive(Clone)]
+pub struct Custom {
+    h: Arc<HFn>,
+    /// Optional analytic differential `c = −h′`; numeric fallback otherwise.
+    c: Option<Arc<HFn>>,
+    h_zero: f64,
+    h_infinity: f64,
+}
+
+impl Custom {
+    /// Wrap a non-increasing function `h` with its limits at `0⁺` and `∞`.
+    ///
+    /// The limits are taken explicitly because they may be infinite and are
+    /// needed exactly (they anchor the welfare closed forms).
+    pub fn new(h: impl Fn(f64) -> f64 + Send + Sync + 'static, h_zero: f64, h_infinity: f64) -> Self {
+        Custom {
+            h: Arc::new(h),
+            c: None,
+            h_zero,
+            h_infinity,
+        }
+    }
+
+    /// Also supply the analytic differential delay-utility `c = −h′`,
+    /// avoiding numeric differentiation in `φ`/`ψ`.
+    pub fn with_derivative(mut self, c: impl Fn(f64) -> f64 + Send + Sync + 'static) -> Self {
+        self.c = Some(Arc::new(c));
+        self
+    }
+}
+
+impl std::fmt::Debug for Custom {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Custom")
+            .field("h_zero", &self.h_zero)
+            .field("h_infinity", &self.h_infinity)
+            .field("has_analytic_c", &self.c.is_some())
+            .finish()
+    }
+}
+
+impl DelayUtility for Custom {
+    fn h(&self, t: f64) -> f64 {
+        (self.h)(t)
+    }
+
+    fn h_zero(&self) -> f64 {
+        self.h_zero
+    }
+
+    fn h_infinity(&self) -> f64 {
+        self.h_infinity
+    }
+
+    fn c(&self, t: f64) -> f64 {
+        match &self.c {
+            Some(c) => c(t),
+            None => {
+                let eps = (t.abs().max(1e-6)) * 1e-6;
+                -((self.h)(t + eps) - (self.h)(t - eps)) / (2.0 * eps)
+            }
+        }
+    }
+
+    fn kind(&self) -> UtilityKind {
+        UtilityKind::Custom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utility::Exponential;
+
+    #[test]
+    fn mirrors_exponential_numerically() {
+        // A Custom clone of Exponential(ν) must produce the same gain and φ
+        // through the numeric code paths.
+        let nu = 0.8;
+        let reference = Exponential::new(nu);
+        let custom = Custom::new(move |t| (-nu * t).exp(), 1.0, 0.0);
+
+        for lambda in [0.2, 1.0, 5.0] {
+            let a = custom.gain(lambda);
+            let b = reference.gain(lambda);
+            assert!((a - b).abs() < 1e-6, "λ={lambda}: {a} vs {b}");
+        }
+        for x in [0.5, 3.0, 12.0] {
+            let a = custom.phi(x, 0.05);
+            let b = reference.phi(x, 0.05);
+            assert!((a - b).abs() < 1e-6 * b.max(1e-9), "x={x}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn analytic_derivative_is_used() {
+        let custom = Custom::new(|t| (-t).exp(), 1.0, 0.0).with_derivative(|t| (-t).exp());
+        assert!((custom.c(1.0) - (-1.0f64).exp()).abs() < 1e-15);
+        assert!(format!("{custom:?}").contains("has_analytic_c: true"));
+    }
+
+    #[test]
+    fn numeric_derivative_fallback() {
+        let custom = Custom::new(|t| 1.0 / (1.0 + t), 1.0, 0.0);
+        // c = 1/(1+t)²
+        for t in [0.5, 2.0, 8.0] {
+            let expect = 1.0 / ((1.0 + t) * (1.0 + t));
+            assert!((custom.c(t) - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn psi_available_numerically() {
+        let custom = Custom::new(|t| (-0.5 * t).exp(), 1.0, 0.0);
+        let reference = Exponential::new(0.5);
+        let got = custom.psi(10.0, 50.0, 0.05);
+        let expect = reference.psi(10.0, 50.0, 0.05);
+        assert!((got - expect).abs() < 1e-6, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn requires_dedicated_follows_h_zero() {
+        let finite = Custom::new(|t| -t, 0.0, f64::NEG_INFINITY);
+        assert!(!finite.requires_dedicated());
+        let infinite = Custom::new(|t| 1.0 / t, f64::INFINITY, 0.0);
+        assert!(infinite.requires_dedicated());
+    }
+}

@@ -1,0 +1,163 @@
+//! The exponential delay-utility `h(t) = e^{−νt}` — "advertising revenue"
+//! with a mixed population: at any time a constant fraction of still-waiting
+//! users loses interest.
+//!
+//! Closed forms (paper Table 1, second column):
+//!
+//! * `c(t) = ν·e^{−νt}`
+//! * gain `G(λ) = E[e^{−νY}] = λ/(λ+ν)` — in the paper's form
+//!   `1 − 1/(1 + μx/ν)`
+//! * `φ(x) = (μ/ν)·(1 + μx/ν)^{−2} = μν/(μx+ν)²`
+//! * `ψ(y) = (μ|S|/ν)·y/(y + μ|S|/ν)²`
+
+use super::{DelayUtility, UtilityKind};
+
+/// Exponential delay-utility with impatience rate `ν`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Exponential {
+    nu: f64,
+}
+
+impl Exponential {
+    /// Create an exponential utility with decay rate `nu`.
+    ///
+    /// # Panics
+    /// Panics unless `nu` is strictly positive and finite.
+    pub fn new(nu: f64) -> Self {
+        assert!(nu > 0.0 && nu.is_finite(), "decay rate must be positive");
+        Exponential { nu }
+    }
+
+    /// The decay rate `ν`.
+    pub fn nu(&self) -> f64 {
+        self.nu
+    }
+}
+
+impl DelayUtility for Exponential {
+    fn h(&self, t: f64) -> f64 {
+        (-self.nu * t).exp()
+    }
+
+    fn h_zero(&self) -> f64 {
+        1.0
+    }
+
+    fn h_infinity(&self) -> f64 {
+        0.0
+    }
+
+    fn c(&self, t: f64) -> f64 {
+        self.nu * (-self.nu * t).exp()
+    }
+
+    fn gain(&self, lambda: f64) -> f64 {
+        debug_assert!(lambda >= 0.0);
+        lambda / (lambda + self.nu)
+    }
+
+    fn phi(&self, x: f64, mu: f64) -> f64 {
+        let denom = mu * x + self.nu;
+        mu * self.nu / (denom * denom)
+    }
+
+    fn psi(&self, y: f64, servers: f64, mu: f64) -> f64 {
+        // (s/y)·φ(s/y) = (μ|S|/ν)·y/(y + μ|S|/ν)²  (Table 1 last row)
+        let a = mu * servers / self.nu;
+        let denom = y + a;
+        a * y / (denom * denom)
+    }
+
+    fn kind(&self) -> UtilityKind {
+        UtilityKind::Exponential { nu: self.nu }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape() {
+        let u = Exponential::new(0.5);
+        assert_eq!(u.h_zero(), 1.0);
+        assert_eq!(u.h_infinity(), 0.0);
+        assert!((u.h(2.0) - (-1.0f64).exp()).abs() < 1e-15);
+        assert!(!u.requires_dedicated());
+        assert_eq!(u.nu(), 0.5);
+    }
+
+    #[test]
+    fn gain_matches_numeric_integration() {
+        let u = Exponential::new(0.7);
+        for lambda in [0.05, 0.5, 2.0, 25.0] {
+            let numeric = u.gain_numeric(lambda).unwrap();
+            let closed = u.gain(lambda);
+            assert!(
+                (numeric - closed).abs() < 1e-7,
+                "λ={lambda}: {numeric} vs {closed}"
+            );
+        }
+    }
+
+    #[test]
+    fn gain_zero_lambda() {
+        assert_eq!(Exponential::new(1.0).gain(0.0), 0.0);
+    }
+
+    #[test]
+    fn phi_matches_numeric_integration() {
+        let u = Exponential::new(1.3);
+        let mu = 0.05;
+        for x in [0.5, 1.0, 10.0, 100.0] {
+            let numeric = u.phi_numeric(x, mu).unwrap();
+            let closed = u.phi(x, mu);
+            assert!(
+                (numeric - closed).abs() < 1e-7 * closed.max(1e-12),
+                "x={x}: {numeric} vs {closed}"
+            );
+        }
+    }
+
+    #[test]
+    fn phi_is_gain_derivative() {
+        let u = Exponential::new(0.2);
+        let mu = 0.05;
+        for x in [1.0, 7.0, 30.0] {
+            let eps = 1e-6;
+            let numeric = (u.gain(mu * (x + eps)) - u.gain(mu * (x - eps))) / (2.0 * eps);
+            assert!((numeric - u.phi(x, mu)).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn psi_closed_form_matches_relation() {
+        let u = Exponential::new(0.4);
+        let (s, mu) = (50.0, 0.05);
+        for y in [0.25, 1.0, 6.25, 50.0, 400.0] {
+            let x = s / y;
+            let expect = x * u.phi(x, mu);
+            let got = u.psi(y, s, mu);
+            assert!(
+                (got - expect).abs() < 1e-12 * expect.abs().max(1.0),
+                "y={y}: {got} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn c_is_minus_h_prime() {
+        let u = Exponential::new(2.0);
+        for t in [0.1, 1.0, 3.0] {
+            let eps = 1e-6;
+            let fd = -(u.h(t + eps) - u.h(t - eps)) / (2.0 * eps);
+            assert!((fd - u.c(t)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "decay rate must be positive")]
+    fn rejects_negative_nu() {
+        let _ = Exponential::new(-1.0);
+    }
+}

@@ -1,0 +1,339 @@
+//! The power delay-utility family `h(t) = t^{1−α}/(α−1)` for `α < 2`,
+//! `α ≠ 1`, and its `α → 1` limit, the negative logarithm `h(t) = −ln t`.
+//!
+//! The single exponent `α` spans the paper's impatience spectrum (Fig. 2):
+//!
+//! * `1 < α < 2` — **time-critical information** (inverse power): immediate
+//!   delivery is worth arbitrarily much (`h(0⁺) = ∞`), so these utilities
+//!   are restricted to the dedicated-node population;
+//! * `α < 1` — **waiting cost** (negative power): `h ≤ 0` grows unboundedly
+//!   negative, modelling costs such as running outdated software;
+//! * `α = 1` — **negative logarithm**: both effects at once.
+//!
+//! Closed forms (paper Table 1, columns 3–5):
+//!
+//! * `c(t) = t^{−α}`
+//! * gain `G(λ) = λ^{α−1}·Γ(2−α)/(α−1)` (and `ln λ + γ` for neg-log)
+//! * `φ(x) = μ^{α−1}·Γ(2−α)·x^{α−2}` (and `1/x` for neg-log)
+//! * `ψ(y) = μ^{α−1}·|S|^{α−1}·Γ(2−α)·y^{1−α}` (and `y/|S|·…` → `1` shape
+//!   for neg-log; see [`NegLog`])
+//!
+//! The optimal relaxed allocation is `x̃_i ∝ d_i^{1/(2−α)}` (Fig. 2):
+//! uniform as `α → −∞`, proportional at `α = 1`, square-root at `α = 0`,
+//! winner-take-all as `α → 2`.
+
+use super::{DelayUtility, UtilityKind};
+use crate::numeric::gamma;
+
+/// Euler–Mascheroni constant γ (used by the neg-log gain `ln λ + γ`).
+const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+
+/// Power delay-utility with exponent `α < 2`, `α ≠ 1`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Power {
+    alpha: f64,
+    /// Precomputed `Γ(2−α)`.
+    gamma_2ma: f64,
+}
+
+impl Power {
+    /// Create a power utility with impatience exponent `alpha`.
+    ///
+    /// # Panics
+    /// Panics if `alpha ≥ 2` (gain diverges), `alpha == 1` (use
+    /// [`NegLog`]), or `alpha` is not finite.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha.is_finite(), "alpha must be finite");
+        assert!(alpha < 2.0, "power utility requires α < 2 (gain diverges otherwise)");
+        assert!(alpha != 1.0, "α = 1 is the negative-logarithm limit; use NegLog");
+        Power {
+            alpha,
+            gamma_2ma: gamma(2.0 - alpha),
+        }
+    }
+
+    /// The impatience exponent `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The exponent of the optimal relaxed allocation, `1/(2−α)`:
+    /// `x̃_i ∝ d_i^{1/(2−α)}` (paper Fig. 2).
+    pub fn allocation_exponent(&self) -> f64 {
+        1.0 / (2.0 - self.alpha)
+    }
+}
+
+impl DelayUtility for Power {
+    fn h(&self, t: f64) -> f64 {
+        t.powf(1.0 - self.alpha) / (self.alpha - 1.0)
+    }
+
+    fn h_zero(&self) -> f64 {
+        if self.alpha > 1.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        }
+    }
+
+    fn h_infinity(&self) -> f64 {
+        if self.alpha > 1.0 {
+            0.0
+        } else {
+            f64::NEG_INFINITY
+        }
+    }
+
+    fn c(&self, t: f64) -> f64 {
+        t.powf(-self.alpha)
+    }
+
+    fn gain(&self, lambda: f64) -> f64 {
+        debug_assert!(lambda >= 0.0);
+        if lambda == 0.0 {
+            return self.h_infinity();
+        }
+        lambda.powf(self.alpha - 1.0) * self.gamma_2ma / (self.alpha - 1.0)
+    }
+
+    fn phi(&self, x: f64, mu: f64) -> f64 {
+        mu.powf(self.alpha - 1.0) * self.gamma_2ma * x.powf(self.alpha - 2.0)
+    }
+
+    fn psi(&self, y: f64, servers: f64, mu: f64) -> f64 {
+        // Table 1: ψ(y) = y^{1−α}·μ^{α−1}·|S|^{α−1}·Γ(2−α)
+        (mu * servers).powf(self.alpha - 1.0) * self.gamma_2ma * y.powf(1.0 - self.alpha)
+    }
+
+    fn kind(&self) -> UtilityKind {
+        UtilityKind::Power { alpha: self.alpha }
+    }
+}
+
+/// Negative-logarithm delay-utility `h(t) = −ln t`, the `α → 1` limit of
+/// [`Power`]. Both `h(0⁺) = ∞` and `h(∞) = −∞`, so it is restricted to the
+/// dedicated-node population.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NegLog;
+
+impl NegLog {
+    /// Create the negative-logarithm utility.
+    pub fn new() -> Self {
+        NegLog
+    }
+}
+
+impl DelayUtility for NegLog {
+    fn h(&self, t: f64) -> f64 {
+        -t.ln()
+    }
+
+    fn h_zero(&self) -> f64 {
+        f64::INFINITY
+    }
+
+    fn h_infinity(&self) -> f64 {
+        f64::NEG_INFINITY
+    }
+
+    fn c(&self, t: f64) -> f64 {
+        1.0 / t
+    }
+
+    fn gain(&self, lambda: f64) -> f64 {
+        debug_assert!(lambda >= 0.0);
+        if lambda == 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        // E[−ln Y] for Y ~ Exp(λ) is ln λ + γ.
+        lambda.ln() + EULER_GAMMA
+    }
+
+    fn phi(&self, x: f64, _mu: f64) -> f64 {
+        // The paper's Table 1 with α = 1: φ(x) = x^{−1} (μ^0·Γ(1) = 1).
+        1.0 / x
+    }
+
+    fn psi(&self, y: f64, _servers: f64, _mu: f64) -> f64 {
+        // (s/y)·φ(s/y) = (s/y)·(y/s) = 1: the neg-log reaction is constant —
+        // exactly one replica per fulfillment, i.e. path-replication's
+        // proportional-allocation regime.
+        debug_assert!(y > 0.0);
+        1.0
+    }
+
+    fn kind(&self) -> UtilityKind {
+        UtilityKind::NegLog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_regimes() {
+        // Waiting cost: h ≤ 0, decreasing, h(0)=0, h(∞)=−∞.
+        let u = Power::new(0.0); // h(t) = −t
+        assert_eq!(u.h_zero(), 0.0);
+        assert_eq!(u.h_infinity(), f64::NEG_INFINITY);
+        assert!((u.h(3.0) + 3.0).abs() < 1e-15);
+        assert!(!u.requires_dedicated());
+
+        // Time-critical: h ≥ 0, h(0)=∞.
+        let u = Power::new(1.5); // h(t) = 2/√t · ... = t^{-0.5}/0.5
+        assert_eq!(u.h_zero(), f64::INFINITY);
+        assert_eq!(u.h_infinity(), 0.0);
+        assert!(u.requires_dedicated());
+        assert!(u.h(1.0) > 0.0);
+    }
+
+    #[test]
+    fn h_monotone_decreasing() {
+        for alpha in [-2.0, -0.5, 0.0, 0.5, 1.5, 1.9] {
+            let u = Power::new(alpha);
+            let mut prev = f64::INFINITY;
+            for k in 1..100 {
+                let v = u.h(0.1 * k as f64);
+                assert!(v <= prev, "α={alpha} not decreasing at t={}", 0.1 * k as f64);
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn gain_matches_numeric() {
+        for alpha in [-1.0, 0.0, 0.5, 1.5] {
+            let u = Power::new(alpha);
+            for lambda in [0.1, 1.0, 10.0] {
+                let numeric = u.gain_numeric(lambda).unwrap();
+                let closed = u.gain(lambda);
+                assert!(
+                    (numeric - closed).abs() < 1e-5 * closed.abs().max(1.0),
+                    "α={alpha} λ={lambda}: {numeric} vs {closed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn phi_matches_numeric() {
+        let mu = 0.05;
+        for alpha in [-1.0, 0.0, 0.5, 1.5] {
+            let u = Power::new(alpha);
+            for x in [0.5, 2.0, 20.0] {
+                let numeric = u.phi_numeric(x, mu).unwrap();
+                let closed = u.phi(x, mu);
+                assert!(
+                    (numeric - closed).abs() < 1e-5 * closed.abs().max(1.0),
+                    "α={alpha} x={x}: {numeric} vs {closed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn phi_is_gain_derivative() {
+        let mu = 0.1;
+        for alpha in [-0.5, 0.5, 1.5] {
+            let u = Power::new(alpha);
+            for x in [1.0, 5.0, 25.0] {
+                let eps = 1e-5 * x;
+                let fd = (u.gain(mu * (x + eps)) - u.gain(mu * (x - eps))) / (2.0 * eps);
+                let closed = u.phi(x, mu);
+                assert!(
+                    (fd - closed).abs() < 1e-5 * closed.abs().max(1e-9),
+                    "α={alpha} x={x}: {fd} vs {closed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn psi_table_row() {
+        let (s, mu) = (50.0, 0.05);
+        for alpha in [-1.0, 0.0, 0.5, 1.5] {
+            let u = Power::new(alpha);
+            for y in [1.0, 10.0, 100.0] {
+                let x = s / y;
+                let expect = x * u.phi(x, mu);
+                let got = u.psi(y, s, mu);
+                assert!(
+                    (got - expect).abs() < 1e-10 * expect.abs().max(1.0),
+                    "α={alpha} y={y}: {got} vs {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sqrt_allocation_at_alpha_zero() {
+        // α = 0 ⇒ allocation exponent 1/2 (the square-root allocation of
+        // Cohen & Shenker).
+        assert!((Power::new(0.0).allocation_exponent() - 0.5).abs() < 1e-15);
+        // α = 1.5 ⇒ exponent 2 (highly skewed).
+        assert!((Power::new(1.5).allocation_exponent() - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn neglog_is_alpha_one_limit() {
+        // gain and φ of Power(α) approach NegLog's as α → 1 (up to the
+        // additive constant in gain, so compare gain *differences*).
+        let nl = NegLog::new();
+        let mu = 0.05;
+        for eps in [1e-3, 1e-4] {
+            for side in [-1.0, 1.0] {
+                let u = Power::new(1.0 + side * eps);
+                let d_power = u.gain(2.0) - u.gain(0.5);
+                let d_nl = nl.gain(2.0) - nl.gain(0.5);
+                assert!(
+                    (d_power - d_nl).abs() < 50.0 * eps,
+                    "gain diff α=1{side:+}·{eps}: {d_power} vs {d_nl}"
+                );
+                for x in [1.0, 10.0] {
+                    let ratio = u.phi(x, mu) / nl.phi(x, mu);
+                    assert!((ratio - 1.0).abs() < 100.0 * eps, "φ ratio {ratio}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neglog_closed_forms() {
+        let nl = NegLog::new();
+        // E[−ln Y] numeric check.
+        let numeric = nl.gain_numeric(2.0).unwrap();
+        assert!((numeric - nl.gain(2.0)).abs() < 1e-5);
+        // φ = 1/x and constant ψ.
+        assert_eq!(nl.phi(4.0, 0.05), 0.25);
+        assert_eq!(nl.psi(17.0, 50.0, 0.05), 1.0);
+        assert!(nl.requires_dedicated());
+        assert_eq!(nl.kind(), UtilityKind::NegLog);
+    }
+
+    #[test]
+    fn gain_increases_with_replicas() {
+        for alpha in [-1.0, 0.5, 1.5] {
+            let u = Power::new(alpha);
+            let mut prev = u.gain(0.0);
+            for k in 1..=20 {
+                let g = u.gain(0.05 * k as f64);
+                assert!(g > prev, "α={alpha}");
+                prev = g;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "α < 2")]
+    fn rejects_alpha_two() {
+        let _ = Power::new(2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative-logarithm")]
+    fn rejects_alpha_one() {
+        let _ = Power::new(1.0);
+    }
+}

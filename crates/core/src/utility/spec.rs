@@ -1,0 +1,159 @@
+//! Textual delay-utility specifications, e.g. for CLIs and config files.
+//!
+//! Grammar: `step:<tau>` · `exp:<nu>` · `power:<alpha>` · `neglog`.
+
+use std::sync::Arc;
+
+use super::{DelayUtility, Exponential, NegLog, Power, Step};
+
+/// Parse a delay-utility specification string.
+///
+/// ```
+/// use impatience_core::utility::{parse_utility, DelayUtility};
+/// let u = parse_utility("step:2.5").unwrap();
+/// assert_eq!(u.h(1.0), 1.0);
+/// assert_eq!(u.h(3.0), 0.0);
+/// assert!(parse_utility("power:2.5").is_err()); // α ≥ 2 diverges
+/// ```
+pub fn parse_utility(spec: &str) -> Result<Arc<dyn DelayUtility>, UtilitySpecError> {
+    let spec = spec.trim();
+    let (family, param) = match spec.split_once(':') {
+        Some((f, p)) => (f.trim(), Some(p.trim())),
+        None => (spec, None),
+    };
+    let parse_param = |what: &str| -> Result<f64, UtilitySpecError> {
+        let raw = param.ok_or_else(|| UtilitySpecError {
+            spec: spec.to_string(),
+            message: format!("{family} requires a parameter ({family}:<{what}>)"),
+        })?;
+        raw.parse().map_err(|_| UtilitySpecError {
+            spec: spec.to_string(),
+            message: format!("cannot parse `{raw}` as {what}"),
+        })
+    };
+    match family {
+        "step" => {
+            let tau = parse_param("tau")?;
+            if tau > 0.0 && tau.is_finite() {
+                Ok(Arc::new(Step::new(tau)))
+            } else {
+                Err(UtilitySpecError {
+                    spec: spec.to_string(),
+                    message: "step deadline must be positive".into(),
+                })
+            }
+        }
+        "exp" | "exponential" => {
+            let nu = parse_param("nu")?;
+            if nu > 0.0 && nu.is_finite() {
+                Ok(Arc::new(Exponential::new(nu)))
+            } else {
+                Err(UtilitySpecError {
+                    spec: spec.to_string(),
+                    message: "exponential decay rate must be positive".into(),
+                })
+            }
+        }
+        "power" => {
+            let alpha = parse_param("alpha")?;
+            if alpha.is_finite() && alpha < 2.0 && alpha != 1.0 {
+                Ok(Arc::new(Power::new(alpha)))
+            } else {
+                Err(UtilitySpecError {
+                    spec: spec.to_string(),
+                    message: "power exponent must satisfy α < 2, α ≠ 1 (use `neglog` for α = 1)"
+                        .into(),
+                })
+            }
+        }
+        "neglog" => {
+            if param.is_some() {
+                Err(UtilitySpecError {
+                    spec: spec.to_string(),
+                    message: "neglog takes no parameter".into(),
+                })
+            } else {
+                Ok(Arc::new(NegLog::new()))
+            }
+        }
+        other => Err(UtilitySpecError {
+            spec: spec.to_string(),
+            message: format!(
+                "unknown family `{other}` (expected step:<tau>, exp:<nu>, power:<alpha>, neglog)"
+            ),
+        }),
+    }
+}
+
+/// A malformed delay-utility specification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UtilitySpecError {
+    /// The offending input.
+    pub spec: String,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for UtilitySpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid utility spec `{}`: {}", self.spec, self.message)
+    }
+}
+
+impl std::error::Error for UtilitySpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utility::UtilityKind;
+
+    #[test]
+    fn parses_all_families() {
+        assert_eq!(
+            parse_utility("step:1.5").unwrap().kind(),
+            UtilityKind::Step { tau: 1.5 }
+        );
+        assert_eq!(
+            parse_utility("exp:0.2").unwrap().kind(),
+            UtilityKind::Exponential { nu: 0.2 }
+        );
+        assert_eq!(
+            parse_utility("exponential:2").unwrap().kind(),
+            UtilityKind::Exponential { nu: 2.0 }
+        );
+        assert_eq!(
+            parse_utility(" power:-1.5 ").unwrap().kind(),
+            UtilityKind::Power { alpha: -1.5 }
+        );
+        assert_eq!(parse_utility("neglog").unwrap().kind(), UtilityKind::NegLog);
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        for bad in [
+            "step",
+            "step:0",
+            "step:-1",
+            "step:abc",
+            "exp:-0.1",
+            "power:2.0",
+            "power:1",
+            "power:inf",
+            "neglog:3",
+            "linear:1",
+            "",
+        ] {
+            assert!(parse_utility(bad).is_err(), "`{bad}` should be rejected");
+        }
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = parse_utility("power:2.5").unwrap_err();
+        assert!(e.to_string().contains("α < 2"), "{e}");
+        let e = parse_utility("warp:9").unwrap_err();
+        assert!(e.to_string().contains("unknown family"), "{e}");
+        let e = parse_utility("step").unwrap_err();
+        assert!(e.to_string().contains("requires a parameter"), "{e}");
+    }
+}

@@ -1,0 +1,255 @@
+//! Per-item delay-utilities: `h_i` differs across the catalog.
+//!
+//! §3.2: "Since different types of content may be subject to differing
+//! user expectations, we allow each content item `i` … its own
+//! delay-utility function `h_i`." All of §4's structure survives — the
+//! welfare stays a sum of per-item concave terms, so the greedy of
+//! Theorem 2 remains exact and Property 1 generalizes to
+//! `d_i·φ_i(x̃_i) = d_j·φ_j(x̃_j)` with *item-specific* transforms.
+
+use std::sync::Arc;
+
+use crate::allocation::ReplicaCounts;
+use crate::demand::DemandRates;
+use crate::solver::HeapKey;
+use crate::types::SystemModel;
+use crate::utility::DelayUtility;
+use crate::welfare::{expected_gain_continuous, expected_gain_pure_p2p};
+
+/// A catalog assigning each item its own delay-utility.
+#[derive(Clone)]
+pub struct UtilityCatalog {
+    utilities: Vec<Arc<dyn DelayUtility>>,
+}
+
+impl UtilityCatalog {
+    /// Build from one utility per item.
+    ///
+    /// # Panics
+    /// Panics on an empty catalog.
+    pub fn new(utilities: Vec<Arc<dyn DelayUtility>>) -> Self {
+        assert!(!utilities.is_empty(), "catalog must not be empty");
+        UtilityCatalog { utilities }
+    }
+
+    /// The same utility for every item (degenerate case).
+    pub fn homogeneous(items: usize, utility: Arc<dyn DelayUtility>) -> Self {
+        assert!(items > 0);
+        UtilityCatalog {
+            utilities: vec![utility; items],
+        }
+    }
+
+    /// Number of items.
+    pub fn items(&self) -> usize {
+        self.utilities.len()
+    }
+
+    /// Utility of item `i`.
+    pub fn utility(&self, i: usize) -> &dyn DelayUtility {
+        self.utilities[i].as_ref()
+    }
+
+    /// Whether any item's utility requires a dedicated population.
+    pub fn requires_dedicated(&self) -> bool {
+        self.utilities.iter().any(|u| u.requires_dedicated())
+    }
+}
+
+impl std::fmt::Debug for UtilityCatalog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list()
+            .entries(self.utilities.iter().map(|u| u.kind()))
+            .finish()
+    }
+}
+
+/// Social welfare with per-item utilities under homogeneous contacts
+/// (the mixed-`h_i` generalization of Eqs. 3/5).
+pub fn social_welfare_homogeneous_mixed(
+    system: &SystemModel,
+    demand: &DemandRates,
+    catalog: &UtilityCatalog,
+    counts: &[f64],
+) -> f64 {
+    assert_eq!(catalog.items(), demand.items(), "catalog/demand size mismatch");
+    assert_eq!(counts.len(), demand.items(), "allocation size mismatch");
+    let mu = system.contact_rate;
+    let mut total = 0.0;
+    for (i, &x) in counts.iter().enumerate() {
+        let d = demand.rate(i);
+        if d == 0.0 {
+            continue;
+        }
+        let u = catalog.utility(i);
+        let g = if system.population.is_pure_p2p() {
+            expected_gain_pure_p2p(u, x, system.clients(), mu)
+        } else {
+            expected_gain_continuous(u, x, mu)
+        };
+        if g == f64::NEG_INFINITY {
+            return f64::NEG_INFINITY;
+        }
+        total += d * g;
+    }
+    total
+}
+
+/// Exact greedy optimum with per-item utilities (Theorem 2 still applies:
+/// the objective is a sum of per-item concave functions of the counts).
+pub fn greedy_homogeneous_mixed(
+    system: &SystemModel,
+    demand: &DemandRates,
+    catalog: &UtilityCatalog,
+) -> ReplicaCounts {
+    assert_eq!(catalog.items(), demand.items());
+    assert!(
+        !(catalog.requires_dedicated() && system.population.is_pure_p2p()),
+        "catalog contains h(0+)=∞ utilities: use a dedicated population"
+    );
+    let items = demand.items();
+    let servers = system.servers();
+    let mut counts = ReplicaCounts::zero(items, servers);
+    let budget = system.total_slots();
+    if budget == 0 || servers == 0 {
+        return counts;
+    }
+
+    let gain = |i: usize, x: f64| {
+        let u = catalog.utility(i);
+        if system.population.is_pure_p2p() {
+            expected_gain_pure_p2p(u, x, system.clients(), system.contact_rate)
+        } else {
+            expected_gain_continuous(u, x, system.contact_rate)
+        }
+    };
+    let key_for = |i: usize, x: u32| {
+        let curr = gain(i, x as f64);
+        let m = if curr == f64::NEG_INFINITY {
+            f64::INFINITY
+        } else {
+            (gain(i, (x + 1) as f64) - curr) * demand.rate(i)
+        };
+        if m.is_infinite() {
+            HeapKey::new(f64::INFINITY, demand.rate(i))
+        } else {
+            HeapKey::new(m, demand.rate(i))
+        }
+    };
+
+    let mut heap: std::collections::BinaryHeap<(HeapKey, usize)> = (0..items)
+        .filter(|&i| demand.rate(i) > 0.0)
+        .map(|i| (key_for(i, 0), i))
+        .collect();
+    for _ in 0..budget {
+        let Some((_, i)) = heap.pop() else { break };
+        counts.add(i);
+        let x = counts.count(i);
+        if (x as usize) < servers {
+            heap.push((key_for(i, x), i));
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::Popularity;
+    use crate::utility::{Exponential, Step};
+    use crate::welfare::social_welfare_homogeneous;
+
+    fn system() -> SystemModel {
+        SystemModel::pure_p2p(50, 5, 0.05)
+    }
+
+    #[test]
+    fn homogeneous_catalog_matches_single_utility_paths() {
+        let demand = Popularity::pareto(10, 1.0).demand_rates(1.0);
+        let single = Step::new(5.0);
+        let catalog = UtilityCatalog::homogeneous(10, Arc::new(Step::new(5.0)));
+        let counts: Vec<f64> = (0..10).map(|i| 1.0 + i as f64 % 4.0).collect();
+        let mixed = social_welfare_homogeneous_mixed(&system(), &demand, &catalog, &counts);
+        let plain = social_welfare_homogeneous(&system(), &demand, &single, &counts);
+        assert!((mixed - plain).abs() < 1e-12);
+
+        let g_mixed = greedy_homogeneous_mixed(&system(), &demand, &catalog);
+        let g_plain = crate::solver::greedy::greedy_homogeneous(&system(), &demand, &single);
+        let w_mixed =
+            social_welfare_homogeneous_mixed(&system(), &demand, &catalog, &g_mixed.as_f64());
+        let w_plain = social_welfare_homogeneous(&system(), &demand, &single, &g_plain.as_f64());
+        assert!((w_mixed - w_plain).abs() < 1e-12);
+    }
+
+    #[test]
+    fn urgent_items_get_more_replicas_at_equal_demand() {
+        // Two items with identical demand; item 0 is time-critical
+        // (ν large ⇒ value decays fast), item 1 is patient. The optimal
+        // cache must favor the urgent one.
+        let demand = crate::demand::DemandRates::new(vec![1.0, 1.0]);
+        let catalog = UtilityCatalog::new(vec![
+            Arc::new(Exponential::new(2.0)),
+            Arc::new(Exponential::new(0.01)),
+        ]);
+        // ρ = 1 keeps the 50-slot budget scarce (both items would saturate
+        // the |S| cap under ρ = 5).
+        let tight = SystemModel::pure_p2p(50, 1, 0.05);
+        let opt = greedy_homogeneous_mixed(&tight, &demand, &catalog);
+        assert!(
+            opt.count(0) > opt.count(1),
+            "urgent item got {} vs patient {}",
+            opt.count(0),
+            opt.count(1)
+        );
+    }
+
+    #[test]
+    fn mixed_greedy_beats_any_single_utility_greedy_on_mixed_catalogs() {
+        // Solving with the wrong (uniform) impatience model must not beat
+        // solving with the true mixed model, evaluated under the truth.
+        let demand = Popularity::pareto(8, 1.0).demand_rates(1.0);
+        let mut utilities: Vec<Arc<dyn DelayUtility>> = Vec::new();
+        for i in 0..8 {
+            if i % 2 == 0 {
+                utilities.push(Arc::new(Step::new(1.0)));
+            } else {
+                utilities.push(Arc::new(Step::new(100.0)));
+            }
+        }
+        let catalog = UtilityCatalog::new(utilities);
+        let opt_mixed = greedy_homogeneous_mixed(&system(), &demand, &catalog);
+        let w_mixed =
+            social_welfare_homogeneous_mixed(&system(), &demand, &catalog, &opt_mixed.as_f64());
+        for tau in [1.0, 10.0, 100.0] {
+            let wrong = crate::solver::greedy::greedy_homogeneous(
+                &system(),
+                &demand,
+                &Step::new(tau),
+            );
+            let w_wrong =
+                social_welfare_homogeneous_mixed(&system(), &demand, &catalog, &wrong.as_f64());
+            assert!(
+                w_mixed >= w_wrong - 1e-9,
+                "mixed-aware greedy ({w_mixed}) lost to τ={tau} model ({w_wrong})"
+            );
+        }
+    }
+
+    #[test]
+    fn debug_formats_kinds() {
+        let catalog = UtilityCatalog::new(vec![
+            Arc::new(Step::new(1.0)),
+            Arc::new(Exponential::new(0.5)),
+        ]);
+        let s = format!("{catalog:?}");
+        assert!(s.contains("Step") && s.contains("Exponential"));
+        assert_eq!(catalog.items(), 2);
+        assert!(!catalog.requires_dedicated());
+    }
+
+    #[test]
+    #[should_panic(expected = "catalog must not be empty")]
+    fn rejects_empty_catalog() {
+        let _ = UtilityCatalog::new(vec![]);
+    }
+}

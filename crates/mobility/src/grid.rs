@@ -1,0 +1,265 @@
+//! Taxi mobility on a Manhattan road grid — the Cabspotting stand-in.
+//!
+//! Vehicles occupy a grid of roads with the given `block` spacing and
+//! repeatedly drive L-shaped routes (first along the horizontal road, then
+//! along the vertical road) to a random intersection, dwell there for a
+//! passenger-pickup pause, and depart again. Compared to free-space models
+//! this produces the vehicular-trace features the paper's §6.3 attributes
+//! its Cabspotting observations to: strongly heterogeneous pairwise
+//! meeting rates (routes share corridors), re-meeting bursts while two
+//! cabs travel the same road, and long disconnections across the grid.
+
+use std::ops::Range;
+
+use crate::{Field, Mobility, Vec2};
+use impatience_core::rng::Xoshiro256;
+
+#[derive(Clone, Debug)]
+struct Cab {
+    /// Remaining waypoints of the current route (in driving order).
+    route: Vec<Vec2>,
+    speed: f64,
+    dwell: f64,
+}
+
+/// Taxis on a Manhattan grid of roads.
+#[derive(Clone, Debug)]
+pub struct GridTaxi {
+    field: Field,
+    block: f64,
+    speed_range: Range<f64>,
+    dwell_range: Range<f64>,
+    positions: Vec<Vec2>,
+    cabs: Vec<Cab>,
+}
+
+impl GridTaxi {
+    /// Create `nodes` taxis at random intersections of a grid with the
+    /// given `block` spacing.
+    ///
+    /// # Panics
+    /// Panics if `block` is not positive or exceeds either field
+    /// dimension, or on invalid speed/dwell ranges.
+    pub fn new(
+        nodes: usize,
+        field: Field,
+        block: f64,
+        speed_range: Range<f64>,
+        dwell_range: Range<f64>,
+        rng: &mut Xoshiro256,
+    ) -> Self {
+        assert!(
+            block > 0.0 && block <= field.width() && block <= field.height(),
+            "block spacing must be positive and fit in the field"
+        );
+        assert!(
+            speed_range.start > 0.0 && speed_range.end >= speed_range.start,
+            "speed range must be positive and non-empty"
+        );
+        assert!(
+            dwell_range.start >= 0.0 && dwell_range.end >= dwell_range.start,
+            "dwell range must be non-negative and non-empty"
+        );
+        let mut grid = GridTaxi {
+            field,
+            block,
+            speed_range,
+            dwell_range,
+            positions: Vec::with_capacity(nodes),
+            cabs: Vec::with_capacity(nodes),
+        };
+        for _ in 0..nodes {
+            let start = grid.random_intersection(rng);
+            grid.positions.push(start);
+            let speed = grid.sample_speed(rng);
+            let route = grid.plan_route(start, rng);
+            grid.cabs.push(Cab {
+                route,
+                speed,
+                dwell: 0.0,
+            });
+        }
+        grid
+    }
+
+    /// Number of grid columns (vertical roads).
+    fn cols(&self) -> usize {
+        (self.field.width() / self.block).floor() as usize + 1
+    }
+
+    /// Number of grid rows (horizontal roads).
+    fn rows(&self) -> usize {
+        (self.field.height() / self.block).floor() as usize + 1
+    }
+
+    fn random_intersection(&self, rng: &mut Xoshiro256) -> Vec2 {
+        let c = rng.index(self.cols());
+        let r = rng.index(self.rows());
+        Vec2::new(c as f64 * self.block, r as f64 * self.block)
+    }
+
+    fn sample_speed(&self, rng: &mut Xoshiro256) -> f64 {
+        if self.speed_range.end > self.speed_range.start {
+            rng.range(self.speed_range.start, self.speed_range.end)
+        } else {
+            self.speed_range.start
+        }
+    }
+
+    fn sample_dwell(&self, rng: &mut Xoshiro256) -> f64 {
+        if self.dwell_range.end > self.dwell_range.start {
+            rng.range(self.dwell_range.start, self.dwell_range.end)
+        } else {
+            self.dwell_range.start
+        }
+    }
+
+    /// L-shaped route from the current intersection to a random one:
+    /// horizontal leg first, then vertical.
+    fn plan_route(&self, from: Vec2, rng: &mut Xoshiro256) -> Vec<Vec2> {
+        let dest = self.random_intersection(rng);
+        let corner = Vec2::new(dest.x, from.y);
+        let mut route = Vec::with_capacity(2);
+        if (corner.x - from.x).abs() > 1e-9 {
+            route.push(corner);
+        }
+        if (dest.y - corner.y).abs() > 1e-9 || route.is_empty() {
+            route.push(dest);
+        }
+        route
+    }
+}
+
+impl Mobility for GridTaxi {
+    fn nodes(&self) -> usize {
+        self.positions.len()
+    }
+
+    fn positions(&self) -> &[Vec2] {
+        &self.positions
+    }
+
+    fn advance(&mut self, dt: f64, rng: &mut Xoshiro256) {
+        for i in 0..self.positions.len() {
+            let mut budget = dt;
+            while budget > 1e-12 {
+                let cab = &mut self.cabs[i];
+                if cab.dwell > 0.0 {
+                    let used = cab.dwell.min(budget);
+                    cab.dwell -= used;
+                    budget -= used;
+                    continue;
+                }
+                let Some(&next) = cab.route.first() else {
+                    // Route finished: dwell, then plan the next fare.
+                    let dwell = self.sample_dwell(rng);
+                    let route = self.plan_route(self.positions[i], rng);
+                    let speed = self.sample_speed(rng);
+                    let cab = &mut self.cabs[i];
+                    cab.dwell = dwell;
+                    cab.route = route;
+                    cab.speed = speed;
+                    continue;
+                };
+                let to_go = self.positions[i].distance(next);
+                let reachable = cab.speed * budget;
+                if reachable >= to_go {
+                    self.positions[i] = next;
+                    budget -= to_go / cab.speed;
+                    cab.route.remove(0);
+                } else {
+                    let dir = (next - self.positions[i]).normalized();
+                    self.positions[i] += dir * reachable;
+                    budget = 0.0;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn on_grid(p: Vec2, block: f64) -> bool {
+        let fx = (p.x / block).rem_euclid(1.0);
+        let fy = (p.y / block).rem_euclid(1.0);
+        let near = |f: f64| !(1e-6..=1.0 - 1e-6).contains(&f);
+        near(fx) || near(fy)
+    }
+
+    #[test]
+    fn taxis_stay_on_roads_and_in_field() {
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        let field = Field::new(1000.0, 800.0);
+        let block = 100.0;
+        let mut m = GridTaxi::new(8, field, block, 5.0..15.0, 0.0..30.0, &mut rng);
+        for _ in 0..2000 {
+            m.advance(1.0, &mut rng);
+            for &p in m.positions() {
+                assert!(field.contains(p), "taxi left the field: {p:?}");
+                assert!(on_grid(p, block), "taxi off-road at {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn initial_positions_are_intersections() {
+        let mut rng = Xoshiro256::seed_from_u64(12);
+        let m = GridTaxi::new(20, Field::new(500.0, 500.0), 50.0, 1.0..2.0, 0.0..1.0, &mut rng);
+        for &p in m.positions() {
+            assert!((p.x / 50.0).fract().abs() < 1e-9);
+            assert!((p.y / 50.0).fract().abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn taxis_cover_distance() {
+        let mut rng = Xoshiro256::seed_from_u64(13);
+        let mut m = GridTaxi::new(5, Field::new(2000.0, 2000.0), 200.0, 10.0..10.1, 0.0..0.1, &mut rng);
+        let before = m.positions().to_vec();
+        for _ in 0..60 {
+            m.advance(1.0, &mut rng);
+        }
+        let moved = m
+            .positions()
+            .iter()
+            .zip(&before)
+            .filter(|(a, b)| a.distance(**b) > 50.0)
+            .count();
+        assert!(moved >= 3, "only {moved} of 5 taxis travelled");
+    }
+
+    #[test]
+    fn dwell_pauses_at_destination() {
+        let mut rng = Xoshiro256::seed_from_u64(14);
+        // Tiny grid + enormous dwell: after the first fare every cab sits.
+        let mut m = GridTaxi::new(4, Field::new(100.0, 100.0), 100.0, 50.0..51.0, 1e6..2e6, &mut rng);
+        m.advance(10.0, &mut rng); // finish first routes
+        let frozen = m.positions().to_vec();
+        m.advance(1000.0, &mut rng);
+        assert_eq!(m.positions(), &frozen[..]);
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let run = |seed: u64| {
+            let mut rng = Xoshiro256::seed_from_u64(seed);
+            let mut m =
+                GridTaxi::new(6, Field::new(600.0, 600.0), 100.0, 5.0..10.0, 0.0..10.0, &mut rng);
+            for _ in 0..100 {
+                m.advance(1.0, &mut rng);
+            }
+            m.positions().to_vec()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    #[should_panic(expected = "block spacing")]
+    fn rejects_oversized_block() {
+        let mut rng = Xoshiro256::seed_from_u64(0);
+        let _ = GridTaxi::new(1, Field::new(100.0, 100.0), 500.0, 1.0..2.0, 0.0..1.0, &mut rng);
+    }
+}

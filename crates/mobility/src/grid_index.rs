@@ -1,0 +1,150 @@
+//! A uniform spatial hash for neighbor queries.
+//!
+//! The naive contact scan is O(n²) per step — fine for the paper's 50-73
+//! node populations, quadratic pain beyond. Binning positions into cells
+//! of the contact radius reduces each step to O(n + matches): only the
+//! 3×3 cell neighborhood of a node can contain nodes within the radius.
+
+use std::collections::HashMap;
+
+use crate::Vec2;
+
+/// A uniform grid over arbitrary positions with cell size = query radius.
+#[derive(Debug)]
+pub struct SpatialGrid {
+    cell: f64,
+    bins: HashMap<(i64, i64), Vec<usize>>,
+}
+
+impl SpatialGrid {
+    /// Build a grid with the given cell size (use the query radius).
+    ///
+    /// # Panics
+    /// Panics unless `cell` is positive and finite.
+    pub fn build(positions: &[Vec2], cell: f64) -> Self {
+        assert!(cell > 0.0 && cell.is_finite(), "cell size must be positive");
+        let mut bins: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+        for (i, p) in positions.iter().enumerate() {
+            bins.entry(Self::key(p, cell)).or_default().push(i);
+        }
+        SpatialGrid { cell, bins }
+    }
+
+    #[inline]
+    fn key(p: &Vec2, cell: f64) -> (i64, i64) {
+        ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
+    }
+
+    /// All unordered pairs `(a, b)` with `a < b` whose distance is at most
+    /// `radius` (which must be ≤ the cell size used to build the grid).
+    ///
+    /// Pairs are returned in deterministic (sorted) order so simulation
+    /// runs remain reproducible.
+    pub fn pairs_within(&self, positions: &[Vec2], radius: f64) -> Vec<(usize, usize)> {
+        assert!(
+            radius <= self.cell * (1.0 + 1e-12),
+            "query radius {radius} exceeds the grid cell {}; rebuild with a larger cell",
+            self.cell
+        );
+        let r2 = radius * radius;
+        let mut out = Vec::new();
+        for (&(cx, cy), members) in &self.bins {
+            // Within-cell pairs.
+            for (k, &a) in members.iter().enumerate() {
+                for &b in &members[k + 1..] {
+                    if positions[a].distance_sq(positions[b]) <= r2 {
+                        out.push((a.min(b), a.max(b)));
+                    }
+                }
+            }
+            // Cross-cell pairs: scan half the neighborhood so each cell
+            // pair is visited once.
+            for (dx, dy) in [(1i64, 0i64), (1, 1), (0, 1), (-1, 1)] {
+                let Some(others) = self.bins.get(&(cx + dx, cy + dy)) else {
+                    continue;
+                };
+                for &a in members {
+                    for &b in others {
+                        if positions[a].distance_sq(positions[b]) <= r2 {
+                            out.push((a.min(b), a.max(b)));
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impatience_core::rng::Xoshiro256;
+
+    fn naive_pairs(positions: &[Vec2], radius: f64) -> Vec<(usize, usize)> {
+        let r2 = radius * radius;
+        let mut out = Vec::new();
+        for a in 0..positions.len() {
+            for b in (a + 1)..positions.len() {
+                if positions[a].distance_sq(positions[b]) <= r2 {
+                    out.push((a, b));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_naive_on_random_clouds() {
+        let mut rng = Xoshiro256::seed_from_u64(7);
+        for n in [2usize, 10, 100, 400] {
+            let positions: Vec<Vec2> = (0..n)
+                .map(|_| Vec2::new(rng.range(0.0, 1_000.0), rng.range(0.0, 1_000.0)))
+                .collect();
+            let radius = 60.0;
+            let grid = SpatialGrid::build(&positions, radius);
+            let fast = grid.pairs_within(&positions, radius);
+            let slow = naive_pairs(&positions, radius);
+            assert_eq!(fast, slow, "n={n}");
+        }
+    }
+
+    #[test]
+    fn boundary_pairs_across_cells() {
+        // Two points straddling a cell boundary, just inside the radius.
+        let positions = vec![Vec2::new(99.9, 50.0), Vec2::new(100.1, 50.0)];
+        let grid = SpatialGrid::build(&positions, 100.0);
+        assert_eq!(grid.pairs_within(&positions, 100.0), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn negative_coordinates() {
+        let positions = vec![Vec2::new(-5.0, -5.0), Vec2::new(-8.0, -5.0), Vec2::new(50.0, 50.0)];
+        let grid = SpatialGrid::build(&positions, 10.0);
+        assert_eq!(grid.pairs_within(&positions, 10.0), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn smaller_query_radius_is_allowed() {
+        let positions = vec![Vec2::new(0.0, 0.0), Vec2::new(7.0, 0.0)];
+        let grid = SpatialGrid::build(&positions, 10.0);
+        assert!(grid.pairs_within(&positions, 5.0).is_empty());
+        assert_eq!(grid.pairs_within(&positions, 8.0), vec![(0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the grid cell")]
+    fn oversized_query_rejected() {
+        let positions = vec![Vec2::ZERO];
+        let grid = SpatialGrid::build(&positions, 10.0);
+        let _ = grid.pairs_within(&positions, 20.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let grid = SpatialGrid::build(&[], 10.0);
+        assert!(grid.pairs_within(&[], 10.0).is_empty());
+    }
+}

@@ -1,0 +1,224 @@
+//! The random-waypoint mobility model.
+//!
+//! Each node repeatedly (1) picks a uniformly random destination in the
+//! field, (2) travels there in a straight line at a per-trip speed drawn
+//! from `speed_range`, then (3) pauses for a duration drawn from
+//! `pause_range`. RWP produces near-homogeneous long-run meeting rates —
+//! useful as a geometric sanity check against the homogeneous analysis.
+
+use std::ops::Range;
+
+use crate::{Field, Mobility, Vec2};
+use impatience_core::rng::Xoshiro256;
+
+#[derive(Clone, Copy, Debug)]
+enum Phase {
+    /// Travelling toward the waypoint at the given speed.
+    Moving { target: Vec2, speed: f64 },
+    /// Pausing for the remaining duration.
+    Paused { remaining: f64 },
+}
+
+/// Random-waypoint mobility over a rectangular field.
+#[derive(Clone, Debug)]
+pub struct RandomWaypoint {
+    field: Field,
+    speed_range: Range<f64>,
+    pause_range: Range<f64>,
+    positions: Vec<Vec2>,
+    phases: Vec<Phase>,
+}
+
+impl RandomWaypoint {
+    /// Create `nodes` nodes at uniformly random initial positions.
+    ///
+    /// `speed_range` must be strictly positive; `pause_range` may start at
+    /// zero (no pauses when `0.0..0.0` is degenerate — use `0.0..ε`).
+    ///
+    /// # Panics
+    /// Panics on non-positive speeds or empty ranges.
+    pub fn new(
+        nodes: usize,
+        field: Field,
+        speed_range: Range<f64>,
+        pause_range: Range<f64>,
+        rng: &mut Xoshiro256,
+    ) -> Self {
+        assert!(
+            speed_range.start > 0.0 && speed_range.end >= speed_range.start,
+            "speed range must be positive and non-empty"
+        );
+        assert!(
+            pause_range.start >= 0.0 && pause_range.end >= pause_range.start,
+            "pause range must be non-negative and non-empty"
+        );
+        let positions: Vec<Vec2> = (0..nodes).map(|_| field.random_point(rng)).collect();
+        let phases = positions
+            .iter()
+            .map(|_| Phase::Moving {
+                target: field.random_point(rng),
+                speed: sample_range(&speed_range, rng),
+            })
+            .collect();
+        RandomWaypoint {
+            field,
+            speed_range,
+            pause_range,
+            positions,
+            phases,
+        }
+    }
+
+    fn next_trip(&self, rng: &mut Xoshiro256) -> Phase {
+        Phase::Moving {
+            target: self.field.random_point(rng),
+            speed: sample_range(&self.speed_range, rng),
+        }
+    }
+}
+
+fn sample_range(r: &Range<f64>, rng: &mut Xoshiro256) -> f64 {
+    if r.end > r.start {
+        rng.range(r.start, r.end)
+    } else {
+        r.start
+    }
+}
+
+impl Mobility for RandomWaypoint {
+    fn nodes(&self) -> usize {
+        self.positions.len()
+    }
+
+    fn positions(&self) -> &[Vec2] {
+        &self.positions
+    }
+
+    fn advance(&mut self, dt: f64, rng: &mut Xoshiro256) {
+        for i in 0..self.positions.len() {
+            let mut budget = dt;
+            // A node may finish a leg and start the next within one step.
+            while budget > 1e-12 {
+                match self.phases[i] {
+                    Phase::Moving { target, speed } => {
+                        let to_go = self.positions[i].distance(target);
+                        let reachable = speed * budget;
+                        if reachable >= to_go {
+                            self.positions[i] = target;
+                            budget -= if speed > 0.0 { to_go / speed } else { budget };
+                            let pause = sample_range(&self.pause_range, rng);
+                            self.phases[i] = if pause > 0.0 {
+                                Phase::Paused { remaining: pause }
+                            } else {
+                                self.next_trip(rng)
+                            };
+                        } else {
+                            let dir = (target - self.positions[i]).normalized();
+                            self.positions[i] += dir * reachable;
+                            budget = 0.0;
+                        }
+                    }
+                    Phase::Paused { remaining } => {
+                        if budget >= remaining {
+                            budget -= remaining;
+                            self.phases[i] = self.next_trip(rng);
+                        } else {
+                            self.phases[i] = Phase::Paused {
+                                remaining: remaining - budget,
+                            };
+                            budget = 0.0;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inside_field() {
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let field = Field::new(100.0, 50.0);
+        let mut m = RandomWaypoint::new(20, field, 1.0..3.0, 0.0..2.0, &mut rng);
+        for _ in 0..500 {
+            m.advance(1.0, &mut rng);
+            for &p in m.positions() {
+                assert!(field.contains(p), "escaped to {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn nodes_actually_move() {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let field = Field::new(100.0, 100.0);
+        let mut m = RandomWaypoint::new(5, field, 2.0..2.0001, 0.0..0.0001, &mut rng);
+        let before = m.positions().to_vec();
+        m.advance(10.0, &mut rng);
+        let moved = m
+            .positions()
+            .iter()
+            .zip(&before)
+            .filter(|(a, b)| a.distance(**b) > 1.0)
+            .count();
+        assert!(moved >= 4, "only {moved} of 5 nodes moved");
+    }
+
+    #[test]
+    fn speed_is_respected() {
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        let field = Field::new(1000.0, 1000.0);
+        let speed = 5.0;
+        let mut m = RandomWaypoint::new(10, field, speed..speed + 1e-9, 0.0..1e-9, &mut rng);
+        let before = m.positions().to_vec();
+        let dt = 3.0;
+        m.advance(dt, &mut rng);
+        for (a, b) in m.positions().iter().zip(&before) {
+            // Displacement can be shorter than speed·dt (turns at
+            // waypoints) but never longer.
+            assert!(a.distance(*b) <= speed * dt + 1e-6);
+        }
+    }
+
+    #[test]
+    fn pauses_hold_position() {
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let field = Field::new(10.0, 10.0);
+        // Huge pauses, tiny field: nodes reach a waypoint quickly and then
+        // sit still for a long time.
+        let mut m = RandomWaypoint::new(3, field, 100.0..101.0, 1e6..2e6, &mut rng);
+        m.advance(1.0, &mut rng); // everyone reaches a waypoint & pauses
+        let frozen = m.positions().to_vec();
+        m.advance(100.0, &mut rng);
+        for (a, b) in m.positions().iter().zip(&frozen) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn long_run_coverage_spans_field() {
+        // Ergodicity smoke test: a single node visits all four quadrants.
+        let mut rng = Xoshiro256::seed_from_u64(6);
+        let field = Field::new(100.0, 100.0);
+        let mut m = RandomWaypoint::new(1, field, 5.0..10.0, 0.0..1.0, &mut rng);
+        let mut quadrants = [false; 4];
+        for _ in 0..5000 {
+            m.advance(1.0, &mut rng);
+            let p = m.positions()[0];
+            let q = (p.x > 50.0) as usize * 2 + (p.y > 50.0) as usize;
+            quadrants[q] = true;
+        }
+        assert!(quadrants.iter().all(|&v| v), "visited {quadrants:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "speed range must be positive")]
+    fn rejects_zero_speed() {
+        let mut rng = Xoshiro256::seed_from_u64(0);
+        let _ = RandomWaypoint::new(1, Field::new(1.0, 1.0), 0.0..1.0, 0.0..1.0, &mut rng);
+    }
+}

@@ -1,0 +1,375 @@
+//! Simulation configuration.
+
+use std::sync::Arc;
+
+use impatience_core::demand::{DemandProfile, DemandRates, Popularity};
+use impatience_core::rng::Xoshiro256;
+use impatience_core::utility::{DelayUtility, Step};
+use impatience_traces::gen::poisson_homogeneous;
+use impatience_traces::ContactTrace;
+
+/// Where the contact events of a trial come from.
+#[derive(Clone)]
+pub enum ContactSource {
+    /// Fresh homogeneous Poisson contacts per trial (nodes, rate,
+    /// duration) — §6.2.
+    Homogeneous {
+        /// Number of nodes.
+        nodes: usize,
+        /// Pairwise meeting rate μ.
+        mu: f64,
+        /// Trace duration (minutes).
+        duration: f64,
+    },
+    /// A fixed trace replayed in every trial (randomness then comes from
+    /// demand arrivals and initial placement) — §6.3.
+    Trace(Arc<ContactTrace>),
+}
+
+impl ContactSource {
+    /// Homogeneous Poisson contacts.
+    pub fn homogeneous(nodes: usize, mu: f64, duration: f64) -> Self {
+        ContactSource::Homogeneous { nodes, mu, duration }
+    }
+
+    /// Replay a fixed trace.
+    pub fn trace(trace: ContactTrace) -> Self {
+        ContactSource::Trace(Arc::new(trace))
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        match self {
+            ContactSource::Homogeneous { nodes, .. } => *nodes,
+            ContactSource::Trace(t) => t.nodes(),
+        }
+    }
+
+    /// Trial duration.
+    pub fn duration(&self) -> f64 {
+        match self {
+            ContactSource::Homogeneous { duration, .. } => *duration,
+            ContactSource::Trace(t) => t.duration(),
+        }
+    }
+
+    /// Mean pairwise rate (exact for homogeneous; per-pair average for
+    /// traces) — the `μ` the homogeneous welfare approximation uses.
+    pub fn mean_rate(&self) -> f64 {
+        match self {
+            ContactSource::Homogeneous { mu, .. } => *mu,
+            ContactSource::Trace(t) => {
+                let n = t.nodes();
+                if n < 2 || t.duration() <= 0.0 {
+                    return 0.0;
+                }
+                let pairs = (n * (n - 1) / 2) as f64;
+                t.len() as f64 / (pairs * t.duration())
+            }
+        }
+    }
+
+    /// Materialize the contact events for one trial.
+    pub fn realize(&self, rng: &mut Xoshiro256) -> Arc<ContactTrace> {
+        match self {
+            ContactSource::Homogeneous { nodes, mu, duration } => {
+                Arc::new(poisson_homogeneous(*nodes, *mu, *duration, rng))
+            }
+            ContactSource::Trace(t) => Arc::clone(t),
+        }
+    }
+}
+
+/// Full description of a simulated system (population, catalog, demand,
+/// impatience, measurement).
+///
+/// By default the simulator models the paper's pure-P2P population
+/// (§6.2: every node is both client and server), which requires
+/// `h(0⁺) < ∞`. Setting [`SimConfig::dedicated_servers`] switches to the
+/// dedicated-node population (§3.1: throwboxes, kiosks, buses): the first
+/// `k` trace nodes act as cache-carrying servers, the rest as cache-less
+/// clients — which also legitimizes the `h(0⁺) = ∞` families.
+#[derive(Clone)]
+pub struct SimConfig {
+    /// Catalog size |I|.
+    pub items: usize,
+    /// Per-server cache capacity ρ.
+    pub rho: usize,
+    /// Demand rates d_i (requests per minute, system-wide).
+    pub demand: DemandRates,
+    /// Per-node demand profile π (over *client* nodes).
+    pub profile: DemandProfile,
+    /// The impatience model governing *true* gains (what the metrics
+    /// record and the analytic snapshots use).
+    pub utility: Arc<dyn DelayUtility>,
+    /// The impatience model the *protocol* believes in (drives QCR's
+    /// reaction function ψ). Defaults to [`Self::utility`]; set it to a
+    /// fitted estimate to study model-mismatch (§7's estimation problem).
+    pub protocol_utility: Option<Arc<dyn DelayUtility>>,
+    /// Metrics bin width (minutes).
+    pub bin: f64,
+    /// Fraction of the trial treated as warm-up and excluded from the
+    /// average-utility summary (0.0–0.9).
+    pub warmup_fraction: f64,
+    /// `Some(k)`: dedicated population — trace nodes `0..k` are servers,
+    /// the rest clients. `None` (default): pure P2P.
+    pub dedicated_servers: Option<usize>,
+    /// Demand shifts: at each `(time, rates)` the system-wide demand
+    /// switches to `rates` (same catalog size). Models the "evolving
+    /// demands" extension of §7; QCR adapts, pinned allocations cannot.
+    pub demand_shifts: Vec<(f64, DemandRates)>,
+    /// Cache-eviction rule (the paper's model is random replacement;
+    /// alternatives are ablation hooks).
+    pub eviction: crate::state::EvictionPolicy,
+}
+
+impl SimConfig {
+    /// Start building a config for `items` items and cache capacity
+    /// `rho`. Defaults: Pareto(ω=1) demand at 1 request/min total,
+    /// uniform profile over the node count resolved at run time,
+    /// `Step(10)` impatience, 60-minute bins, 20 % warm-up.
+    pub fn builder(items: usize, rho: usize) -> SimConfigBuilder {
+        SimConfigBuilder {
+            items,
+            rho,
+            demand: None,
+            profile: None,
+            utility: None,
+            bin: 60.0,
+            warmup_fraction: 0.2,
+            dedicated_servers: None,
+            demand_shifts: Vec::new(),
+            protocol_utility: None,
+            eviction: crate::state::EvictionPolicy::Random,
+        }
+    }
+
+    /// Number of client nodes for a population of `nodes` trace nodes.
+    pub fn clients(&self, nodes: usize) -> usize {
+        match self.dedicated_servers {
+            Some(servers) => nodes - servers,
+            None => nodes,
+        }
+    }
+
+    /// Validate against a node count (profile width, utility finiteness).
+    pub fn validate(&self, nodes: usize) {
+        assert_eq!(self.demand.items(), self.items, "demand catalog size mismatch");
+        assert_eq!(self.profile.items(), self.items, "profile catalog size mismatch");
+        if let Some(servers) = self.dedicated_servers {
+            assert!(
+                servers >= 1 && servers < nodes,
+                "dedicated population needs 1 ≤ servers < nodes (got {servers} of {nodes})"
+            );
+        }
+        assert_eq!(
+            self.profile.nodes(),
+            self.clients(nodes),
+            "profile node count must equal the client count"
+        );
+        assert!(
+            !(self.utility.requires_dedicated() && self.dedicated_servers.is_none()),
+            "{} has h(0+)=∞; use a dedicated population (SimConfig::dedicated_servers)",
+            self.utility.kind()
+        );
+        for (t, rates) in &self.demand_shifts {
+            assert!(t.is_finite() && *t >= 0.0, "shift times must be finite and ≥ 0");
+            assert_eq!(rates.items(), self.items, "shifted demand catalog size mismatch");
+        }
+        assert!(self.bin > 0.0, "bin width must be positive");
+        assert!(
+            (0.0..0.9).contains(&self.warmup_fraction),
+            "warm-up fraction must be in [0, 0.9)"
+        );
+    }
+}
+
+/// Builder for [`SimConfig`].
+pub struct SimConfigBuilder {
+    items: usize,
+    rho: usize,
+    demand: Option<DemandRates>,
+    profile: Option<DemandProfile>,
+    utility: Option<Arc<dyn DelayUtility>>,
+    bin: f64,
+    warmup_fraction: f64,
+    dedicated_servers: Option<usize>,
+    demand_shifts: Vec<(f64, DemandRates)>,
+    protocol_utility: Option<Arc<dyn DelayUtility>>,
+    eviction: crate::state::EvictionPolicy,
+}
+
+impl SimConfigBuilder {
+    /// Set the demand rates.
+    pub fn demand(mut self, demand: DemandRates) -> Self {
+        self.demand = Some(demand);
+        self
+    }
+
+    /// Set the per-node profile (defaults to uniform at build time).
+    pub fn profile(mut self, profile: DemandProfile) -> Self {
+        self.profile = Some(profile);
+        self
+    }
+
+    /// Set the impatience model.
+    pub fn utility(mut self, utility: Arc<dyn DelayUtility>) -> Self {
+        self.utility = Some(utility);
+        self
+    }
+
+    /// Set the metrics bin width (minutes).
+    pub fn bin(mut self, bin: f64) -> Self {
+        self.bin = bin;
+        self
+    }
+
+    /// Set the warm-up fraction excluded from summary averages.
+    pub fn warmup_fraction(mut self, f: f64) -> Self {
+        self.warmup_fraction = f;
+        self
+    }
+
+    /// Use a dedicated population: the first `servers` trace nodes carry
+    /// caches, the rest only issue requests (§3.1).
+    pub fn dedicated_servers(mut self, servers: usize) -> Self {
+        self.dedicated_servers = Some(servers);
+        self
+    }
+
+    /// Switch the system-wide demand to `rates` at time `t` (may be
+    /// called repeatedly; shifts are applied in time order).
+    pub fn demand_shift(mut self, t: f64, rates: DemandRates) -> Self {
+        self.demand_shifts.push((t, rates));
+        self
+    }
+
+    /// Set the cache-eviction rule (default: random replacement).
+    pub fn eviction(mut self, policy: crate::state::EvictionPolicy) -> Self {
+        self.eviction = policy;
+        self
+    }
+
+    /// Give the protocol a *different* impatience model than the true
+    /// one (e.g. a fitted estimate): gains are still recorded under the
+    /// truth, but QCR's reaction function uses this model.
+    pub fn protocol_utility(mut self, utility: Arc<dyn DelayUtility>) -> Self {
+        self.protocol_utility = Some(utility);
+        self
+    }
+
+    /// Finish building. A missing profile defaults to uniform over the
+    /// node count implied at `run_trial` time; here we default to the
+    /// catalog-size-free uniform profile lazily via `nodes`.
+    pub fn build(self) -> SimConfig {
+        let demand = self
+            .demand
+            .unwrap_or_else(|| Popularity::pareto(self.items, 1.0).demand_rates(1.0));
+        SimConfig {
+            items: self.items,
+            rho: self.rho,
+            demand,
+            // Placeholder 1-node profile replaced by `with_nodes` /
+            // validated at run time; most callers set it explicitly or
+            // rely on `for_nodes`.
+            profile: self
+                .profile
+                .unwrap_or_else(|| DemandProfile::uniform(self.items, 1)),
+            utility: self.utility.unwrap_or_else(|| Arc::new(Step::new(10.0))),
+            bin: self.bin,
+            warmup_fraction: self.warmup_fraction,
+            dedicated_servers: self.dedicated_servers,
+            protocol_utility: self.protocol_utility,
+            eviction: self.eviction,
+            demand_shifts: {
+                let mut shifts = self.demand_shifts;
+                shifts.sort_by(|a, b| a.0.total_cmp(&b.0));
+                shifts
+            },
+        }
+    }
+}
+
+impl SimConfig {
+    /// Return a copy whose profile is uniform over `nodes` nodes if the
+    /// current profile width disagrees (convenience for default-built
+    /// configs).
+    pub fn for_nodes(&self, nodes: usize) -> SimConfig {
+        let clients = self.clients(nodes);
+        if self.profile.nodes() == clients {
+            self.clone()
+        } else {
+            let mut c = self.clone();
+            c.profile = DemandProfile::uniform(self.items, clients);
+            c
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impatience_core::utility::Power;
+    use impatience_traces::ContactEvent;
+
+    #[test]
+    fn builder_defaults() {
+        let c = SimConfig::builder(10, 3).build();
+        assert_eq!(c.items, 10);
+        assert_eq!(c.rho, 3);
+        assert_eq!(c.demand.items(), 10);
+        assert!((c.demand.total() - 1.0).abs() < 1e-12);
+        assert_eq!(c.bin, 60.0);
+    }
+
+    #[test]
+    fn for_nodes_fixes_profile() {
+        let c = SimConfig::builder(5, 2).build().for_nodes(8);
+        assert_eq!(c.profile.nodes(), 8);
+        c.validate(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "dedicated population")]
+    fn validate_rejects_dedicated_only_utility() {
+        let c = SimConfig::builder(5, 2)
+            .utility(Arc::new(Power::new(1.5)))
+            .build()
+            .for_nodes(4);
+        c.validate(4);
+    }
+
+    #[test]
+    fn homogeneous_source_realizes_fresh_traces() {
+        let src = ContactSource::homogeneous(5, 0.1, 100.0);
+        assert_eq!(src.nodes(), 5);
+        assert_eq!(src.duration(), 100.0);
+        assert_eq!(src.mean_rate(), 0.1);
+        let mut r1 = Xoshiro256::seed_from_u64(1);
+        let mut r2 = Xoshiro256::seed_from_u64(2);
+        let t1 = src.realize(&mut r1);
+        let t2 = src.realize(&mut r2);
+        assert_ne!(t1.events(), t2.events(), "trials should differ");
+    }
+
+    #[test]
+    fn trace_source_is_fixed_and_estimates_rate() {
+        let trace = ContactTrace::new(
+            3,
+            100.0,
+            vec![
+                ContactEvent::new(1.0, 0, 1),
+                ContactEvent::new(2.0, 1, 2),
+                ContactEvent::new(3.0, 0, 2),
+            ],
+        );
+        let src = ContactSource::trace(trace);
+        assert_eq!(src.nodes(), 3);
+        // 3 contacts / (3 pairs × 100 min) = 0.01.
+        assert!((src.mean_rate() - 0.01).abs() < 1e-12);
+        let mut rng = Xoshiro256::seed_from_u64(0);
+        let a = src.realize(&mut rng);
+        let b = src.realize(&mut rng);
+        assert_eq!(a.events(), b.events());
+    }
+}

@@ -1,0 +1,323 @@
+//! The discrete-time contact model (§3.4): "the system evolves in a
+//! synchronous manner, in a sequence of time slots with duration δ. For
+//! each time slot, we assume node contacts occur independently with
+//! probability μ·δ."
+//!
+//! The paper's own simulator was discrete-time; this engine provides the
+//! same semantics so that the discrete→continuous convergence claimed in
+//! §3.4 can be validated *end to end* (not only at the welfare formulas —
+//! see `welfare::social_welfare_homogeneous_discrete` for that level).
+//!
+//! Only the homogeneous pure-P2P population is supported (the setting of
+//! the paper's analysis); trace replay and dedicated populations use the
+//! event-driven [`crate::engine`].
+
+use impatience_core::rng::{AliasTable, Xoshiro256};
+use impatience_core::types::SystemModel;
+
+use crate::config::SimConfig;
+use crate::engine::TrialOutcome;
+use crate::metrics::Metrics;
+use crate::policy::{Fulfillment, PolicyKind};
+use crate::state::SimState;
+
+/// Parameters of a slotted homogeneous run.
+#[derive(Clone, Copy, Debug)]
+pub struct DiscreteSource {
+    /// Number of (pure-P2P) nodes.
+    pub nodes: usize,
+    /// Pairwise contact rate μ (per unit time).
+    pub mu: f64,
+    /// Slot duration δ; each pair meets per slot with probability μ·δ.
+    pub delta: f64,
+    /// Number of slots to simulate.
+    pub slots: u64,
+}
+
+impl DiscreteSource {
+    /// Total simulated time `slots·δ`.
+    pub fn duration(&self) -> f64 {
+        self.slots as f64 * self.delta
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Request {
+    item: u32,
+    /// Slot in which the request was created.
+    created_slot: u64,
+    queries: u64,
+}
+
+/// Run one slotted trial. Waits are multiples of δ; gains are `h(k·δ)`
+/// for a request fulfilled `k ≥ 1` slots after creation (within-slot
+/// fulfillment earns `h(δ)`, matching the discrete welfare convention of
+/// Eq. 2/4 where the leading term is `h(δ)`).
+///
+/// # Panics
+/// Panics unless `μ·δ < 1` (it must be a probability) and the config is
+/// valid for a pure-P2P population of `source.nodes` nodes.
+pub fn run_trial_discrete(
+    config: &SimConfig,
+    source: &DiscreteSource,
+    policy: PolicyKind,
+    seed: u64,
+) -> TrialOutcome {
+    assert!(
+        source.delta > 0.0 && source.mu * source.delta < 1.0,
+        "need μδ < 1 (got {})",
+        source.mu * source.delta
+    );
+    assert!(
+        config.dedicated_servers.is_none() && config.demand_shifts.is_empty(),
+        "the discrete engine models the paper's plain homogeneous pure-P2P setting"
+    );
+    let nodes = source.nodes;
+    let config = config.for_nodes(nodes);
+    config.validate(nodes);
+    let duration = source.duration();
+
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut state = SimState::new(nodes, config.items, config.rho);
+    state.set_eviction(config.eviction);
+    let protocol_utility = config
+        .protocol_utility
+        .clone()
+        .unwrap_or_else(|| config.utility.clone());
+    let mut policy_obj = policy.instantiate(
+        protocol_utility,
+        nodes,
+        nodes,
+        source.mu,
+        config.items,
+        config.rho,
+        &config.demand,
+    );
+    policy_obj.initialize(&mut state, &mut rng);
+
+    let mut metrics = Metrics::new(duration, config.bin);
+    let total_rate = config.demand.total();
+    let item_sampler =
+        (total_rate > 0.0).then(|| AliasTable::new(config.demand.rates()));
+    let snapshot_system = SystemModel::pure_p2p(nodes, config.rho, source.mu);
+    let snapshot_every = (config.bin / source.delta).max(1.0) as u64;
+
+    let p_contact = source.mu * source.delta;
+    let mut requests: Vec<Vec<Request>> = vec![Vec::new(); nodes];
+    let mut fulfilled: Vec<Fulfillment> = Vec::new();
+
+    for slot in 0..source.slots {
+        let now = slot as f64 * source.delta;
+        if slot % snapshot_every == 0 {
+            metrics.record_snapshot(
+                now,
+                &state.replicas,
+                &snapshot_system,
+                &config.demand,
+                config.utility.as_ref(),
+            );
+        }
+
+        // --- arrivals this slot (Poisson with mean total_rate·δ) ---
+        if let Some(sampler) = &item_sampler {
+            let arrivals = rng.poisson(total_rate * source.delta);
+            for _ in 0..arrivals {
+                let item = sampler.sample(&mut rng) as u32;
+                let node = config.profile.sample_origin(item as usize, &mut rng);
+                metrics.requests_created += 1;
+                if state.caches[node].holds(item) {
+                    metrics.immediate_hits += 1;
+                    metrics.record_fulfillment(now, config.utility.h_zero());
+                } else {
+                    requests[node].push(Request {
+                        item,
+                        created_slot: slot,
+                        queries: 0,
+                    });
+                }
+            }
+        }
+
+        // --- synchronous contacts: each pair independently w.p. μδ ---
+        for a in 0..nodes {
+            for b in (a + 1)..nodes {
+                if !rng.bernoulli(p_contact) {
+                    continue;
+                }
+                fulfilled.clear();
+                for (n, m) in [(a, b), (b, a)] {
+                    let cache_m = &state.caches[m];
+                    requests[n].retain_mut(|r| {
+                        if cache_m.holds(r.item) {
+                            // Waited at least one slot by convention.
+                            let k = (slot - r.created_slot).max(1);
+                            fulfilled.push(Fulfillment {
+                                node: n,
+                                item: r.item,
+                                queries: r.queries + 1,
+                                wait: k as f64 * source.delta,
+                            });
+                            false
+                        } else {
+                            r.queries += 1;
+                            true
+                        }
+                    });
+                }
+                for f in &fulfilled {
+                    let server = if f.node == a { b } else { a };
+                    state.caches[server].touch(f.item);
+                    metrics.record_fulfillment(now, config.utility.h(f.wait));
+                }
+                policy_obj.after_contact(
+                    now,
+                    a,
+                    b,
+                    &mut state,
+                    &fulfilled,
+                    &mut metrics,
+                    &mut rng,
+                );
+            }
+        }
+    }
+
+    metrics.unfulfilled = requests.iter().map(|r| r.len() as u64).sum();
+    let h_inf = config.utility.h_infinity();
+    for node_requests in &requests {
+        for r in node_requests {
+            let age =
+                ((source.slots - r.created_slot) as f64 * source.delta).max(f64::MIN_POSITIVE);
+            let gain = if h_inf.is_finite() {
+                h_inf
+            } else {
+                config.utility.h(age)
+            };
+            metrics.record_settlement(duration, gain);
+        }
+    }
+    metrics.transmissions = state.transmissions;
+    TrialOutcome {
+        metrics,
+        final_replicas: state.replicas.clone(),
+        label: policy.label(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impatience_core::demand::Popularity;
+    use impatience_core::prelude::greedy_homogeneous;
+    use impatience_core::utility::Step;
+    use std::sync::Arc;
+
+    fn config(items: usize, rho: usize) -> SimConfig {
+        SimConfig::builder(items, rho)
+            .demand(Popularity::pareto(items, 1.0).demand_rates(1.0))
+            .utility(Arc::new(Step::new(10.0)))
+            .bin(100.0)
+            .warmup_fraction(0.3)
+            .build()
+    }
+
+    #[test]
+    fn deterministic_and_conserves_budget() {
+        let config = config(10, 2);
+        let source = DiscreteSource {
+            nodes: 10,
+            mu: 0.05,
+            delta: 0.5,
+            slots: 2_000,
+        };
+        let a = run_trial_discrete(&config, &source, PolicyKind::qcr_default(), 4);
+        let b = run_trial_discrete(&config, &source, PolicyKind::qcr_default(), 4);
+        assert_eq!(a.final_replicas, b.final_replicas);
+        let total: u32 = a.final_replicas.iter().sum();
+        assert_eq!(total, 20);
+        assert!(a.metrics.fulfillments() > 0);
+    }
+
+    #[test]
+    fn discrete_approaches_continuous_as_delta_shrinks() {
+        // §3.4's convergence claim, end to end: the slotted simulation of
+        // a pinned OPT allocation approaches the event-driven one.
+        let items = 20;
+        let nodes = 20;
+        let rho = 3;
+        let mu = 0.05;
+        let config = config(items, rho);
+        let system = SystemModel::pure_p2p(nodes, rho, mu);
+        let opt = greedy_homogeneous(&system, &config.demand, &Step::new(10.0));
+        let policy = PolicyKind::Static {
+            label: "OPT",
+            counts: opt,
+        };
+
+        let duration = 4_000.0;
+        let continuous = {
+            let source = crate::config::ContactSource::homogeneous(nodes, mu, duration);
+            let mut acc = 0.0;
+            for seed in 0..4 {
+                acc += crate::engine::run_trial(&config, &source, policy.clone(), seed)
+                    .metrics
+                    .average_observed_rate(0.3);
+            }
+            acc / 4.0
+        };
+        let discrete_at = |delta: f64| {
+            let source = DiscreteSource {
+                nodes,
+                mu,
+                delta,
+                slots: (duration / delta) as u64,
+            };
+            let mut acc = 0.0;
+            for seed in 0..4 {
+                acc += run_trial_discrete(&config, &source, policy.clone(), seed)
+                    .metrics
+                    .average_observed_rate(0.3);
+            }
+            acc / 4.0
+        };
+        let coarse = discrete_at(4.0);
+        let fine = discrete_at(0.25);
+        assert!(
+            (fine - continuous).abs() < (coarse - continuous).abs() + 0.02,
+            "δ=0.25 ({fine}) should be no farther from continuous ({continuous}) than δ=4 ({coarse})"
+        );
+        assert!(
+            (fine - continuous).abs() < 0.05 * continuous.abs(),
+            "fine-δ discrete ({fine}) vs continuous ({continuous})"
+        );
+    }
+
+    #[test]
+    fn qcr_converges_in_discrete_time_too() {
+        let config = config(20, 3);
+        let source = DiscreteSource {
+            nodes: 20,
+            mu: 0.05,
+            delta: 1.0,
+            slots: 4_000,
+        };
+        let qcr = run_trial_discrete(&config, &source, PolicyKind::qcr_default(), 9);
+        // Popular items hold more replicas than the tail at steady state.
+        let head: u32 = qcr.final_replicas[..3].iter().sum();
+        let tail: u32 = qcr.final_replicas[17..].iter().sum();
+        assert!(head > tail, "head {head} vs tail {tail}");
+    }
+
+    #[test]
+    #[should_panic(expected = "μδ < 1")]
+    fn rejects_nonprobability_slot() {
+        let config = config(5, 2);
+        let source = DiscreteSource {
+            nodes: 5,
+            mu: 0.5,
+            delta: 3.0,
+            slots: 10,
+        };
+        let _ = run_trial_discrete(&config, &source, PolicyKind::qcr_default(), 0);
+    }
+}

@@ -1,0 +1,67 @@
+//! # impatience-sim
+//!
+//! Discrete-event simulator for P2P content dissemination over
+//! opportunistic contacts — the validation apparatus of the paper's §6.
+//!
+//! The simulator replays a contact trace (synthetic or measured) over a
+//! population of nodes that each dedicate a `ρ`-slot cache to the system.
+//! Requests arrive as a Poisson process shaped by content popularity;
+//! each contact lets the two nodes fulfill one another's outstanding
+//! requests and lets the active *replication policy* reshape the caches:
+//!
+//! * [`policy::Qcr`] — Query Counting Replication (§5): per-request query
+//!   counters, the reaction function ψ, replication *mandates*, and
+//!   mandate routing (§5.3) with sticky-seed preference;
+//! * [`policy::StaticAllocation`] — the perfect-control-channel
+//!   competitors (OPT/UNI/SQRT/PROP/DOM): caches pinned to a precomputed
+//!   allocation, fulfillment only;
+//! * `PolicyKind::Passive` — fixed replicas-per-fulfillment
+//!   (the "passive replication … ends in proportional allocation"
+//!   baseline of §6.2/§7).
+//!
+//! [`runner`] runs many independent trials in parallel and aggregates
+//! observed utility with the paper's 5 %/95 % percentile bands.
+//!
+//! ```
+//! use impatience_sim::prelude::*;
+//! use impatience_core::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // A small homogeneous QCR run.
+//! let utility: Arc<dyn DelayUtility> = Arc::new(Step::new(10.0));
+//! let config = SimConfig::builder(20, 3)
+//!     .demand(Popularity::pareto(20, 1.0).demand_rates(0.5))
+//!     .utility(utility)
+//!     .build();
+//! let source = ContactSource::homogeneous(20, 0.05, 2_000.0);
+//! let outcome = run_trial(&config, &source, PolicyKind::qcr_default(), 42);
+//! assert!(outcome.metrics.fulfillments() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod config;
+pub mod engine;
+pub mod engine_discrete;
+pub mod metrics;
+pub mod policy;
+pub mod runner;
+pub mod state;
+
+pub use config::{ContactSource, SimConfig, SimConfigBuilder};
+pub use engine::{run_trial, TrialOutcome};
+pub use engine_discrete::{run_trial_discrete, DiscreteSource};
+pub use metrics::Metrics;
+pub use policy::PolicyKind;
+pub use runner::{run_trials, TrialAggregate};
+pub use state::EvictionPolicy;
+
+pub mod prelude {
+    //! Convenience re-exports.
+    pub use crate::config::{ContactSource, SimConfig};
+    pub use crate::engine::run_trial;
+    pub use crate::policy::{PolicyKind, QcrConfig};
+    pub use crate::runner::{run_trials, TrialAggregate};
+}

@@ -1,0 +1,235 @@
+//! Per-trial measurements.
+//!
+//! Two utility views, matching the paper's Fig. 3:
+//!
+//! * **observed utility** — the gain `h(wait)` actually recorded at each
+//!   fulfillment, binned over time and summarized as a post-warm-up rate
+//!   (gain per minute). This is what Fig. 3(b), Fig. 4, Fig. 5 and Fig. 6
+//!   plot;
+//! * **expected utility** — `U(x(t))` evaluated on the *current* replica
+//!   counts under the homogeneous-welfare approximation, snapshotted once
+//!   per bin (Fig. 3(a)).
+
+use impatience_core::demand::DemandRates;
+use impatience_core::types::SystemModel;
+use impatience_core::utility::DelayUtility;
+use impatience_core::welfare::social_welfare_homogeneous;
+
+/// Measurements collected over one simulation trial.
+#[derive(Clone, Debug)]
+pub struct Metrics {
+    bin: f64,
+    duration: f64,
+    /// Σ h(wait) of fulfillments per bin.
+    observed_gain: Vec<f64>,
+    /// Fulfillment count per bin.
+    fulfilled: Vec<u64>,
+    /// `U(x(t))` snapshot at each bin start (NaN until recorded).
+    expected_utility: Vec<f64>,
+    /// Replica counts snapshot at each bin start.
+    replica_series: Vec<Vec<u32>>,
+    /// Total requests created.
+    pub requests_created: u64,
+    /// Requests served instantly from the requester's own cache.
+    pub immediate_hits: u64,
+    /// Outstanding (never fulfilled) requests at the end of the trial.
+    pub unfulfilled: u64,
+    /// Replication transmissions performed (energy proxy).
+    pub transmissions: u64,
+    /// Mandates created (QCR only).
+    pub mandates_created: u64,
+    /// Mandates whose creation hit the per-fulfillment cap (QCR only).
+    pub mandate_cap_hits: u64,
+}
+
+impl Metrics {
+    /// Create metrics for a trial of the given duration and bin width.
+    pub fn new(duration: f64, bin: f64) -> Self {
+        assert!(duration > 0.0 && bin > 0.0);
+        let bins = (duration / bin).ceil() as usize;
+        Metrics {
+            bin,
+            duration,
+            observed_gain: vec![0.0; bins],
+            fulfilled: vec![0; bins],
+            expected_utility: vec![f64::NAN; bins],
+            replica_series: vec![Vec::new(); bins],
+            requests_created: 0,
+            immediate_hits: 0,
+            unfulfilled: 0,
+            transmissions: 0,
+            mandates_created: 0,
+            mandate_cap_hits: 0,
+        }
+    }
+
+    /// Bin width.
+    pub fn bin(&self) -> f64 {
+        self.bin
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.observed_gain.len()
+    }
+
+    fn bin_of(&self, t: f64) -> usize {
+        ((t / self.bin) as usize).min(self.observed_gain.len() - 1)
+    }
+
+    /// Record a fulfillment at time `t` with the given gain.
+    pub fn record_fulfillment(&mut self, t: f64, gain: f64) {
+        let b = self.bin_of(t);
+        self.observed_gain[b] += gain;
+        self.fulfilled[b] += 1;
+    }
+
+    /// Record the truncated gain of a request still outstanding when the
+    /// trial ends: it has waited `age` so far, so it has already incurred
+    /// `h(age)` (a *lower bound* on its final loss for cost-type
+    /// utilities, and ≈ 0 for bounded families). Without this settlement,
+    /// allocations that starve unpopular items (e.g. DOM) would look
+    /// artificially good under waiting-cost utilities — the requests they
+    /// never serve would simply vanish from the books.
+    pub fn record_settlement(&mut self, t: f64, gain: f64) {
+        let b = self.bin_of(t);
+        self.observed_gain[b] += gain;
+    }
+
+    /// Record a bin-start snapshot: expected utility of the current
+    /// allocation (homogeneous approximation) and the replica counts.
+    pub fn record_snapshot(
+        &mut self,
+        t: f64,
+        replicas: &[u32],
+        system: &SystemModel,
+        demand: &DemandRates,
+        utility: &dyn DelayUtility,
+    ) {
+        let b = self.bin_of(t);
+        let xs: Vec<f64> = replicas.iter().map(|&r| r as f64).collect();
+        self.expected_utility[b] = social_welfare_homogeneous(system, demand, utility, &xs);
+        self.replica_series[b] = replicas.to_vec();
+    }
+
+    /// Observed gain rate per bin (gain per minute).
+    pub fn observed_rate_series(&self) -> Vec<f64> {
+        self.observed_gain.iter().map(|g| g / self.bin).collect()
+    }
+
+    /// Expected-utility snapshots (NaN where not recorded).
+    pub fn expected_utility_series(&self) -> &[f64] {
+        &self.expected_utility
+    }
+
+    /// Replica-count snapshot of one item over time.
+    pub fn replica_series_of(&self, item: usize) -> Vec<u32> {
+        self.replica_series
+            .iter()
+            .map(|snap| snap.get(item).copied().unwrap_or(0))
+            .collect()
+    }
+
+    /// Total fulfillments.
+    pub fn fulfillments(&self) -> u64 {
+        self.fulfilled.iter().sum()
+    }
+
+    /// Average observed gain rate (gain per minute) over the bins after
+    /// the warm-up fraction — the scalar the Fig. 4–6 comparisons use.
+    pub fn average_observed_rate(&self, warmup_fraction: f64) -> f64 {
+        let skip = (self.bins() as f64 * warmup_fraction).floor() as usize;
+        let used = &self.observed_gain[skip.min(self.bins() - 1)..];
+        let time = used.len() as f64 * self.bin;
+        if time == 0.0 {
+            return 0.0;
+        }
+        // The final bin may be partial; negligible for the long runs used.
+        used.iter().sum::<f64>() / time.min(self.duration)
+    }
+
+    /// Mean of the recorded expected-utility snapshots after warm-up.
+    pub fn average_expected_utility(&self, warmup_fraction: f64) -> f64 {
+        let skip = (self.bins() as f64 * warmup_fraction).floor() as usize;
+        let vals: Vec<f64> = self.expected_utility[skip.min(self.bins() - 1)..]
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .collect();
+        if vals.is_empty() {
+            return f64::NAN;
+        }
+        vals.iter().sum::<f64>() / vals.len() as f64
+    }
+}
+
+/// Normalized loss of utility against an optimal value, in percent:
+/// `100·(u − u_opt)/|u_opt|` — the y-axis of Figs. 4–6 (≤ 0 when the
+/// optimum wins).
+pub fn normalized_loss_percent(u: f64, u_opt: f64) -> f64 {
+    if u_opt == 0.0 {
+        return f64::NAN;
+    }
+    100.0 * (u - u_opt) / u_opt.abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impatience_core::demand::Popularity;
+    use impatience_core::utility::Step;
+
+    #[test]
+    fn binning_and_rates() {
+        let mut m = Metrics::new(100.0, 10.0);
+        assert_eq!(m.bins(), 10);
+        m.record_fulfillment(5.0, 1.0);
+        m.record_fulfillment(5.5, 1.0);
+        m.record_fulfillment(95.0, 0.5);
+        m.record_fulfillment(100.0, 0.5); // clamped into last bin
+        let rates = m.observed_rate_series();
+        assert!((rates[0] - 0.2).abs() < 1e-12);
+        assert!((rates[9] - 0.1).abs() < 1e-12);
+        assert_eq!(m.fulfillments(), 4);
+    }
+
+    #[test]
+    fn average_rate_with_warmup() {
+        let mut m = Metrics::new(100.0, 10.0);
+        // All gain in the first half.
+        for t in [1.0, 11.0, 21.0, 31.0, 41.0] {
+            m.record_fulfillment(t, 2.0);
+        }
+        let full = m.average_observed_rate(0.0);
+        assert!((full - 0.1).abs() < 1e-12);
+        let late = m.average_observed_rate(0.5);
+        assert_eq!(late, 0.0);
+    }
+
+    #[test]
+    fn snapshots_record_welfare() {
+        let mut m = Metrics::new(100.0, 50.0);
+        let system = SystemModel::pure_p2p(10, 2, 0.05);
+        let demand = Popularity::uniform(3).demand_rates(1.0);
+        let u = Step::new(5.0);
+        m.record_snapshot(0.0, &[2, 1, 0], &system, &demand, &u);
+        m.record_snapshot(50.0, &[1, 1, 1], &system, &demand, &u);
+        let series = m.expected_utility_series();
+        assert!(series[0].is_finite());
+        assert!(series[1].is_finite());
+        assert_eq!(m.replica_series_of(0), vec![2, 1]);
+        assert_eq!(m.replica_series_of(2), vec![0, 1]);
+        let avg = m.average_expected_utility(0.0);
+        assert!(avg.is_finite());
+    }
+
+    #[test]
+    fn normalized_loss() {
+        assert!((normalized_loss_percent(0.9, 1.0) + 10.0).abs() < 1e-9);
+        assert!((normalized_loss_percent(-1.1, -1.0) + 10.0).abs() < 1e-9);
+        assert!(normalized_loss_percent(1.0, 0.0).is_nan());
+        // A utility better than "optimal" yields a positive value (can
+        // happen on traces where OPT is only memoryless-approximate).
+        assert!(normalized_loss_percent(1.1, 1.0) > 0.0);
+    }
+}

@@ -1,0 +1,494 @@
+//! Query Counting Replication with mandate routing (paper §5).
+//!
+//! On each fulfilled request the final query-counter value `y` is fed to
+//! the reaction function `ψ(y) ∝ (|S|/y)·φ(|S|/y)` (Property 2), and that
+//! many replication *mandates* for the item are minted at the fulfilled
+//! node. A mandate executes when its holder meets a node lacking the item
+//! *while the holder still has a copy* — in an opportunistic network that
+//! coincidence is rare for unpopular items, so unrouted mandate pools
+//! diverge and the allocation drifts (Fig. 3). Mandate routing (§5.3)
+//! repairs this: at every meeting, mandates migrate toward nodes holding
+//! the replicas they need, with the item's sticky seed node preferred
+//! (it can never lose its copy).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use impatience_core::rng::Xoshiro256;
+use impatience_core::utility::DelayUtility;
+
+use crate::metrics::Metrics;
+use crate::policy::{Fulfillment, ReplicationPolicy};
+use crate::state::SimState;
+
+/// How many replicas to mint per fulfillment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Reaction {
+    /// The impatience-matched reaction `ψ(y)` of Property 2 (default).
+    Psi,
+    /// A constant count — "passive replication", which drives the cache
+    /// toward the proportional allocation regardless of impatience.
+    Constant(f64),
+}
+
+/// Tunable knobs of the QCR implementation (§6.1 defaults).
+#[derive(Clone, Debug)]
+pub struct QcrConfig {
+    /// Move mandates toward replica holders at each meeting (§5.3).
+    /// Turning this off reproduces the divergence pathology of Fig. 3.
+    pub mandate_routing: bool,
+    /// "Replication with rewriting": meeting a node that already holds
+    /// the item consumes a mandate even though no copy is made. The
+    /// paper's experiments run with rewriting *off*.
+    pub rewriting: bool,
+    /// Multiplier applied to the reaction function (its proportionality
+    /// constant is free; this trades convergence speed against churn).
+    pub gain_scale: f64,
+    /// Auto-normalize the reaction so that a fulfillment at the *uniform-
+    /// allocation* query count `y* = |I|/ρ` mints about one replica.
+    /// Property 2 leaves ψ's constant free; without normalization, steep
+    /// reactions (e.g. ψ(y) = y² for α = −1) mint hundreds of replicas
+    /// per fulfillment and the resulting cache churn destroys the very
+    /// allocation QCR is building.
+    pub normalize_reaction: bool,
+    /// Per-fulfillment cap on minted mandates — bounds transient spikes
+    /// of ψ for very rare items; hits are counted in the metrics.
+    pub mandate_cap: u64,
+    /// Reaction function choice.
+    pub reaction: Reaction,
+}
+
+impl Default for QcrConfig {
+    fn default() -> Self {
+        QcrConfig {
+            mandate_routing: true,
+            rewriting: false,
+            gain_scale: 1.0,
+            normalize_reaction: true,
+            mandate_cap: 20,
+            reaction: Reaction::Psi,
+        }
+    }
+}
+
+/// A QCR policy instance (per trial).
+pub struct Qcr {
+    cfg: QcrConfig,
+    utility: Arc<dyn DelayUtility>,
+    servers: usize,
+    /// Reference contact rate used to evaluate ψ (the designer's estimate
+    /// of μ; the proportionality constant of ψ is free, but its shape in
+    /// `y` depends on μ for some families).
+    mu_ref: f64,
+    /// Outstanding mandates per node: item → count.
+    mandates: Vec<BTreeMap<u32, u64>>,
+    /// Combined multiplier on the reaction function (gain_scale ×
+    /// normalization).
+    scale: f64,
+}
+
+impl Qcr {
+    /// Create a QCR policy for a population of `nodes` nodes of which
+    /// `servers` carry caches (`servers == nodes` in pure P2P), with a
+    /// catalog of `items` items and cache capacity `rho`.
+    pub fn new(
+        cfg: QcrConfig,
+        utility: Arc<dyn DelayUtility>,
+        nodes: usize,
+        servers: usize,
+        mu_ref: f64,
+        items: usize,
+        rho: usize,
+    ) -> Self {
+        assert!(cfg.gain_scale > 0.0, "gain scale must be positive");
+        assert!(servers > 0 && servers <= nodes, "need 1 ≤ servers ≤ nodes");
+        let mu_ref = if mu_ref > 0.0 { mu_ref } else { 1.0 };
+        let mut scale = cfg.gain_scale;
+        if cfg.normalize_reaction {
+            if let Reaction::Psi = cfg.reaction {
+                // Expected query count under the uniform allocation:
+                // y* = |S|/x̄ with x̄ = ρ|S|/|I|.
+                let y_ref = (items as f64 / rho.max(1) as f64).max(1.0);
+                let psi_ref = utility.psi(y_ref, servers as f64, mu_ref);
+                if psi_ref.is_finite() && psi_ref > 0.0 {
+                    scale /= psi_ref;
+                    // Steepness damping: when ψ grows steeply in y (ratio
+                    // r = ψ(2y*)/ψ(y*) > 1, e.g. ψ(y) = y³ for α = −2), a
+                    // half-replicated item mints r× the normal batch, the
+                    // resulting overshoot knocks other items down, and the
+                    // allocation oscillates instead of settling. Damping
+                    // by r³ (calibrated across the power and step
+                    // families; see the ablation bench) trades
+                    // convergence speed for stability; the equilibrium
+                    // itself is scale-free (Property 2).
+                    let psi_2ref = utility.psi(2.0 * y_ref, servers as f64, mu_ref);
+                    let r = psi_2ref / psi_ref;
+                    if r.is_finite() && r > 1.0 {
+                        scale /= r * r * r;
+                    }
+                }
+            }
+        }
+        Qcr {
+            cfg,
+            utility,
+            servers,
+            mu_ref,
+            mandates: vec![BTreeMap::new(); nodes],
+            scale,
+        }
+    }
+
+    /// Total outstanding mandates (diagnostic; diverges without routing).
+    pub fn outstanding_mandates(&self) -> u64 {
+        self.mandates.iter().flat_map(|m| m.values()).sum()
+    }
+
+    /// Mint mandates for a fulfillment after `queries` failed lookups.
+    fn mint(&mut self, node: usize, item: u32, queries: u64, metrics: &mut Metrics, rng: &mut Xoshiro256) {
+        if queries == 0 {
+            // Immediate self-cache hit: the item is plentiful where it is
+            // demanded; ψ(0⁺) → 0 for every built-in family.
+            return;
+        }
+        let raw = match self.cfg.reaction {
+            Reaction::Psi => {
+                self.utility
+                    .psi(queries as f64, self.servers as f64, self.mu_ref)
+                    * self.scale
+            }
+            Reaction::Constant(k) => k * self.cfg.gain_scale,
+        };
+        if raw.is_nan() || raw <= 0.0 {
+            return; // nothing to mint
+        }
+        // Stochastic rounding preserves the expected replica count.
+        let mut count = raw.floor() as u64;
+        if rng.bernoulli(raw - count as f64) {
+            count += 1;
+        }
+        if count > self.cfg.mandate_cap {
+            metrics.mandate_cap_hits += 1;
+            count = self.cfg.mandate_cap;
+        }
+        if count > 0 {
+            // The per-item pool at a node is bounded by the same cap:
+            // outstanding mandates beyond it are discarded, which bounds
+            // the overshoot a burst of fulfillments can cause.
+            let pool = self.mandates[node].entry(item).or_insert(0);
+            let before = *pool;
+            *pool = (*pool + count).min(self.cfg.mandate_cap);
+            metrics.mandates_created += *pool - before;
+        }
+    }
+
+    /// Execute eligible mandates held by `carrier` against peer `peer`:
+    /// one copy of each mandated item may be produced per meeting, and
+    /// only when the carrier itself possesses a replica to transmit —
+    /// §5.3's possession requirement ("it could be that, when a replica
+    /// of the item needs to be produced, this item is no longer in the
+    /// possession of the node desiring to replicate it"). Mandates whose
+    /// carrier lacks the item *stall*; mandate routing exists precisely
+    /// to move them to nodes that can execute them.
+    fn execute(&mut self, carrier: usize, peer: usize, state: &mut SimState, rng: &mut Xoshiro256) {
+        let items: Vec<u32> = self.mandates[carrier].keys().copied().collect();
+        for item in items {
+            if !state.caches[carrier].holds(item) {
+                continue; // stalled: replica lost to random replacement
+            }
+            if state.caches[peer].holds(item) {
+                if self.cfg.rewriting {
+                    Self::consume(&mut self.mandates[carrier], item, 1);
+                }
+                continue; // no rewriting: contact simply ignored
+            }
+            if state.replicate(item, peer, rng) {
+                Self::consume(&mut self.mandates[carrier], item, 1);
+            }
+        }
+    }
+
+    fn consume(pool: &mut BTreeMap<u32, u64>, item: u32, n: u64) {
+        if let Some(c) = pool.get_mut(&item) {
+            *c = c.saturating_sub(n);
+            if *c == 0 {
+                pool.remove(&item);
+            }
+        }
+    }
+
+    /// Route mandates between the two meeting nodes (§5.3 / §6.1): give
+    /// them to the copy holder; split when both (or neither) hold the
+    /// item; prefer the sticky seed with a 2/3 share.
+    fn route(&mut self, a: usize, b: usize, state: &SimState, rng: &mut Xoshiro256) {
+        let mut items: Vec<u32> = self.mandates[a]
+            .keys()
+            .chain(self.mandates[b].keys())
+            .copied()
+            .collect();
+        items.sort_unstable();
+        items.dedup();
+        for item in items {
+            let total = (self.mandates[a].get(&item).copied().unwrap_or(0)
+                + self.mandates[b].get(&item).copied().unwrap_or(0))
+            .min(self.cfg.mandate_cap);
+            if total == 0 {
+                continue;
+            }
+            let ha = state.caches[a].holds(item);
+            let hb = state.caches[b].holds(item);
+            let sticky = state.sticky_owner[item as usize];
+            let to_a = match (ha, hb) {
+                (true, false) => total,
+                (false, true) => 0,
+                _ => {
+                    // Both hold (or neither holds): share, preferring the
+                    // sticky seed when it holds a copy.
+                    if ha && sticky == a {
+                        (total * 2).div_ceil(3)
+                    } else if hb && sticky == b {
+                        total - (total * 2).div_ceil(3)
+                    } else {
+                        // Even split; odd leftover assigned by coin flip.
+                        let half = total / 2;
+                        if total % 2 == 1 && rng.bernoulli(0.5) {
+                            half + 1
+                        } else {
+                            half
+                        }
+                    }
+                }
+            };
+            set_mandates(&mut self.mandates[a], item, to_a);
+            set_mandates(&mut self.mandates[b], item, total - to_a);
+        }
+    }
+}
+
+fn set_mandates(pool: &mut BTreeMap<u32, u64>, item: u32, count: u64) {
+    if count == 0 {
+        pool.remove(&item);
+    } else {
+        pool.insert(item, count);
+    }
+}
+
+impl ReplicationPolicy for Qcr {
+    #[allow(clippy::too_many_arguments)]
+    fn after_contact(
+        &mut self,
+        _t: f64,
+        a: usize,
+        b: usize,
+        state: &mut SimState,
+        fulfilled: &[Fulfillment],
+        metrics: &mut Metrics,
+        rng: &mut Xoshiro256,
+    ) {
+        // 1. Mint mandates for this meeting's fulfillments.
+        for f in fulfilled {
+            self.mint(f.node, f.item, f.queries, metrics, rng);
+        }
+        // 2. Execute eligible mandates in both directions.
+        self.execute(a, b, state, rng);
+        self.execute(b, a, state, rng);
+        // 3. Route what remains toward replica holders.
+        if self.cfg.mandate_routing {
+            self.route(a, b, state, rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impatience_core::utility::Step;
+
+    fn mini_state() -> (SimState, Xoshiro256) {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let mut state = SimState::new(4, 4, 2);
+        state.seed_sticky_and_fill(&mut rng);
+        (state, rng)
+    }
+
+    fn qcr(cfg: QcrConfig) -> Qcr {
+        Qcr::new(cfg, Arc::new(Step::new(10.0)), 4, 4, 0.05, 4, 2)
+    }
+
+    #[test]
+    fn minting_respects_zero_queries_and_cap() {
+        let (_, mut rng) = mini_state();
+        let mut metrics = Metrics::new(100.0, 10.0);
+        let mut p = qcr(QcrConfig {
+            mandate_cap: 3,
+            reaction: Reaction::Constant(10.0),
+            ..QcrConfig::default()
+        });
+        p.mint(0, 1, 0, &mut metrics, &mut rng);
+        assert_eq!(p.outstanding_mandates(), 0, "y=0 must mint nothing");
+        p.mint(0, 1, 5, &mut metrics, &mut rng);
+        assert_eq!(p.outstanding_mandates(), 3, "cap must clamp");
+        assert_eq!(metrics.mandate_cap_hits, 1);
+        assert_eq!(metrics.mandates_created, 3);
+    }
+
+    #[test]
+    fn stochastic_rounding_is_unbiased() {
+        let (_, mut rng) = mini_state();
+        let mut metrics = Metrics::new(100.0, 10.0);
+        let mut p = qcr(QcrConfig {
+            reaction: Reaction::Constant(0.3),
+            // Effectively uncapped so the pool can accumulate the mean.
+            mandate_cap: u64::MAX,
+            ..QcrConfig::default()
+        });
+        let n = 20_000;
+        for _ in 0..n {
+            p.mint(0, 1, 1, &mut metrics, &mut rng);
+        }
+        let mean = p.outstanding_mandates() as f64 / n as f64;
+        assert!((mean - 0.3).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn execution_copies_only_from_holders_to_nonholders() {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let mut state = SimState::new(2, 4, 2);
+        state.caches[0].fill(1);
+        state.replicas[1] = 1;
+        let mut p = qcr(QcrConfig::default());
+        p.mandates[0].insert(1, 2);
+        // Node 0 holds item 1, node 1 doesn't: one copy per meeting.
+        p.execute(0, 1, &mut state, &mut rng);
+        assert_eq!(state.replicas[1], 2);
+        assert_eq!(p.outstanding_mandates(), 1);
+        // Second execution against the same (now holding) peer: ignored.
+        p.execute(0, 1, &mut state, &mut rng);
+        assert_eq!(state.replicas[1], 2);
+        assert_eq!(p.outstanding_mandates(), 1, "no rewriting: mandate kept");
+    }
+
+    #[test]
+    fn rewriting_consumes_mandates_without_copying() {
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        let mut state = SimState::new(2, 4, 2);
+        state.caches[0].fill(1);
+        state.caches[1].fill(1);
+        state.replicas[1] = 2;
+        let mut p = qcr(QcrConfig {
+            rewriting: true,
+            ..QcrConfig::default()
+        });
+        p.mandates[0].insert(1, 2);
+        p.execute(0, 1, &mut state, &mut rng);
+        assert_eq!(state.replicas[1], 2, "no new copy");
+        assert_eq!(p.outstanding_mandates(), 1, "one mandate burned");
+    }
+
+    #[test]
+    fn execution_requires_carrier_possession() {
+        // The mandate carrier lost its copy; even though the met node has
+        // one, the mandate stalls (it is routing's job to migrate it).
+        let mut rng = Xoshiro256::seed_from_u64(31);
+        let mut state = SimState::new(2, 4, 2);
+        state.caches[1].fill(1);
+        state.replicas[1] = 1;
+        let mut p = qcr(QcrConfig::default());
+        p.mandates[0].insert(1, 2);
+        p.execute(0, 1, &mut state, &mut rng);
+        assert!(!state.caches[0].holds(1));
+        assert_eq!(state.replicas[1], 1, "no copy may be made");
+        assert_eq!(p.outstanding_mandates(), 2, "mandates stall, not vanish");
+    }
+
+    #[test]
+    fn mandates_lost_replica_cannot_execute() {
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let mut state = SimState::new(2, 4, 2);
+        // Node 0 has mandates for item 1 but no copy.
+        let mut p = qcr(QcrConfig::default());
+        p.mandates[0].insert(1, 3);
+        p.execute(0, 1, &mut state, &mut rng);
+        assert_eq!(p.outstanding_mandates(), 3);
+        assert_eq!(state.replicas[1], 0);
+    }
+
+    #[test]
+    fn routing_moves_mandates_to_holder() {
+        let mut rng = Xoshiro256::seed_from_u64(6);
+        let mut state = SimState::new(2, 4, 2);
+        state.caches[1].fill(2);
+        state.replicas[2] = 1;
+        let mut p = qcr(QcrConfig::default());
+        p.mandates[0].insert(2, 5);
+        p.route(0, 1, &state, &mut rng);
+        assert_eq!(p.mandates[0].get(&2), None);
+        assert_eq!(p.mandates[1].get(&2), Some(&5));
+    }
+
+    #[test]
+    fn routing_splits_between_two_holders() {
+        let mut rng = Xoshiro256::seed_from_u64(7);
+        let mut state = SimState::new(2, 4, 2);
+        state.caches[0].fill(2);
+        state.caches[1].fill(2);
+        state.replicas[2] = 2;
+        let mut p = qcr(QcrConfig::default());
+        p.mandates[0].insert(2, 6);
+        p.route(0, 1, &state, &mut rng);
+        assert_eq!(p.mandates[0].get(&2), Some(&3));
+        assert_eq!(p.mandates[1].get(&2), Some(&3));
+    }
+
+    #[test]
+    fn routing_prefers_sticky_seed() {
+        let mut rng = Xoshiro256::seed_from_u64(8);
+        let mut state = SimState::new(2, 4, 2);
+        state.caches[0].pin_sticky(2);
+        state.caches[1].fill(2);
+        state.replicas[2] = 2;
+        state.sticky_owner[2] = 0;
+        let mut p = qcr(QcrConfig::default());
+        p.mandates[1].insert(2, 6);
+        p.route(0, 1, &state, &mut rng);
+        assert_eq!(p.mandates[0].get(&2), Some(&4), "sticky seed gets 2/3");
+        assert_eq!(p.mandates[1].get(&2), Some(&2));
+    }
+
+    #[test]
+    fn no_routing_leaves_mandates_at_origin() {
+        let mut rng = Xoshiro256::seed_from_u64(9);
+        let (mut state, _) = mini_state();
+        let mut metrics = Metrics::new(100.0, 10.0);
+        let mut p = qcr(QcrConfig {
+            mandate_routing: false,
+            reaction: Reaction::Constant(4.0),
+            ..QcrConfig::default()
+        });
+        // A fulfillment at node 0 mints 4 mandates; without routing they
+        // stay at node 0 no matter how many contacts occur.
+        let f = Fulfillment {
+            node: 0,
+            item: 3,
+            queries: 2,
+            wait: 1.0,
+        };
+        p.after_contact(1.0, 0, 1, &mut state, &[f], &mut metrics, &mut rng);
+        let at_zero: u64 = p.mandates[0].values().sum();
+        let elsewhere: u64 = p.mandates[1..].iter().flat_map(|m| m.values()).sum();
+        assert!(at_zero > 0);
+        assert_eq!(elsewhere, 0);
+    }
+
+    #[test]
+    fn constant_reaction_acts_as_passive() {
+        let (_, mut rng) = mini_state();
+        let mut metrics = Metrics::new(100.0, 10.0);
+        let mut p = qcr(QcrConfig {
+            reaction: Reaction::Constant(1.0),
+            ..QcrConfig::default()
+        });
+        p.mint(0, 1, 50, &mut metrics, &mut rng);
+        assert_eq!(p.outstanding_mandates(), 1, "one replica per fulfillment");
+    }
+}

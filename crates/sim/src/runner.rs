@@ -1,0 +1,216 @@
+//! Multi-trial experiment runner with percentile bands.
+//!
+//! The paper reports averages of "15 or more trials with confidence
+//! interval corresponding to 5% and 95% percentiles" (§6.1). Trials are
+//! embarrassingly parallel; the runner shards them across OS threads and
+//! aggregates.
+
+use std::thread;
+
+use crate::config::{ContactSource, SimConfig};
+use crate::engine::{run_trial, TrialOutcome};
+use crate::policy::PolicyKind;
+
+/// Aggregate of many independent trials of one policy.
+#[derive(Clone, Debug)]
+pub struct TrialAggregate {
+    /// Policy label.
+    pub label: String,
+    /// Number of trials.
+    pub trials: usize,
+    /// Post-warm-up average observed gain rate, one entry per trial.
+    pub rates: Vec<f64>,
+    /// Mean of `rates`.
+    pub mean_rate: f64,
+    /// 5th percentile of `rates` (nearest rank).
+    pub p5_rate: f64,
+    /// 95th percentile of `rates` (nearest rank).
+    pub p95_rate: f64,
+    /// Mean over trials of the per-bin observed gain-rate series.
+    pub observed_series: Vec<f64>,
+    /// Mean over trials of the per-bin expected-utility snapshots.
+    pub expected_series: Vec<f64>,
+    /// Mean final replica count per item.
+    pub mean_final_replicas: Vec<f64>,
+    /// Mean transmissions per trial (energy proxy).
+    pub mean_transmissions: f64,
+}
+
+/// Nearest-rank percentile of an unsorted sample (`q` in [0, 1]).
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "percentile of empty sample");
+    assert!((0.0..=1.0).contains(&q));
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn aggregate(label: String, outcomes: Vec<TrialOutcome>, warmup: f64) -> TrialAggregate {
+    assert!(!outcomes.is_empty());
+    let trials = outcomes.len();
+    let rates: Vec<f64> = outcomes
+        .iter()
+        .map(|o| o.metrics.average_observed_rate(warmup))
+        .collect();
+    let mean_rate = rates.iter().sum::<f64>() / trials as f64;
+
+    let bins = outcomes[0].metrics.bins();
+    let mut observed_series = vec![0.0; bins];
+    let mut expected_series = vec![0.0; bins];
+    let mut expected_counts = vec![0usize; bins];
+    for o in &outcomes {
+        for (acc, v) in observed_series.iter_mut().zip(o.metrics.observed_rate_series()) {
+            *acc += v / trials as f64;
+        }
+        for (b, v) in o.metrics.expected_utility_series().iter().enumerate() {
+            if v.is_finite() {
+                expected_series[b] += v;
+                expected_counts[b] += 1;
+            }
+        }
+    }
+    for (v, &c) in expected_series.iter_mut().zip(&expected_counts) {
+        *v = if c > 0 { *v / c as f64 } else { f64::NAN };
+    }
+
+    let items = outcomes[0].final_replicas.len();
+    let mut mean_final_replicas = vec![0.0; items];
+    for o in &outcomes {
+        for (acc, &r) in mean_final_replicas.iter_mut().zip(&o.final_replicas) {
+            *acc += r as f64 / trials as f64;
+        }
+    }
+    let mean_transmissions = outcomes
+        .iter()
+        .map(|o| o.metrics.transmissions as f64)
+        .sum::<f64>()
+        / trials as f64;
+
+    TrialAggregate {
+        label,
+        trials,
+        mean_rate,
+        p5_rate: percentile(&rates, 0.05),
+        p95_rate: percentile(&rates, 0.95),
+        rates,
+        observed_series,
+        expected_series,
+        mean_final_replicas,
+        mean_transmissions,
+    }
+}
+
+/// Run `trials` independent trials of `policy` in parallel and aggregate.
+///
+/// Trial `k` uses seed `base_seed + k`, so results are reproducible and
+/// different policies can be compared on *paired* randomness by sharing
+/// `base_seed`.
+pub fn run_trials(
+    config: &SimConfig,
+    source: &ContactSource,
+    policy: &PolicyKind,
+    trials: usize,
+    base_seed: u64,
+) -> TrialAggregate {
+    assert!(trials > 0, "need at least one trial");
+    let workers = thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(trials);
+
+    let outcomes: Vec<TrialOutcome> = thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let config = config.clone();
+            let source = source.clone();
+            let policy = policy.clone();
+            handles.push(scope.spawn(move || {
+                let mut local = Vec::new();
+                let mut k = w;
+                while k < trials {
+                    local.push((k, run_trial(&config, &source, policy.clone(), base_seed + k as u64)));
+                    k += workers;
+                }
+                local
+            }));
+        }
+        let mut all: Vec<(usize, TrialOutcome)> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("trial thread panicked"))
+            .collect();
+        all.sort_by_key(|(k, _)| *k);
+        all.into_iter().map(|(_, o)| o).collect()
+    });
+
+    aggregate(policy.label(), outcomes, config.warmup_fraction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impatience_core::demand::Popularity;
+    use impatience_core::utility::Step;
+    use std::sync::Arc;
+
+    fn quick_setup() -> (SimConfig, ContactSource) {
+        let config = SimConfig::builder(8, 2)
+            .demand(Popularity::pareto(8, 1.0).demand_rates(0.5))
+            .utility(Arc::new(Step::new(10.0)))
+            .bin(100.0)
+            .build();
+        let source = ContactSource::homogeneous(8, 0.08, 800.0);
+        (config, source)
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 0.05), 1.0);
+        assert_eq!(percentile(&v, 0.5), 3.0);
+        assert_eq!(percentile(&v, 0.95), 5.0);
+        assert_eq!(percentile(&v, 1.0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn percentile_rejects_empty() {
+        let _ = percentile(&[], 0.5);
+    }
+
+    #[test]
+    fn aggregate_is_reproducible_and_ordered() {
+        let (config, source) = quick_setup();
+        let policy = PolicyKind::qcr_default();
+        let a = run_trials(&config, &source, &policy, 6, 100);
+        let b = run_trials(&config, &source, &policy, 6, 100);
+        assert_eq!(a.rates, b.rates, "same seeds must give same trials");
+        assert_eq!(a.trials, 6);
+        assert!(a.p5_rate <= a.mean_rate + 1e-12);
+        assert!(a.mean_rate <= a.p95_rate + 1e-12);
+        assert_eq!(a.label, "QCR");
+        assert_eq!(a.observed_series.len(), 8);
+        assert_eq!(a.mean_final_replicas.len(), 8);
+        // QCR replicates, so transmissions occur.
+        assert!(a.mean_transmissions > 0.0);
+    }
+
+    #[test]
+    fn different_base_seed_changes_trials() {
+        let (config, source) = quick_setup();
+        let policy = PolicyKind::qcr_default();
+        let a = run_trials(&config, &source, &policy, 4, 1);
+        let b = run_trials(&config, &source, &policy, 4, 1_000);
+        assert_ne!(a.rates, b.rates);
+    }
+
+    #[test]
+    fn final_replica_budget_preserved_in_mean() {
+        let (config, source) = quick_setup();
+        let policy = PolicyKind::qcr_default();
+        let agg = run_trials(&config, &source, &policy, 4, 7);
+        let total: f64 = agg.mean_final_replicas.iter().sum();
+        assert!((total - 16.0).abs() < 1e-9, "budget 8·2 = 16, got {total}");
+    }
+}

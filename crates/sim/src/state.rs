@@ -1,0 +1,564 @@
+//! Mutable simulation state: node caches and replica bookkeeping.
+//!
+//! Caches follow the paper's rules (§5.1, §6.1): fixed capacity `ρ`,
+//! random replacement on insertion, and one *sticky* replica per item that
+//! can never be erased — the initial seeder keeps its copy, preventing
+//! absorbing states where an item vanishes from the system.
+
+use impatience_core::allocation::{AllocationMatrix, BitSet};
+use impatience_core::rng::Xoshiro256;
+
+/// Which occupant a full cache evicts on insertion.
+///
+/// The paper's model and analysis (Eq. 7) assume **random** replacement;
+/// the alternatives are provided for ablation — recency-based policies
+/// couple the cache contents to the request process and bias the
+/// allocation away from the ψ-driven equilibrium.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Uniformly random non-sticky occupant (the paper's rule).
+    #[default]
+    Random,
+    /// Least recently *used* (an insertion or a served request counts as
+    /// a use).
+    Lru,
+    /// Oldest insertion (first in, first out).
+    Fifo,
+}
+
+/// One node's cache: `ρ` slots of item ids plus an optional pinned
+/// (sticky) slot.
+#[derive(Clone, Debug)]
+pub struct NodeCache {
+    /// Item held in each occupied slot.
+    slots: Vec<u32>,
+    /// Fast membership lookup.
+    has: BitSet,
+    /// Capacity (ρ).
+    capacity: usize,
+    /// Index into `slots` of the sticky item, if any.
+    sticky_slot: Option<usize>,
+    /// Eviction rule.
+    eviction: EvictionPolicy,
+    /// Per-slot timestamp (insertion for FIFO, last use for LRU).
+    stamps: Vec<u64>,
+    /// Logical clock driving the stamps.
+    clock: u64,
+}
+
+impl NodeCache {
+    /// An empty cache of the given capacity over a catalog of `items`,
+    /// with random replacement.
+    pub fn new(capacity: usize, items: usize) -> Self {
+        NodeCache {
+            slots: Vec::with_capacity(capacity),
+            has: BitSet::new(items),
+            capacity,
+            sticky_slot: None,
+            eviction: EvictionPolicy::Random,
+            stamps: Vec::with_capacity(capacity),
+            clock: 0,
+        }
+    }
+
+    /// Change the eviction rule (ablation hook).
+    pub fn set_eviction(&mut self, policy: EvictionPolicy) {
+        self.eviction = policy;
+    }
+
+    /// Record a *use* of `item` (a request served from this cache);
+    /// relevant under [`EvictionPolicy::Lru`] only.
+    pub fn touch(&mut self, item: u32) {
+        if self.eviction != EvictionPolicy::Lru {
+            return;
+        }
+        if let Some(pos) = self.slots.iter().position(|&i| i == item) {
+            self.clock += 1;
+            self.stamps[pos] = self.clock;
+        }
+    }
+
+    /// Capacity ρ.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no slot is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Whether this node holds `item`.
+    #[inline]
+    pub fn holds(&self, item: u32) -> bool {
+        self.has.contains(item as usize)
+    }
+
+    /// The item pinned as sticky here, if any.
+    pub fn sticky_item(&self) -> Option<u32> {
+        self.sticky_slot.map(|s| self.slots[s])
+    }
+
+    /// Items currently cached.
+    pub fn items(&self) -> &[u32] {
+        &self.slots
+    }
+
+    /// Pin `item` as this node's sticky replica (inserting it if absent).
+    ///
+    /// # Panics
+    /// Panics if a different sticky item is already pinned, or if the
+    /// cache is full of *other* items and has no free slot (pin sticky
+    /// items before filling).
+    pub fn pin_sticky(&mut self, item: u32) {
+        assert!(
+            self.sticky_slot.is_none(),
+            "cache already has a sticky item"
+        );
+        if let Some(pos) = self.slots.iter().position(|&i| i == item) {
+            self.sticky_slot = Some(pos);
+            return;
+        }
+        assert!(
+            self.slots.len() < self.capacity,
+            "no free slot to pin the sticky replica"
+        );
+        self.clock += 1;
+        self.slots.push(item);
+        self.stamps.push(self.clock);
+        self.has.insert(item as usize);
+        self.sticky_slot = Some(self.slots.len() - 1);
+    }
+
+    /// Fill a free slot with `item` (no eviction). Returns `false` if the
+    /// item is already present.
+    ///
+    /// # Panics
+    /// Panics if the cache is full.
+    pub fn fill(&mut self, item: u32) -> bool {
+        if self.holds(item) {
+            return false;
+        }
+        assert!(self.slots.len() < self.capacity, "cache is full; use insert_evict");
+        self.clock += 1;
+        self.slots.push(item);
+        self.stamps.push(self.clock);
+        self.has.insert(item as usize);
+        true
+    }
+
+    /// Replace the specific occupant `old` with `new` (used by the
+    /// hill-climbing baseline, which chooses its victim deliberately).
+    /// Returns `false` (unchanged) if `old` is absent, sticky, or `new`
+    /// is already present.
+    pub fn swap_item(&mut self, old: u32, new: u32) -> bool {
+        if !self.holds(old) || self.holds(new) {
+            return false;
+        }
+        let Some(pos) = self.slots.iter().position(|&i| i == old) else {
+            return false;
+        };
+        if Some(pos) == self.sticky_slot {
+            return false;
+        }
+        self.has.remove(old as usize);
+        self.clock += 1;
+        self.slots[pos] = new;
+        self.stamps[pos] = self.clock;
+        self.has.insert(new as usize);
+        true
+    }
+
+    /// Insert `item`, evicting a uniformly random non-sticky occupant if
+    /// the cache is full. Returns the evicted item, if any.
+    ///
+    /// Returns `Err(())` without modification when the item is already
+    /// present, or when every slot is sticky (cannot evict).
+    #[allow(clippy::result_unit_err)] // rejection carries no information beyond itself
+    pub fn insert_evict(&mut self, item: u32, rng: &mut Xoshiro256) -> Result<Option<u32>, ()> {
+        if self.holds(item) || self.capacity == 0 {
+            return Err(());
+        }
+        if self.slots.len() < self.capacity {
+            self.clock += 1;
+            self.slots.push(item);
+            self.stamps.push(self.clock);
+            self.has.insert(item as usize);
+            return Ok(None);
+        }
+        // Choose a victim slot among non-sticky slots.
+        let candidates = self.slots.len() - usize::from(self.sticky_slot.is_some());
+        if candidates == 0 {
+            return Err(());
+        }
+        let pick = match self.eviction {
+            EvictionPolicy::Random => {
+                let mut pick = rng.index(candidates);
+                if let Some(sticky) = self.sticky_slot {
+                    if pick >= sticky {
+                        pick += 1;
+                    }
+                }
+                pick
+            }
+            // LRU and FIFO: smallest stamp among non-sticky slots.
+            EvictionPolicy::Lru | EvictionPolicy::Fifo => (0..self.slots.len())
+                .filter(|&s| Some(s) != self.sticky_slot)
+                .min_by_key(|&s| self.stamps[s])
+                .expect("candidates > 0"),
+        };
+        let evicted = self.slots[pick];
+        self.has.remove(evicted as usize);
+        self.clock += 1;
+        self.slots[pick] = item;
+        self.stamps[pick] = self.clock;
+        self.has.insert(item as usize);
+        Ok(Some(evicted))
+    }
+}
+
+/// Global mutable simulation state.
+#[derive(Clone, Debug)]
+pub struct SimState {
+    /// Per-node caches.
+    pub caches: Vec<NodeCache>,
+    /// Live replica count per item (kept in sync with the caches).
+    pub replicas: Vec<u32>,
+    /// Sticky-seed node of each item (`usize::MAX` = none).
+    pub sticky_owner: Vec<usize>,
+    /// Total item copies transferred between nodes (energy proxy).
+    pub transmissions: u64,
+}
+
+impl SimState {
+    /// Apply an eviction rule to every cache (ablation hook; call before
+    /// seeding).
+    pub fn set_eviction(&mut self, policy: EvictionPolicy) {
+        for cache in &mut self.caches {
+            cache.set_eviction(policy);
+        }
+    }
+}
+
+impl SimState {
+    /// Empty caches, no sticky seeds (pure P2P: every node has capacity
+    /// `rho`).
+    pub fn new(nodes: usize, items: usize, rho: usize) -> Self {
+        SimState {
+            caches: (0..nodes).map(|_| NodeCache::new(rho, items)).collect(),
+            replicas: vec![0; items],
+            sticky_owner: vec![usize::MAX; items],
+            transmissions: 0,
+        }
+    }
+
+    /// Dedicated population: nodes `0..servers` carry `rho`-slot caches,
+    /// the remaining (client) nodes have zero capacity.
+    pub fn new_dedicated(nodes: usize, servers: usize, items: usize, rho: usize) -> Self {
+        assert!(servers <= nodes);
+        SimState {
+            caches: (0..nodes)
+                .map(|n| NodeCache::new(if n < servers { rho } else { 0 }, items))
+                .collect(),
+            replicas: vec![0; items],
+            sticky_owner: vec![usize::MAX; items],
+            transmissions: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.caches.len()
+    }
+
+    /// Number of items.
+    pub fn items(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// QCR warm start (§6.1): pin item `i`'s sticky replica on a server
+    /// (round robin in random server order), then fill every remaining
+    /// slot with distinct random items so the global cache starts full.
+    /// Zero-capacity (client) caches are skipped.
+    pub fn seed_sticky_and_fill(&mut self, rng: &mut Xoshiro256) {
+        let items = self.items();
+        let mut node_order: Vec<usize> = (0..self.nodes())
+            .filter(|&n| self.caches[n].capacity() > 0)
+            .collect();
+        assert!(!node_order.is_empty(), "no cache-carrying nodes to seed");
+        let nodes = node_order.len();
+        rng.shuffle(&mut node_order);
+        for item in 0..items {
+            let node = node_order[item % nodes];
+            if self.caches[node].sticky_item().is_none()
+                && self.caches[node].len() < self.caches[node].capacity()
+            {
+                self.caches[node].pin_sticky(item as u32);
+                self.sticky_owner[item] = node;
+                self.replicas[item] += 1;
+            } else if !self.caches[node].holds(item as u32) {
+                // More items than nodes: overflow seeds are regular
+                // (non-sticky) copies on the next nodes with room.
+                if self.caches[node].len() < self.caches[node].capacity() {
+                    self.caches[node].fill(item as u32);
+                    self.replicas[item] += 1;
+                }
+            }
+        }
+        // Fill remaining slots with random distinct items.
+        for &node in &node_order {
+            let mut guard = 0;
+            while self.caches[node].len() < self.caches[node].capacity() {
+                let item = rng.index(items) as u32;
+                if self.caches[node].fill(item) {
+                    self.replicas[item as usize] += 1;
+                }
+                guard += 1;
+                if guard > 100 * items {
+                    break; // catalog smaller than capacity: leave free
+                }
+            }
+        }
+    }
+
+    /// Number of cache-carrying (server) nodes.
+    pub fn servers(&self) -> usize {
+        self.caches.iter().filter(|c| c.capacity() > 0).count()
+    }
+
+    /// Pin caches to a precomputed allocation (for the fixed-allocation
+    /// competitors). No sticky slots; the policies never mutate caches.
+    /// Column `k` of the matrix maps to the `k`-th cache-carrying node
+    /// (in a dedicated population, servers occupy the low node ids).
+    pub fn load_allocation(&mut self, alloc: &AllocationMatrix) {
+        assert_eq!(alloc.servers(), self.servers(), "allocation server count mismatch");
+        assert_eq!(alloc.items(), self.items());
+        let server_ids: Vec<usize> = (0..self.nodes())
+            .filter(|&n| self.caches[n].capacity() > 0)
+            .collect();
+        for (col, &node) in server_ids.iter().enumerate() {
+            for item in alloc.cache_of(col) {
+                if self.caches[node].fill(item as u32) {
+                    self.replicas[item] += 1;
+                }
+            }
+        }
+    }
+
+    /// Copy `item` into `to`'s cache with random replacement (respecting
+    /// sticky slots). Returns `true` if a new replica was created.
+    pub fn replicate(&mut self, item: u32, to: usize, rng: &mut Xoshiro256) -> bool {
+        match self.caches[to].insert_evict(item, rng) {
+            Ok(evicted) => {
+                self.replicas[item as usize] += 1;
+                if let Some(old) = evicted {
+                    self.replicas[old as usize] -= 1;
+                }
+                self.transmissions += 1;
+                true
+            }
+            Err(()) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_fill_and_membership() {
+        let mut c = NodeCache::new(3, 10);
+        assert!(c.fill(4));
+        assert!(!c.fill(4));
+        assert!(c.fill(7));
+        assert!(c.holds(4));
+        assert!(!c.holds(5));
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn eviction_is_random_but_never_sticky() {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let mut c = NodeCache::new(3, 10);
+        c.pin_sticky(0);
+        c.fill(1);
+        c.fill(2);
+        // Insert many items: 0 must survive every eviction.
+        for item in 3..10u32 {
+            let evicted = c.insert_evict(item, &mut rng).unwrap();
+            assert_ne!(evicted, Some(0), "sticky item evicted");
+            assert!(c.holds(0));
+            assert_eq!(c.len(), 3);
+        }
+    }
+
+    #[test]
+    fn fifo_evicts_oldest_insertion() {
+        let mut rng = Xoshiro256::seed_from_u64(40);
+        let mut c = NodeCache::new(3, 10);
+        c.set_eviction(EvictionPolicy::Fifo);
+        c.fill(0);
+        c.fill(1);
+        c.fill(2);
+        assert_eq!(c.insert_evict(3, &mut rng), Ok(Some(0)));
+        assert_eq!(c.insert_evict(4, &mut rng), Ok(Some(1)));
+        assert!(c.holds(2) && c.holds(3) && c.holds(4));
+    }
+
+    #[test]
+    fn lru_touch_protects_recently_used() {
+        let mut rng = Xoshiro256::seed_from_u64(41);
+        let mut c = NodeCache::new(3, 10);
+        c.set_eviction(EvictionPolicy::Lru);
+        c.fill(0);
+        c.fill(1);
+        c.fill(2);
+        // Without a touch, item 0 (oldest) would go; touching it shifts
+        // the eviction to item 1.
+        c.touch(0);
+        assert_eq!(c.insert_evict(3, &mut rng), Ok(Some(1)));
+        assert!(c.holds(0));
+    }
+
+    #[test]
+    fn lru_respects_sticky() {
+        let mut rng = Xoshiro256::seed_from_u64(42);
+        let mut c = NodeCache::new(2, 10);
+        c.set_eviction(EvictionPolicy::Lru);
+        c.pin_sticky(0); // oldest stamp, but pinned
+        c.fill(1);
+        assert_eq!(c.insert_evict(2, &mut rng), Ok(Some(1)));
+        assert!(c.holds(0));
+    }
+
+    #[test]
+    fn touch_is_noop_outside_lru() {
+        let mut rng = Xoshiro256::seed_from_u64(43);
+        let mut c = NodeCache::new(2, 10);
+        c.set_eviction(EvictionPolicy::Fifo);
+        c.fill(0);
+        c.fill(1);
+        c.touch(0); // FIFO ignores uses
+        assert_eq!(c.insert_evict(2, &mut rng), Ok(Some(0)));
+    }
+
+    #[test]
+    fn insert_existing_is_rejected() {
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let mut c = NodeCache::new(2, 5);
+        c.fill(1);
+        assert_eq!(c.insert_evict(1, &mut rng), Err(()));
+    }
+
+    #[test]
+    fn all_sticky_cache_rejects_eviction() {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let mut c = NodeCache::new(1, 5);
+        c.pin_sticky(2);
+        assert_eq!(c.insert_evict(4, &mut rng), Err(()));
+        assert!(c.holds(2));
+    }
+
+    #[test]
+    fn pin_sticky_on_existing_item() {
+        let mut c = NodeCache::new(2, 5);
+        c.fill(3);
+        c.pin_sticky(3);
+        assert_eq!(c.sticky_item(), Some(3));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a sticky item")]
+    fn second_sticky_rejected() {
+        let mut c = NodeCache::new(3, 5);
+        c.pin_sticky(0);
+        c.pin_sticky(1);
+    }
+
+    #[test]
+    fn seed_sticky_and_fill_invariants() {
+        let mut rng = Xoshiro256::seed_from_u64(7);
+        let mut state = SimState::new(50, 50, 5);
+        state.seed_sticky_and_fill(&mut rng);
+        // Every item has a sticky owner and ≥ 1 replica.
+        for item in 0..50 {
+            assert!(state.sticky_owner[item] != usize::MAX, "item {item} unseeded");
+            assert!(state.replicas[item] >= 1);
+            let owner = state.sticky_owner[item];
+            assert_eq!(state.caches[owner].sticky_item(), Some(item as u32));
+        }
+        // Caches are full and replica counts consistent.
+        let mut recount = vec![0u32; 50];
+        for c in &state.caches {
+            assert_eq!(c.len(), 5);
+            for &i in c.items() {
+                recount[i as usize] += 1;
+            }
+        }
+        assert_eq!(recount, state.replicas);
+        // Budget: 250 slots in use.
+        assert_eq!(state.replicas.iter().map(|&r| r as u64).sum::<u64>(), 250);
+    }
+
+    #[test]
+    fn seed_with_more_items_than_nodes() {
+        let mut rng = Xoshiro256::seed_from_u64(8);
+        let mut state = SimState::new(4, 10, 3);
+        state.seed_sticky_and_fill(&mut rng);
+        // Only 4 sticky seeds possible; every node has exactly one.
+        let sticky_count = state
+            .sticky_owner
+            .iter()
+            .filter(|&&o| o != usize::MAX)
+            .count();
+        assert_eq!(sticky_count, 4);
+        for c in &state.caches {
+            assert_eq!(c.len(), 3);
+        }
+    }
+
+    #[test]
+    fn replicate_updates_counts() {
+        let mut rng = Xoshiro256::seed_from_u64(9);
+        let mut state = SimState::new(3, 5, 2);
+        state.caches[0].fill(1);
+        state.replicas[1] = 1;
+        assert!(state.replicate(1, 2, &mut rng));
+        assert_eq!(state.replicas[1], 2);
+        assert_eq!(state.transmissions, 1);
+        // Duplicate insert is a no-op.
+        assert!(!state.replicate(1, 2, &mut rng));
+        assert_eq!(state.transmissions, 1);
+    }
+
+    #[test]
+    fn replicate_with_eviction_keeps_global_count() {
+        let mut rng = Xoshiro256::seed_from_u64(10);
+        let mut state = SimState::new(2, 4, 1);
+        state.caches[0].fill(0);
+        state.caches[1].fill(1);
+        state.replicas = vec![1, 1, 0, 0];
+        assert!(state.replicate(2, 1, &mut rng));
+        assert_eq!(state.replicas, vec![1, 0, 1, 0]);
+        let total: u32 = state.replicas.iter().sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn load_allocation_matches_matrix() {
+        let counts =
+            impatience_core::allocation::ReplicaCounts::new(vec![2, 1, 0], 3);
+        let alloc = AllocationMatrix::from_counts(&counts, 2);
+        let mut state = SimState::new(3, 3, 2);
+        state.load_allocation(&alloc);
+        assert_eq!(state.replicas, vec![2, 1, 0]);
+    }
+}

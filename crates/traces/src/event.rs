@@ -1,0 +1,93 @@
+//! A single pairwise contact.
+
+use serde::{Deserialize, Serialize};
+
+/// One contact (meeting) between two nodes.
+///
+/// Contacts are point events: the paper's model assumes meetings are long
+/// enough to complete the protocol exchange (§6.1), so durations are not
+/// tracked.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ContactEvent {
+    /// Event time (minutes by convention).
+    pub time: f64,
+    /// First node (always `< b` after normalization).
+    pub a: u32,
+    /// Second node.
+    pub b: u32,
+}
+
+impl ContactEvent {
+    /// Create a contact, normalizing the pair so `a < b`.
+    ///
+    /// # Panics
+    /// Panics on self-contacts or non-finite/negative times.
+    pub fn new(time: f64, a: u32, b: u32) -> Self {
+        assert!(a != b, "self-contact ({a}, {a}) is meaningless");
+        assert!(time >= 0.0 && time.is_finite(), "contact time must be finite and ≥ 0");
+        if a < b {
+            ContactEvent { time, a, b }
+        } else {
+            ContactEvent { time, a: b, b: a }
+        }
+    }
+
+    /// Whether this contact involves the given node.
+    pub fn involves(&self, node: u32) -> bool {
+        self.a == node || self.b == node
+    }
+
+    /// The other endpoint of the contact, if `node` participates.
+    pub fn peer_of(&self, node: u32) -> Option<u32> {
+        if self.a == node {
+            Some(self.b)
+        } else if self.b == node {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_pair_order() {
+        let e = ContactEvent::new(5.0, 9, 2);
+        assert_eq!((e.a, e.b), (2, 9));
+        assert_eq!(e.time, 5.0);
+    }
+
+    #[test]
+    fn involvement_and_peer() {
+        let e = ContactEvent::new(1.0, 3, 7);
+        assert!(e.involves(3));
+        assert!(e.involves(7));
+        assert!(!e.involves(5));
+        assert_eq!(e.peer_of(3), Some(7));
+        assert_eq!(e.peer_of(7), Some(3));
+        assert_eq!(e.peer_of(1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-contact")]
+    fn rejects_self_contact() {
+        let _ = ContactEvent::new(1.0, 4, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and ≥ 0")]
+    fn rejects_negative_time() {
+        let _ = ContactEvent::new(-1.0, 1, 2);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let e = ContactEvent::new(2.5, 1, 8);
+        let json = serde_json::to_string(&e).unwrap();
+        let back: ContactEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+}

@@ -1,0 +1,17 @@
+//! Synthetic contact-trace generators.
+//!
+//! * [`poisson_homogeneous`] / [`poisson_from_rates`] — memoryless
+//!   contacts, the regime of the paper's analysis and §6.2 experiments;
+//! * [`ConferenceConfig`] — the Infocom'06 substitute: community-
+//!   structured heterogeneous rates, a diurnal activity profile, and
+//!   heavy-tailed (bursty) inter-contact gaps;
+//! * [`VehicularConfig`] — the Cabspotting substitute: grid-taxi mobility
+//!   (`impatience-mobility`) with 200 m geometric contact detection.
+
+mod conference;
+mod poisson;
+mod vehicular;
+
+pub use conference::ConferenceConfig;
+pub use poisson::{poisson_from_rates, poisson_homogeneous};
+pub use vehicular::VehicularConfig;

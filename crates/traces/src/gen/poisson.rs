@@ -1,0 +1,107 @@
+//! Memoryless (Poisson) contact generation.
+
+use impatience_core::rng::Xoshiro256;
+use impatience_core::welfare::ContactRates;
+
+use crate::{ContactEvent, ContactTrace};
+
+/// Generate a trace where every unordered pair meets according to an
+/// independent Poisson process of rate `mu` — the homogeneous model of
+/// §3.4 and the setting of the §6.2 experiments.
+pub fn poisson_homogeneous(
+    nodes: usize,
+    mu: f64,
+    duration: f64,
+    rng: &mut Xoshiro256,
+) -> ContactTrace {
+    assert!(mu >= 0.0 && mu.is_finite(), "rate must be finite and ≥ 0");
+    poisson_from_rates(&ContactRates::homogeneous(nodes, mu), duration, rng)
+}
+
+/// Generate a trace from an arbitrary symmetric rate matrix: pair `(a,b)`
+/// meets as a Poisson process of rate `rates.rate(a,b)`, independently of
+/// all other pairs.
+pub fn poisson_from_rates(
+    rates: &ContactRates,
+    duration: f64,
+    rng: &mut Xoshiro256,
+) -> ContactTrace {
+    assert!(duration > 0.0 && duration.is_finite(), "duration must be positive");
+    let n = rates.nodes();
+    let mut events = Vec::new();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let mu = rates.rate(a, b);
+            if mu <= 0.0 {
+                continue;
+            }
+            // Exponential gaps: exact Poisson sampling on [0, duration].
+            let mut t = rng.exp(mu);
+            while t <= duration {
+                events.push(ContactEvent::new(t, a as u32, b as u32));
+                t += rng.exp(mu);
+            }
+        }
+    }
+    ContactTrace::new(n, duration, events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceStats;
+
+    #[test]
+    fn homogeneous_rate_is_recovered() {
+        let mut rng = Xoshiro256::seed_from_u64(7);
+        let mu = 0.05;
+        let trace = poisson_homogeneous(20, mu, 10_000.0, &mut rng);
+        let stats = TraceStats::from_trace(&trace);
+        assert!(
+            (stats.rates().mean_rate() - mu).abs() < 0.002,
+            "estimated {}",
+            stats.rates().mean_rate()
+        );
+    }
+
+    #[test]
+    fn expected_event_count() {
+        let mut rng = Xoshiro256::seed_from_u64(8);
+        let trace = poisson_homogeneous(10, 0.1, 1_000.0, &mut rng);
+        // 45 pairs × 0.1 × 1000 = 4500 expected contacts.
+        let n = trace.len() as f64;
+        assert!((n - 4500.0).abs() < 4.0 * 4500.0f64.sqrt(), "{n} events");
+    }
+
+    #[test]
+    fn heterogeneous_rates_respected() {
+        let mut rng = Xoshiro256::seed_from_u64(9);
+        let mut rates = ContactRates::homogeneous(4, 0.0);
+        rates.set_rate(0, 1, 0.2);
+        rates.set_rate(2, 3, 0.02);
+        let trace = poisson_from_rates(&rates, 20_000.0, &mut rng);
+        let stats = TraceStats::from_trace(&trace);
+        assert!((stats.rates().rate(0, 1) - 0.2).abs() < 0.01);
+        assert!((stats.rates().rate(2, 3) - 0.02).abs() < 0.005);
+        assert_eq!(stats.rates().rate(0, 2), 0.0);
+    }
+
+    #[test]
+    fn zero_rate_means_empty() {
+        let mut rng = Xoshiro256::seed_from_u64(10);
+        let trace = poisson_homogeneous(5, 0.0, 100.0, &mut rng);
+        assert!(trace.is_empty());
+    }
+
+    #[test]
+    fn events_are_sorted_and_in_window() {
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        let trace = poisson_homogeneous(6, 0.3, 100.0, &mut rng);
+        for w in trace.events().windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+        for e in trace.events() {
+            assert!(e.time <= 100.0);
+        }
+    }
+}

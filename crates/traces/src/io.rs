@@ -1,0 +1,272 @@
+//! On-disk trace formats.
+//!
+//! Two formats are supported:
+//!
+//! * a **plain-text** format, one event per line (`time a b`), with a
+//!   header carrying the node count and duration — convenient for
+//!   importing real datasets (Infocom/Cabspotting dumps use similar
+//!   layouts) and for inspection with standard tools;
+//! * **JSON** via serde, for lossless round-trips inside the experiment
+//!   harness.
+//!
+//! ```text
+//! # impatience-trace v1
+//! # nodes 3
+//! # duration 100.0
+//! 0.5 0 1
+//! 2.25 1 2
+//! ```
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+use crate::{ContactEvent, ContactTrace};
+
+/// Errors arising while reading or writing traces.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem with the text format.
+    Format {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// JSON (de)serialization failure.
+    Json(serde_json::Error),
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceIoError::Format { line, message } => {
+                write!(f, "trace format error at line {line}: {message}")
+            }
+            TraceIoError::Json(e) => write!(f, "trace JSON error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            TraceIoError::Json(e) => Some(e),
+            TraceIoError::Format { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for TraceIoError {
+    fn from(e: serde_json::Error) -> Self {
+        TraceIoError::Json(e)
+    }
+}
+
+/// Write a trace in the plain-text format.
+pub fn write_trace(trace: &ContactTrace, writer: impl Write) -> Result<(), TraceIoError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# impatience-trace v1")?;
+    writeln!(w, "# nodes {}", trace.nodes())?;
+    writeln!(w, "# duration {}", trace.duration())?;
+    for e in trace.events() {
+        writeln!(w, "{} {} {}", e.time, e.a, e.b)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Read a trace in the plain-text format.
+pub fn read_trace(reader: impl Read) -> Result<ContactTrace, TraceIoError> {
+    let reader = BufReader::new(reader);
+    let mut nodes: Option<usize> = None;
+    let mut duration: Option<f64> = None;
+    let mut events = Vec::new();
+    let mut max_node: u32 = 0;
+    let mut max_time: f64 = 0.0;
+
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let mut parts = rest.split_whitespace();
+            match parts.next() {
+                Some("nodes") => {
+                    nodes = Some(parse_field(parts.next(), line_no, "node count")?);
+                }
+                Some("duration") => {
+                    duration = Some(parse_field(parts.next(), line_no, "duration")?);
+                }
+                _ => {} // other comments ignored
+            }
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let time: f64 = parse_field(parts.next(), line_no, "event time")?;
+        let a: u32 = parse_field(parts.next(), line_no, "first node")?;
+        let b: u32 = parse_field(parts.next(), line_no, "second node")?;
+        if parts.next().is_some() {
+            return Err(TraceIoError::Format {
+                line: line_no,
+                message: "trailing fields after `time a b`".into(),
+            });
+        }
+        if a == b {
+            return Err(TraceIoError::Format {
+                line: line_no,
+                message: format!("self-contact ({a}, {b})"),
+            });
+        }
+        if !(time.is_finite() && time >= 0.0) {
+            return Err(TraceIoError::Format {
+                line: line_no,
+                message: format!("invalid event time {time}"),
+            });
+        }
+        max_node = max_node.max(a).max(b);
+        max_time = max_time.max(time);
+        events.push(ContactEvent::new(time, a, b));
+    }
+
+    // Headers are optional: fall back to the observed extremes.
+    let nodes = nodes.unwrap_or(max_node as usize + 1);
+    let duration = duration.unwrap_or(max_time.max(f64::MIN_POSITIVE));
+    if (max_node as usize) >= nodes && !events.is_empty() {
+        return Err(TraceIoError::Format {
+            line: 0,
+            message: format!("event references node {max_node} but header says {nodes} nodes"),
+        });
+    }
+    if max_time > duration {
+        return Err(TraceIoError::Format {
+            line: 0,
+            message: format!("event at t={max_time} exceeds header duration {duration}"),
+        });
+    }
+    Ok(ContactTrace::new(nodes, duration, events))
+}
+
+fn parse_field<T: std::str::FromStr>(
+    field: Option<&str>,
+    line: usize,
+    what: &str,
+) -> Result<T, TraceIoError> {
+    field
+        .ok_or_else(|| TraceIoError::Format {
+            line,
+            message: format!("missing {what}"),
+        })?
+        .parse()
+        .map_err(|_| TraceIoError::Format {
+            line,
+            message: format!("unparsable {what}"),
+        })
+}
+
+/// Serialize a trace as JSON.
+pub fn write_trace_json(trace: &ContactTrace, writer: impl Write) -> Result<(), TraceIoError> {
+    serde_json::to_writer(writer, trace)?;
+    Ok(())
+}
+
+/// Deserialize a trace from JSON.
+pub fn read_trace_json(reader: impl Read) -> Result<ContactTrace, TraceIoError> {
+    Ok(serde_json::from_reader(reader)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ContactTrace {
+        ContactTrace::new(
+            3,
+            100.0,
+            vec![ContactEvent::new(0.5, 0, 1), ContactEvent::new(2.25, 1, 2)],
+        )
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let trace = sample();
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let trace = sample();
+        let mut buf = Vec::new();
+        write_trace_json(&trace, &mut buf).unwrap();
+        let back = read_trace_json(buf.as_slice()).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn headerless_text_infers_shape() {
+        let text = "1.0 0 2\n5.0 1 2\n";
+        let trace = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(trace.nodes(), 3);
+        assert_eq!(trace.duration(), 5.0);
+        assert_eq!(trace.len(), 2);
+    }
+
+    #[test]
+    fn blank_lines_and_comments_skipped() {
+        let text = "# impatience-trace v1\n# nodes 4\n# duration 10\n\n# a comment\n1 0 1\n";
+        let trace = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(trace.nodes(), 4);
+        assert_eq!(trace.len(), 1);
+    }
+
+    #[test]
+    fn error_on_malformed_line() {
+        let err = read_trace("1.0 0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceIoError::Format { line: 1, .. }), "{err}");
+        let err = read_trace("abc 0 1\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("unparsable event time"));
+        let err = read_trace("1.0 0 1 9\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("trailing fields"));
+    }
+
+    #[test]
+    fn error_on_self_contact() {
+        let err = read_trace("1.0 2 2\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("self-contact"));
+    }
+
+    #[test]
+    fn error_on_node_exceeding_header() {
+        let text = "# nodes 2\n1.0 0 5\n";
+        let err = read_trace(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("header says 2 nodes"), "{err}");
+    }
+
+    #[test]
+    fn error_on_time_exceeding_header_duration() {
+        let text = "# duration 2\n3.0 0 1\n";
+        let err = read_trace(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("exceeds header duration"), "{err}");
+    }
+
+    #[test]
+    fn empty_input_gives_empty_trace() {
+        let trace = read_trace("# nodes 5\n# duration 10\n".as_bytes()).unwrap();
+        assert!(trace.is_empty());
+        assert_eq!(trace.nodes(), 5);
+    }
+}

@@ -1,0 +1,80 @@
+//! Memoryless resynthesis of a measured trace.
+//!
+//! Fig. 5(b)/(c) of the paper separates two effects of real mobility:
+//! *rate heterogeneity* and *complex time statistics* (burstiness,
+//! diurnal cycles). The synthesized variant keeps each pair's measured
+//! mean contact rate but redraws the contact times as independent Poisson
+//! processes — "a synthetic trace where contact rates of all pairs are
+//! identical [to the measured ones] but contacts are assumed to follow
+//! memoryless time statistics" (§6.3).
+
+use impatience_core::rng::Xoshiro256;
+
+use crate::gen::poisson_from_rates;
+use crate::{ContactTrace, TraceStats};
+
+/// Resynthesize `trace` with memoryless (Poisson) time statistics at the
+/// same pairwise mean rates and duration.
+pub fn resynthesize_memoryless(trace: &ContactTrace, rng: &mut Xoshiro256) -> ContactTrace {
+    let stats = TraceStats::from_trace(trace);
+    poisson_from_rates(stats.rates(), trace.duration(), rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::ConferenceConfig;
+
+    #[test]
+    fn preserves_rates_but_kills_burstiness() {
+        let mut rng = Xoshiro256::seed_from_u64(300);
+        let original = ConferenceConfig {
+            nodes: 20,
+            duration: 6.0 * 1_440.0,
+            ..ConferenceConfig::default()
+        }
+        .generate(&mut rng);
+        let synth = resynthesize_memoryless(&original, &mut rng);
+
+        let s_orig = TraceStats::from_trace(&original);
+        let s_synth = TraceStats::from_trace(&synth);
+
+        // Mean rates preserved (statistically).
+        let (r0, r1) = (s_orig.rates().mean_rate(), s_synth.rates().mean_rate());
+        assert!((r0 - r1).abs() < 0.15 * r0, "rates {r0} vs {r1}");
+
+        // Pairwise structure preserved: correlate a few heavy pairs.
+        let mut heavy = 0;
+        for a in 0..20 {
+            for b in (a + 1)..20 {
+                if s_orig.rates().rate(a, b) > 2.0 * r0 {
+                    heavy += 1;
+                    let ratio = s_synth.rates().rate(a, b) / s_orig.rates().rate(a, b);
+                    assert!(
+                        (0.5..2.0).contains(&ratio),
+                        "pair ({a},{b}) rate not preserved: ratio {ratio}"
+                    );
+                }
+            }
+        }
+        assert!(heavy > 0, "expected some heavy pairs in a conference trace");
+
+        // Burstiness is gone: per-pair normalized CV back to ≈ 1 (the
+        // pooled CV would stay inflated by rate heterogeneity alone).
+        assert!(s_orig.normalized_intercontact_cv() > 1.2);
+        assert!(
+            (s_synth.normalized_intercontact_cv() - 1.0).abs() < 0.15,
+            "synthesized normalized CV {}",
+            s_synth.normalized_intercontact_cv()
+        );
+    }
+
+    #[test]
+    fn empty_trace_resynthesizes_empty() {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let empty = ContactTrace::new(5, 100.0, vec![]);
+        let synth = resynthesize_memoryless(&empty, &mut rng);
+        assert!(synth.is_empty());
+        assert_eq!(synth.nodes(), 5);
+    }
+}

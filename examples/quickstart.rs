@@ -1,0 +1,60 @@
+//! Quickstart: the paper's §6.2 system in sixty seconds.
+//!
+//! Builds the homogeneous setting (50 pure-P2P nodes, 50 items, ρ = 5,
+//! μ = 0.05, Pareto popularity), computes the optimal allocation, runs
+//! QCR with mandate routing, and compares the two — demonstrating the
+//! paper's headline: a purely local, reactive protocol approaches the
+//! welfare of an omniscient allocator.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::sync::Arc;
+
+use age_of_impatience::prelude::*;
+use impatience_core::utility::DelayUtility;
+use impatience_sim::config::SimConfig;
+use impatience_sim::policy::PolicyKind;
+
+fn main() {
+    // --- the system -----------------------------------------------------
+    let nodes = 50;
+    let items = 50;
+    let rho = 5;
+    let mu = 0.05; // meetings per pair per minute
+    let system = SystemModel::pure_p2p(nodes, rho, mu);
+    let demand = Popularity::pareto(items, 1.0).demand_rates(1.0);
+
+    // Users give up ~exponentially while waiting (advertising revenue).
+    let utility: Arc<dyn DelayUtility> = Arc::new(Exponential::new(0.2));
+
+    // --- theory: the optimal allocation (Theorem 2) ---------------------
+    let opt = greedy_homogeneous(&system, &demand, utility.as_ref());
+    let w_opt = social_welfare_homogeneous(&system, &demand, utility.as_ref(), &opt.as_f64());
+    println!("optimal allocation (head): {:?}", &opt.counts()[..8]);
+    println!("optimal allocation (tail): {:?}", &opt.counts()[42..]);
+    println!("analytic optimal welfare : {w_opt:.4} utility/min\n");
+
+    // --- practice: simulate QCR against the pinned optimum --------------
+    let config = SimConfig::builder(items, rho)
+        .demand(demand)
+        .utility(utility)
+        .bin(60.0)
+        .warmup_fraction(0.3)
+        .build();
+    let source = ContactSource::homogeneous(nodes, mu, 3_000.0);
+
+    for policy in [
+        PolicyKind::Static {
+            label: "OPT",
+            counts: opt,
+        },
+        PolicyKind::qcr_default(),
+    ] {
+        let agg = run_trials(&config, &source, &policy, 8, 7);
+        println!(
+            "{:<6} observed {:.4} utility/min   (5–95%: {:.4} … {:.4})",
+            agg.label, agg.mean_rate, agg.p5_rate, agg.p95_rate
+        );
+    }
+    println!("\nQCR reached this using only local query counters — no control channel.");
+}

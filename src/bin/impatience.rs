@@ -1,0 +1,353 @@
+//! `impatience` — command-line front end to the workspace.
+//!
+//! ```text
+//! impatience generate poisson    --nodes 50 --mu 0.05 --duration 5000 -o trace.txt
+//! impatience generate conference --nodes 50 --days 3               -o conf.txt
+//! impatience generate vehicular  --cabs 50 --duration 1440         -o taxi.txt
+//! impatience stats    trace.txt
+//! impatience solve    --items 50 --servers 50 --rho 5 --mu 0.05 --utility step:10
+//! impatience simulate trace.txt --utility step:10 --policy qcr --trials 15
+//! ```
+//!
+//! Argument parsing is hand-rolled (no CLI dependency): every option is
+//! `--name value`, subcommand first, one optional positional (the trace
+//! file).
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use age_of_impatience::prelude::*;
+use impatience_core::demand::DemandProfile;
+use impatience_core::rng::Xoshiro256;
+use impatience_core::solver::relaxed::relaxed_optimum;
+use impatience_core::utility::{parse_utility, DelayUtility};
+use impatience_core::welfare::HeterogeneousSystem;
+use impatience_sim::config::SimConfig;
+use impatience_sim::policy::PolicyKind;
+use impatience_traces::gen::{ConferenceConfig, VehicularConfig};
+use impatience_traces::write_trace;
+
+fn main() -> ExitCode {
+    // Dying mid-pipe (`impatience stats t | head`) closes our stdout;
+    // Rust's println! panics on the resulting EPIPE. Exit quietly instead,
+    // like every well-behaved Unix filter.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let broken_pipe = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| s.contains("Broken pipe"));
+        if broken_pipe {
+            std::process::exit(0);
+        }
+        default_hook(info);
+    }));
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `impatience help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+impatience — optimal replication for opportunistic networks
+
+USAGE:
+  impatience generate <poisson|conference|vehicular> [opts] -o FILE
+  impatience stats    TRACE
+  impatience solve    [--items N --servers N --rho N --mu F --omega F --utility SPEC]
+  impatience simulate TRACE [--items N --rho N --utility SPEC --policy P --trials N --seed N]
+  impatience help
+
+UTILITY SPECS:  step:<tau> | exp:<nu> | power:<alpha> | neglog
+POLICIES:       qcr | qcr-no-routing | opt | uni | sqrt | prop | dom | passive
+
+COMMON OPTIONS (defaults):
+  --items 50  --rho 5  --omega 1.0  --utility step:10  --trials 15  --seed 42
+  generate poisson:    --nodes 50 --mu 0.05 --duration 5000
+  generate conference: --nodes 50 --days 3
+  generate vehicular:  --cabs 50 --duration 1440
+";
+
+struct Args {
+    positional: Vec<String>,
+    options: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Self, String> {
+        let mut positional = Vec::new();
+        let mut options = HashMap::new();
+        let mut it = raw.iter();
+        while let Some(arg) = it.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("option --{name} requires a value"))?;
+                options.insert(name.to_string(), value.clone());
+            } else if arg == "-o" {
+                let value = it.next().ok_or("-o requires a file path")?;
+                options.insert("out".to_string(), value.clone());
+            } else {
+                positional.push(arg.clone());
+            }
+        }
+        Ok(Args {
+            positional,
+            options,
+        })
+    }
+
+    fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.options.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("cannot parse --{name} {v}")),
+        }
+    }
+
+    fn utility(&self) -> Result<Arc<dyn DelayUtility>, String> {
+        let spec = self
+            .options
+            .get("utility")
+            .map(String::as_str)
+            .unwrap_or("step:10");
+        parse_utility(spec).map_err(|e| e.to_string())
+    }
+}
+
+fn run() -> Result<(), String> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = raw.first() else {
+        println!("{USAGE}");
+        return Ok(());
+    };
+    let args = Args::parse(&raw[1..])?;
+    match command.as_str() {
+        "generate" => generate(&args),
+        "stats" => stats(&args),
+        "solve" => solve(&args),
+        "simulate" => simulate(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn generate(args: &Args) -> Result<(), String> {
+    let kind = args
+        .positional
+        .first()
+        .ok_or("generate needs a kind: poisson | conference | vehicular")?;
+    let seed: u64 = args.get("seed", 42)?;
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let trace = match kind.as_str() {
+        "poisson" => {
+            let nodes: usize = args.get("nodes", 50)?;
+            let mu: f64 = args.get("mu", 0.05)?;
+            let duration: f64 = args.get("duration", 5_000.0)?;
+            poisson_homogeneous(nodes, mu, duration, &mut rng)
+        }
+        "conference" => {
+            let cfg = ConferenceConfig {
+                nodes: args.get("nodes", 50)?,
+                duration: args.get::<f64>("days", 3.0)? * 1_440.0,
+                ..ConferenceConfig::default()
+            };
+            cfg.generate(&mut rng)
+        }
+        "vehicular" => {
+            let cfg = VehicularConfig {
+                cabs: args.get("cabs", 50)?,
+                duration: args.get("duration", 1_440.0)?,
+                ..VehicularConfig::default()
+            };
+            cfg.generate(&mut rng)
+        }
+        other => return Err(format!("unknown trace kind `{other}`")),
+    };
+    let out = args
+        .options
+        .get("out")
+        .ok_or("generate needs an output file (-o FILE)")?;
+    let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    write_trace(&trace, file).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} contacts / {} nodes / {:.0} min to {out}",
+        trace.len(),
+        trace.nodes(),
+        trace.duration()
+    );
+    Ok(())
+}
+
+fn load_trace(args: &Args) -> Result<ContactTrace, String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("expected a trace file argument")?;
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    read_trace(file).map_err(|e| e.to_string())
+}
+
+fn stats(args: &Args) -> Result<(), String> {
+    let trace = load_trace(args)?;
+    let s = TraceStats::from_trace(&trace);
+    println!("nodes               : {}", trace.nodes());
+    println!("duration            : {:.1} min", trace.duration());
+    println!("contacts            : {}", trace.len());
+    println!("mean pairwise rate  : {:.6} /min", s.rates().mean_rate());
+    println!("rate heterogeneity  : CV {:.3}", s.rate_cv());
+    println!("mean inter-contact  : {:.2} min", s.mean_intercontact());
+    println!(
+        "burstiness          : normalized ICT CV {:.3} (≈1 = memoryless)",
+        s.normalized_intercontact_cv()
+    );
+    let counts = trace.contact_counts();
+    let (min, max) = (
+        counts.iter().min().copied().unwrap_or(0),
+        counts.iter().max().copied().unwrap_or(0),
+    );
+    println!("contacts per node   : min {min}, max {max}");
+    Ok(())
+}
+
+fn solve(args: &Args) -> Result<(), String> {
+    let items: usize = args.get("items", 50)?;
+    let servers: usize = args.get("servers", 50)?;
+    let rho: usize = args.get("rho", 5)?;
+    if items == 0 || servers == 0 || rho == 0 {
+        return Err("--items, --servers and --rho must all be at least 1".into());
+    }
+    let mu: f64 = args.get("mu", 0.05)?;
+    let omega: f64 = args.get("omega", 1.0)?;
+    let clients: usize = args.get("clients", 0)?;
+    let utility = args.utility()?;
+
+    let system = if clients > 0 {
+        SystemModel::dedicated(clients, servers, rho, mu)
+    } else {
+        SystemModel::pure_p2p(servers, rho, mu)
+    };
+    if utility.requires_dedicated() && clients == 0 {
+        return Err(format!(
+            "{} requires a dedicated population; pass --clients N",
+            utility.kind()
+        ));
+    }
+    let demand = Popularity::pareto(items, omega).demand_rates(1.0);
+
+    let opt = greedy_homogeneous(&system, &demand, utility.as_ref());
+    let relaxed = relaxed_optimum(&system, &demand, utility.as_ref());
+    println!(
+        "system: |I|={items} |S|={servers} ρ={rho} μ={mu} ω={omega} utility={}",
+        utility.kind()
+    );
+    println!("\n{:>5} {:>10} {:>8} {:>8}", "item", "demand", "OPT", "relaxed");
+    for i in 0..items.min(15) {
+        println!(
+            "{i:>5} {:>10.5} {:>8} {:>8.2}",
+            demand.rate(i),
+            opt.count(i),
+            relaxed.x[i]
+        );
+    }
+    if items > 15 {
+        println!("  ... ({} more items)", items - 15);
+    }
+    for (label, counts) in [
+        ("OPT", opt),
+        ("UNI", uniform(items, servers, rho)),
+        ("SQRT", sqrt_proportional(&demand, servers, rho)),
+        ("PROP", proportional(&demand, servers, rho)),
+        ("DOM", dominant(&demand, servers, rho)),
+    ] {
+        let w = social_welfare_homogeneous(&system, &demand, utility.as_ref(), &counts.as_f64());
+        println!("welfare {label:<5} {w:>12.5} utility/min");
+    }
+    Ok(())
+}
+
+fn simulate(args: &Args) -> Result<(), String> {
+    let trace = load_trace(args)?;
+    let items: usize = args.get("items", 50)?;
+    let rho: usize = args.get("rho", 5)?;
+    let omega: f64 = args.get("omega", 1.0)?;
+    let trials: usize = args.get("trials", 15)?;
+    let seed: u64 = args.get("seed", 42)?;
+    let utility = args.utility()?;
+    let policy_name = args
+        .options
+        .get("policy")
+        .map(String::as_str)
+        .unwrap_or("qcr");
+
+    let demand = Popularity::pareto(items, omega).demand_rates(1.0);
+    let profile = DemandProfile::uniform(items, trace.nodes());
+    let stats = TraceStats::from_trace(&trace);
+    let nodes = trace.nodes();
+
+    let policy = match policy_name {
+        "qcr" => PolicyKind::qcr_default(),
+        "qcr-no-routing" => PolicyKind::Qcr(impatience_sim::policy::QcrConfig {
+            mandate_routing: false,
+            ..Default::default()
+        }),
+        "passive" => PolicyKind::Passive { replicas: 1.0 },
+        "opt" => {
+            let hsys = HeterogeneousSystem::pure_p2p(stats.rates().clone(), rho);
+            let alloc = greedy_heterogeneous(&hsys, &demand, &profile, utility.as_ref());
+            PolicyKind::Static {
+                label: "OPT",
+                counts: alloc.to_counts(),
+            }
+        }
+        "uni" => PolicyKind::Static {
+            label: "UNI",
+            counts: uniform(items, nodes, rho),
+        },
+        "sqrt" => PolicyKind::Static {
+            label: "SQRT",
+            counts: sqrt_proportional(&demand, nodes, rho),
+        },
+        "prop" => PolicyKind::Static {
+            label: "PROP",
+            counts: proportional(&demand, nodes, rho),
+        },
+        "dom" => PolicyKind::Static {
+            label: "DOM",
+            counts: dominant(&demand, nodes, rho),
+        },
+        other => return Err(format!("unknown policy `{other}`")),
+    };
+
+    let config = SimConfig::builder(items, rho)
+        .demand(demand)
+        .profile(profile)
+        .utility(utility.clone())
+        .bin(60.0)
+        .warmup_fraction(0.25)
+        .build();
+    let source = ContactSource::trace(trace);
+    let agg = run_trials(&config, &source, &policy, trials, seed);
+    println!(
+        "policy {} over {trials} trials (utility {}):",
+        agg.label,
+        utility.kind()
+    );
+    println!("  mean observed utility : {:>10.5} /min", agg.mean_rate);
+    println!(
+        "  5–95% band            : {:>10.5} … {:.5}",
+        agg.p5_rate, agg.p95_rate
+    );
+    println!("  transmissions/trial   : {:>10.1}", agg.mean_transmissions);
+    Ok(())
+}

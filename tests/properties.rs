@@ -1,0 +1,227 @@
+//! Property-based tests (proptest) over the core invariants: these
+//! explore the parameter space far beyond the hand-picked unit-test
+//! points.
+
+use age_of_impatience::prelude::*;
+use impatience_core::demand::DemandProfile;
+use impatience_core::rng::Xoshiro256;
+use impatience_core::solver::fixed::apportion;
+use impatience_core::solver::greedy::brute_force_homogeneous;
+use impatience_core::utility::DelayUtility;
+use impatience_core::welfare::{item_welfare_heterogeneous, ContactRates, HeterogeneousSystem};
+use proptest::prelude::*;
+
+/// A random delay-utility from the paper's families.
+fn arb_utility() -> impl Strategy<Value = Box<dyn DelayUtility>> {
+    prop_oneof![
+        (0.05f64..50.0).prop_map(|tau| Box::new(Step::new(tau)) as Box<dyn DelayUtility>),
+        (0.01f64..5.0).prop_map(|nu| Box::new(Exponential::new(nu)) as Box<dyn DelayUtility>),
+        (-2.0f64..0.9).prop_map(|a| Box::new(Power::new(a)) as Box<dyn DelayUtility>),
+    ]
+}
+
+/// Random demand rates for a small catalog.
+fn arb_demand(items: usize) -> impl Strategy<Value = DemandRates> {
+    proptest::collection::vec(0.01f64..5.0, items).prop_map(DemandRates::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn h_is_non_increasing_and_gain_is_non_decreasing(
+        utility in arb_utility(),
+        t1 in 0.01f64..100.0,
+        dt in 0.0f64..100.0,
+        l1 in 0.001f64..10.0,
+        dl in 0.0f64..10.0,
+    ) {
+        prop_assert!(utility.h(t1) >= utility.h(t1 + dt) - 1e-12);
+        prop_assert!(utility.gain(l1 + dl) >= utility.gain(l1) - 1e-9);
+    }
+
+    #[test]
+    fn phi_is_positive_and_decreasing(
+        utility in arb_utility(),
+        // Ranges bounded so the step family's e^{−μτx} stays above f64
+        // underflow (worst exponent ≈ 0.2·50·30 = 300).
+        x in 0.1f64..30.0,
+        dx in 0.01f64..20.0,
+        mu in 0.001f64..0.2,
+    ) {
+        let a = utility.phi(x, mu);
+        let b = utility.phi(x + dx, mu);
+        prop_assert!(a > 0.0, "φ({x}) = {a}");
+        prop_assert!(b <= a * (1.0 + 1e-9), "φ not decreasing: {a} -> {b}");
+    }
+
+    #[test]
+    fn welfare_is_concave_along_random_directions(
+        utility in arb_utility(),
+        demand in arb_demand(6),
+        x in proptest::collection::vec(0.5f64..20.0, 6),
+        y in proptest::collection::vec(0.5f64..20.0, 6),
+    ) {
+        // Theorem 2: U concave in the counts — midpoint above chord.
+        let system = SystemModel::dedicated(10, 30, 5, 0.05);
+        let mid: Vec<f64> = x.iter().zip(&y).map(|(a, b)| 0.5 * (a + b)).collect();
+        let u = |v: &[f64]| social_welfare_homogeneous(&system, &demand, utility.as_ref(), v);
+        let lhs = u(&mid);
+        let rhs = 0.5 * (u(&x) + u(&y));
+        prop_assert!(lhs >= rhs - 1e-7 * rhs.abs().max(1.0), "{lhs} < {rhs}");
+    }
+
+    #[test]
+    fn item_welfare_is_submodular_on_random_systems(
+        utility in arb_utility(),
+        seed in 0u64..1_000,
+        holders_small in proptest::collection::btree_set(0usize..8, 1..3),
+        extra in proptest::collection::btree_set(0usize..8, 1..4),
+        new_holder in 0usize..8,
+    ) {
+        // Theorem 1 on random heterogeneous rate matrices.
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let rates = ContactRates::from_fn(8, |_, _| rng.range(0.001, 0.2));
+        let system = HeterogeneousSystem::pure_p2p(rates, 3);
+        let demand = DemandRates::new(vec![1.0]);
+        let profile = DemandProfile::uniform(1, 8);
+
+        let small: Vec<usize> = holders_small.iter().copied().collect();
+        let mut large: Vec<usize> = small.clone();
+        for e in extra {
+            if !large.contains(&e) {
+                large.push(e);
+            }
+        }
+        prop_assume!(!small.contains(&new_holder) && !large.contains(&new_holder));
+
+        let f = |set: &[usize]| {
+            item_welfare_heterogeneous(&system, 0, set, &demand, &profile, utility.as_ref())
+        };
+        let mut small_plus = small.clone();
+        small_plus.push(new_holder);
+        let mut large_plus = large.clone();
+        large_plus.push(new_holder);
+        let (fs, fsp, fl, flp) = (f(&small), f(&small_plus), f(&large), f(&large_plus));
+        // Skip −∞ baselines (first-copy case): marginals are +∞ there.
+        prop_assume!(fs.is_finite() && fl.is_finite());
+        let gain_small = fsp - fs;
+        let gain_large = flp - fl;
+        prop_assert!(
+            gain_small >= gain_large - 1e-9 * gain_small.abs().max(1.0),
+            "submodularity violated: {gain_small} < {gain_large}"
+        );
+    }
+
+    #[test]
+    fn greedy_matches_brute_force_on_tiny_instances(
+        utility in arb_utility(),
+        demand in arb_demand(3),
+        servers in 2usize..4,
+        rho in 1usize..3,
+    ) {
+        let system = SystemModel::dedicated(6, servers, rho, 0.1);
+        let greedy = greedy_homogeneous(&system, &demand, utility.as_ref());
+        let (_, w_best) = brute_force_homogeneous(&system, &demand, utility.as_ref());
+        let w_greedy =
+            social_welfare_homogeneous(&system, &demand, utility.as_ref(), &greedy.as_f64());
+        prop_assert!(
+            w_greedy >= w_best - 1e-9 * w_best.abs().max(1.0),
+            "greedy {w_greedy} < brute force {w_best}"
+        );
+    }
+
+    #[test]
+    fn relaxed_solution_is_feasible_and_balanced(
+        utility in arb_utility(),
+        demand in arb_demand(8),
+    ) {
+        let system = SystemModel::dedicated(20, 40, 2, 0.05);
+        let relaxed = impatience_core::solver::relaxed::relaxed_optimum(
+            &system, &demand, utility.as_ref());
+        let total: f64 = relaxed.x.iter().sum();
+        prop_assert!(total <= 80.0 + 1e-6);
+        for &xi in &relaxed.x {
+            prop_assert!((0.0..=40.0 + 1e-9).contains(&xi));
+        }
+        prop_assert!(
+            relaxed.equilibrium_residual(&system, &demand, utility.as_ref()) < 1e-5
+        );
+    }
+
+    #[test]
+    fn apportion_conserves_budget_and_caps(
+        weights in proptest::collection::vec(0.0f64..10.0, 1..20),
+        budget in 0usize..200,
+        cap in 1usize..30,
+    ) {
+        prop_assume!(weights.iter().any(|&w| w > 0.0));
+        let counts = apportion(&weights, budget, cap);
+        let positive = weights.iter().filter(|&&w| w > 0.0).count();
+        let total: u32 = counts.iter().sum();
+        prop_assert_eq!(total as usize, budget.min(cap * positive));
+        for (w, &c) in weights.iter().zip(&counts) {
+            prop_assert!((c as usize) <= cap);
+            if *w == 0.0 {
+                prop_assert_eq!(c, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn cache_invariants_survive_random_event_storms(
+        seed in 0u64..500,
+        rho in 1usize..4,
+        items in 2u32..12,
+        ops in 10usize..300,
+    ) {
+        // Hammer a node cache with random fills/evictions and check the
+        // sticky replica and capacity invariants throughout.
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut cache = impatience_sim::state::NodeCache::new(rho, items as usize);
+        let sticky = rng.below(items as u64) as u32;
+        cache.pin_sticky(sticky);
+        for _ in 0..ops {
+            let item = rng.below(items as u64) as u32;
+            let _ = cache.insert_evict(item, &mut rng);
+            prop_assert!(cache.len() <= rho);
+            prop_assert!(cache.holds(sticky), "sticky item evicted");
+        }
+    }
+
+    #[test]
+    fn trace_generation_is_sorted_and_within_bounds(
+        seed in 0u64..200,
+        nodes in 2usize..12,
+        mu in 0.001f64..0.3,
+        duration in 10.0f64..500.0,
+    ) {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let trace = poisson_homogeneous(nodes, mu, duration, &mut rng);
+        let mut prev = 0.0;
+        for e in trace.events() {
+            prop_assert!(e.time >= prev && e.time <= duration);
+            prop_assert!(e.a < e.b && (e.b as usize) < nodes);
+            prev = e.time;
+        }
+    }
+
+    #[test]
+    fn trace_io_round_trips_arbitrary_traces(
+        seed in 0u64..200,
+        nodes in 2usize..10,
+        duration in 1.0f64..100.0,
+    ) {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let trace = poisson_homogeneous(nodes, 0.1, duration, &mut rng);
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        prop_assert_eq!(trace.nodes(), back.nodes());
+        prop_assert_eq!(trace.len(), back.len());
+        for (a, b) in trace.events().iter().zip(back.events()) {
+            prop_assert!((a.time - b.time).abs() < 1e-12);
+            prop_assert_eq!((a.a, a.b), (b.a, b.b));
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! End-to-end behaviour of the QCR protocol: does the distributed scheme
+//! actually drive the global cache toward the allocation the theory
+//! prescribes, and do the paper's qualitative comparisons hold?
+//!
+//! These are statistical tests over multiple seeded trials; thresholds
+//! are deliberately generous so they are robust, but tight enough that a
+//! broken reaction function, broken mandate routing, or broken eviction
+//! logic fails them.
+
+use std::sync::Arc;
+
+use age_of_impatience::prelude::*;
+use impatience_core::solver::relaxed::relaxed_optimum;
+use impatience_core::utility::DelayUtility;
+use impatience_sim::config::SimConfig;
+use impatience_sim::policy::{PolicyKind, QcrConfig};
+
+fn setting(
+    utility: Arc<dyn DelayUtility>,
+    duration: f64,
+) -> (SimConfig, ContactSource, SystemModel) {
+    let system = SystemModel::pure_p2p(50, 5, 0.05);
+    let demand = Popularity::pareto(50, 1.0).demand_rates(1.0);
+    let config = SimConfig::builder(50, 5)
+        .demand(demand)
+        .utility(utility)
+        .bin(100.0)
+        .warmup_fraction(0.3)
+        .build();
+    let source = ContactSource::homogeneous(50, 0.05, duration);
+    (config, source, system)
+}
+
+#[test]
+fn qcr_tracks_the_square_root_allocation_at_alpha_zero() {
+    // α = 0 ⇒ x̃_i ∝ √d_i (the Cohen–Shenker point). The time-averaged
+    // QCR allocation must be far closer to √-proportional than to
+    // proportional or uniform.
+    let utility: Arc<dyn DelayUtility> = Arc::new(Power::new(0.0));
+    let (config, source, system) = setting(utility.clone(), 4_000.0);
+    let agg = run_trials(&config, &source, &PolicyKind::qcr_default(), 6, 11);
+
+    let relaxed = relaxed_optimum(&system, &config.demand, utility.as_ref());
+    let l1 = |a: &[f64], b: &[f64]| -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+    };
+    let to_target = l1(&agg.mean_final_replicas, &relaxed.x);
+    let uni: Vec<f64> = vec![5.0; 50];
+    let to_uniform = l1(&agg.mean_final_replicas, &uni);
+    let prop: Vec<f64> = proportional(&config.demand, 50, 5).as_f64();
+    let to_prop = l1(&agg.mean_final_replicas, &prop);
+    assert!(
+        to_target < to_uniform && to_target < to_prop,
+        "QCR allocation (L1 to √: {to_target:.1}, to UNI: {to_uniform:.1}, to PROP: {to_prop:.1})"
+    );
+}
+
+#[test]
+fn qcr_lands_within_a_few_percent_of_opt_for_step_deadlines() {
+    for tau in [3.0, 30.0] {
+        let utility: Arc<dyn DelayUtility> = Arc::new(Step::new(tau));
+        let (config, source, system) = setting(utility.clone(), 4_000.0);
+        let opt = greedy_homogeneous(&system, &config.demand, utility.as_ref());
+        let qcr = run_trials(&config, &source, &PolicyKind::qcr_default(), 6, 7);
+        let opt_sim = run_trials(
+            &config,
+            &source,
+            &PolicyKind::Static { label: "OPT", counts: opt },
+            6,
+            7,
+        );
+        let loss = (qcr.mean_rate - opt_sim.mean_rate) / opt_sim.mean_rate.abs();
+        assert!(
+            loss > -0.10,
+            "τ={tau}: QCR {:.4} vs OPT {:.4} (loss {:.1}%)",
+            qcr.mean_rate,
+            opt_sim.mean_rate,
+            100.0 * loss
+        );
+    }
+}
+
+#[test]
+fn mandate_routing_beats_leaving_mandates_at_origin() {
+    // The Fig. 3 ablation as a regression test (power α = 0).
+    let utility: Arc<dyn DelayUtility> = Arc::new(Power::new(0.0));
+    let (config, source, _) = setting(utility, 4_000.0);
+    let with = run_trials(&config, &source, &PolicyKind::qcr_default(), 6, 5);
+    let without = run_trials(
+        &config,
+        &source,
+        &PolicyKind::Qcr(QcrConfig {
+            mandate_routing: false,
+            ..QcrConfig::default()
+        }),
+        6,
+        5,
+    );
+    assert!(
+        with.mean_rate > without.mean_rate,
+        "routing {:.4} should beat no-routing {:.4}",
+        with.mean_rate,
+        without.mean_rate
+    );
+}
+
+#[test]
+fn passive_replication_drifts_toward_proportional() {
+    // §6.2: one-replica-per-fulfillment passive replication "resembles"
+    // the proportional allocation — its equilibrium follows demand, and
+    // its head items end up noticeably above uniform.
+    let utility: Arc<dyn DelayUtility> = Arc::new(Step::new(10.0));
+    let (config, source, _) = setting(utility, 6_000.0);
+    let agg = run_trials(
+        &config,
+        &source,
+        &PolicyKind::Passive { replicas: 1.0 },
+        6,
+        3,
+    );
+    let x = &agg.mean_final_replicas;
+    // Heads above the uniform level, tails below it.
+    let head: f64 = x[..5].iter().sum::<f64>() / 5.0;
+    let tail: f64 = x[45..].iter().sum::<f64>() / 5.0;
+    assert!(
+        head > 1.5 * tail,
+        "passive allocation should be demand-skewed (head {head:.2}, tail {tail:.2})"
+    );
+    // And it should correlate with demand better than with uniform.
+    let prop = proportional(&config.demand, 50, 5).as_f64();
+    let l1_prop: f64 = x.iter().zip(&prop).map(|(a, b)| (a - b).abs()).sum();
+    let l1_uni: f64 = x.iter().map(|a| (a - 5.0).abs()).sum();
+    assert!(
+        l1_prop < l1_uni,
+        "closer to PROP ({l1_prop:.1}) than UNI ({l1_uni:.1})"
+    );
+}
+
+#[test]
+fn sticky_replicas_prevent_item_extinction() {
+    let utility: Arc<dyn DelayUtility> = Arc::new(Step::new(1.0));
+    let (config, source, _) = setting(utility, 3_000.0);
+    // Tight deadline drives extreme skew — exactly when extinction of the
+    // tail would otherwise happen.
+    let agg = run_trials(&config, &source, &PolicyKind::qcr_default(), 4, 9);
+    for (i, &x) in agg.mean_final_replicas.iter().enumerate() {
+        assert!(x >= 1.0, "item {i} fell below its sticky copy ({x})");
+    }
+}
+
+#[test]
+fn qcr_budget_is_conserved_through_heavy_churn() {
+    let utility: Arc<dyn DelayUtility> = Arc::new(Step::new(1.0));
+    let (config, source, _) = setting(utility, 2_000.0);
+    let agg = run_trials(&config, &source, &PolicyKind::qcr_default(), 4, 13);
+    let total: f64 = agg.mean_final_replicas.iter().sum();
+    assert!((total - 250.0).abs() < 1e-9, "budget drifted to {total}");
+    assert!(agg.mean_transmissions > 0.0, "no replication happened at τ=1");
+}
+
+#[test]
+fn paired_seeds_make_policy_comparisons_reproducible() {
+    let utility: Arc<dyn DelayUtility> = Arc::new(Exponential::new(0.5));
+    let (config, source, _) = setting(utility, 1_000.0);
+    let a = run_trials(&config, &source, &PolicyKind::qcr_default(), 3, 21);
+    let b = run_trials(&config, &source, &PolicyKind::qcr_default(), 3, 21);
+    assert_eq!(a.rates, b.rates);
+    assert_eq!(a.mean_final_replicas, b.mean_final_replicas);
+}

@@ -1,0 +1,185 @@
+//! Cross-module consistency of the theory layer: the same quantity
+//! computed along independent paths must agree.
+
+use age_of_impatience::prelude::*;
+use impatience_core::allocation::AllocationMatrix;
+use impatience_core::demand::DemandProfile;
+use impatience_core::solver::relaxed::{relaxed_optimum, relaxed_optimum_gradient};
+use impatience_core::utility::DelayUtility;
+use impatience_core::welfare::{ContactRates, HeterogeneousSystem};
+
+fn families() -> Vec<Box<dyn DelayUtility>> {
+    vec![
+        Box::new(Step::new(1.0)),
+        Box::new(Step::new(20.0)),
+        Box::new(Exponential::new(0.1)),
+        Box::new(Exponential::new(2.0)),
+        Box::new(Power::new(-1.0)),
+        Box::new(Power::new(0.0)),
+        Box::new(Power::new(0.5)),
+    ]
+}
+
+#[test]
+fn discrete_time_welfare_converges_to_continuous() {
+    // §3.4: "when δ is small compared to any other time in the system,
+    // the discrete time model approaches the continuous time model".
+    let system = SystemModel::pure_p2p(50, 5, 0.05);
+    let demand = Popularity::pareto(50, 1.0).demand_rates(1.0);
+    let counts: Vec<f64> = (0..50).map(|i| 5.0 + (i % 3) as f64).collect();
+    for utility in families() {
+        let cont = social_welfare_homogeneous(&system, &demand, utility.as_ref(), &counts);
+        let disc =
+            social_welfare_homogeneous_discrete(&system, &demand, utility.as_ref(), &counts, 0.01);
+        assert!(
+            (cont - disc).abs() < 2e-2 * cont.abs().max(1.0),
+            "{}: continuous {cont} vs discrete {disc}",
+            utility.kind()
+        );
+    }
+}
+
+#[test]
+fn heterogeneous_welfare_reduces_to_homogeneous() {
+    // Lemma 1 evaluated on a constant rate matrix must match Eq. (5).
+    let nodes = 30;
+    let mu = 0.04;
+    let rho = 3;
+    let demand = Popularity::pareto(12, 1.0).demand_rates(1.0);
+    let profile = DemandProfile::uniform(12, nodes);
+    let system = HeterogeneousSystem::pure_p2p(ContactRates::homogeneous(nodes, mu), rho);
+    let hom = SystemModel::pure_p2p(nodes, rho, mu);
+
+    let counts = proportional(&demand, nodes, rho);
+    let matrix = AllocationMatrix::from_counts(&counts, rho);
+    for utility in families() {
+        let het = impatience_core::welfare::social_welfare_heterogeneous(
+            &system,
+            &matrix,
+            &demand,
+            &profile,
+            utility.as_ref(),
+        );
+        let homw = social_welfare_homogeneous(&hom, &demand, utility.as_ref(), &counts.as_f64());
+        assert!(
+            (het - homw).abs() < 1e-9 * homw.abs().max(1.0),
+            "{}: het {het} vs hom {homw}",
+            utility.kind()
+        );
+    }
+}
+
+#[test]
+fn greedy_dominates_every_fixed_heuristic() {
+    // Theorem 2's greedy is exact: no competitor allocation may beat it.
+    let system = SystemModel::pure_p2p(50, 5, 0.05);
+    let demand = Popularity::pareto(50, 1.0).demand_rates(1.0);
+    for utility in families() {
+        let opt = greedy_homogeneous(&system, &demand, utility.as_ref());
+        let w_opt = social_welfare_homogeneous(&system, &demand, utility.as_ref(), &opt.as_f64());
+        for (label, counts) in [
+            ("UNI", uniform(50, 50, 5)),
+            ("SQRT", sqrt_proportional(&demand, 50, 5)),
+            ("PROP", proportional(&demand, 50, 5)),
+            ("DOM", dominant(&demand, 50, 5)),
+        ] {
+            let w = social_welfare_homogeneous(&system, &demand, utility.as_ref(), &counts.as_f64());
+            assert!(
+                w <= w_opt + 1e-9 * w_opt.abs().max(1.0),
+                "{}: {label} ({w}) beats OPT ({w_opt})",
+                utility.kind()
+            );
+        }
+    }
+}
+
+#[test]
+fn relaxed_optimum_bounds_integer_and_agrees_with_gradient() {
+    let system = SystemModel::dedicated(100, 50, 5, 0.05);
+    let demand = Popularity::pareto(20, 1.0).demand_rates(1.0);
+    for utility in families() {
+        let relaxed = relaxed_optimum(&system, &demand, utility.as_ref());
+        let greedy = greedy_homogeneous(&system, &demand, utility.as_ref());
+        let w_rel = social_welfare_homogeneous(&system, &demand, utility.as_ref(), &relaxed.x);
+        let w_int =
+            social_welfare_homogeneous(&system, &demand, utility.as_ref(), &greedy.as_f64());
+        assert!(
+            w_rel >= w_int - 1e-9,
+            "{}: relaxed below integer optimum",
+            utility.kind()
+        );
+        let gradient = relaxed_optimum_gradient(&system, &demand, utility.as_ref(), 3_000);
+        let w_grad = social_welfare_homogeneous(&system, &demand, utility.as_ref(), &gradient.x);
+        assert!(
+            (w_rel - w_grad).abs() < 5e-3 * w_rel.abs().max(1.0),
+            "{}: water-filling {w_rel} vs gradient {w_grad}",
+            utility.kind()
+        );
+    }
+}
+
+#[test]
+fn equilibrium_condition_identifies_the_optimum() {
+    // Property 1 both ways: the relaxed optimum satisfies the balance
+    // condition, and perturbing it lowers welfare.
+    let system = SystemModel::dedicated(100, 50, 5, 0.05);
+    let demand = Popularity::pareto(10, 1.0).demand_rates(1.0);
+    let utility = Exponential::new(0.4);
+    let relaxed = relaxed_optimum(&system, &demand, &utility);
+    assert!(relaxed.equilibrium_residual(&system, &demand, &utility) < 1e-6);
+
+    let w_star = social_welfare_homogeneous(&system, &demand, &utility, &relaxed.x);
+    for (from, to) in [(0usize, 9usize), (9, 0), (3, 6)] {
+        let mut x = relaxed.x.clone();
+        let shift = 0.5_f64.min(x[from]);
+        x[from] -= shift;
+        x[to] += shift;
+        if x[to] > system.servers() as f64 {
+            continue;
+        }
+        let w = social_welfare_homogeneous(&system, &demand, &utility, &x);
+        assert!(
+            w < w_star,
+            "moving {shift} replicas {from}→{to} should not help ({w} ≥ {w_star})"
+        );
+    }
+}
+
+#[test]
+fn psi_equals_phi_relation_for_all_families() {
+    // Property 2's defining identity, through the public API.
+    let (s, mu) = (50.0, 0.05);
+    for utility in families() {
+        for y in [0.5, 2.0, 10.0, 50.0, 500.0] {
+            let x = s / y;
+            let expect = x * utility.phi(x, mu);
+            let got = utility.psi(y, s, mu);
+            assert!(
+                (got - expect).abs() <= 1e-9 * expect.abs().max(1e-12),
+                "{} at y={y}: ψ={got} vs (s/y)φ(s/y)={expect}",
+                utility.kind()
+            );
+        }
+    }
+}
+
+#[test]
+fn table1_allocation_exponents_via_public_api() {
+    // Fig. 2 through the facade: exponent of x̃ in d is 1/(2−α).
+    let system = SystemModel::dedicated(50, 300, 1, 0.05);
+    let demand = Popularity::pareto(25, 1.0).demand_rates(1.0);
+    for alpha in [-1.5, 0.0, 1.25] {
+        let utility = Power::new(alpha);
+        let relaxed = relaxed_optimum(&system, &demand, &utility);
+        // Check the ratio law on two item pairs: x_i/x_j = (d_i/d_j)^(1/(2−α)).
+        let e = 1.0 / (2.0 - alpha);
+        for (i, j) in [(0usize, 9usize), (4, 19)] {
+            let lhs = relaxed.x[i] / relaxed.x[j];
+            let rhs = (demand.rate(i) / demand.rate(j)).powf(e);
+            assert!(
+                (lhs - rhs).abs() < 5e-3 * rhs,
+                "α={alpha} pair ({i},{j}): {lhs} vs {rhs}"
+            );
+        }
+    }
+}

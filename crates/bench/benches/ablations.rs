@@ -5,8 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
-use std::time::Duration;
 use std::sync::Arc;
+use std::time::Duration;
 
 use impatience_core::demand::Popularity;
 use impatience_core::utility::{DelayUtility, Power};
@@ -74,14 +74,7 @@ fn bench_qcr_knobs(c: &mut Criterion) {
     group.throughput(Throughput::Elements(contacts));
     for (name, cfg) in variants {
         group.bench_function(name, |b| {
-            b.iter(|| {
-                black_box(run_trial(
-                    &config,
-                    &source,
-                    PolicyKind::Qcr(cfg.clone()),
-                    1,
-                ))
-            })
+            b.iter(|| black_box(run_trial(&config, &source, PolicyKind::Qcr(cfg.clone()), 1)))
         });
     }
     group.finish();

@@ -76,5 +76,10 @@ fn bench_io(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_generators, bench_stats_and_synthesis, bench_io);
+criterion_group!(
+    benches,
+    bench_generators,
+    bench_stats_and_synthesis,
+    bench_io
+);
 criterion_main!(benches);

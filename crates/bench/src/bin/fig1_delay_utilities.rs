@@ -63,10 +63,7 @@ fn main() {
     // Shape checks mirroring the figure: all curves decrease; the
     // time-critical family blows up near 0; the cost family is ≤ 0.
     for (name, u) in a.iter().chain(b.iter()).chain(c.iter()) {
-        assert!(
-            u.h(0.5) >= u.h(4.5),
-            "{name} is not non-increasing"
-        );
+        assert!(u.h(0.5) >= u.h(4.5), "{name} is not non-increasing");
     }
     assert!(Power::new(1.5).h(0.01) > 10.0);
     assert!(Power::new(0.0).h(3.0) < 0.0);

@@ -21,7 +21,9 @@ fn fit_slope(d: &[f64], x: &[f64]) -> f64 {
         .map(|(&di, &xi)| (di.ln(), xi.ln()))
         .collect();
     let n = pts.len() as f64;
-    let (sx, sy) = pts.iter().fold((0.0, 0.0), |(a, b), &(u, v)| (a + u, b + v));
+    let (sx, sy) = pts
+        .iter()
+        .fold((0.0, 0.0), |(a, b), &(u, v)| (a + u, b + v));
     let (sxx, sxy) = pts
         .iter()
         .fold((0.0, 0.0), |(a, b), &(u, v)| (a + u * u, b + u * v));

@@ -17,9 +17,7 @@
 
 use std::sync::Arc;
 
-use impatience_bench::{
-    homogeneous_competitors, paper_homogeneous_setting, write_csv, RunOptions,
-};
+use impatience_bench::{homogeneous_competitors, paper_homogeneous_setting, write_csv, RunOptions};
 use impatience_core::utility::Power;
 use impatience_sim::policy::{PolicyKind, QcrConfig};
 use impatience_sim::runner::run_trials;
@@ -81,12 +79,25 @@ fn main() {
         }
         h
     };
-    write_csv(&opts.out_dir, "fig3a_expected_utility", &header, &expected_rows);
-    write_csv(&opts.out_dir, "fig3b_observed_utility", &header, &observed_rows);
+    write_csv(
+        &opts.out_dir,
+        "fig3a_expected_utility",
+        &header,
+        &expected_rows,
+    );
+    write_csv(
+        &opts.out_dir,
+        "fig3b_observed_utility",
+        &header,
+        &observed_rows,
+    );
 
     // Panels (c)/(d): top-5 item replica series from a single
     // representative trial of each QCR variant.
-    for (name, routing) in [("fig3c_replicas_routing", true), ("fig3d_replicas_noroute", false)] {
+    for (name, routing) in [
+        ("fig3c_replicas_routing", true),
+        ("fig3d_replicas_noroute", false),
+    ] {
         let policy = PolicyKind::Qcr(QcrConfig {
             mandate_routing: routing,
             ..QcrConfig::default()

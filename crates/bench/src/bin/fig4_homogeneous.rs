@@ -15,8 +15,8 @@
 use std::sync::Arc;
 
 use impatience_bench::{
-    homogeneous_competitors, loss_header, loss_row, normalized_losses,
-    paper_homogeneous_setting, print_suite, run_policy_suite, write_csv, RunOptions,
+    homogeneous_competitors, loss_header, loss_row, normalized_losses, paper_homogeneous_setting,
+    print_suite, run_policy_suite, write_csv, RunOptions,
 };
 use impatience_core::utility::{DelayUtility, Power, Step};
 
@@ -69,5 +69,8 @@ fn main() {
     }
     write_csv(&opts.out_dir, "fig4_step_loss", &step_header, &step_rows);
 
-    println!("\nFig. 4 series written ({} trials × {duration} min).", trials);
+    println!(
+        "\nFig. 4 series written ({} trials × {duration} min).",
+        trials
+    );
 }

@@ -27,13 +27,7 @@ use impatience_sim::config::{ContactSource, SimConfig};
 use impatience_traces::gen::ConferenceConfig;
 use impatience_traces::{resynthesize_memoryless, ContactTrace, TraceStats};
 
-fn run_tau_sweep(
-    name: &str,
-    trace: &ContactTrace,
-    taus: &[f64],
-    trials: usize,
-    opts: &RunOptions,
-) {
+fn run_tau_sweep(name: &str, trace: &ContactTrace, taus: &[f64], trials: usize, opts: &RunOptions) {
     let stats = TraceStats::from_trace(trace);
     let items = 50;
     let rho = 5;

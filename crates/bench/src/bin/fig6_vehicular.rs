@@ -96,7 +96,14 @@ fn main() {
         .iter()
         .map(|&a| (a, Arc::new(Power::new(a)) as Arc<dyn DelayUtility>))
         .collect();
-    sweep("fig6a_power_loss", "alpha", &trace, utilities, trials, &opts);
+    sweep(
+        "fig6a_power_loss",
+        "alpha",
+        &trace,
+        utilities,
+        trials,
+        &opts,
+    );
 
     // (b) step τ sweep.
     let taus: Vec<f64> = if opts.quick {

@@ -37,6 +37,8 @@ use impatience_core::solver::het_greedy::greedy_heterogeneous;
 use impatience_core::types::SystemModel;
 use impatience_core::utility::DelayUtility;
 use impatience_core::welfare::HeterogeneousSystem;
+use impatience_json::Json;
+use impatience_obs::Manifest;
 use impatience_sim::config::{ContactSource, SimConfig};
 use impatience_sim::policy::PolicyKind;
 use impatience_sim::runner::{run_trials, TrialAggregate};
@@ -61,9 +63,8 @@ impl RunOptions {
             match arg.as_str() {
                 "--quick" => quick = true,
                 "--out" => {
-                    out_dir = PathBuf::from(
-                        args.next().expect("--out requires a directory argument"),
-                    );
+                    out_dir =
+                        PathBuf::from(args.next().expect("--out requires a directory argument"));
                 }
                 other => panic!("unknown argument `{other}` (expected --quick / --out DIR)"),
             }
@@ -92,6 +93,11 @@ impl RunOptions {
 
 /// Write CSV rows (first row = header) to `<out_dir>/<name>.csv`,
 /// creating the directory if needed, and echo the path.
+///
+/// Every CSV gets a `.manifest.json` sibling recording provenance: the
+/// producing binary and its arguments, git revision, creation time,
+/// header, and row count — enough to tell which code produced a results
+/// file without trusting a shared log.
 pub fn write_csv(out_dir: &Path, name: &str, header: &str, rows: &[String]) {
     fs::create_dir_all(out_dir).expect("cannot create output directory");
     let path = out_dir.join(format!("{name}.csv"));
@@ -101,6 +107,26 @@ pub fn write_csv(out_dir: &Path, name: &str, header: &str, rows: &[String]) {
         writeln!(f, "{row}").unwrap();
     }
     println!("wrote {}", path.display());
+
+    let argv: Vec<String> = std::env::args().collect();
+    let binary = argv
+        .first()
+        .map(|s| {
+            Path::new(s)
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| s.clone())
+        })
+        .unwrap_or_default();
+    let mut manifest = Manifest::new("bench_csv");
+    manifest.set("binary", binary);
+    manifest.set("args", Json::from(argv[1..].to_vec()));
+    manifest.set("csv", path.display().to_string());
+    manifest.set("header", header);
+    manifest.set("rows", rows.len() as u64);
+    let mpath = Manifest::sibling_path(&path);
+    manifest.write_to(&mpath).expect("cannot write manifest");
+    println!("wrote {}", mpath.display());
 }
 
 /// The §6.1 competitor suite for a *homogeneous* setting: OPT (exact

@@ -113,11 +113,7 @@ impl AllocationMatrix {
         Self::from_counts_inner(counts, rho, Some(rng))
     }
 
-    fn from_counts_inner(
-        counts: &ReplicaCounts,
-        rho: usize,
-        rng: Option<&mut Xoshiro256>,
-    ) -> Self {
+    fn from_counts_inner(counts: &ReplicaCounts, rho: usize, rng: Option<&mut Xoshiro256>) -> Self {
         let servers = counts.servers();
         assert!(
             counts.total() <= (rho * servers) as u64,

@@ -109,7 +109,10 @@ impl DemandRates {
     pub fn new(rates: Vec<f64>) -> Self {
         assert!(!rates.is_empty(), "demand rates must not be empty");
         for &d in &rates {
-            assert!(d >= 0.0 && d.is_finite(), "demand rates must be finite and ≥ 0");
+            assert!(
+                d >= 0.0 && d.is_finite(),
+                "demand rates must be finite and ≥ 0"
+            );
         }
         DemandRates { rates }
     }
@@ -171,7 +174,11 @@ impl DemandProfile {
             let home = i % communities;
             let mut row_total = 0.0;
             for n in 0..nodes {
-                let w = if n % communities == home { affinity } else { 1.0 };
+                let w = if n % communities == home {
+                    affinity
+                } else {
+                    1.0
+                };
                 pi[i * nodes + n] = w;
                 row_total += w;
             }

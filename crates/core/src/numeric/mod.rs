@@ -11,5 +11,7 @@ mod quadrature;
 mod roots;
 
 pub use gamma::gamma;
-pub use quadrature::{integrate, integrate_semi_infinite, integrate_semi_infinite_singular, QuadratureError};
+pub use quadrature::{
+    integrate, integrate_semi_infinite, integrate_semi_infinite_singular, QuadratureError,
+};
 pub use roots::{bisect, BracketError};

@@ -104,7 +104,11 @@ pub fn integrate_semi_infinite(
     scale: f64,
     tol: f64,
 ) -> Result<f64, QuadratureError> {
-    let scale = if scale.is_finite() && scale > 0.0 { scale } else { 1.0 };
+    let scale = if scale.is_finite() && scale > 0.0 {
+        scale
+    } else {
+        1.0
+    };
     integrate_tail(f, 0.0, scale, tol)
 }
 
@@ -155,7 +159,11 @@ pub fn integrate_semi_infinite_singular(
     tol: f64,
 ) -> Result<f64, QuadratureError> {
     const P: i32 = 16;
-    let scale = if scale.is_finite() && scale > 0.0 { scale } else { 1.0 };
+    let scale = if scale.is_finite() && scale > 0.0 {
+        scale
+    } else {
+        1.0
+    };
     let head = integrate(
         |u: f64| {
             let t = u.powi(P);
@@ -269,7 +277,11 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(QuadratureError::NotFinite.to_string().contains("non-finite"));
-        assert!(QuadratureError::TailDiverged.to_string().contains("converge"));
+        assert!(QuadratureError::NotFinite
+            .to_string()
+            .contains("non-finite"));
+        assert!(QuadratureError::TailDiverged
+            .to_string()
+            .contains("converge"));
     }
 }

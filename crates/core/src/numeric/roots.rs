@@ -19,7 +19,10 @@ impl std::fmt::Display for BracketError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BracketError::NoSignChange { f_lo, f_hi } => {
-                write!(f, "no sign change over bracket (f(lo)={f_lo}, f(hi)={f_hi})")
+                write!(
+                    f,
+                    "no sign change over bracket (f(lo)={f_lo}, f(hi)={f_hi})"
+                )
             }
             BracketError::NotFinite => write!(f, "function not finite inside bracket"),
         }

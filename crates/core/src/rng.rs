@@ -60,10 +60,7 @@ impl Xoshiro256 {
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -135,7 +132,10 @@ impl Xoshiro256 {
     /// Pareto (Type I) sample with scale `x_min > 0` and shape `a > 0`:
     /// density `a x_min^a / x^{a+1}` on `[x_min, ∞)`.
     pub fn pareto(&mut self, x_min: f64, shape: f64) -> f64 {
-        assert!(x_min > 0.0 && shape > 0.0, "pareto parameters must be positive");
+        assert!(
+            x_min > 0.0 && shape > 0.0,
+            "pareto parameters must be positive"
+        );
         x_min / self.f64_open().powf(1.0 / shape)
     }
 
@@ -145,7 +145,10 @@ impl Xoshiro256 {
     /// with continuity correction above `λ = 64` (adequate for event counts
     /// in trace generation; relative error of the tail is negligible there).
     pub fn poisson(&mut self, lambda: f64) -> u64 {
-        assert!(lambda >= 0.0 && lambda.is_finite(), "poisson mean must be finite and ≥ 0");
+        assert!(
+            lambda >= 0.0 && lambda.is_finite(),
+            "poisson mean must be finite and ≥ 0"
+        );
         if lambda == 0.0 {
             return 0;
         }

@@ -98,10 +98,7 @@ pub fn uniform(items: usize, servers: usize, rho: usize) -> ReplicaCounts {
 /// PROP: allocation proportional to demand — the steady state of passive
 /// one-replica-per-fulfillment replication.
 pub fn proportional(demand: &DemandRates, servers: usize, rho: usize) -> ReplicaCounts {
-    ReplicaCounts::new(
-        apportion(demand.rates(), rho * servers, servers),
-        servers,
-    )
+    ReplicaCounts::new(apportion(demand.rates(), rho * servers, servers), servers)
 }
 
 /// SQRT: allocation proportional to the square root of demand.
@@ -168,7 +165,10 @@ mod tests {
         let prop = proportional(&demand, 50, 5);
         let sqrt = sqrt_proportional(&demand, 50, 5);
         assert_eq!(sqrt.total(), 250);
-        assert!(sqrt.count(0) < prop.count(0), "sqrt should give the head less");
+        assert!(
+            sqrt.count(0) < prop.count(0),
+            "sqrt should give the head less"
+        );
         assert!(
             sqrt.count(49) >= prop.count(49),
             "sqrt should give the tail at least as much"

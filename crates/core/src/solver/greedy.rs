@@ -7,7 +7,11 @@
 //! and the greedy rule will choose to create copies for other less popular
 //! items" (§4.1).
 
+use std::cell::Cell;
 use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use impatience_obs::{Recorder, Sink};
 
 use super::HeapKey;
 use crate::allocation::ReplicaCounts;
@@ -47,6 +51,19 @@ pub fn greedy_homogeneous(
     demand: &DemandRates,
     utility: &dyn DelayUtility,
 ) -> ReplicaCounts {
+    greedy_homogeneous_observed(system, demand, utility, &mut Recorder::disabled())
+}
+
+/// [`greedy_homogeneous`] with instrumentation: each placement emits a
+/// `solver_step` carrying the marginal gain taken (the full marginal-gain
+/// trajectory, non-increasing by concavity), and a final `solver_done`
+/// reports placements, marginal evaluations, and wall time.
+pub fn greedy_homogeneous_observed<S: Sink>(
+    system: &SystemModel,
+    demand: &DemandRates,
+    utility: &dyn DelayUtility,
+    rec: &mut Recorder<S>,
+) -> ReplicaCounts {
     assert!(
         !(utility.requires_dedicated() && system.population.is_pure_p2p()),
         "{} has h(0+)=∞ and requires a dedicated-node population",
@@ -64,7 +81,9 @@ pub fn greedy_homogeneous(
     // cost-type utility) all sort to the top and are ordered among
     // themselves by demand, which is the limit order of d_i·ΔG as the
     // marginals diverge.
+    let evaluations = Cell::new(0u64);
     let key_for = |x: u32, i: usize| {
+        evaluations.set(evaluations.get() + 1);
         let m = marginal(system, utility, x);
         if m.is_infinite() {
             HeapKey::new(f64::INFINITY, demand.rate(i))
@@ -78,13 +97,25 @@ pub fn greedy_homogeneous(
         .map(|i| (key_for(0, i), i))
         .collect();
 
+    let wall_start = rec.is_active().then(Instant::now);
+    let mut placed: u64 = 0;
     for _ in 0..budget {
-        let Some((_, i)) = heap.pop() else { break };
+        let Some((key, i)) = heap.pop() else { break };
         counts.add(i);
+        rec.solver_step("greedy", placed, i as u32, key.primary);
+        placed += 1;
         let x = counts.count(i);
         if (x as usize) < servers {
             heap.push((key_for(x, i), i));
         }
+    }
+    if let Some(start) = wall_start {
+        rec.solver_done(
+            "greedy",
+            placed,
+            evaluations.get(),
+            start.elapsed().as_secs_f64(),
+        );
     }
     counts
 }
@@ -275,6 +306,58 @@ mod tests {
         let system = SystemModel::pure_p2p(10, 2, 0.05);
         let demand = Popularity::uniform(5).demand_rates(1.0);
         let _ = greedy_homogeneous(&system, &demand, &Power::new(1.5));
+    }
+
+    #[test]
+    fn observed_greedy_matches_and_gains_decrease() {
+        use impatience_obs::{Event, MemorySink, Recorder};
+        let system = SystemModel::pure_p2p(20, 3, 0.05);
+        let demand = Popularity::pareto(10, 1.0).demand_rates(1.0);
+        let utility = Step::new(1.0);
+        let plain = greedy_homogeneous(&system, &demand, &utility);
+        let mut rec = Recorder::new(MemorySink::new());
+        let observed = greedy_homogeneous_observed(&system, &demand, &utility, &mut rec);
+        assert_eq!(
+            plain, observed,
+            "instrumentation must not change the allocation"
+        );
+
+        let gains: Vec<f64> = rec
+            .sink()
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::SolverStep {
+                    solver: "greedy",
+                    value,
+                    ..
+                } => Some(*value),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            gains.len() as u64,
+            observed.total(),
+            "one step per placement"
+        );
+        for w in gains.windows(2) {
+            assert!(
+                w[0] >= w[1] - 1e-12,
+                "marginal gains must not increase: {w:?}"
+            );
+        }
+        match rec.sink().events.last() {
+            Some(Event::SolverDone {
+                solver: "greedy",
+                iterations,
+                evaluations,
+                ..
+            }) => {
+                assert_eq!(*iterations, observed.total());
+                assert!(*evaluations >= *iterations);
+            }
+            other => panic!("expected SolverDone, got {other:?}"),
+        }
     }
 
     #[test]

@@ -32,7 +32,10 @@ pub(crate) struct HeapKey {
 
 impl HeapKey {
     pub fn new(primary: f64, tie: f64) -> Self {
-        assert!(!primary.is_nan() && !tie.is_nan(), "heap keys must not be NaN");
+        assert!(
+            !primary.is_nan() && !tie.is_nan(),
+            "heap keys must not be NaN"
+        );
         HeapKey { primary, tie }
     }
 }

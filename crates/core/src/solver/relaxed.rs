@@ -16,6 +16,11 @@
 //! For the power family the solution is the closed form
 //! `x̃_i ∝ d_i^{1/(2−α)}` (Fig. 2), which the tests verify.
 
+use std::cell::Cell;
+use std::time::Instant;
+
+use impatience_obs::{Recorder, Sink};
+
 use crate::demand::DemandRates;
 use crate::numeric::bisect;
 use crate::types::SystemModel;
@@ -62,13 +67,7 @@ const X_FLOOR: f64 = 1e-9;
 
 /// Invert `x ↦ d·φ(x)` at value `level` over `[X_FLOOR, s]`, clamping to
 /// the box when `level` falls outside `φ`'s range.
-fn invert_phi(
-    utility: &dyn DelayUtility,
-    mu: f64,
-    d: f64,
-    level: f64,
-    s: f64,
-) -> f64 {
+fn invert_phi(utility: &dyn DelayUtility, mu: f64, d: f64, level: f64, s: f64) -> f64 {
     debug_assert!(d > 0.0 && level > 0.0);
     let at_floor = d * utility.phi(X_FLOOR, mu);
     if !at_floor.is_finite() || at_floor <= level {
@@ -98,6 +97,21 @@ pub fn relaxed_optimum(
     system: &SystemModel,
     demand: &DemandRates,
     utility: &dyn DelayUtility,
+) -> RelaxedAllocation {
+    relaxed_optimum_observed(system, demand, utility, &mut Recorder::disabled())
+}
+
+/// [`relaxed_optimum`] with instrumentation: `solver_done` reports how
+/// many water-level probes the outer bisection needed (iterations) and
+/// how many φ-inversions they cost (evaluations); a final `solver_step`
+/// carries the budget residual `|Σx̃ − ρ|S|| / ρ|S|` at the solution —
+/// the convergence residual of the outer bisection. Trivial instances
+/// (zero budget, catalog-saturating budget) emit nothing.
+pub fn relaxed_optimum_observed<S: Sink>(
+    system: &SystemModel,
+    demand: &DemandRates,
+    utility: &dyn DelayUtility,
+    rec: &mut Recorder<S>,
 ) -> RelaxedAllocation {
     assert!(
         !(utility.requires_dedicated() && system.population.is_pure_p2p()),
@@ -132,7 +146,10 @@ pub fn relaxed_optimum(
         };
     }
 
+    let wall_start = rec.is_active().then(Instant::now);
+    let probes = Cell::new(0u64);
     let total_at = |level: f64| -> f64 {
+        probes.set(probes.get() + 1);
         demanded
             .iter()
             .map(|&i| invert_phi(utility, mu, demand.rate(i), level, s))
@@ -162,6 +179,17 @@ pub fn relaxed_optimum(
             }
         })
         .collect();
+    if let Some(start) = wall_start {
+        let residual = (x.iter().sum::<f64>() - budget).abs() / budget;
+        let iterations = probes.get();
+        rec.solver_step("relaxed", iterations, 0, residual);
+        rec.solver_done(
+            "relaxed",
+            iterations,
+            iterations * demanded.len() as u64,
+            start.elapsed().as_secs_f64(),
+        );
+    }
     RelaxedAllocation { x, level }
 }
 
@@ -219,12 +247,8 @@ pub fn relaxed_optimum_gradient(
 /// Euclidean projection of `x` (restricted to `active` coordinates) onto
 /// `{0 ≤ x_i ≤ cap, Σ_active x_i = budget}` by bisection on the shift.
 fn project_capped_simplex(x: &mut [f64], active: &[usize], budget: f64, cap: f64) {
-    let total = |shift: f64| -> f64 {
-        active
-            .iter()
-            .map(|&i| (x[i] - shift).clamp(0.0, cap))
-            .sum()
-    };
+    let total =
+        |shift: f64| -> f64 { active.iter().map(|&i| (x[i] - shift).clamp(0.0, cap)).sum() };
     // Bracket the shift.
     let max_x = active.iter().map(|&i| x[i]).fold(0.0f64, f64::max);
     let (mut lo, mut hi) = (-cap - 1.0, max_x + 1.0);
@@ -272,7 +296,9 @@ mod tests {
             .map(|(&di, &xi)| (di.ln(), xi.ln()))
             .collect();
         let n = pts.len() as f64;
-        let (sx, sy): (f64, f64) = pts.iter().fold((0.0, 0.0), |(a, b), &(u, v)| (a + u, b + v));
+        let (sx, sy): (f64, f64) = pts
+            .iter()
+            .fold((0.0, 0.0), |(a, b), &(u, v)| (a + u, b + v));
         let (sxx, sxy): (f64, f64) = pts
             .iter()
             .fold((0.0, 0.0), |(a, b), &(u, v)| (a + u * u, b + u * v));
@@ -399,7 +425,10 @@ mod tests {
                 "{}: wf {w_wf} vs gd {w_gd}",
                 utility.kind()
             );
-            assert!(w_wf >= w_gd - 1e-3 * w_wf.abs().max(1.0), "water-filling must win");
+            assert!(
+                w_wf >= w_gd - 1e-3 * w_wf.abs().max(1.0),
+                "water-filling must win"
+            );
         }
     }
 
@@ -429,6 +458,39 @@ mod tests {
                 "{}: gap too large ({w_rel} vs {w_int})",
                 utility.kind()
             );
+        }
+    }
+
+    #[test]
+    fn observed_relaxed_matches_and_converges() {
+        use impatience_obs::{Event, MemorySink, Recorder};
+        let system = SystemModel::dedicated(100, 50, 5, 0.05);
+        let demand = Popularity::pareto(20, 1.0).demand_rates(1.0);
+        let utility = Exponential::new(0.5);
+        let plain = relaxed_optimum(&system, &demand, &utility);
+        let mut rec = Recorder::new(MemorySink::new());
+        let observed = relaxed_optimum_observed(&system, &demand, &utility, &mut rec);
+        assert_eq!(
+            plain, observed,
+            "instrumentation must not change the allocation"
+        );
+
+        match &rec.sink().events[..] {
+            [Event::SolverStep {
+                solver: "relaxed",
+                value: residual,
+                ..
+            }, Event::SolverDone {
+                solver: "relaxed",
+                iterations,
+                evaluations,
+                ..
+            }] => {
+                assert!(*residual < 1e-9, "budget residual {residual} too large");
+                assert!(*iterations > 0);
+                assert_eq!(*evaluations, iterations * 20);
+            }
+            other => panic!("expected [SolverStep, SolverDone], got {other:?}"),
         }
     }
 

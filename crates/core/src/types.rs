@@ -136,7 +136,10 @@ impl SystemModel {
     /// # Panics
     /// Panics if `mu` is not strictly positive and finite.
     pub fn dedicated(clients: usize, servers: usize, rho: usize, mu: f64) -> Self {
-        assert!(clients > 0 && servers > 0, "dedicated systems need clients and servers");
+        assert!(
+            clients > 0 && servers > 0,
+            "dedicated systems need clients and servers"
+        );
         assert!(mu > 0.0 && mu.is_finite(), "contact rate must be positive");
         SystemModel {
             population: Population::Dedicated { clients, servers },

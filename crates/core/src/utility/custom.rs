@@ -38,7 +38,11 @@ impl Custom {
     ///
     /// The limits are taken explicitly because they may be infinite and are
     /// needed exactly (they anchor the welfare closed forms).
-    pub fn new(h: impl Fn(f64) -> f64 + Send + Sync + 'static, h_zero: f64, h_infinity: f64) -> Self {
+    pub fn new(
+        h: impl Fn(f64) -> f64 + Send + Sync + 'static,
+        h_zero: f64,
+        h_infinity: f64,
+    ) -> Self {
         Custom {
             h: Arc::new(h),
             c: None,

@@ -42,7 +42,10 @@ impl Feedback {
     /// # Panics
     /// Panics on non-finite or negative delays.
     pub fn new(delay: f64, consumed: bool) -> Self {
-        assert!(delay >= 0.0 && delay.is_finite(), "delay must be finite and ≥ 0");
+        assert!(
+            delay >= 0.0 && delay.is_finite(),
+            "delay must be finite and ≥ 0"
+        );
         Feedback { delay, consumed }
     }
 }
@@ -377,10 +380,7 @@ mod tests {
         for x in [2.0, 8.0] {
             let a = fitted.phi(x, 0.05);
             let b = truth.phi(x, 0.05);
-            assert!(
-                (a - b).abs() < 0.25 * b,
-                "φ({x}): fitted {a} vs truth {b}"
-            );
+            assert!((a - b).abs() < 0.25 * b, "φ({x}): fitted {a} vs truth {b}");
         }
     }
 
@@ -392,10 +392,16 @@ mod tests {
             Err(FitError::TooFewObservations { .. })
         ));
         let all_yes = vec![Feedback::new(1.0, true); 100];
-        assert!(matches!(fit_exponential(&all_yes), Err(FitError::Degenerate(_))));
+        assert!(matches!(
+            fit_exponential(&all_yes),
+            Err(FitError::Degenerate(_))
+        ));
         assert!(matches!(fit_step(&all_yes), Err(FitError::Degenerate(_))));
         let all_no = vec![Feedback::new(1.0, false); 100];
-        assert!(matches!(fit_exponential(&all_no), Err(FitError::Degenerate(_))));
+        assert!(matches!(
+            fit_exponential(&all_no),
+            Err(FitError::Degenerate(_))
+        ));
         let e = fit_exponential(&few).unwrap_err();
         assert!(e.to_string().contains("at least 10"));
     }

@@ -37,10 +37,10 @@ mod spec;
 mod step;
 
 pub use custom::Custom;
-pub use fit::{fit_empirical, fit_exponential, fit_step, Feedback, FitError};
-pub use spec::{parse_utility, UtilitySpecError};
 pub use exponential::Exponential;
+pub use fit::{fit_empirical, fit_exponential, fit_step, Feedback, FitError};
 pub use power::{NegLog, Power};
+pub use spec::{parse_utility, UtilitySpecError};
 pub use step::Step;
 
 use crate::numeric::{integrate_semi_infinite_singular, QuadratureError};
@@ -207,8 +207,14 @@ mod tests {
     #[test]
     fn kind_display() {
         assert_eq!(UtilityKind::Step { tau: 1.0 }.to_string(), "step(τ=1)");
-        assert_eq!(UtilityKind::Exponential { nu: 0.5 }.to_string(), "exp(ν=0.5)");
-        assert_eq!(UtilityKind::Power { alpha: -1.0 }.to_string(), "power(α=-1)");
+        assert_eq!(
+            UtilityKind::Exponential { nu: 0.5 }.to_string(),
+            "exp(ν=0.5)"
+        );
+        assert_eq!(
+            UtilityKind::Power { alpha: -1.0 }.to_string(),
+            "power(α=-1)"
+        );
         assert_eq!(UtilityKind::NegLog.to_string(), "neglog");
         assert_eq!(UtilityKind::Custom.to_string(), "custom");
     }

@@ -44,8 +44,14 @@ impl Power {
     /// [`NegLog`]), or `alpha` is not finite.
     pub fn new(alpha: f64) -> Self {
         assert!(alpha.is_finite(), "alpha must be finite");
-        assert!(alpha < 2.0, "power utility requires α < 2 (gain diverges otherwise)");
-        assert!(alpha != 1.0, "α = 1 is the negative-logarithm limit; use NegLog");
+        assert!(
+            alpha < 2.0,
+            "power utility requires α < 2 (gain diverges otherwise)"
+        );
+        assert!(
+            alpha != 1.0,
+            "α = 1 is the negative-logarithm limit; use NegLog"
+        );
         Power {
             alpha,
             gamma_2ma: gamma(2.0 - alpha),
@@ -196,7 +202,11 @@ mod tests {
             let mut prev = f64::INFINITY;
             for k in 1..100 {
                 let v = u.h(0.1 * k as f64);
-                assert!(v <= prev, "α={alpha} not decreasing at t={}", 0.1 * k as f64);
+                assert!(
+                    v <= prev,
+                    "α={alpha} not decreasing at t={}",
+                    0.1 * k as f64
+                );
                 prev = v;
             }
         }

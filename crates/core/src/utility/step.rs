@@ -23,7 +23,10 @@ impl Step {
     /// # Panics
     /// Panics unless `tau` is strictly positive and finite.
     pub fn new(tau: f64) -> Self {
-        assert!(tau > 0.0 && tau.is_finite(), "step deadline must be positive");
+        assert!(
+            tau > 0.0 && tau.is_finite(),
+            "step deadline must be positive"
+        );
         Step { tau }
     }
 

@@ -43,7 +43,10 @@ impl ContactRates {
         for a in 0..nodes {
             for b in (a + 1)..nodes {
                 let mu = f(a, b);
-                assert!(mu >= 0.0 && mu.is_finite(), "rate for ({a},{b}) must be ≥ 0");
+                assert!(
+                    mu >= 0.0 && mu.is_finite(),
+                    "rate for ({a},{b}) must be ≥ 0"
+                );
                 rates[a * nodes + b] = mu;
                 rates[b * nodes + a] = mu;
             }
@@ -118,7 +121,12 @@ impl HeterogeneousSystem {
     /// Dedicated system: `servers` and `clients` must be disjoint node-id
     /// lists (not checked — the welfare formulas are valid regardless, the
     /// distinction only matters for infinite-`h(0⁺)` utilities).
-    pub fn dedicated(rates: ContactRates, servers: Vec<usize>, clients: Vec<usize>, rho: usize) -> Self {
+    pub fn dedicated(
+        rates: ContactRates,
+        servers: Vec<usize>,
+        clients: Vec<usize>,
+        rho: usize,
+    ) -> Self {
         HeterogeneousSystem {
             rates,
             servers,
@@ -266,8 +274,7 @@ mod tests {
         // Servers 0..3, clients 4..9: client gains come only from contact
         // rates to the holders.
         let rates = ContactRates::from_fn(10, |a, b| if a < 4 || b < 4 { 0.1 } else { 0.0 });
-        let system =
-            HeterogeneousSystem::dedicated(rates, vec![0, 1, 2, 3], (4..10).collect(), 2);
+        let system = HeterogeneousSystem::dedicated(rates, vec![0, 1, 2, 3], (4..10).collect(), 2);
         let demand = DemandRates::new(vec![1.0]);
         let profile = DemandProfile::uniform(1, 6);
         let utility = Exponential::new(0.5);

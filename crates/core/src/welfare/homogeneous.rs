@@ -93,7 +93,11 @@ pub fn social_welfare_homogeneous(
 /// Requires `μ·δ < 1` (a contact probability). The series is summed until
 /// its geometric envelope drops below `1e-12` of the accumulated value.
 pub fn item_gain_discrete(utility: &dyn DelayUtility, x: f64, mu: f64, delta: f64) -> f64 {
-    assert!(delta > 0.0 && mu * delta < 1.0, "need μδ < 1 (got {})", mu * delta);
+    assert!(
+        delta > 0.0 && mu * delta < 1.0,
+        "need μδ < 1 (got {})",
+        mu * delta
+    );
     if x == 0.0 {
         // q = 1: the sum telescopes to h(δ) − h(∞).
         return utility.h_infinity();
@@ -197,7 +201,8 @@ mod tests {
             &u,
             &counts,
         );
-        let small = social_welfare_homogeneous(&SystemModel::pure_p2p(10, 5, 0.05), &d, &u, &counts);
+        let small =
+            social_welfare_homogeneous(&SystemModel::pure_p2p(10, 5, 0.05), &d, &u, &counts);
         let large =
             social_welfare_homogeneous(&SystemModel::pure_p2p(10_000, 5, 0.05), &d, &u, &counts);
         assert!((large - dedicated).abs() < (small - dedicated).abs());
@@ -212,12 +217,8 @@ mod tests {
         let u = Step::new(1.0);
         let counts = vec![10.0; 50];
         let p2p = social_welfare_homogeneous(&SystemModel::pure_p2p(50, 5, 0.05), &d, &u, &counts);
-        let ded = social_welfare_homogeneous(
-            &SystemModel::dedicated(50, 50, 5, 0.05),
-            &d,
-            &u,
-            &counts,
-        );
+        let ded =
+            social_welfare_homogeneous(&SystemModel::dedicated(50, 50, 5, 0.05), &d, &u, &counts);
         assert!(p2p > ded);
     }
 

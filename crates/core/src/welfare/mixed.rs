@@ -72,7 +72,11 @@ pub fn social_welfare_homogeneous_mixed(
     catalog: &UtilityCatalog,
     counts: &[f64],
 ) -> f64 {
-    assert_eq!(catalog.items(), demand.items(), "catalog/demand size mismatch");
+    assert_eq!(
+        catalog.items(),
+        demand.items(),
+        "catalog/demand size mismatch"
+    );
     assert_eq!(counts.len(), demand.items(), "allocation size mismatch");
     let mu = system.contact_rate;
     let mut total = 0.0;
@@ -221,11 +225,8 @@ mod tests {
         let w_mixed =
             social_welfare_homogeneous_mixed(&system(), &demand, &catalog, &opt_mixed.as_f64());
         for tau in [1.0, 10.0, 100.0] {
-            let wrong = crate::solver::greedy::greedy_homogeneous(
-                &system(),
-                &demand,
-                &Step::new(tau),
-            );
+            let wrong =
+                crate::solver::greedy::greedy_homogeneous(&system(), &demand, &Step::new(tau));
             let w_wrong =
                 social_welfare_homogeneous_mixed(&system(), &demand, &catalog, &wrong.as_f64());
             assert!(

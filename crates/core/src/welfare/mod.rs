@@ -22,10 +22,8 @@ mod mixed;
 pub use heterogeneous::{
     item_welfare_heterogeneous, social_welfare_heterogeneous, ContactRates, HeterogeneousSystem,
 };
-pub use mixed::{
-    greedy_homogeneous_mixed, social_welfare_homogeneous_mixed, UtilityCatalog,
-};
 pub use homogeneous::{
     expected_gain_continuous, expected_gain_pure_p2p, item_gain_discrete,
     social_welfare_homogeneous, social_welfare_homogeneous_discrete,
 };
+pub use mixed::{greedy_homogeneous_mixed, social_welfare_homogeneous_mixed, UtilityCatalog};

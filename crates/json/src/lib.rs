@@ -1,0 +1,353 @@
+//! # impatience-json
+//!
+//! A small, dependency-free JSON library: a [`Json`] value model, a
+//! recursive-descent parser, and a compact writer.
+//!
+//! The workspace builds in hermetic environments with no access to a
+//! crates registry, so the trace I/O ([`impatience-traces`]) and the
+//! observability layer ([`impatience-obs`]: JSONL event streams, run
+//! manifests) serialize through this crate instead of serde. The
+//! supported surface is deliberately plain: UTF-8 text, `i64`/`f64`
+//! numbers, objects with insertion-ordered keys (deterministic output —
+//! important for manifest diffing and golden tests).
+//!
+//! ```
+//! use impatience_json::Json;
+//!
+//! let v = Json::obj([
+//!     ("name", Json::from("fig4")),
+//!     ("trials", Json::from(15u64)),
+//!     ("rate", Json::from(0.7321)),
+//! ]);
+//! let text = v.to_string();
+//! let back = Json::parse(&text).unwrap();
+//! assert_eq!(back.get("trials").and_then(Json::as_u64), Some(15));
+//! ```
+//!
+//! [`impatience-traces`]: ../impatience_traces/index.html
+//! [`impatience-obs`]: ../impatience_obs/index.html
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+mod parse;
+
+pub use parse::JsonParseError;
+
+use std::fmt;
+
+/// A JSON value.
+///
+/// Numbers keep their integer-ness: values written as integers parse back
+/// as [`Json::Int`], everything else as [`Json::Float`]. Object keys keep
+/// insertion order so output is deterministic.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (no fraction or exponent, fits `i64`).
+    Int(i64),
+    /// Any other number. Non-finite floats serialize as `null` (JSON has
+    /// no representation for them).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object: insertion-ordered `(key, value)` pairs.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Build an object from `(key, value)` pairs, preserving order.
+    pub fn obj<K: Into<String>, I: IntoIterator<Item = (K, Json)>>(pairs: I) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Parse a JSON document (must be a single value with only trailing
+    /// whitespace after it).
+    pub fn parse(text: &str) -> Result<Json, JsonParseError> {
+        parse::parse(text)
+    }
+
+    /// Member lookup on an object (first match wins); `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(n) if *n >= 0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (integers convert).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(n) => Some(*n as f64),
+            Json::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as object pairs, if it is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// Serialize compactly into `out` (no trailing newline).
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Int(n) => {
+                use fmt::Write as _;
+                let _ = write!(out, "{n}");
+            }
+            Json::Float(x) => {
+                if x.is_finite() {
+                    // `{}` on f64 is shortest-roundtrip in Rust.
+                    use fmt::Write as _;
+                    let start = out.len();
+                    let _ = write!(out, "{x}");
+                    // Keep floats recognizably non-integer on re-parse.
+                    if !out[start..].contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write(&mut s);
+        f.write_str(&s)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(n: i64) -> Json {
+        Json::Int(n)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        i64::try_from(n)
+            .map(Json::Int)
+            .unwrap_or(Json::Float(n as f64))
+    }
+}
+
+impl From<u32> for Json {
+    fn from(n: u32) -> Json {
+        Json::Int(n as i64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::from(n as u64)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Float(x)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(items: Vec<T>) -> Json {
+        Json::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        for text in ["null", "true", "false", "0", "-17", "3.5", "1e-3", "\"hi\""] {
+            let v = Json::parse(text).unwrap();
+            let back = Json::parse(&v.to_string()).unwrap();
+            assert_eq!(v, back, "{text}");
+        }
+    }
+
+    #[test]
+    fn integers_stay_integers() {
+        assert_eq!(Json::parse("42").unwrap(), Json::Int(42));
+        assert_eq!(Json::from(42u64).to_string(), "42");
+        let x = Json::parse("42.0").unwrap();
+        assert_eq!(x, Json::Float(42.0));
+        // A float that happens to be integral still re-parses as a float.
+        assert_eq!(Json::parse(&x.to_string()).unwrap(), Json::Float(42.0));
+    }
+
+    #[test]
+    fn float_roundtrip_is_lossless() {
+        for x in [0.1, -2.5e-300, 1.0 / 3.0, 6.02e23, f64::MIN_POSITIVE] {
+            let text = Json::Float(x).to_string();
+            let back = Json::parse(&text).unwrap();
+            assert_eq!(back.as_f64(), Some(x), "{text}");
+        }
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        assert_eq!(Json::Float(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn object_helpers_and_order() {
+        let v = Json::obj([("b", Json::from(1u64)), ("a", Json::from("x"))]);
+        assert_eq!(v.to_string(), "{\"b\":1,\"a\":\"x\"}");
+        assert_eq!(v.get("a").and_then(Json::as_str), Some("x"));
+        assert_eq!(v.get("b").and_then(Json::as_u64), Some(1));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let nasty = "a\"b\\c\nd\te\u{1}é→";
+        let text = Json::from(nasty).to_string();
+        assert_eq!(Json::parse(&text).unwrap().as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn nested_roundtrip() {
+        let text = r#"{"a":[1,2.5,{"b":null},"s"],"c":{"d":[true,false]}}"#;
+        let v = Json::parse(text).unwrap();
+        assert_eq!(Json::parse(&v.to_string()).unwrap(), v);
+        let arr = v.get("a").and_then(Json::as_array).unwrap();
+        assert_eq!(arr.len(), 4);
+        assert_eq!(arr[1].as_f64(), Some(2.5));
+    }
+
+    #[test]
+    fn parse_errors_carry_positions() {
+        for bad in [
+            "", "{", "[1,]", "{\"a\"1}", "tru", "1 2", "\"\\q\"", "{\"a\":}",
+        ] {
+            let err = Json::parse(bad).unwrap_err();
+            assert!(err.to_string().contains("offset"), "{bad}: {err}");
+        }
+    }
+}

@@ -51,20 +51,21 @@ pub fn detect_contacts<M: Mobility>(
     let mut sightings = Vec::new();
 
     // Pairs already inside the radius at t = 0 count as meetings at 0.
-    let scan = |time: f64, model: &M, linked: &mut HashSet<(usize, usize)>, out: &mut Vec<Sighting>| {
-        let pos = model.positions();
-        let grid = SpatialGrid::build(pos, release);
-        let near = grid.pairs_within(pos, release);
-        // Linked pairs that separated past the release radius unlink;
-        // `near` is sorted, so membership is a binary search.
-        linked.retain(|pair| near.binary_search(pair).is_ok());
-        for (a, b) in near {
-            if pos[a].distance_sq(pos[b]) <= radius_sq && !linked.contains(&(a, b)) {
-                linked.insert((a, b));
-                out.push(Sighting { time, a, b });
+    let scan =
+        |time: f64, model: &M, linked: &mut HashSet<(usize, usize)>, out: &mut Vec<Sighting>| {
+            let pos = model.positions();
+            let grid = SpatialGrid::build(pos, release);
+            let near = grid.pairs_within(pos, release);
+            // Linked pairs that separated past the release radius unlink;
+            // `near` is sorted, so membership is a binary search.
+            linked.retain(|pair| near.binary_search(pair).is_ok());
+            for (a, b) in near {
+                if pos[a].distance_sq(pos[b]) <= radius_sq && !linked.contains(&(a, b)) {
+                    linked.insert((a, b));
+                    out.push(Sighting { time, a, b });
+                }
             }
-        }
-    };
+        };
 
     scan(0.0, model, &mut linked, &mut sightings);
     let steps = (duration / dt).ceil() as u64;
@@ -145,7 +146,11 @@ mod tests {
             fn advance(&mut self, _dt: f64, _rng: &mut Xoshiro256) {
                 self.step += 1;
                 // Oscillate between r−ε and r+ε (inside the hysteresis band).
-                let x = if self.step.is_multiple_of(2) { 4.99 } else { 5.01 };
+                let x = if self.step.is_multiple_of(2) {
+                    4.99
+                } else {
+                    5.01
+                };
                 self.positions[1] = Vec2::new(x, 0.0);
             }
         }

@@ -206,7 +206,14 @@ mod tests {
     #[test]
     fn initial_positions_are_intersections() {
         let mut rng = Xoshiro256::seed_from_u64(12);
-        let m = GridTaxi::new(20, Field::new(500.0, 500.0), 50.0, 1.0..2.0, 0.0..1.0, &mut rng);
+        let m = GridTaxi::new(
+            20,
+            Field::new(500.0, 500.0),
+            50.0,
+            1.0..2.0,
+            0.0..1.0,
+            &mut rng,
+        );
         for &p in m.positions() {
             assert!((p.x / 50.0).fract().abs() < 1e-9);
             assert!((p.y / 50.0).fract().abs() < 1e-9);
@@ -216,7 +223,14 @@ mod tests {
     #[test]
     fn taxis_cover_distance() {
         let mut rng = Xoshiro256::seed_from_u64(13);
-        let mut m = GridTaxi::new(5, Field::new(2000.0, 2000.0), 200.0, 10.0..10.1, 0.0..0.1, &mut rng);
+        let mut m = GridTaxi::new(
+            5,
+            Field::new(2000.0, 2000.0),
+            200.0,
+            10.0..10.1,
+            0.0..0.1,
+            &mut rng,
+        );
         let before = m.positions().to_vec();
         for _ in 0..60 {
             m.advance(1.0, &mut rng);
@@ -234,7 +248,14 @@ mod tests {
     fn dwell_pauses_at_destination() {
         let mut rng = Xoshiro256::seed_from_u64(14);
         // Tiny grid + enormous dwell: after the first fare every cab sits.
-        let mut m = GridTaxi::new(4, Field::new(100.0, 100.0), 100.0, 50.0..51.0, 1e6..2e6, &mut rng);
+        let mut m = GridTaxi::new(
+            4,
+            Field::new(100.0, 100.0),
+            100.0,
+            50.0..51.0,
+            1e6..2e6,
+            &mut rng,
+        );
         m.advance(10.0, &mut rng); // finish first routes
         let frozen = m.positions().to_vec();
         m.advance(1000.0, &mut rng);
@@ -245,8 +266,14 @@ mod tests {
     fn deterministic_under_same_seed() {
         let run = |seed: u64| {
             let mut rng = Xoshiro256::seed_from_u64(seed);
-            let mut m =
-                GridTaxi::new(6, Field::new(600.0, 600.0), 100.0, 5.0..10.0, 0.0..10.0, &mut rng);
+            let mut m = GridTaxi::new(
+                6,
+                Field::new(600.0, 600.0),
+                100.0,
+                5.0..10.0,
+                0.0..10.0,
+                &mut rng,
+            );
             for _ in 0..100 {
                 m.advance(1.0, &mut rng);
             }
@@ -260,6 +287,13 @@ mod tests {
     #[should_panic(expected = "block spacing")]
     fn rejects_oversized_block() {
         let mut rng = Xoshiro256::seed_from_u64(0);
-        let _ = GridTaxi::new(1, Field::new(100.0, 100.0), 500.0, 1.0..2.0, 0.0..1.0, &mut rng);
+        let _ = GridTaxi::new(
+            1,
+            Field::new(100.0, 100.0),
+            500.0,
+            1.0..2.0,
+            0.0..1.0,
+            &mut rng,
+        );
     }
 }

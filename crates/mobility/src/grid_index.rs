@@ -121,7 +121,11 @@ mod tests {
 
     #[test]
     fn negative_coordinates() {
-        let positions = vec![Vec2::new(-5.0, -5.0), Vec2::new(-8.0, -5.0), Vec2::new(50.0, 50.0)];
+        let positions = vec![
+            Vec2::new(-5.0, -5.0),
+            Vec2::new(-8.0, -5.0),
+            Vec2::new(50.0, 50.0),
+        ];
         let grid = SpatialGrid::build(&positions, 10.0);
         assert_eq!(grid.pairs_within(&positions, 10.0), vec![(0, 1)]);
     }

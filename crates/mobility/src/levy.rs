@@ -56,7 +56,10 @@ impl LevyWalk {
         rng: &mut Xoshiro256,
     ) -> Self {
         assert!(speed > 0.0, "speed must be positive");
-        assert!(min_flight > 0.0 && min_pause > 0.0, "scales must be positive");
+        assert!(
+            min_flight > 0.0 && min_pause > 0.0,
+            "scales must be positive"
+        );
         assert!(
             (1.0..=3.0).contains(&flight_alpha) && flight_alpha > 1.0,
             "flight shape must be in (1, 3]"

@@ -1,0 +1,182 @@
+//! Monotonic counters and high-water marks.
+//!
+//! Both structures keep their entries sorted by name, so two instances
+//! that have seen the same data compare equal regardless of insertion
+//! order, and [`Counters::merge`] / [`Peaks::merge`] are associative and
+//! commutative — the property the parallel runner relies on when it
+//! combines per-worker recorders (verified by a proptest in
+//! `tests/observability.rs`).
+
+use impatience_json::Json;
+
+/// A set of named monotonic `u64` counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    entries: Vec<(&'static str, u64)>,
+}
+
+impl Counters {
+    /// An empty set.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Add `n` to `name` (creating it at zero).
+    #[inline]
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        match self.entries.binary_search_by_key(&name, |(k, _)| k) {
+            Ok(i) => self.entries[i].1 += n,
+            Err(i) => self.entries.insert(i, (name, n)),
+        }
+    }
+
+    /// Increment `name` by one.
+    #[inline]
+    pub fn incr(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of `name` (zero if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.entries
+            .binary_search_by_key(&name, |(k, _)| k)
+            .map(|i| self.entries[i].1)
+            .unwrap_or(0)
+    }
+
+    /// Fold another set into this one (sums per name).
+    pub fn merge(&mut self, other: &Counters) {
+        for &(name, n) in &other.entries {
+            self.add(name, n);
+        }
+    }
+
+    /// All `(name, value)` pairs, sorted by name.
+    pub fn entries(&self) -> &[(&'static str, u64)] {
+        &self.entries
+    }
+
+    /// Whether nothing has been counted.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Encode as a JSON object, names sorted.
+    pub fn to_json(&self) -> Json {
+        Json::Object(
+            self.entries
+                .iter()
+                .map(|&(k, v)| (k.to_string(), Json::from(v)))
+                .collect(),
+        )
+    }
+}
+
+/// A set of named high-water marks (e.g. peak queue depth).
+///
+/// Merging takes the elementwise maximum, which is likewise associative
+/// and commutative.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Peaks {
+    entries: Vec<(&'static str, u64)>,
+}
+
+impl Peaks {
+    /// An empty set.
+    pub fn new() -> Self {
+        Peaks::default()
+    }
+
+    /// Raise `name` to `value` if larger.
+    #[inline]
+    pub fn update(&mut self, name: &'static str, value: u64) {
+        match self.entries.binary_search_by_key(&name, |(k, _)| k) {
+            Ok(i) => self.entries[i].1 = self.entries[i].1.max(value),
+            Err(i) => self.entries.insert(i, (name, value)),
+        }
+    }
+
+    /// Current peak for `name` (zero if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.entries
+            .binary_search_by_key(&name, |(k, _)| k)
+            .map(|i| self.entries[i].1)
+            .unwrap_or(0)
+    }
+
+    /// Fold another set into this one (maximum per name).
+    pub fn merge(&mut self, other: &Peaks) {
+        for &(name, v) in &other.entries {
+            self.update(name, v);
+        }
+    }
+
+    /// All `(name, peak)` pairs, sorted by name.
+    pub fn entries(&self) -> &[(&'static str, u64)] {
+        &self.entries
+    }
+
+    /// Encode as a JSON object, names sorted.
+    pub fn to_json(&self) -> Json {
+        Json::Object(
+            self.entries
+                .iter()
+                .map(|&(k, v)| (k.to_string(), Json::from(v)))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_sort() {
+        let mut c = Counters::new();
+        c.incr("b");
+        c.add("a", 5);
+        c.incr("b");
+        assert_eq!(c.get("a"), 5);
+        assert_eq!(c.get("b"), 2);
+        assert_eq!(c.get("missing"), 0);
+        assert_eq!(c.entries(), &[("a", 5), ("b", 2)]);
+    }
+
+    #[test]
+    fn counter_merge_is_order_independent() {
+        let mut left = Counters::new();
+        left.add("x", 1);
+        left.add("y", 2);
+        let mut right = Counters::new();
+        right.add("y", 3);
+        right.add("z", 4);
+
+        let mut ab = left.clone();
+        ab.merge(&right);
+        let mut ba = right.clone();
+        ba.merge(&left);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.get("y"), 5);
+    }
+
+    #[test]
+    fn peaks_keep_maxima() {
+        let mut p = Peaks::new();
+        p.update("depth", 3);
+        p.update("depth", 1);
+        assert_eq!(p.get("depth"), 3);
+        let mut q = Peaks::new();
+        q.update("depth", 7);
+        p.merge(&q);
+        assert_eq!(p.get("depth"), 7);
+    }
+
+    #[test]
+    fn json_encoding_is_sorted_object() {
+        let mut c = Counters::new();
+        c.add("z", 1);
+        c.add("a", 2);
+        assert_eq!(c.to_json().to_string(), "{\"a\":2,\"z\":1}");
+    }
+}

@@ -1,0 +1,282 @@
+//! The structured event vocabulary.
+
+use impatience_json::Json;
+
+/// One instrumented occurrence, emitted to a [`crate::Sink`].
+///
+/// Times are simulation minutes (the workspace convention); wall-clock
+/// quantities carry a `_s` suffix and are seconds. The JSONL encoding
+/// tags each record with an `"ev"` discriminant — see
+/// [`Event::to_json`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// Two nodes met.
+    Contact {
+        /// Simulation time.
+        t: f64,
+        /// First node (lower id).
+        a: u32,
+        /// Second node.
+        b: u32,
+    },
+    /// A node started wanting an item.
+    Request {
+        /// Simulation time.
+        t: f64,
+        /// The requesting node.
+        node: u32,
+        /// The requested item.
+        item: u32,
+    },
+    /// A request was satisfied from the node's own cache at creation.
+    ImmediateHit {
+        /// Simulation time.
+        t: f64,
+        /// The requesting node.
+        node: u32,
+        /// The requested item.
+        item: u32,
+    },
+    /// An outstanding request was satisfied during a contact.
+    Fulfillment {
+        /// Simulation time.
+        t: f64,
+        /// The requesting node.
+        node: u32,
+        /// The item delivered.
+        item: u32,
+        /// Delay since the request was created.
+        wait: f64,
+        /// Contacts the requester had while waiting.
+        queries: u32,
+    },
+    /// A request still open when the trial ended.
+    Unfulfilled {
+        /// Simulation time (end of trial).
+        t: f64,
+        /// The requesting node.
+        node: u32,
+        /// The item that never arrived.
+        item: u32,
+        /// How long the request had been open.
+        wait: f64,
+    },
+    /// A contact triggered cache replications (copies transmitted).
+    Replication {
+        /// Simulation time.
+        t: f64,
+        /// Copies transmitted during this contact.
+        count: u64,
+    },
+    /// One placement step of a solver (greedy iteration, bisection
+    /// probe, ...).
+    SolverStep {
+        /// Which solver.
+        solver: &'static str,
+        /// 0-based step index.
+        iteration: u64,
+        /// The item acted on (or probed).
+        item: u32,
+        /// The step's marginal gain or convergence residual.
+        value: f64,
+    },
+    /// A solver finished.
+    SolverDone {
+        /// Which solver.
+        solver: &'static str,
+        /// Steps taken.
+        iterations: u64,
+        /// Objective/marginal evaluations performed.
+        evaluations: u64,
+        /// Wall-clock seconds.
+        wall_s: f64,
+    },
+    /// A named timed phase completed.
+    Span {
+        /// Phase name.
+        name: &'static str,
+        /// Wall-clock seconds.
+        wall_s: f64,
+    },
+    /// One simulation trial completed.
+    TrialDone {
+        /// The trial's RNG seed.
+        seed: u64,
+        /// Wall-clock seconds.
+        wall_s: f64,
+    },
+}
+
+impl Event {
+    /// The `"ev"` discriminant used in the JSONL encoding.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::Contact { .. } => "contact",
+            Event::Request { .. } => "request",
+            Event::ImmediateHit { .. } => "immediate_hit",
+            Event::Fulfillment { .. } => "fulfillment",
+            Event::Unfulfilled { .. } => "unfulfilled",
+            Event::Replication { .. } => "replication",
+            Event::SolverStep { .. } => "solver_step",
+            Event::SolverDone { .. } => "solver_done",
+            Event::Span { .. } => "span",
+            Event::TrialDone { .. } => "trial_done",
+        }
+    }
+
+    /// Encode as a flat JSON object, `"ev"` first.
+    pub fn to_json(&self) -> Json {
+        let mut pairs: Vec<(String, Json)> = vec![("ev".into(), Json::from(self.kind()))];
+        let mut push = |key: &str, value: Json| pairs.push((key.into(), value));
+        match *self {
+            Event::Contact { t, a, b } => {
+                push("t", t.into());
+                push("a", a.into());
+                push("b", b.into());
+            }
+            Event::Request { t, node, item } | Event::ImmediateHit { t, node, item } => {
+                push("t", t.into());
+                push("node", node.into());
+                push("item", item.into());
+            }
+            Event::Fulfillment {
+                t,
+                node,
+                item,
+                wait,
+                queries,
+            } => {
+                push("t", t.into());
+                push("node", node.into());
+                push("item", item.into());
+                push("wait", wait.into());
+                push("queries", queries.into());
+            }
+            Event::Unfulfilled {
+                t,
+                node,
+                item,
+                wait,
+            } => {
+                push("t", t.into());
+                push("node", node.into());
+                push("item", item.into());
+                push("wait", wait.into());
+            }
+            Event::Replication { t, count } => {
+                push("t", t.into());
+                push("count", count.into());
+            }
+            Event::SolverStep {
+                solver,
+                iteration,
+                item,
+                value,
+            } => {
+                push("solver", solver.into());
+                push("iteration", iteration.into());
+                push("item", item.into());
+                push("value", value.into());
+            }
+            Event::SolverDone {
+                solver,
+                iterations,
+                evaluations,
+                wall_s,
+            } => {
+                push("solver", solver.into());
+                push("iterations", iterations.into());
+                push("evaluations", evaluations.into());
+                push("wall_s", wall_s.into());
+            }
+            Event::Span { name, wall_s } => {
+                push("name", name.into());
+                push("wall_s", wall_s.into());
+            }
+            Event::TrialDone { seed, wall_s } => {
+                push("seed", seed.into());
+                push("wall_s", wall_s.into());
+            }
+        }
+        Json::Object(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_records_are_tagged_and_flat() {
+        let e = Event::Fulfillment {
+            t: 12.5,
+            node: 3,
+            item: 7,
+            wait: 2.25,
+            queries: 4,
+        };
+        let v = e.to_json();
+        assert_eq!(v.get("ev").and_then(Json::as_str), Some("fulfillment"));
+        assert_eq!(v.get("wait").and_then(Json::as_f64), Some(2.25));
+        assert_eq!(v.get("queries").and_then(Json::as_u64), Some(4));
+        let text = v.to_string();
+        assert!(text.starts_with("{\"ev\":\"fulfillment\""), "{text}");
+        assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn every_variant_serializes() {
+        let events = [
+            Event::Contact { t: 1.0, a: 0, b: 1 },
+            Event::Request {
+                t: 1.0,
+                node: 0,
+                item: 2,
+            },
+            Event::ImmediateHit {
+                t: 1.0,
+                node: 0,
+                item: 2,
+            },
+            Event::Fulfillment {
+                t: 2.0,
+                node: 0,
+                item: 2,
+                wait: 1.0,
+                queries: 1,
+            },
+            Event::Unfulfilled {
+                t: 9.0,
+                node: 1,
+                item: 3,
+                wait: 8.0,
+            },
+            Event::Replication { t: 2.0, count: 2 },
+            Event::SolverStep {
+                solver: "greedy",
+                iteration: 0,
+                item: 1,
+                value: 0.5,
+            },
+            Event::SolverDone {
+                solver: "greedy",
+                iterations: 10,
+                evaluations: 40,
+                wall_s: 0.01,
+            },
+            Event::Span {
+                name: "solve",
+                wall_s: 0.02,
+            },
+            Event::TrialDone {
+                seed: 7,
+                wall_s: 0.5,
+            },
+        ];
+        for e in events {
+            let v = e.to_json();
+            assert_eq!(v.get("ev").and_then(Json::as_str), Some(e.kind()));
+            assert_eq!(Json::parse(&v.to_string()).unwrap(), v);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! # impatience-obs
+//!
+//! Instrumentation layer for the Age of Impatience workspace: structured
+//! events, monotonic counters, fixed-bucket histograms with percentile
+//! readout, span timers, and per-run manifests.
+//!
+//! ## Design
+//!
+//! Everything funnels through a [`Recorder`] parameterized by a
+//! statically dispatched [`Sink`]. The sink advertises whether it is live
+//! through the associated constant [`Sink::ACTIVE`]; every hot-path hook
+//! starts with `if !S::ACTIVE { return; }`, so with [`NoopSink`]
+//! (`ACTIVE = false`) the compiler removes the instrumentation entirely —
+//! the simulator's inner loop pays nothing when tracing is off. This is
+//! checked by the `observability_overhead` group in the `simulator`
+//! criterion bench.
+//!
+//! Three live sinks cover the use cases:
+//!
+//! * [`TallySink`] drops the event stream but leaves the recorder's
+//!   counters and histograms running — what the parallel trial runner
+//!   uses (one recorder per worker, merged at the end via
+//!   [`Recorder::absorb`]).
+//! * [`JsonlSink`] writes one JSON object per event per line — the
+//!   `impatience simulate --trace-out FILE` format.
+//! * [`MemorySink`] buffers events in a `Vec` for tests and for solver
+//!   telemetry readout in `--verbose` mode.
+//!
+//! A [`Manifest`] captures run provenance (config, seeds, git revision,
+//! wall time, worker count, peak queue depth, delay percentiles) and is
+//! written as a `.manifest.json` sibling of every results CSV.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod counter;
+pub mod event;
+pub mod histogram;
+pub mod manifest;
+pub mod recorder;
+pub mod sink;
+
+pub use counter::{Counters, Peaks};
+pub use event::Event;
+pub use histogram::Histogram;
+pub use manifest::{git_revision, Manifest};
+pub use recorder::Recorder;
+pub use sink::{JsonlSink, MemorySink, NoopSink, Sink, TallySink};
+
+/// The common imports: `use impatience_obs::prelude::*;`.
+pub mod prelude {
+    pub use crate::counter::{Counters, Peaks};
+    pub use crate::event::Event;
+    pub use crate::histogram::Histogram;
+    pub use crate::manifest::{git_revision, Manifest};
+    pub use crate::recorder::Recorder;
+    pub use crate::sink::{JsonlSink, MemorySink, NoopSink, Sink, TallySink};
+}

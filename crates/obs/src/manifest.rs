@@ -1,0 +1,157 @@
+//! Per-run manifests: provenance for every results artifact.
+
+use std::io::Write;
+use std::path::Path;
+use std::process::Command;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use impatience_json::Json;
+
+/// A run manifest: an ordered set of JSON fields written as a
+/// `.manifest.json` sibling of a results file.
+///
+/// Construction stamps the schema version, the artifact kind, the unix
+/// creation time, and the git revision (when available); callers add
+/// config, seeds, wall time, worker counts, and statistic summaries with
+/// [`Manifest::set`]. Keys are unique — setting an existing key
+/// overwrites it in place, preserving field order for diffability.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Manifest {
+    fields: Vec<(String, Json)>,
+}
+
+impl Manifest {
+    /// A manifest for an artifact of the given kind (e.g. `"simulate"`,
+    /// `"bench_csv"`).
+    pub fn new(kind: &str) -> Self {
+        let mut m = Manifest { fields: Vec::new() };
+        m.set("schema", "impatience-manifest/1");
+        m.set("kind", kind);
+        m.set("created_unix", unix_now());
+        match git_revision() {
+            Some(rev) => m.set("git_rev", rev),
+            None => m.set("git_rev", Json::Null),
+        }
+        m
+    }
+
+    /// Set (or overwrite) a field.
+    pub fn set(&mut self, key: &str, value: impl Into<Json>) {
+        let value = value.into();
+        match self.fields.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = value,
+            None => self.fields.push((key.to_string(), value)),
+        }
+    }
+
+    /// Read a field back.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// The manifest as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::Object(self.fields.clone())
+    }
+
+    /// Write to `path` (pretty-enough single object plus newline).
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        let mut file = std::fs::File::create(path)?;
+        let mut text = self.to_json().to_string();
+        text.push('\n');
+        file.write_all(text.as_bytes())
+    }
+
+    /// The conventional sibling path for a results file:
+    /// `results/foo.csv` → `results/foo.manifest.json`.
+    pub fn sibling_path(results_path: &Path) -> std::path::PathBuf {
+        results_path.with_extension("manifest.json")
+    }
+}
+
+/// Seconds since the unix epoch.
+pub fn unix_now() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// The current git revision (short hash, `+dirty` when the tree has
+/// modifications), or `None` outside a repository / without git.
+pub fn git_revision() -> Option<String> {
+    let rev = Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())?;
+    let dirty = Command::new("git")
+        .args(["status", "--porcelain"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .is_some_and(|o| !o.stdout.is_empty());
+    Some(if dirty { format!("{rev}+dirty") } else { rev })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamps_provenance_fields() {
+        let m = Manifest::new("test");
+        assert_eq!(
+            m.get("schema").and_then(Json::as_str),
+            Some("impatience-manifest/1")
+        );
+        assert_eq!(m.get("kind").and_then(Json::as_str), Some("test"));
+        assert!(m.get("created_unix").and_then(Json::as_u64).is_some());
+        assert!(m.get("git_rev").is_some());
+    }
+
+    #[test]
+    fn set_overwrites_in_place() {
+        let mut m = Manifest::new("test");
+        m.set("workers", 4u64);
+        m.set("seed", 1u64);
+        m.set("workers", 8u64);
+        assert_eq!(m.get("workers").and_then(Json::as_u64), Some(8));
+        // Order preserved: workers still before seed.
+        let json = m.to_json();
+        let keys: Vec<&str> = json
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        let wi = keys.iter().position(|&k| k == "workers").unwrap();
+        let si = keys.iter().position(|&k| k == "seed").unwrap();
+        assert!(wi < si);
+    }
+
+    #[test]
+    fn sibling_path_swaps_extension() {
+        assert_eq!(
+            Manifest::sibling_path(Path::new("results/fig4.csv")),
+            Path::new("results/fig4.manifest.json")
+        );
+    }
+
+    #[test]
+    fn writes_parseable_file() {
+        let dir = std::env::temp_dir().join("impatience-obs-manifest-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.manifest.json");
+        let mut m = Manifest::new("test");
+        m.set("trials", 3u64);
+        m.write_to(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let v = Json::parse(text.trim()).unwrap();
+        assert_eq!(v.get("trials").and_then(Json::as_u64), Some(3));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

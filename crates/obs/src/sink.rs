@@ -1,0 +1,173 @@
+//! Event sinks: where recorded events go.
+
+use std::io::Write;
+
+use crate::event::Event;
+
+/// A destination for [`Event`]s, dispatched statically.
+///
+/// [`Sink::ACTIVE`] is the zero-cost switch: every [`crate::Recorder`]
+/// hook is guarded by `if !S::ACTIVE { return; }`, so instrumented code
+/// monomorphized against [`NoopSink`] compiles to the uninstrumented
+/// code. Implementations that want tallies (counters, histograms) but
+/// not the event stream keep `ACTIVE = true` and discard in `record` —
+/// see [`TallySink`].
+pub trait Sink {
+    /// Whether instrumentation is live for this sink type.
+    const ACTIVE: bool = true;
+
+    /// Receive one event.
+    fn record(&mut self, event: &Event);
+}
+
+/// The disabled sink: `ACTIVE = false`, all hooks compile away.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    const ACTIVE: bool = false;
+
+    #[inline(always)]
+    fn record(&mut self, _event: &Event) {}
+}
+
+/// Keeps the recorder's tallies running but drops the event stream.
+///
+/// The parallel trial runner uses one per worker: counters and
+/// histograms accumulate cheaply, and the per-event cost is a discarded
+/// call.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TallySink;
+
+impl Sink for TallySink {
+    #[inline(always)]
+    fn record(&mut self, _event: &Event) {}
+}
+
+/// Buffers events in memory, for tests and `--verbose` readouts.
+#[derive(Clone, Debug, Default)]
+pub struct MemorySink {
+    /// The events recorded so far, in order.
+    pub events: Vec<Event>,
+}
+
+impl MemorySink {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&mut self, event: &Event) {
+        self.events.push(event.clone());
+    }
+}
+
+/// Writes one JSON object per event per line (JSONL).
+///
+/// I/O errors don't panic the hot path; the first one is kept and can be
+/// inspected with [`JsonlSink::take_error`] after the run. Wrap the
+/// writer in a `BufWriter` for file output.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    writer: W,
+    line: String,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Stream events to `writer`.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer,
+            line: String::new(),
+            error: None,
+        }
+    }
+
+    /// The first write error, if any occurred.
+    pub fn take_error(&mut self) -> Option<std::io::Error> {
+        self.error.take()
+    }
+
+    /// Flush and return the writer.
+    pub fn into_inner(mut self) -> std::io::Result<W> {
+        self.writer.flush()?;
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        Ok(self.writer)
+    }
+}
+
+impl<W: Write> Sink for JsonlSink<W> {
+    fn record(&mut self, event: &Event) {
+        if self.error.is_some() {
+            return;
+        }
+        self.line.clear();
+        event.to_json().write(&mut self.line);
+        self.line.push('\n');
+        if let Err(e) = self.writer.write_all(self.line.as_bytes()) {
+            self.error = Some(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn active_flags() {
+        const { assert!(!<NoopSink as Sink>::ACTIVE) };
+        const { assert!(<TallySink as Sink>::ACTIVE) };
+        const { assert!(<MemorySink as Sink>::ACTIVE) };
+        const { assert!(<JsonlSink<Vec<u8>> as Sink>::ACTIVE) };
+    }
+
+    #[test]
+    fn memory_sink_keeps_order() {
+        let mut sink = MemorySink::new();
+        sink.record(&Event::Contact { t: 1.0, a: 0, b: 1 });
+        sink.record(&Event::Replication { t: 1.0, count: 2 });
+        assert_eq!(sink.events.len(), 2);
+        assert_eq!(sink.events[0].kind(), "contact");
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(&Event::Contact { t: 1.5, a: 0, b: 2 });
+        sink.record(&Event::TrialDone {
+            seed: 9,
+            wall_s: 0.25,
+        });
+        let bytes = sink.into_inner().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            impatience_json::Json::parse(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_surfaces_write_errors() {
+        struct Failing;
+        impl Write for Failing {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = JsonlSink::new(Failing);
+        sink.record(&Event::Contact { t: 0.0, a: 0, b: 1 });
+        sink.record(&Event::Contact { t: 1.0, a: 0, b: 1 });
+        assert!(sink.take_error().is_some());
+        assert!(sink.take_error().is_none());
+    }
+}

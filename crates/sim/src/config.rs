@@ -29,7 +29,11 @@ pub enum ContactSource {
 impl ContactSource {
     /// Homogeneous Poisson contacts.
     pub fn homogeneous(nodes: usize, mu: f64, duration: f64) -> Self {
-        ContactSource::Homogeneous { nodes, mu, duration }
+        ContactSource::Homogeneous {
+            nodes,
+            mu,
+            duration,
+        }
     }
 
     /// Replay a fixed trace.
@@ -72,9 +76,11 @@ impl ContactSource {
     /// Materialize the contact events for one trial.
     pub fn realize(&self, rng: &mut Xoshiro256) -> Arc<ContactTrace> {
         match self {
-            ContactSource::Homogeneous { nodes, mu, duration } => {
-                Arc::new(poisson_homogeneous(*nodes, *mu, *duration, rng))
-            }
+            ContactSource::Homogeneous {
+                nodes,
+                mu,
+                duration,
+            } => Arc::new(poisson_homogeneous(*nodes, *mu, *duration, rng)),
             ContactSource::Trace(t) => Arc::clone(t),
         }
     }
@@ -154,8 +160,16 @@ impl SimConfig {
 
     /// Validate against a node count (profile width, utility finiteness).
     pub fn validate(&self, nodes: usize) {
-        assert_eq!(self.demand.items(), self.items, "demand catalog size mismatch");
-        assert_eq!(self.profile.items(), self.items, "profile catalog size mismatch");
+        assert_eq!(
+            self.demand.items(),
+            self.items,
+            "demand catalog size mismatch"
+        );
+        assert_eq!(
+            self.profile.items(),
+            self.items,
+            "profile catalog size mismatch"
+        );
         if let Some(servers) = self.dedicated_servers {
             assert!(
                 servers >= 1 && servers < nodes,
@@ -173,8 +187,15 @@ impl SimConfig {
             self.utility.kind()
         );
         for (t, rates) in &self.demand_shifts {
-            assert!(t.is_finite() && *t >= 0.0, "shift times must be finite and ≥ 0");
-            assert_eq!(rates.items(), self.items, "shifted demand catalog size mismatch");
+            assert!(
+                t.is_finite() && *t >= 0.0,
+                "shift times must be finite and ≥ 0"
+            );
+            assert_eq!(
+                rates.items(),
+                self.items,
+                "shifted demand catalog size mismatch"
+            );
         }
         assert!(self.bin > 0.0, "bin width must be positive");
         assert!(

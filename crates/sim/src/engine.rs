@@ -18,6 +18,7 @@
 
 use impatience_core::rng::Xoshiro256;
 use impatience_core::types::SystemModel;
+use impatience_obs::{Recorder, Sink};
 
 use crate::config::{ContactSource, SimConfig};
 use crate::metrics::Metrics;
@@ -53,6 +54,28 @@ pub fn run_trial(
     policy: PolicyKind,
     seed: u64,
 ) -> TrialOutcome {
+    run_trial_observed(config, source, policy, seed, &mut Recorder::disabled())
+}
+
+/// [`run_trial`] with instrumentation.
+///
+/// Every simulation event (contact, request, fulfillment, replication)
+/// is reported to `rec`; counters, delay and inter-contact histograms,
+/// and the peak outstanding-request depth accumulate there. The hooks
+/// are statically dispatched on the sink type: monomorphized against
+/// `NoopSink` (as [`run_trial`] does) they compile away, so the
+/// uninstrumented path pays nothing — see the `observability_overhead`
+/// criterion group.
+pub fn run_trial_observed<S: Sink>(
+    config: &SimConfig,
+    source: &ContactSource,
+    policy: PolicyKind,
+    seed: u64,
+    rec: &mut Recorder<S>,
+) -> TrialOutcome {
+    let wall_start = rec.is_active().then(std::time::Instant::now);
+    rec.trial_start();
+    let mut open_requests: u64 = 0;
     let mut rng = Xoshiro256::seed_from_u64(seed);
     let trace = source.realize(&mut rng);
     let nodes = trace.nodes();
@@ -64,7 +87,11 @@ pub fn run_trial(
     // Population shape: pure P2P (every node serves) or dedicated
     // (nodes 0..servers carry caches, the rest only request).
     let servers = config.dedicated_servers.unwrap_or(nodes);
-    let client_base = if config.dedicated_servers.is_some() { servers } else { 0 };
+    let client_base = if config.dedicated_servers.is_some() {
+        servers
+    } else {
+        0
+    };
     let mut state = match config.dedicated_servers {
         Some(k) => SimState::new_dedicated(nodes, k, config.items, config.rho),
         None => SimState::new(nodes, config.items, config.rho),
@@ -91,8 +118,8 @@ pub fn run_trial(
     let mut shifts = config.demand_shifts.iter().peekable();
     let mut current_demand = config.demand.clone();
     let mut total_rate = current_demand.total();
-    let mut item_sampler = (total_rate > 0.0)
-        .then(|| impatience_core::rng::AliasTable::new(current_demand.rates()));
+    let mut item_sampler =
+        (total_rate > 0.0).then(|| impatience_core::rng::AliasTable::new(current_demand.rates()));
     let snapshot_system = if mu_ref > 0.0 {
         Some(match config.dedicated_servers {
             Some(k) => SystemModel::dedicated(nodes - k, k, config.rho, mu_ref),
@@ -155,21 +182,28 @@ pub fn run_trial(
             let item = sampler.sample(&mut rng) as u32;
             let node = client_base + config.profile.sample_origin(item as usize, &mut rng);
             metrics.requests_created += 1;
+            rec.request(next_request, node as u32, item);
             if state.caches[node].holds(item) {
                 metrics.immediate_hits += 1;
                 metrics.record_fulfillment(next_request, config.utility.h_zero());
+                rec.immediate_hit(next_request, node as u32, item);
             } else {
                 requests[node].push(Request {
                     item,
                     created: next_request,
                     queries: 0,
                 });
+                if rec.is_active() {
+                    open_requests += 1;
+                    rec.open_requests(open_requests);
+                }
             }
             next_request += rng.exp(total_rate);
         } else {
             // --- contact ---
             let e = *contacts.next().expect("peeked above");
             let (a, b) = (e.a as usize, e.b as usize);
+            rec.contact(e.time, e.a, e.b);
             fulfilled.clear();
             for (n, m) in [(a, b), (b, a)] {
                 // Split borrows: peer cache is read-only here. Queries
@@ -208,7 +242,15 @@ pub fn run_trial(
                 };
                 metrics.record_fulfillment(e.time, gain);
             }
+            if rec.is_active() {
+                for f in &fulfilled {
+                    rec.fulfillment(e.time, f.node as u32, f.item, f.wait, f.queries as u32);
+                }
+                open_requests -= fulfilled.len() as u64;
+            }
+            let transmissions_before = state.transmissions;
             policy_obj.after_contact(e.time, a, b, &mut state, &fulfilled, &mut metrics, &mut rng);
+            rec.replications(e.time, state.transmissions - transmissions_before);
         }
     }
 
@@ -235,7 +277,7 @@ pub fn run_trial(
     // and plain censoring would flatter item-starving allocations like
     // DOM, which never serve the catalog's tail at all.
     let h_inf = config.utility.h_infinity();
-    for node_requests in &requests {
+    for (node, node_requests) in requests.iter().enumerate() {
         for r in node_requests {
             let age = (duration - r.created).max(f64::MIN_POSITIVE);
             let gain = if h_inf.is_finite() {
@@ -244,9 +286,13 @@ pub fn run_trial(
                 config.utility.h(age)
             };
             metrics.record_settlement(duration, gain);
+            rec.unfulfilled(duration, node as u32, r.item, age);
         }
     }
     metrics.transmissions = state.transmissions;
+    if let Some(start) = wall_start {
+        rec.trial_done(seed, start.elapsed().as_secs_f64());
+    }
     TrialOutcome {
         metrics,
         final_replicas: state.replicas.clone(),
@@ -351,12 +397,7 @@ mod tests {
         let system = SystemModel::pure_p2p(nodes, rho, 0.05);
         let opt_counts = greedy_homogeneous(&system, &config.demand, &utility);
         let run = |counts, label| {
-            let out = run_trial(
-                &config,
-                &source,
-                PolicyKind::Static { label, counts },
-                11,
-            );
+            let out = run_trial(&config, &source, PolicyKind::Static { label, counts }, 11);
             out.metrics.average_observed_rate(0.2)
         };
         let u_opt = run(opt_counts, "OPT");
@@ -380,7 +421,9 @@ mod tests {
     #[test]
     fn zero_demand_runs_quietly() {
         let config = SimConfig::builder(3, 1)
-            .demand(impatience_core::demand::DemandRates::new(vec![0.0, 0.0, 0.0]))
+            .demand(impatience_core::demand::DemandRates::new(vec![
+                0.0, 0.0, 0.0,
+            ]))
             .utility(Arc::new(Step::new(1.0)))
             .build();
         let source = ContactSource::homogeneous(5, 0.1, 100.0);
@@ -418,6 +461,50 @@ mod tests {
         let out = run_trial(&config, &source, policy, 6);
         assert!(out.metrics.mandate_cap_hits > 0);
         assert!(out.metrics.mandates_created <= out.metrics.fulfillments());
+    }
+
+    #[test]
+    fn observed_trial_matches_plain_run_and_metrics() {
+        use impatience_obs::{Event, MemorySink, Recorder};
+
+        let config = small_config(10, 2);
+        let source = ContactSource::homogeneous(10, 0.05, 1_000.0);
+        let plain = run_trial(&config, &source, PolicyKind::qcr_default(), 7);
+        let mut rec = Recorder::new(MemorySink::new());
+        let observed = run_trial_observed(&config, &source, PolicyKind::qcr_default(), 7, &mut rec);
+
+        // Instrumentation must not perturb the trajectory.
+        assert_eq!(plain.final_replicas, observed.final_replicas);
+        assert_eq!(
+            plain.metrics.fulfillments(),
+            observed.metrics.fulfillments()
+        );
+        assert_eq!(plain.metrics.transmissions, observed.metrics.transmissions);
+
+        // Recorder counters are the same facts Metrics aggregates.
+        let m = &observed.metrics;
+        assert_eq!(rec.counters.get("requests"), m.requests_created);
+        assert_eq!(rec.counters.get("immediate_hits"), m.immediate_hits);
+        assert_eq!(rec.counters.get("unfulfilled"), m.unfulfilled);
+        assert_eq!(rec.counters.get("transmissions"), m.transmissions);
+        assert_eq!(
+            rec.counters.get("fulfillments") + rec.counters.get("immediate_hits"),
+            m.fulfillments()
+        );
+        assert_eq!(rec.delay.count(), rec.counters.get("fulfillments"));
+        assert!(rec.peaks.get("open_requests") > 0);
+        assert_eq!(rec.counters.get("trials"), 1);
+
+        // The event stream is consistent with the counters.
+        let events = &rec.sink().events;
+        let n = |kind: &str| events.iter().filter(|e| e.kind() == kind).count() as u64;
+        assert_eq!(n("contact"), rec.counters.get("contacts"));
+        assert_eq!(n("request"), m.requests_created);
+        assert_eq!(n("fulfillment"), rec.counters.get("fulfillments"));
+        assert!(matches!(
+            events.last(),
+            Some(Event::TrialDone { seed: 7, .. })
+        ));
     }
 
     #[test]

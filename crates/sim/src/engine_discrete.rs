@@ -14,6 +14,7 @@
 
 use impatience_core::rng::{AliasTable, Xoshiro256};
 use impatience_core::types::SystemModel;
+use impatience_obs::{Recorder, Sink};
 
 use crate::config::SimConfig;
 use crate::engine::TrialOutcome;
@@ -63,6 +64,22 @@ pub fn run_trial_discrete(
     policy: PolicyKind,
     seed: u64,
 ) -> TrialOutcome {
+    run_trial_discrete_observed(config, source, policy, seed, &mut Recorder::disabled())
+}
+
+/// [`run_trial_discrete`] with instrumentation, mirroring
+/// [`crate::engine::run_trial_observed`]: the same hooks, statically
+/// compiled away when `rec` carries a `NoopSink`.
+pub fn run_trial_discrete_observed<S: Sink>(
+    config: &SimConfig,
+    source: &DiscreteSource,
+    policy: PolicyKind,
+    seed: u64,
+    rec: &mut Recorder<S>,
+) -> TrialOutcome {
+    let wall_start = rec.is_active().then(std::time::Instant::now);
+    rec.trial_start();
+    let mut open_requests: u64 = 0;
     assert!(
         source.delta > 0.0 && source.mu * source.delta < 1.0,
         "need μδ < 1 (got {})",
@@ -97,8 +114,7 @@ pub fn run_trial_discrete(
 
     let mut metrics = Metrics::new(duration, config.bin);
     let total_rate = config.demand.total();
-    let item_sampler =
-        (total_rate > 0.0).then(|| AliasTable::new(config.demand.rates()));
+    let item_sampler = (total_rate > 0.0).then(|| AliasTable::new(config.demand.rates()));
     let snapshot_system = SystemModel::pure_p2p(nodes, config.rho, source.mu);
     let snapshot_every = (config.bin / source.delta).max(1.0) as u64;
 
@@ -125,15 +141,21 @@ pub fn run_trial_discrete(
                 let item = sampler.sample(&mut rng) as u32;
                 let node = config.profile.sample_origin(item as usize, &mut rng);
                 metrics.requests_created += 1;
+                rec.request(now, node as u32, item);
                 if state.caches[node].holds(item) {
                     metrics.immediate_hits += 1;
                     metrics.record_fulfillment(now, config.utility.h_zero());
+                    rec.immediate_hit(now, node as u32, item);
                 } else {
                     requests[node].push(Request {
                         item,
                         created_slot: slot,
                         queries: 0,
                     });
+                    if rec.is_active() {
+                        open_requests += 1;
+                        rec.open_requests(open_requests);
+                    }
                 }
             }
         }
@@ -144,6 +166,7 @@ pub fn run_trial_discrete(
                 if !rng.bernoulli(p_contact) {
                     continue;
                 }
+                rec.contact(now, a as u32, b as u32);
                 fulfilled.clear();
                 for (n, m) in [(a, b), (b, a)] {
                     let cache_m = &state.caches[m];
@@ -169,22 +192,22 @@ pub fn run_trial_discrete(
                     state.caches[server].touch(f.item);
                     metrics.record_fulfillment(now, config.utility.h(f.wait));
                 }
-                policy_obj.after_contact(
-                    now,
-                    a,
-                    b,
-                    &mut state,
-                    &fulfilled,
-                    &mut metrics,
-                    &mut rng,
-                );
+                if rec.is_active() {
+                    for f in &fulfilled {
+                        rec.fulfillment(now, f.node as u32, f.item, f.wait, f.queries as u32);
+                    }
+                    open_requests -= fulfilled.len() as u64;
+                }
+                let transmissions_before = state.transmissions;
+                policy_obj.after_contact(now, a, b, &mut state, &fulfilled, &mut metrics, &mut rng);
+                rec.replications(now, state.transmissions - transmissions_before);
             }
         }
     }
 
     metrics.unfulfilled = requests.iter().map(|r| r.len() as u64).sum();
     let h_inf = config.utility.h_infinity();
-    for node_requests in &requests {
+    for (node, node_requests) in requests.iter().enumerate() {
         for r in node_requests {
             let age =
                 ((source.slots - r.created_slot) as f64 * source.delta).max(f64::MIN_POSITIVE);
@@ -194,9 +217,13 @@ pub fn run_trial_discrete(
                 config.utility.h(age)
             };
             metrics.record_settlement(duration, gain);
+            rec.unfulfilled(duration, node as u32, r.item, age);
         }
     }
     metrics.transmissions = state.transmissions;
+    if let Some(start) = wall_start {
+        rec.trial_done(seed, start.elapsed().as_secs_f64());
+    }
     TrialOutcome {
         metrics,
         final_replicas: state.replicas.clone(),
@@ -306,6 +333,41 @@ mod tests {
         let head: u32 = qcr.final_replicas[..3].iter().sum();
         let tail: u32 = qcr.final_replicas[17..].iter().sum();
         assert!(head > tail, "head {head} vs tail {tail}");
+    }
+
+    #[test]
+    fn observed_discrete_trial_matches_plain_run() {
+        use impatience_obs::{Recorder, TallySink};
+
+        let config = config(10, 2);
+        let source = DiscreteSource {
+            nodes: 10,
+            mu: 0.05,
+            delta: 0.5,
+            slots: 2_000,
+        };
+        let plain = run_trial_discrete(&config, &source, PolicyKind::qcr_default(), 4);
+        let mut rec = Recorder::new(TallySink);
+        let observed =
+            run_trial_discrete_observed(&config, &source, PolicyKind::qcr_default(), 4, &mut rec);
+        assert_eq!(plain.final_replicas, observed.final_replicas);
+        assert_eq!(
+            plain.metrics.fulfillments(),
+            observed.metrics.fulfillments()
+        );
+        assert_eq!(
+            rec.counters.get("requests"),
+            observed.metrics.requests_created
+        );
+        assert_eq!(
+            rec.counters.get("transmissions"),
+            observed.metrics.transmissions
+        );
+        assert_eq!(
+            rec.counters.get("unfulfilled"),
+            observed.metrics.unfulfilled
+        );
+        assert_eq!(rec.delay.count(), rec.counters.get("fulfillments"));
     }
 
     #[test]

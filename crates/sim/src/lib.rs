@@ -61,7 +61,7 @@ pub use state::EvictionPolicy;
 pub mod prelude {
     //! Convenience re-exports.
     pub use crate::config::{ContactSource, SimConfig};
-    pub use crate::engine::run_trial;
+    pub use crate::engine::{run_trial, run_trial_observed};
     pub use crate::policy::{PolicyKind, QcrConfig};
-    pub use crate::runner::{run_trials, TrialAggregate};
+    pub use crate::runner::{run_trials, run_trials_observed, TrialAggregate};
 }

@@ -137,9 +137,15 @@ impl Metrics {
 
     /// Average observed gain rate (gain per minute) over the bins after
     /// the warm-up fraction — the scalar the Fig. 4–6 comparisons use.
+    ///
+    /// # Panics
+    /// Panics unless `warmup_fraction` is in `[0, 1)`: a fraction of 1 or
+    /// more would leave no measurement window. (Earlier revisions silently
+    /// clamped to the final bin, reporting a statistic over one bin while
+    /// appearing to honor the requested warm-up.)
     pub fn average_observed_rate(&self, warmup_fraction: f64) -> f64 {
-        let skip = (self.bins() as f64 * warmup_fraction).floor() as usize;
-        let used = &self.observed_gain[skip.min(self.bins() - 1)..];
+        let skip = self.warmup_bins(warmup_fraction);
+        let used = &self.observed_gain[skip..];
         let time = used.len() as f64 * self.bin;
         if time == 0.0 {
             return 0.0;
@@ -149,9 +155,13 @@ impl Metrics {
     }
 
     /// Mean of the recorded expected-utility snapshots after warm-up.
+    ///
+    /// # Panics
+    /// Panics unless `warmup_fraction` is in `[0, 1)` (see
+    /// [`Metrics::average_observed_rate`]).
     pub fn average_expected_utility(&self, warmup_fraction: f64) -> f64 {
-        let skip = (self.bins() as f64 * warmup_fraction).floor() as usize;
-        let vals: Vec<f64> = self.expected_utility[skip.min(self.bins() - 1)..]
+        let skip = self.warmup_bins(warmup_fraction);
+        let vals: Vec<f64> = self.expected_utility[skip..]
             .iter()
             .copied()
             .filter(|v| v.is_finite())
@@ -160,6 +170,18 @@ impl Metrics {
             return f64::NAN;
         }
         vals.iter().sum::<f64>() / vals.len() as f64
+    }
+
+    /// Bins to skip for a warm-up fraction; rejects fractions that would
+    /// consume the whole measurement window.
+    fn warmup_bins(&self, warmup_fraction: f64) -> usize {
+        assert!(
+            (0.0..1.0).contains(&warmup_fraction),
+            "warmup_fraction {warmup_fraction} outside [0, 1): no bins would remain"
+        );
+        // floor(bins·f) with f < 1 is at most bins − 1, so at least one
+        // bin always survives.
+        (self.bins() as f64 * warmup_fraction).floor() as usize
     }
 }
 
@@ -204,6 +226,34 @@ mod tests {
         assert!((full - 0.1).abs() < 1e-12);
         let late = m.average_observed_rate(0.5);
         assert_eq!(late, 0.0);
+    }
+
+    #[test]
+    fn warmup_just_below_one_keeps_the_final_bin() {
+        let mut m = Metrics::new(100.0, 10.0);
+        m.record_fulfillment(95.0, 3.0); // lands in the final bin
+        let rate = m.average_observed_rate(0.999);
+        assert!(
+            (rate - 0.3).abs() < 1e-12,
+            "final bin alone: 3.0/10min, got {rate}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1)")]
+    fn warmup_of_one_is_rejected_not_clamped() {
+        // Regression: warmup_fraction = 1.0 used to clamp to the final
+        // bin, silently reporting a one-bin statistic as if it honored
+        // the requested warm-up.
+        let m = Metrics::new(100.0, 10.0);
+        let _ = m.average_observed_rate(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1)")]
+    fn warmup_above_one_is_rejected_for_expected_utility() {
+        let m = Metrics::new(100.0, 10.0);
+        let _ = m.average_expected_utility(1.5);
     }
 
     #[test]

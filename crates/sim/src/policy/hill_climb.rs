@@ -214,7 +214,10 @@ mod tests {
             &system,
             &demand,
             &utility,
-            &out.final_replicas.iter().map(|&c| c as f64).collect::<Vec<_>>(),
+            &out.final_replicas
+                .iter()
+                .map(|&c| c as f64)
+                .collect::<Vec<_>>(),
         );
         let opt = greedy_homogeneous(&system, &demand, &utility);
         let w_opt = social_welfare_homogeneous(&system, &demand, &utility, &opt.as_f64());

@@ -145,7 +145,14 @@ impl Qcr {
     }
 
     /// Mint mandates for a fulfillment after `queries` failed lookups.
-    fn mint(&mut self, node: usize, item: u32, queries: u64, metrics: &mut Metrics, rng: &mut Xoshiro256) {
+    fn mint(
+        &mut self,
+        node: usize,
+        item: u32,
+        queries: u64,
+        metrics: &mut Metrics,
+        rng: &mut Xoshiro256,
+    ) {
         if queries == 0 {
             // Immediate self-cache hit: the item is plentiful where it is
             // demanded; ψ(0⁺) → 0 for every built-in family.

@@ -101,8 +101,7 @@ mod tests {
             let mut policy = StaticAllocation::new(counts.clone());
             let mut state = SimState::new(4, 3, 1);
             policy.initialize(&mut state, &mut rng);
-            let holders: Vec<Vec<u32>> =
-                state.caches.iter().map(|c| c.items().to_vec()).collect();
+            let holders: Vec<Vec<u32>> = state.caches.iter().map(|c| c.items().to_vec()).collect();
             (state.replicas.clone(), holders)
         };
         let (c1, h1) = run(1);

@@ -6,9 +6,12 @@
 //! aggregates.
 
 use std::thread;
+use std::time::Instant;
+
+use impatience_obs::{Recorder, Sink};
 
 use crate::config::{ContactSource, SimConfig};
-use crate::engine::{run_trial, TrialOutcome};
+use crate::engine::{run_trial, run_trial_observed, TrialOutcome};
 use crate::policy::PolicyKind;
 
 /// Aggregate of many independent trials of one policy.
@@ -34,6 +37,32 @@ pub struct TrialAggregate {
     pub mean_final_replicas: Vec<f64>,
     /// Mean transmissions per trial (energy proxy).
     pub mean_transmissions: f64,
+    /// Mean immediate (own-cache) hits per trial.
+    pub mean_immediate_hits: f64,
+    /// Mean requests still open at the horizon per trial.
+    pub mean_unfulfilled: f64,
+    /// Mean QCR mandates created per trial.
+    pub mean_mandates_created: f64,
+    /// Mean fulfillments whose mandate was dropped at the cap per trial.
+    pub mean_mandate_cap_hits: f64,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock seconds for the whole batch.
+    pub wall_s: f64,
+    /// Mean wall-clock seconds per trial.
+    pub mean_trial_wall_s: f64,
+    /// Sum of per-trial wall time over `workers · wall_s`: 1.0 means the
+    /// pool never idled, low values mean stragglers dominated.
+    pub worker_utilization: f64,
+}
+
+/// Wall-clock telemetry collected while sharding trials.
+#[derive(Clone, Copy, Debug)]
+struct BatchTelemetry {
+    workers: usize,
+    wall_s: f64,
+    busy_s: f64,
+    trials: usize,
 }
 
 /// Nearest-rank percentile of an unsorted sample (`q` in [0, 1]).
@@ -46,7 +75,12 @@ pub fn percentile(values: &[f64], q: f64) -> f64 {
     sorted[rank - 1]
 }
 
-fn aggregate(label: String, outcomes: Vec<TrialOutcome>, warmup: f64) -> TrialAggregate {
+fn aggregate(
+    label: String,
+    outcomes: Vec<TrialOutcome>,
+    warmup: f64,
+    telemetry: BatchTelemetry,
+) -> TrialAggregate {
     assert!(!outcomes.is_empty());
     let trials = outcomes.len();
     let rates: Vec<f64> = outcomes
@@ -60,7 +94,10 @@ fn aggregate(label: String, outcomes: Vec<TrialOutcome>, warmup: f64) -> TrialAg
     let mut expected_series = vec![0.0; bins];
     let mut expected_counts = vec![0usize; bins];
     for o in &outcomes {
-        for (acc, v) in observed_series.iter_mut().zip(o.metrics.observed_rate_series()) {
+        for (acc, v) in observed_series
+            .iter_mut()
+            .zip(o.metrics.observed_rate_series())
+        {
             *acc += v / trials as f64;
         }
         for (b, v) in o.metrics.expected_utility_series().iter().enumerate() {
@@ -81,11 +118,9 @@ fn aggregate(label: String, outcomes: Vec<TrialOutcome>, warmup: f64) -> TrialAg
             *acc += r as f64 / trials as f64;
         }
     }
-    let mean_transmissions = outcomes
-        .iter()
-        .map(|o| o.metrics.transmissions as f64)
-        .sum::<f64>()
-        / trials as f64;
+    let mean_of = |f: &dyn Fn(&TrialOutcome) -> u64| {
+        outcomes.iter().map(|o| f(o) as f64).sum::<f64>() / trials as f64
+    };
 
     TrialAggregate {
         label,
@@ -97,7 +132,19 @@ fn aggregate(label: String, outcomes: Vec<TrialOutcome>, warmup: f64) -> TrialAg
         observed_series,
         expected_series,
         mean_final_replicas,
-        mean_transmissions,
+        mean_transmissions: mean_of(&|o| o.metrics.transmissions),
+        mean_immediate_hits: mean_of(&|o| o.metrics.immediate_hits),
+        mean_unfulfilled: mean_of(&|o| o.metrics.unfulfilled),
+        mean_mandates_created: mean_of(&|o| o.metrics.mandates_created),
+        mean_mandate_cap_hits: mean_of(&|o| o.metrics.mandate_cap_hits),
+        workers: telemetry.workers,
+        wall_s: telemetry.wall_s,
+        mean_trial_wall_s: telemetry.busy_s / telemetry.trials as f64,
+        worker_utilization: if telemetry.wall_s > 0.0 {
+            (telemetry.busy_s / (telemetry.workers as f64 * telemetry.wall_s)).min(1.0)
+        } else {
+            1.0
+        },
     }
 }
 
@@ -113,13 +160,64 @@ pub fn run_trials(
     trials: usize,
     base_seed: u64,
 ) -> TrialAggregate {
+    run_trials_observed(
+        config,
+        source,
+        policy,
+        trials,
+        base_seed,
+        &mut Recorder::disabled(),
+    )
+}
+
+/// [`run_trials`] with instrumentation.
+///
+/// A live recorder implies a *serial* run: every trial feeds the caller's
+/// recorder directly, so the event stream (e.g. a JSONL trace) is
+/// complete and deterministically ordered, and merged tallies cover all
+/// trials. With a disabled recorder the batch shards across worker
+/// threads exactly as [`run_trials`] always has. Wall-clock telemetry
+/// (total, per-trial, worker utilization) is collected on both paths; its
+/// cost is one `Instant` read per trial.
+pub fn run_trials_observed<S: Sink>(
+    config: &SimConfig,
+    source: &ContactSource,
+    policy: &PolicyKind,
+    trials: usize,
+    base_seed: u64,
+    rec: &mut Recorder<S>,
+) -> TrialAggregate {
     assert!(trials > 0, "need at least one trial");
+    let batch_start = Instant::now();
+
+    if rec.is_active() {
+        let mut outcomes = Vec::with_capacity(trials);
+        let mut busy_s = 0.0f64;
+        for k in 0..trials {
+            let t0 = Instant::now();
+            outcomes.push(run_trial_observed(
+                config,
+                source,
+                policy.clone(),
+                base_seed + k as u64,
+                rec,
+            ));
+            busy_s += t0.elapsed().as_secs_f64();
+        }
+        let telemetry = BatchTelemetry {
+            workers: 1,
+            wall_s: batch_start.elapsed().as_secs_f64(),
+            busy_s,
+            trials,
+        };
+        return aggregate(policy.label(), outcomes, config.warmup_fraction, telemetry);
+    }
+
     let workers = thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
         .min(trials);
-
-    let outcomes: Vec<TrialOutcome> = thread::scope(|scope| {
+    let (outcomes, busy_s) = thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
             let config = config.clone();
@@ -127,23 +225,37 @@ pub fn run_trials(
             let policy = policy.clone();
             handles.push(scope.spawn(move || {
                 let mut local = Vec::new();
+                let mut busy = 0.0f64;
                 let mut k = w;
                 while k < trials {
-                    local.push((k, run_trial(&config, &source, policy.clone(), base_seed + k as u64)));
+                    let seed = base_seed + k as u64;
+                    let t0 = Instant::now();
+                    let outcome = run_trial(&config, &source, policy.clone(), seed);
+                    busy += t0.elapsed().as_secs_f64();
+                    local.push((k, outcome));
                     k += workers;
                 }
-                local
+                (local, busy)
             }));
         }
-        let mut all: Vec<(usize, TrialOutcome)> = handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("trial thread panicked"))
-            .collect();
+        let mut all: Vec<(usize, TrialOutcome)> = Vec::with_capacity(trials);
+        let mut busy_s = 0.0f64;
+        for handle in handles {
+            let (local, busy) = handle.join().expect("trial thread panicked");
+            all.extend(local);
+            busy_s += busy;
+        }
         all.sort_by_key(|(k, _)| *k);
-        all.into_iter().map(|(_, o)| o).collect()
+        (all.into_iter().map(|(_, o)| o).collect::<Vec<_>>(), busy_s)
     });
 
-    aggregate(policy.label(), outcomes, config.warmup_fraction)
+    let telemetry = BatchTelemetry {
+        workers,
+        wall_s: batch_start.elapsed().as_secs_f64(),
+        busy_s,
+        trials,
+    };
+    aggregate(policy.label(), outcomes, config.warmup_fraction, telemetry)
 }
 
 #[cfg(test)]
@@ -212,5 +324,53 @@ mod tests {
         let agg = run_trials(&config, &source, &policy, 4, 7);
         let total: f64 = agg.mean_final_replicas.iter().sum();
         assert!((total - 16.0).abs() < 1e-9, "budget 8·2 = 16, got {total}");
+    }
+
+    #[test]
+    fn aggregate_carries_metric_means_and_telemetry() {
+        let (config, source) = quick_setup();
+        let policy = PolicyKind::qcr_default();
+        let agg = run_trials(&config, &source, &policy, 4, 11);
+        // QCR creates mandates and requests flow, so these means move.
+        assert!(agg.mean_mandates_created > 0.0);
+        assert!(agg.mean_immediate_hits + agg.mean_unfulfilled > 0.0);
+        assert!(agg.mean_mandate_cap_hits >= 0.0);
+        assert!(agg.workers >= 1 && agg.workers <= 4);
+        assert!(agg.wall_s > 0.0);
+        assert!(agg.mean_trial_wall_s > 0.0);
+        assert!(agg.worker_utilization > 0.0 && agg.worker_utilization <= 1.0);
+    }
+
+    #[test]
+    fn observed_batch_tallies_all_trials_and_matches_plain_run() {
+        use impatience_obs::TallySink;
+
+        let (config, source) = quick_setup();
+        let policy = PolicyKind::qcr_default();
+        let plain = run_trials(&config, &source, &policy, 5, 42);
+        let mut rec = Recorder::new(TallySink);
+        let observed = run_trials_observed(&config, &source, &policy, 5, 42, &mut rec);
+
+        // The serial observed run must reproduce the parallel plain run
+        // trial for trial (seeds are position-based, not worker-based).
+        assert_eq!(plain.rates, observed.rates);
+        assert_eq!(plain.mean_final_replicas, observed.mean_final_replicas);
+        assert_eq!(observed.workers, 1, "live recorder implies a serial run");
+
+        // Tallies cover every trial.
+        assert_eq!(rec.counters.get("trials"), 5);
+        assert!(
+            (rec.counters.get("transmissions") as f64 - observed.mean_transmissions * 5.0).abs()
+                < 1e-9
+        );
+        assert!(
+            (rec.counters.get("immediate_hits") as f64 - observed.mean_immediate_hits * 5.0).abs()
+                < 1e-9
+        );
+        assert!(
+            (rec.counters.get("unfulfilled") as f64 - observed.mean_unfulfilled * 5.0).abs() < 1e-9
+        );
+        assert!(rec.delay.count() > 0, "some contact fulfillments expected");
+        assert!(rec.inter_contact.count() > 0);
     }
 }

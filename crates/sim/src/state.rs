@@ -144,7 +144,10 @@ impl NodeCache {
         if self.holds(item) {
             return false;
         }
-        assert!(self.slots.len() < self.capacity, "cache is full; use insert_evict");
+        assert!(
+            self.slots.len() < self.capacity,
+            "cache is full; use insert_evict"
+        );
         self.clock += 1;
         self.slots.push(item);
         self.stamps.push(self.clock);
@@ -336,7 +339,11 @@ impl SimState {
     /// Column `k` of the matrix maps to the `k`-th cache-carrying node
     /// (in a dedicated population, servers occupy the low node ids).
     pub fn load_allocation(&mut self, alloc: &AllocationMatrix) {
-        assert_eq!(alloc.servers(), self.servers(), "allocation server count mismatch");
+        assert_eq!(
+            alloc.servers(),
+            self.servers(),
+            "allocation server count mismatch"
+        );
         assert_eq!(alloc.items(), self.items());
         let server_ids: Vec<usize> = (0..self.nodes())
             .filter(|&n| self.caches[n].capacity() > 0)
@@ -490,7 +497,10 @@ mod tests {
         state.seed_sticky_and_fill(&mut rng);
         // Every item has a sticky owner and ≥ 1 replica.
         for item in 0..50 {
-            assert!(state.sticky_owner[item] != usize::MAX, "item {item} unseeded");
+            assert!(
+                state.sticky_owner[item] != usize::MAX,
+                "item {item} unseeded"
+            );
             assert!(state.replicas[item] >= 1);
             let owner = state.sticky_owner[item];
             assert_eq!(state.caches[owner].sticky_item(), Some(item as u32));
@@ -554,8 +564,7 @@ mod tests {
 
     #[test]
     fn load_allocation_matches_matrix() {
-        let counts =
-            impatience_core::allocation::ReplicaCounts::new(vec![2, 1, 0], 3);
+        let counts = impatience_core::allocation::ReplicaCounts::new(vec![2, 1, 0], 3);
         let alloc = AllocationMatrix::from_counts(&counts, 2);
         let mut state = SimState::new(3, 3, 2);
         state.load_allocation(&alloc);

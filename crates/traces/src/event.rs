@@ -1,13 +1,13 @@
 //! A single pairwise contact.
 
-use serde::{Deserialize, Serialize};
+use impatience_json::Json;
 
 /// One contact (meeting) between two nodes.
 ///
 /// Contacts are point events: the paper's model assumes meetings are long
 /// enough to complete the protocol exchange (§6.1), so durations are not
 /// tracked.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ContactEvent {
     /// Event time (minutes by convention).
     pub time: f64,
@@ -24,7 +24,10 @@ impl ContactEvent {
     /// Panics on self-contacts or non-finite/negative times.
     pub fn new(time: f64, a: u32, b: u32) -> Self {
         assert!(a != b, "self-contact ({a}, {a}) is meaningless");
-        assert!(time >= 0.0 && time.is_finite(), "contact time must be finite and ≥ 0");
+        assert!(
+            time >= 0.0 && time.is_finite(),
+            "contact time must be finite and ≥ 0"
+        );
         if a < b {
             ContactEvent { time, a, b }
         } else {
@@ -47,6 +50,40 @@ impl ContactEvent {
             None
         }
     }
+
+    /// JSON form: `{"time": t, "a": a, "b": b}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("time", Json::from(self.time)),
+            ("a", Json::from(self.a)),
+            ("b", Json::from(self.b)),
+        ])
+    }
+
+    /// Rebuild from [`ContactEvent::to_json`] output, validating the
+    /// same invariants `new` asserts.
+    pub fn from_json(v: &Json) -> Result<ContactEvent, String> {
+        let time = v
+            .get("time")
+            .and_then(Json::as_f64)
+            .ok_or("contact event missing numeric `time`")?;
+        let a = node_field(v, "a")?;
+        let b = node_field(v, "b")?;
+        if a == b {
+            return Err(format!("self-contact ({a}, {b})"));
+        }
+        if !(time.is_finite() && time >= 0.0) {
+            return Err(format!("invalid contact time {time}"));
+        }
+        Ok(ContactEvent::new(time, a, b))
+    }
+}
+
+fn node_field(v: &Json, key: &str) -> Result<u32, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .and_then(|n| u32::try_from(n).ok())
+        .ok_or_else(|| format!("contact event missing node id `{key}`"))
 }
 
 #[cfg(test)]
@@ -84,10 +121,23 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let e = ContactEvent::new(2.5, 1, 8);
-        let json = serde_json::to_string(&e).unwrap();
-        let back: ContactEvent = serde_json::from_str(&json).unwrap();
+        let text = e.to_json().to_string();
+        let back = ContactEvent::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(e, back);
+    }
+
+    #[test]
+    fn json_rejects_malformed_events() {
+        for bad in [
+            r#"{"time":1.0,"a":2}"#,
+            r#"{"time":1.0,"a":2,"b":2}"#,
+            r#"{"time":-1.0,"a":0,"b":1}"#,
+            r#"{"time":"x","a":0,"b":1}"#,
+        ] {
+            let v = Json::parse(bad).unwrap();
+            assert!(ContactEvent::from_json(&v).is_err(), "{bad}");
+        }
     }
 }

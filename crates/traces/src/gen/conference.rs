@@ -162,7 +162,7 @@ mod tests {
         assert_eq!(diurnal_activity(12.0 * 60.0), 1.0); // noon
         assert_eq!(diurnal_activity(20.0 * 60.0), 0.35); // evening
         assert_eq!(diurnal_activity(3.0 * 60.0), 0.05); // night
-        // Periodicity across days.
+                                                        // Periodicity across days.
         assert_eq!(diurnal_activity(12.0 * 60.0 + 2.0 * DAY), 1.0);
     }
 

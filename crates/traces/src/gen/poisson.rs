@@ -26,7 +26,10 @@ pub fn poisson_from_rates(
     duration: f64,
     rng: &mut Xoshiro256,
 ) -> ContactTrace {
-    assert!(duration > 0.0 && duration.is_finite(), "duration must be positive");
+    assert!(
+        duration > 0.0 && duration.is_finite(),
+        "duration must be positive"
+    );
     let n = rates.nodes();
     let mut events = Vec::new();
     for a in 0..n {

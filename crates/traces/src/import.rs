@@ -236,7 +236,8 @@ mod tests {
         assert!(e.to_string().contains("expected 4 fields"), "{e}");
         let e = read_interval_trace("0 2 1 5\n".as_bytes(), ImportOptions::default()).unwrap_err();
         assert!(e.to_string().contains("1-based"), "{e}");
-        let e = read_interval_trace("# nothing\n".as_bytes(), ImportOptions::default()).unwrap_err();
+        let e =
+            read_interval_trace("# nothing\n".as_bytes(), ImportOptions::default()).unwrap_err();
         assert!(e.to_string().contains("no contact intervals"), "{e}");
     }
 

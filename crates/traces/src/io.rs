@@ -6,8 +6,8 @@
 //!   header carrying the node count and duration — convenient for
 //!   importing real datasets (Infocom/Cabspotting dumps use similar
 //!   layouts) and for inspection with standard tools;
-//! * **JSON** via serde, for lossless round-trips inside the experiment
-//!   harness.
+//! * **JSON** via `impatience-json`, for lossless round-trips inside the
+//!   experiment harness.
 //!
 //! ```text
 //! # impatience-trace v1
@@ -34,7 +34,7 @@ pub enum TraceIoError {
         message: String,
     },
     /// JSON (de)serialization failure.
-    Json(serde_json::Error),
+    Json(impatience_json::JsonParseError),
 }
 
 impl std::fmt::Display for TraceIoError {
@@ -65,8 +65,8 @@ impl From<std::io::Error> for TraceIoError {
     }
 }
 
-impl From<serde_json::Error> for TraceIoError {
-    fn from(e: serde_json::Error) -> Self {
+impl From<impatience_json::JsonParseError> for TraceIoError {
+    fn from(e: impatience_json::JsonParseError) -> Self {
         TraceIoError::Json(e)
     }
 }
@@ -176,14 +176,17 @@ fn parse_field<T: std::str::FromStr>(
 }
 
 /// Serialize a trace as JSON.
-pub fn write_trace_json(trace: &ContactTrace, writer: impl Write) -> Result<(), TraceIoError> {
-    serde_json::to_writer(writer, trace)?;
+pub fn write_trace_json(trace: &ContactTrace, mut writer: impl Write) -> Result<(), TraceIoError> {
+    writer.write_all(trace.to_json().to_string().as_bytes())?;
     Ok(())
 }
 
 /// Deserialize a trace from JSON.
-pub fn read_trace_json(reader: impl Read) -> Result<ContactTrace, TraceIoError> {
-    Ok(serde_json::from_reader(reader)?)
+pub fn read_trace_json(mut reader: impl Read) -> Result<ContactTrace, TraceIoError> {
+    let mut text = String::new();
+    reader.read_to_string(&mut text)?;
+    let value = impatience_json::Json::parse(&text)?;
+    ContactTrace::from_json(&value).map_err(|message| TraceIoError::Format { line: 0, message })
 }
 
 #[cfg(test)]

@@ -38,8 +38,8 @@
 #![warn(rust_2018_idioms)]
 #![deny(unsafe_code)]
 
-pub mod gen;
 mod event;
+pub mod gen;
 mod import;
 mod io;
 mod stats;

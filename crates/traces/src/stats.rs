@@ -219,8 +219,15 @@ mod tests {
         let trace = crate::gen::poisson_homogeneous(10, 0.05, 5_000.0, &mut rng);
         let stats = TraceStats::from_trace(&trace);
         let cv = stats.intercontact_cv();
-        assert!((cv - 1.0).abs() < 0.1, "memoryless CV should be ≈ 1, got {cv}");
-        assert!(stats.rate_cv() < 0.35, "homogeneous rates, got CV {}", stats.rate_cv());
+        assert!(
+            (cv - 1.0).abs() < 0.1,
+            "memoryless CV should be ≈ 1, got {cv}"
+        );
+        assert!(
+            stats.rate_cv() < 0.35,
+            "homogeneous rates, got CV {}",
+            stats.rate_cv()
+        );
     }
 
     #[test]

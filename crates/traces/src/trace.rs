@@ -1,12 +1,12 @@
 //! The contact-trace container.
 
-use serde::{Deserialize, Serialize};
+use impatience_json::Json;
 
 use crate::ContactEvent;
 
 /// A time-ordered sequence of pairwise contacts over `nodes` nodes,
 /// covering the observation window `[0, duration]`.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ContactTrace {
     nodes: usize,
     duration: f64,
@@ -20,7 +20,10 @@ impl ContactTrace {
     /// Panics if any event references a node `≥ nodes`, exceeds
     /// `duration`, or if `duration` is not positive.
     pub fn new(nodes: usize, duration: f64, mut events: Vec<ContactEvent>) -> Self {
-        assert!(duration > 0.0 && duration.is_finite(), "duration must be positive");
+        assert!(
+            duration > 0.0 && duration.is_finite(),
+            "duration must be positive"
+        );
         for e in &events {
             assert!(
                 (e.b as usize) < nodes,
@@ -71,7 +74,10 @@ impl ContactTrace {
     /// # Panics
     /// Panics unless `0 ≤ from < to ≤ duration`.
     pub fn window(&self, from: f64, to: f64) -> ContactTrace {
-        assert!(0.0 <= from && from < to && to <= self.duration, "invalid window");
+        assert!(
+            0.0 <= from && from < to && to <= self.duration,
+            "invalid window"
+        );
         let events: Vec<ContactEvent> = self
             .events
             .iter()
@@ -133,6 +139,56 @@ impl ContactTrace {
             *v /= bin;
         }
         series
+    }
+
+    /// JSON form: `{"nodes": n, "duration": d, "events": [...]}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("nodes", Json::from(self.nodes)),
+            ("duration", Json::from(self.duration)),
+            (
+                "events",
+                Json::Array(self.events.iter().map(ContactEvent::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Rebuild from [`ContactTrace::to_json`] output, validating the
+    /// same invariants `new` asserts (instead of panicking).
+    pub fn from_json(v: &Json) -> Result<ContactTrace, String> {
+        let nodes = v
+            .get("nodes")
+            .and_then(Json::as_u64)
+            .ok_or("trace missing integer `nodes`")? as usize;
+        let duration = v
+            .get("duration")
+            .and_then(Json::as_f64)
+            .ok_or("trace missing numeric `duration`")?;
+        if !(duration > 0.0 && duration.is_finite()) {
+            return Err(format!("invalid trace duration {duration}"));
+        }
+        let raw = v
+            .get("events")
+            .and_then(Json::as_array)
+            .ok_or("trace missing `events` array")?;
+        let mut events = Vec::with_capacity(raw.len());
+        for item in raw {
+            let e = ContactEvent::from_json(item)?;
+            if e.b as usize >= nodes {
+                return Err(format!(
+                    "event references node {} but the trace has {nodes} nodes",
+                    e.b
+                ));
+            }
+            if e.time > duration {
+                return Err(format!(
+                    "event at t={} exceeds trace duration {duration}",
+                    e.time
+                ));
+            }
+            events.push(e);
+        }
+        Ok(ContactTrace::new(nodes, duration, events))
     }
 }
 
@@ -229,10 +285,20 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let t = sample();
-        let json = serde_json::to_string(&t).unwrap();
-        let back: ContactTrace = serde_json::from_str(&json).unwrap();
+        let text = t.to_json().to_string();
+        let back = ContactTrace::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(t, back);
+    }
+
+    #[test]
+    fn json_rejects_inconsistent_traces() {
+        let bad = r#"{"nodes":2,"duration":5.0,"events":[{"time":1.0,"a":0,"b":4}]}"#;
+        let err = ContactTrace::from_json(&Json::parse(bad).unwrap()).unwrap_err();
+        assert!(err.contains("references node"), "{err}");
+        let bad = r#"{"nodes":2,"duration":5.0,"events":[{"time":9.0,"a":0,"b":1}]}"#;
+        let err = ContactTrace::from_json(&Json::parse(bad).unwrap()).unwrap_err();
+        assert!(err.contains("exceeds trace duration"), "{err}");
     }
 }

@@ -54,7 +54,10 @@ fn main() {
     use impatience_sim::policy::PolicyKind;
     let policies = vec![
         PolicyKind::qcr_default(),
-        PolicyKind::Static { label: "OPT", counts: opt },
+        PolicyKind::Static {
+            label: "OPT",
+            counts: opt,
+        },
         PolicyKind::Static {
             label: "PROP",
             counts: proportional(&demand, trace.nodes(), rho),

@@ -16,7 +16,11 @@ fn row(label: &str, utility: &dyn DelayUtility, system: &SystemModel, demand: &D
     let head: Vec<String> = x.x[..5].iter().map(|v| format!("{v:5.1}")).collect();
     let tail: Vec<String> = x.x[45..].iter().map(|v| format!("{v:5.1}")).collect();
     let skew = x.x[0] / x.x[49].max(1e-9);
-    println!("{label:<22} [{}]…[{}]  head/tail = {skew:6.1}", head.join(" "), tail.join(" "));
+    println!(
+        "{label:<22} [{}]…[{}]  head/tail = {skew:6.1}",
+        head.join(" "),
+        tail.join(" ")
+    );
 }
 
 fn main() {
@@ -51,7 +55,12 @@ fn main() {
 
     println!("\n-- deadline families for comparison --");
     for tau in [0.5, 5.0, 50.0] {
-        row(&format!("step τ = {tau}"), &Step::new(tau), &system, &demand);
+        row(
+            &format!("step τ = {tau}"),
+            &Step::new(tau),
+            &system,
+            &demand,
+        );
     }
     for nu in [2.0, 0.2, 0.02] {
         row(

@@ -59,7 +59,10 @@ fn main() {
     );
 
     for policy in [
-        PolicyKind::Static { label: "OPT", counts: opt },
+        PolicyKind::Static {
+            label: "OPT",
+            counts: opt,
+        },
         PolicyKind::qcr_default(),
         PolicyKind::Static {
             label: "SQRT",

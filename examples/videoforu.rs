@@ -27,8 +27,7 @@ fn main() {
     let mu = 0.002; // a given pair of subscribers meets every ~8 hours
     let system = SystemModel::pure_p2p(subscribers, cache, mu);
     // Total demand: each subscriber requests ~2 episodes per day.
-    let demand =
-        Popularity::pareto(catalog, 1.0).demand_rates(subscribers as f64 * 2.0 / 1_440.0);
+    let demand = Popularity::pareto(catalog, 1.0).demand_rates(subscribers as f64 * 2.0 / 1_440.0);
 
     // Survey says: after 4 hours, ~63 % of users no longer watch.
     let utility: Arc<dyn DelayUtility> = Arc::new(Exponential::new(1.0 / 240.0));
@@ -41,7 +40,10 @@ fn main() {
     println!("=== VideoForU planning (5 000 subscribers × 500 episodes) ===");
     println!("slots in the global cache      : {}", system.total_slots());
     println!("optimal replicas, episode #1   : {}", opt.count(0));
-    println!("optimal replicas, episode #500 : {}", opt.count(catalog - 1));
+    println!(
+        "optimal replicas, episode #500 : {}",
+        opt.count(catalog - 1)
+    );
     println!("expected ads watched (OPT)     : {:.1}/min", w_opt);
     println!("expected ads watched (uniform) : {:.1}/min", w_uni);
     println!(

@@ -7,11 +7,12 @@
 //! impatience stats    trace.txt
 //! impatience solve    --items 50 --servers 50 --rho 5 --mu 0.05 --utility step:10
 //! impatience simulate trace.txt --utility step:10 --policy qcr --trials 15
+//! impatience simulate trace.txt --trace-out events.jsonl --verbose
 //! ```
 //!
 //! Argument parsing is hand-rolled (no CLI dependency): every option is
-//! `--name value`, subcommand first, one optional positional (the trace
-//! file).
+//! `--name value` (except the boolean `--verbose`), subcommand first,
+//! one optional positional (the trace file).
 
 use std::collections::HashMap;
 use std::fs::File;
@@ -21,9 +22,12 @@ use std::sync::Arc;
 use age_of_impatience::prelude::*;
 use impatience_core::demand::DemandProfile;
 use impatience_core::rng::Xoshiro256;
+use impatience_core::solver::greedy::greedy_homogeneous_observed;
 use impatience_core::solver::relaxed::relaxed_optimum;
 use impatience_core::utility::{parse_utility, DelayUtility};
 use impatience_core::welfare::HeterogeneousSystem;
+use impatience_json::Json;
+use impatience_obs::{Event, JsonlSink, Manifest, MemorySink, Recorder, TallySink};
 use impatience_sim::config::SimConfig;
 use impatience_sim::policy::PolicyKind;
 use impatience_traces::gen::{ConferenceConfig, VehicularConfig};
@@ -62,10 +66,19 @@ USAGE:
   impatience stats    TRACE
   impatience solve    [--items N --servers N --rho N --mu F --omega F --utility SPEC]
   impatience simulate TRACE [--items N --rho N --utility SPEC --policy P --trials N --seed N]
+                            [--trace-out FILE] [--verbose]
   impatience help
 
 UTILITY SPECS:  step:<tau> | exp:<nu> | power:<alpha> | neglog
 POLICIES:       qcr | qcr-no-routing | opt | uni | sqrt | prop | dom | passive
+
+OBSERVABILITY:
+  --trace-out FILE   write a JSONL event trace; a run manifest (config,
+                     seeds, git revision, wall time, percentiles) lands at
+                     FILE with extension .manifest.json. Implies a serial
+                     run so the event stream is complete and ordered.
+  --verbose          print counters, percentiles, and solver/worker
+                     telemetry after the run
 
 COMMON OPTIONS (defaults):
   --items 50  --rho 5  --omega 1.0  --utility step:10  --trials 15  --seed 42
@@ -86,6 +99,11 @@ impl Args {
         let mut it = raw.iter();
         while let Some(arg) = it.next() {
             if let Some(name) = arg.strip_prefix("--") {
+                // Boolean flags take no value.
+                if name == "verbose" {
+                    options.insert(name.to_string(), "true".to_string());
+                    continue;
+                }
                 let value = it
                     .next()
                     .ok_or_else(|| format!("option --{name} requires a value"))?;
@@ -106,10 +124,12 @@ impl Args {
     fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.options.get(name) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| format!("cannot parse --{name} {v}")),
+            Some(v) => v.parse().map_err(|_| format!("cannot parse --{name} {v}")),
         }
+    }
+
+    fn verbose(&self) -> bool {
+        self.options.contains_key("verbose")
     }
 
     fn utility(&self) -> Result<Arc<dyn DelayUtility>, String> {
@@ -245,13 +265,38 @@ fn solve(args: &Args) -> Result<(), String> {
     }
     let demand = Popularity::pareto(items, omega).demand_rates(1.0);
 
-    let opt = greedy_homogeneous(&system, &demand, utility.as_ref());
+    let opt = if args.verbose() {
+        let mut rec = Recorder::new(MemorySink::new());
+        let opt = greedy_homogeneous_observed(&system, &demand, utility.as_ref(), &mut rec);
+        if let Some(Event::SolverDone {
+            iterations,
+            evaluations,
+            wall_s,
+            ..
+        }) = rec
+            .sink()
+            .events
+            .iter()
+            .rfind(|e| matches!(e, Event::SolverDone { .. }))
+        {
+            println!(
+                "greedy: {iterations} placements, {evaluations} marginal evaluations, {:.2} ms",
+                wall_s * 1e3
+            );
+        }
+        opt
+    } else {
+        greedy_homogeneous(&system, &demand, utility.as_ref())
+    };
     let relaxed = relaxed_optimum(&system, &demand, utility.as_ref());
     println!(
         "system: |I|={items} |S|={servers} ρ={rho} μ={mu} ω={omega} utility={}",
         utility.kind()
     );
-    println!("\n{:>5} {:>10} {:>8} {:>8}", "item", "demand", "OPT", "relaxed");
+    println!(
+        "\n{:>5} {:>10} {:>8} {:>8}",
+        "item", "demand", "OPT", "relaxed"
+    );
     for i in 0..items.min(15) {
         println!(
             "{i:>5} {:>10.5} {:>8} {:>8.2}",
@@ -277,6 +322,7 @@ fn solve(args: &Args) -> Result<(), String> {
 }
 
 fn simulate(args: &Args) -> Result<(), String> {
+    let trace_file = args.positional.first().cloned().unwrap_or_default();
     let trace = load_trace(args)?;
     let items: usize = args.get("items", 50)?;
     let rho: usize = args.get("rho", 5)?;
@@ -337,7 +383,52 @@ fn simulate(args: &Args) -> Result<(), String> {
         .warmup_fraction(0.25)
         .build();
     let source = ContactSource::trace(trace);
-    let agg = run_trials(&config, &source, &policy, trials, seed);
+    let verbose = args.verbose();
+
+    let (agg, stats) = match args.options.get("trace-out") {
+        Some(out) => {
+            let path = std::path::Path::new(out);
+            let file = File::create(path).map_err(|e| format!("cannot create {out}: {e}"))?;
+            let mut rec = Recorder::new(JsonlSink::new(std::io::BufWriter::new(file)));
+            let agg = run_trials_observed(&config, &source, &policy, trials, seed, &mut rec);
+            let stats = rec.summary_json();
+            rec.into_sink()
+                .into_inner()
+                .map_err(|e| format!("writing {out}: {e}"))?;
+
+            let mut manifest = Manifest::new("simulate");
+            manifest.set("trace", trace_file.as_str());
+            manifest.set("events_file", out.as_str());
+            manifest.set("policy", agg.label.as_str());
+            manifest.set("utility", utility.kind().to_string());
+            manifest.set("items", items as u64);
+            manifest.set("rho", rho as u64);
+            manifest.set("omega", omega);
+            manifest.set("trials", trials as u64);
+            manifest.set("base_seed", seed);
+            manifest.set("warmup_fraction", config.warmup_fraction);
+            manifest.set("workers", agg.workers as u64);
+            manifest.set("wall_s", agg.wall_s);
+            manifest.set("mean_trial_wall_s", agg.mean_trial_wall_s);
+            manifest.set("worker_utilization", agg.worker_utilization);
+            manifest.set("stats", stats.clone());
+            let mpath = Manifest::sibling_path(path);
+            manifest
+                .write_to(&mpath)
+                .map_err(|e| format!("cannot write {}: {e}", mpath.display()))?;
+            println!("events  → {out}");
+            println!("manifest→ {}", mpath.display());
+            (agg, Some(stats))
+        }
+        None if verbose => {
+            // Tallies without the event stream (implies a serial run).
+            let mut rec = Recorder::new(TallySink);
+            let agg = run_trials_observed(&config, &source, &policy, trials, seed, &mut rec);
+            (agg, Some(rec.summary_json()))
+        }
+        None => (run_trials(&config, &source, &policy, trials, seed), None),
+    };
+
     println!(
         "policy {} over {trials} trials (utility {}):",
         agg.label,
@@ -349,5 +440,52 @@ fn simulate(args: &Args) -> Result<(), String> {
         agg.p5_rate, agg.p95_rate
     );
     println!("  transmissions/trial   : {:>10.1}", agg.mean_transmissions);
+    if verbose {
+        println!(
+            "  immediate hits/trial  : {:>10.1}",
+            agg.mean_immediate_hits
+        );
+        println!("  unfulfilled/trial     : {:>10.1}", agg.mean_unfulfilled);
+        println!(
+            "  mandates/trial        : {:>10.1}",
+            agg.mean_mandates_created
+        );
+        println!(
+            "  workers               : {:>10} ({:.0}% utilized)",
+            agg.workers,
+            agg.worker_utilization * 100.0
+        );
+        println!(
+            "  wall time             : {:>10.3} s ({:.4} s/trial)",
+            agg.wall_s, agg.mean_trial_wall_s
+        );
+        if let Some(stats) = &stats {
+            let get = |h: &str, q: &str| {
+                stats
+                    .get(h)
+                    .and_then(|o| o.get(q))
+                    .and_then(Json::as_f64)
+                    .unwrap_or(f64::NAN)
+            };
+            println!(
+                "  fulfillment delay     : p50 {:.1}  p95 {:.1}  p99 {:.1} min",
+                get("fulfillment_delay", "p50"),
+                get("fulfillment_delay", "p95"),
+                get("fulfillment_delay", "p99")
+            );
+            println!(
+                "  inter-contact         : mean {:.2} min (p95 {:.1})",
+                get("inter_contact", "mean"),
+                get("inter_contact", "p95")
+            );
+            if let Some(peak) = stats
+                .get("peaks")
+                .and_then(|o| o.get("open_requests"))
+                .and_then(Json::as_u64)
+            {
+                println!("  peak open requests    : {peak:>10}");
+            }
+        }
+    }
     Ok(())
 }

@@ -14,7 +14,11 @@
 //!   statistics, resynthesis, and I/O;
 //! * [`sim`] (`impatience-sim`) — the discrete-event simulator with the
 //!   QCR replication protocol, mandate routing, and the fixed-allocation
-//!   baselines.
+//!   baselines;
+//! * [`obs`] (`impatience-obs`) — zero-cost-when-disabled instrumentation:
+//!   counters, delay histograms, JSONL event traces, and run manifests;
+//! * [`json`] (`impatience-json`) — the dependency-free JSON value type
+//!   the instrumentation and trace I/O are built on.
 //!
 //! ## Sixty-second tour
 //!
@@ -41,7 +45,9 @@
 //! "VideoForU" motivating deployment and trace-driven simulations.
 
 pub use impatience_core as core;
+pub use impatience_json as json;
 pub use impatience_mobility as mobility;
+pub use impatience_obs as obs;
 pub use impatience_sim as sim;
 pub use impatience_traces as traces;
 

@@ -30,7 +30,10 @@ fn dedicated_population_runs_time_critical_utilities() {
     let source = ContactSource::homogeneous(nodes, 0.05, 2_000.0);
     let out = run_trial(&config, &source, PolicyKind::qcr_default(), 3);
 
-    assert!(out.metrics.fulfillments() > 100, "requests should be served");
+    assert!(
+        out.metrics.fulfillments() > 100,
+        "requests should be served"
+    );
     assert_eq!(
         out.metrics.immediate_hits, 0,
         "clients have no caches, so no self-service"

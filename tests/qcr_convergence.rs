@@ -41,9 +41,7 @@ fn qcr_tracks_the_square_root_allocation_at_alpha_zero() {
     let agg = run_trials(&config, &source, &PolicyKind::qcr_default(), 6, 11);
 
     let relaxed = relaxed_optimum(&system, &config.demand, utility.as_ref());
-    let l1 = |a: &[f64], b: &[f64]| -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
-    };
+    let l1 = |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum() };
     let to_target = l1(&agg.mean_final_replicas, &relaxed.x);
     let uni: Vec<f64> = vec![5.0; 50];
     let to_uniform = l1(&agg.mean_final_replicas, &uni);
@@ -65,7 +63,10 @@ fn qcr_lands_within_a_few_percent_of_opt_for_step_deadlines() {
         let opt_sim = run_trials(
             &config,
             &source,
-            &PolicyKind::Static { label: "OPT", counts: opt },
+            &PolicyKind::Static {
+                label: "OPT",
+                counts: opt,
+            },
             6,
             7,
         );
@@ -155,7 +156,10 @@ fn qcr_budget_is_conserved_through_heavy_churn() {
     let agg = run_trials(&config, &source, &PolicyKind::qcr_default(), 4, 13);
     let total: f64 = agg.mean_final_replicas.iter().sum();
     assert!((total - 250.0).abs() < 1e-9, "budget drifted to {total}");
-    assert!(agg.mean_transmissions > 0.0, "no replication happened at τ=1");
+    assert!(
+        agg.mean_transmissions > 0.0,
+        "no replication happened at τ=1"
+    );
 }
 
 #[test]

@@ -83,7 +83,8 @@ fn greedy_dominates_every_fixed_heuristic() {
             ("PROP", proportional(&demand, 50, 5)),
             ("DOM", dominant(&demand, 50, 5)),
         ] {
-            let w = social_welfare_homogeneous(&system, &demand, utility.as_ref(), &counts.as_f64());
+            let w =
+                social_welfare_homogeneous(&system, &demand, utility.as_ref(), &counts.as_f64());
             assert!(
                 w <= w_opt + 1e-9 * w_opt.abs().max(1.0),
                 "{}: {label} ({w}) beats OPT ({w_opt})",

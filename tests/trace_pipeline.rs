@@ -132,11 +132,7 @@ fn select_most_active_matches_paper_preprocessing() {
     let trace = small_conference(&mut rng);
     let selected = trace.select_most_active(10);
     assert_eq!(selected.nodes(), 10);
-    let min_kept = selected
-        .contact_counts()
-        .into_iter()
-        .min()
-        .unwrap();
+    let min_kept = selected.contact_counts().into_iter().min().unwrap();
     // Every kept node must beat the median of the original population.
     let mut original_counts = trace.contact_counts();
     original_counts.sort_unstable();

@@ -1,0 +1,299 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates-registry access, so this vendors
+//! the slice of criterion's API the bench targets use: `Criterion`,
+//! benchmark groups with warm-up/measurement-time/sample-size knobs,
+//! `bench_function` / `bench_with_input`, `Throughput::Elements`, and
+//! the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is real but simple: after a warm-up phase the iteration
+//! count is calibrated so each sample fills its share of the measurement
+//! window, then per-iteration times are reported as median over samples
+//! (with min/max spread). No HTML reports, baselines, or statistics
+//! beyond that — enough to compare variants within one run, which is
+//! what the workspace's overhead checks do.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Entry point handed to each bench function by `criterion_group!`.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` forwards extra args; honour the first
+        // non-flag one as a substring filter like criterion does.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            warm_up: Duration::from_secs(3),
+            measurement: Duration::from_secs(5),
+            sample_size: 100,
+        }
+    }
+
+    /// Benchmark a single routine outside any group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let id = id.into().0;
+        if self.skips(&id) {
+            return;
+        }
+        run_one(&id, Duration::from_secs(3), Duration::from_secs(5), 100, f);
+    }
+
+    fn skips(&self, id: &str) -> bool {
+        self.filter.as_deref().is_some_and(|f| !id.contains(f))
+    }
+}
+
+/// A set of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// How long to run the routine before measuring.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up = t;
+        self
+    }
+
+    /// Total time budget for measured samples.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement = t;
+        self
+    }
+
+    /// Number of samples to take.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Record throughput per iteration (reported alongside times).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmark one routine within the group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let id = format!("{}/{}", self.name, id.into().0);
+        if self.criterion.skips(&id) {
+            return;
+        }
+        run_one(&id, self.warm_up, self.measurement, self.sample_size, f);
+    }
+
+    /// Benchmark a routine parameterized by `input`.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// End the group (kept for API compatibility; output is immediate).
+    pub fn finish(self) {}
+}
+
+/// Times a routine; handed to bench closures.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `routine` for the configured number of iterations and record
+    /// the total elapsed time.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Units-of-work declaration (accepted, not currently reported).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Identify a benchmark by its parameter value alone.
+    pub fn from_parameter(p: impl fmt::Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// Identify a benchmark by function name and parameter.
+    pub fn new(name: impl fmt::Display, p: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+impl From<&String> for BenchmarkId {
+    fn from(s: &String) -> Self {
+        BenchmarkId(s.clone())
+    }
+}
+
+fn run_one(
+    id: &str,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        iterations: 1,
+        elapsed: Duration::ZERO,
+    };
+
+    // Warm up and estimate the per-iteration cost as we go.
+    let warm_start = Instant::now();
+    let mut iters_done = 0u64;
+    while warm_start.elapsed() < warm_up {
+        f(&mut b);
+        iters_done += b.iterations;
+        // Grow the batch so the warm-up loop itself is cheap for fast
+        // routines (sub-microsecond bodies would otherwise spend the
+        // whole budget on Instant::now calls).
+        if b.elapsed < Duration::from_millis(1) {
+            b.iterations = (b.iterations * 2).min(1 << 20);
+        }
+    }
+    let warm_elapsed = warm_start.elapsed();
+    let per_iter = warm_elapsed.as_secs_f64() / iters_done.max(1) as f64;
+
+    // Calibrate so `sample_size` samples fill the measurement window.
+    let per_sample = measurement.as_secs_f64() / sample_size as f64;
+    b.iterations = ((per_sample / per_iter.max(1e-9)) as u64).clamp(1, 1 << 28);
+
+    let mut samples_ns: Vec<f64> = (0..sample_size)
+        .map(|_| {
+            f(&mut b);
+            b.elapsed.as_secs_f64() * 1e9 / b.iterations as f64
+        })
+        .collect();
+    samples_ns.sort_by(f64::total_cmp);
+
+    let median = samples_ns[samples_ns.len() / 2];
+    let min = samples_ns[0];
+    let max = samples_ns[samples_ns.len() - 1];
+    println!(
+        "{id:<40} time: [{} {} {}]",
+        format_ns(min),
+        format_ns(median),
+        format_ns(max)
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Collect bench functions into a single callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($f(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_plausible() {
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("smoke");
+        group.warm_up_time(Duration::from_millis(5));
+        group.measurement_time(Duration::from_millis(20));
+        group.sample_size(5);
+        let mut ran = false;
+        group.bench_function("spin", |b| {
+            ran = true;
+            b.iter(|| std::hint::black_box(3u64).wrapping_mul(7))
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("other".to_string()),
+        };
+        let mut ran = false;
+        c.bench_function("this_one", |b| {
+            ran = true;
+            b.iter(|| 1u32)
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn benchmark_ids_compose() {
+        assert_eq!(BenchmarkId::from_parameter(50).0, "50");
+        assert_eq!(BenchmarkId::new("qcr", 5).0, "qcr/5");
+    }
+}

@@ -1,0 +1,133 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A length specification: an exact size or a half-open range.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        self.lo + rng.below((self.hi - self.lo) as u64) as usize
+    }
+}
+
+/// A `Vec` of values from `element`, with length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// A `BTreeSet` of values from `element`, with target size from `size`.
+///
+/// If the element domain is too small to reach the drawn size, the set
+/// is returned smaller rather than looping forever (matching proptest's
+/// best-effort behaviour on narrow domains).
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let want = self.size.pick(rng);
+        let mut set = BTreeSet::new();
+        let mut misses = 0;
+        while set.len() < want && misses < 64 {
+            if !set.insert(self.element.sample(rng)) {
+                misses += 1;
+            }
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_exact_and_ranged_lengths() {
+        let mut rng = TestRng::for_test("vec_exact_and_ranged_lengths");
+        assert_eq!(vec(0.0f64..1.0, 5).sample(&mut rng).len(), 5);
+        for _ in 0..100 {
+            let v = vec(0u64..9, 1..4).sample(&mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn btree_set_is_distinct_and_bounded() {
+        let mut rng = TestRng::for_test("btree_set_is_distinct_and_bounded");
+        for _ in 0..100 {
+            let s = btree_set(0usize..8, 1..4).sample(&mut rng);
+            assert!(!s.is_empty() && s.len() < 4);
+            assert!(s.iter().all(|&x| x < 8));
+        }
+    }
+
+    #[test]
+    fn btree_set_narrow_domain_terminates() {
+        let mut rng = TestRng::for_test("btree_set_narrow_domain_terminates");
+        let s = btree_set(0usize..2, 5..6).sample(&mut rng);
+        assert!(s.len() <= 2);
+    }
+}

@@ -1,0 +1,138 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to a crates registry, so this
+//! workspace vendors the slice of proptest's API it actually uses:
+//! the `proptest!` macro, range/`prop_map`/`prop_oneof!` strategies,
+//! `collection::{vec, btree_set}`, and the `prop_assert*`/`prop_assume!`
+//! macros. Generation is a deterministic splitmix64 stream seeded from
+//! the test name (override with `PROPTEST_SEED`), so failures reproduce
+//! exactly. There is no shrinking: a failing case reports its number and
+//! seed instead.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything the tests import: strategies, config, and macros.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Declare property tests.
+///
+/// Supports the common form: an optional
+/// `#![proptest_config(ProptestConfig::with_cases(N))]` header followed
+/// by `#[test] fn name(arg in strategy, ...) { body }` items. Each body
+/// runs once per case with freshly sampled arguments; `prop_assert*!`
+/// failures abort the test, `prop_assume!` rejections skip the case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng =
+                $crate::test_runner::TestRng::for_test(stringify!($name));
+            let mut case = 0u32;
+            let mut rejects = 0u32;
+            while case < config.cases {
+                $(let $arg =
+                    $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    Ok(()) => case += 1,
+                    Err($crate::test_runner::TestCaseError::Reject) => {
+                        rejects += 1;
+                        if rejects > config.cases * 16 {
+                            // Mirrors proptest's give-up behaviour rather
+                            // than spinning forever on a dead assume.
+                            panic!(
+                                "proptest '{}': too many prop_assume! rejections ({rejects})",
+                                stringify!($name),
+                            );
+                        }
+                    }
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => panic!(
+                        "proptest '{}' failed at case {case} (seed {}): {msg}",
+                        stringify!($name),
+                        rng.seed(),
+                    ),
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Choose uniformly between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let mut union = $crate::strategy::Union::new();
+        $(union = union.or($strat);)+
+        union
+    }};
+}
+
+/// Assert inside a proptest body; failure aborts the test with context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Assert two values are equal inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {} ({l:?} vs {r:?})",
+            stringify!($left),
+            stringify!($right),
+        );
+    }};
+}
+
+/// Skip the current case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

@@ -11,7 +11,7 @@ use impatience_core::prelude::uniform;
 use impatience_core::utility::{DelayUtility, Step};
 use impatience_obs::{JsonlSink, Recorder, TallySink};
 use impatience_sim::config::{ContactSource, SimConfig};
-use impatience_sim::engine::{run_trial, run_trial_observed};
+use impatience_sim::engine::{run_trial, run_trial_materialized, run_trial_observed};
 use impatience_sim::policy::PolicyKind;
 
 fn setup(duration: f64) -> (SimConfig, ContactSource, u64) {
@@ -105,10 +105,73 @@ fn bench_observability_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// Streaming vs materialized contact pipeline at growing node counts.
+///
+/// Three rows per population size, all running the identical event loop:
+///
+/// * `streaming` — the lazy superposition sampler ([`run_trial`]):
+///   O(1) trace memory, one `ln` + two bounded draws per contact.
+/// * `collected` — [`run_trial_materialized`]: drains the *same* stream
+///   into a `ContactTrace` first, then replays through a cursor. The
+///   bit-for-bit regression reference; its overhead is pure
+///   materialization (O(contacts) memory + a second pass).
+/// * `materialized` — the pre-streaming pipeline: per-pair exponential
+///   sequences pushed into one Vec and globally sorted
+///   (`poisson_homogeneous`), then replayed. This is what every trial
+///   paid before the streaming rewrite.
+///
+/// The duration shrinks with n so every size processes a comparable
+/// number of contacts (~2M, ≈32 MB materialized — deliberately past the
+/// cache hierarchy, the regime the streaming path exists for). A pinned
+/// allocation keeps per-contact policy work negligible so the rows
+/// measure the pipeline, not QCR's decision logic (benchmarked by
+/// `run_trial_50n_1000min`). `BENCH_contact_pipeline.json` at the repo
+/// root pins the measured baseline.
+fn bench_contact_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contact_pipeline");
+    group.warm_up_time(Duration::from_millis(800));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    for &n in &[50usize, 200, 1000] {
+        let pairs = (n * (n - 1) / 2) as f64;
+        let duration = 2_000_000.0 / (pairs * 0.05);
+        let utility: Arc<dyn DelayUtility> = Arc::new(Step::new(10.0));
+        let config = SimConfig::builder(50, 5)
+            .demand(Popularity::pareto(50, 1.0).demand_rates(1.0))
+            .utility(utility)
+            .bin(duration.min(100.0))
+            .build();
+        let source = ContactSource::homogeneous(n, 0.05, duration);
+        let contacts = (pairs * 0.05 * duration) as u64;
+        let policy = PolicyKind::Static {
+            label: "UNI",
+            counts: uniform(50, n, 5),
+        };
+        group.throughput(Throughput::Elements(contacts));
+        group.bench_function(format!("streaming_n{n}"), |b| {
+            b.iter(|| black_box(run_trial(&config, &source, policy.clone(), 1)))
+        });
+        group.bench_function(format!("collected_n{n}"), |b| {
+            b.iter(|| black_box(run_trial_materialized(&config, &source, policy.clone(), 1)))
+        });
+        group.bench_function(format!("materialized_n{n}"), |b| {
+            b.iter(|| {
+                let mut rng = impatience_core::rng::Xoshiro256::seed_from_u64(1);
+                let trace =
+                    impatience_traces::gen::poisson_homogeneous(n, 0.05, duration, &mut rng);
+                let seed_source = ContactSource::trace(trace);
+                black_box(run_trial(&config, &seed_source, policy.clone(), 1))
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_trial_throughput,
     bench_trace_realization,
-    bench_observability_overhead
+    bench_observability_overhead,
+    bench_contact_pipeline
 );
 criterion_main!(benches);

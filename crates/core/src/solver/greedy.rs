@@ -20,23 +20,67 @@ use crate::types::SystemModel;
 use crate::utility::DelayUtility;
 use crate::welfare::{expected_gain_continuous, expected_gain_pure_p2p};
 
-/// Marginal welfare of taking item `i` from `x` to `x+1` replicas, per
-/// unit demand.
-fn marginal(system: &SystemModel, utility: &dyn DelayUtility, x: u32) -> f64 {
-    let gain = |replicas: f64| {
-        if system.population.is_pure_p2p() {
-            expected_gain_pure_p2p(utility, replicas, system.clients(), system.contact_rate)
-        } else {
-            expected_gain_continuous(utility, replicas, system.contact_rate)
+/// Lazily memoized table of the per-unit-demand expected gain `G(x)`.
+///
+/// The gain of holding `x` replicas depends only on the system shape and
+/// the utility — not on which item holds them — yet each evaluation runs
+/// adaptive quadrature. The greedy solver used to recompute the marginal
+/// `G(x+1) − G(x)` once per *(item, count)*; this table computes each
+/// `G(x)` once per *count* (at most `|S| + 1` quadratures for the whole
+/// solve, down from O(|I|·ρ|S|)) and replays the cached value thereafter.
+/// Quadrature is deterministic, so the memoized marginals are
+/// bit-identical to the recomputed ones.
+struct GainTable<'a> {
+    system: &'a SystemModel,
+    utility: &'a dyn DelayUtility,
+    /// `cache[x]` is `Some(G(x))` once evaluated; indices `0..=|S|`.
+    cache: Vec<Cell<Option<f64>>>,
+    /// Quadrature evaluations actually performed (cache misses).
+    evaluations: Cell<u64>,
+}
+
+impl<'a> GainTable<'a> {
+    fn new(system: &'a SystemModel, utility: &'a dyn DelayUtility) -> Self {
+        GainTable {
+            system,
+            utility,
+            cache: vec![Cell::new(None); system.servers() + 1],
+            evaluations: Cell::new(0),
         }
-    };
-    let next = gain((x + 1) as f64);
-    let curr = gain(x as f64);
-    if curr == f64::NEG_INFINITY {
-        // First replica of a cost-type utility: infinitely valuable.
-        return f64::INFINITY;
     }
-    next - curr
+
+    /// `G(x)`, evaluated by quadrature on first use and cached.
+    fn gain(&self, x: u32) -> f64 {
+        let slot = &self.cache[x as usize];
+        if let Some(cached) = slot.get() {
+            return cached;
+        }
+        self.evaluations.set(self.evaluations.get() + 1);
+        let value = if self.system.population.is_pure_p2p() {
+            expected_gain_pure_p2p(
+                self.utility,
+                x as f64,
+                self.system.clients(),
+                self.system.contact_rate,
+            )
+        } else {
+            expected_gain_continuous(self.utility, x as f64, self.system.contact_rate)
+        };
+        slot.set(Some(value));
+        value
+    }
+
+    /// Marginal welfare of going from `x` to `x+1` replicas, per unit
+    /// demand.
+    fn marginal(&self, x: u32) -> f64 {
+        let next = self.gain(x + 1);
+        let curr = self.gain(x);
+        if curr == f64::NEG_INFINITY {
+            // First replica of a cost-type utility: infinitely valuable.
+            return f64::INFINITY;
+        }
+        next - curr
+    }
 }
 
 /// Exact optimal integer allocation under homogeneous contacts
@@ -57,7 +101,8 @@ pub fn greedy_homogeneous(
 /// [`greedy_homogeneous`] with instrumentation: each placement emits a
 /// `solver_step` carrying the marginal gain taken (the full marginal-gain
 /// trajectory, non-increasing by concavity), and a final `solver_done`
-/// reports placements, marginal evaluations, and wall time.
+/// reports placements, quadrature evaluations (cache *misses* of the
+/// memoized gain table — at most `|S| + 1` per solve), and wall time.
 pub fn greedy_homogeneous_observed<S: Sink>(
     system: &SystemModel,
     demand: &DemandRates,
@@ -81,10 +126,9 @@ pub fn greedy_homogeneous_observed<S: Sink>(
     // cost-type utility) all sort to the top and are ordered among
     // themselves by demand, which is the limit order of d_i·ΔG as the
     // marginals diverge.
-    let evaluations = Cell::new(0u64);
+    let gains = GainTable::new(system, utility);
     let key_for = |x: u32, i: usize| {
-        evaluations.set(evaluations.get() + 1);
-        let m = marginal(system, utility, x);
+        let m = gains.marginal(x);
         if m.is_infinite() {
             HeapKey::new(f64::INFINITY, demand.rate(i))
         } else {
@@ -113,7 +157,7 @@ pub fn greedy_homogeneous_observed<S: Sink>(
         rec.solver_done(
             "greedy",
             placed,
-            evaluations.get(),
+            gains.evaluations.get(),
             start.elapsed().as_secs_f64(),
         );
     }
@@ -354,9 +398,54 @@ mod tests {
                 ..
             }) => {
                 assert_eq!(*iterations, observed.total());
-                assert!(*evaluations >= *iterations);
+                // The memoized ψ-table caps quadrature work at one
+                // evaluation per replica level, independent of |I| and
+                // the number of heap probes.
+                assert!(
+                    *evaluations <= system.servers() as u64 + 1,
+                    "expected at most |S|+1 quadrature evaluations, got {evaluations}"
+                );
+                assert!(
+                    *evaluations < *iterations,
+                    "memoization should evaluate fewer gains ({evaluations}) than placements ({iterations})"
+                );
             }
             other => panic!("expected SolverDone, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gain_table_matches_uncached_quadrature() {
+        // The memoized table must replay bit-identical values: quadrature
+        // is deterministic, so a cache hit and a recomputation agree
+        // exactly, and the marginal difference is taken on the same pair
+        // of G values either way.
+        let utility = Step::new(1.0);
+        for system in [
+            SystemModel::pure_p2p(8, 3, 0.05),
+            SystemModel::dedicated(40, 8, 3, 0.05),
+        ] {
+            let table = GainTable::new(&system, &utility);
+            for x in 0..system.servers() as u32 {
+                let uncached = if system.population.is_pure_p2p() {
+                    let at = |v: f64| {
+                        expected_gain_pure_p2p(&utility, v, system.clients(), system.contact_rate)
+                    };
+                    at(x as f64 + 1.0) - at(x as f64)
+                } else {
+                    let at = |v: f64| expected_gain_continuous(&utility, v, system.contact_rate);
+                    at(x as f64 + 1.0) - at(x as f64)
+                };
+                assert_eq!(
+                    table.marginal(x).to_bits(),
+                    uncached.to_bits(),
+                    "memoized marginal at x={x} must be bit-identical"
+                );
+                // Second call hits the cache and must not drift.
+                assert_eq!(table.marginal(x).to_bits(), uncached.to_bits());
+            }
+            // |S|+1 distinct gain levels were touched, once each.
+            assert_eq!(table.evaluations.get(), system.servers() as u64 + 1);
         }
     }
 

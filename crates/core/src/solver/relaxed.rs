@@ -67,9 +67,22 @@ const X_FLOOR: f64 = 1e-9;
 
 /// Invert `x ↦ d·φ(x)` at value `level` over `[X_FLOOR, s]`, clamping to
 /// the box when `level` falls outside `φ`'s range.
-fn invert_phi(utility: &dyn DelayUtility, mu: f64, d: f64, level: f64, s: f64) -> f64 {
+///
+/// `phi_floor` and `phi_cap` are `φ(X_FLOOR)` and `φ(s)`, which depend
+/// only on the utility and system shape — callers evaluate them once per
+/// solve instead of twice per (item, water-level probe); each of those φ
+/// values costs a quadrature under the integral-defined utilities.
+fn invert_phi(
+    utility: &dyn DelayUtility,
+    mu: f64,
+    phi_floor: f64,
+    phi_cap: f64,
+    d: f64,
+    level: f64,
+    s: f64,
+) -> f64 {
     debug_assert!(d > 0.0 && level > 0.0);
-    let at_floor = d * utility.phi(X_FLOOR, mu);
+    let at_floor = d * phi_floor;
     if !at_floor.is_finite() || at_floor <= level {
         // Even an infinitesimal replica count is not worth the level:
         // boundary solution x = 0 (only possible when φ(0⁺) is finite).
@@ -79,8 +92,7 @@ fn invert_phi(utility: &dyn DelayUtility, mu: f64, d: f64, level: f64, s: f64) -
         // φ(0⁺) = ∞ (power family): interior solution exists; fall through
         // with a slightly larger bracket start.
     }
-    let at_cap = d * utility.phi(s, mu);
-    if at_cap >= level {
+    if d * phi_cap >= level {
         return s; // saturates at |S| replicas
     }
     bisect(|x| d * utility.phi(x, mu) - level, X_FLOOR, s, 1e-12 * s)
@@ -132,6 +144,9 @@ pub fn relaxed_optimum_observed<S: Sink>(
     }
     // If the budget covers the whole catalog at the cap, saturate.
     let demanded: Vec<usize> = (0..items).filter(|&i| demand.rate(i) > 0.0).collect();
+    // φ at the box boundaries is item-independent; evaluate the two
+    // quadratures once for the whole solve instead of per φ-inversion.
+    let phi_cap = utility.phi(s, mu);
     if budget >= s * demanded.len() as f64 {
         let mut x = vec![0.0; items];
         for &i in &demanded {
@@ -141,10 +156,11 @@ pub fn relaxed_optimum_observed<S: Sink>(
             x,
             level: demanded
                 .iter()
-                .map(|&i| demand.rate(i) * utility.phi(s, mu))
+                .map(|&i| demand.rate(i) * phi_cap)
                 .fold(f64::INFINITY, f64::min),
         };
     }
+    let phi_floor = utility.phi(X_FLOOR, mu);
 
     let wall_start = rec.is_active().then(Instant::now);
     let probes = Cell::new(0u64);
@@ -152,7 +168,7 @@ pub fn relaxed_optimum_observed<S: Sink>(
         probes.set(probes.get() + 1);
         demanded
             .iter()
-            .map(|&i| invert_phi(utility, mu, demand.rate(i), level, s))
+            .map(|&i| invert_phi(utility, mu, phi_floor, phi_cap, demand.rate(i), level, s))
             .sum()
     };
 
@@ -173,7 +189,7 @@ pub fn relaxed_optimum_observed<S: Sink>(
     let x: Vec<f64> = (0..items)
         .map(|i| {
             if demand.rate(i) > 0.0 {
-                invert_phi(utility, mu, demand.rate(i), level, s)
+                invert_phi(utility, mu, phi_floor, phi_cap, demand.rate(i), level, s)
             } else {
                 0.0
             }

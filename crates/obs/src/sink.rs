@@ -16,6 +16,15 @@ pub trait Sink {
     /// Whether instrumentation is live for this sink type.
     const ACTIVE: bool = true;
 
+    /// Whether this sink keeps the events it receives (as opposed to
+    /// only driving the recorder's tallies). The parallel trial runner
+    /// consults this: when `false` (e.g. [`TallySink`]) worker shards
+    /// skip event buffering entirely and only their tallies are merged;
+    /// when `true` (e.g. [`JsonlSink`]) workers buffer events in memory
+    /// and the runner replays them into the caller's sink in trial
+    /// order, preserving the deterministic serial event stream.
+    const WANTS_EVENTS: bool = true;
+
     /// Receive one event.
     fn record(&mut self, event: &Event);
 }
@@ -26,6 +35,7 @@ pub struct NoopSink;
 
 impl Sink for NoopSink {
     const ACTIVE: bool = false;
+    const WANTS_EVENTS: bool = false;
 
     #[inline(always)]
     fn record(&mut self, _event: &Event) {}
@@ -40,6 +50,8 @@ impl Sink for NoopSink {
 pub struct TallySink;
 
 impl Sink for TallySink {
+    const WANTS_EVENTS: bool = false;
+
     #[inline(always)]
     fn record(&mut self, _event: &Event) {}
 }
@@ -125,6 +137,15 @@ mod tests {
         const { assert!(<TallySink as Sink>::ACTIVE) };
         const { assert!(<MemorySink as Sink>::ACTIVE) };
         const { assert!(<JsonlSink<Vec<u8>> as Sink>::ACTIVE) };
+    }
+
+    #[test]
+    fn wants_events_flags() {
+        // Tally-only sinks let the parallel runner skip event buffering.
+        const { assert!(!<NoopSink as Sink>::WANTS_EVENTS) };
+        const { assert!(!<TallySink as Sink>::WANTS_EVENTS) };
+        const { assert!(<MemorySink as Sink>::WANTS_EVENTS) };
+        const { assert!(<JsonlSink<Vec<u8>> as Sink>::WANTS_EVENTS) };
     }
 
     #[test]

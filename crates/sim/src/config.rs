@@ -5,8 +5,12 @@ use std::sync::Arc;
 use impatience_core::demand::{DemandProfile, DemandRates, Popularity};
 use impatience_core::rng::Xoshiro256;
 use impatience_core::utility::{DelayUtility, Step};
-use impatience_traces::gen::poisson_homogeneous;
-use impatience_traces::ContactTrace;
+use impatience_traces::{ContactStream, ContactTrace};
+
+/// RNG stream id for forking contact randomness off a trial seed: the
+/// contact stream draws from its own generator so lazily interleaving
+/// contact sampling with demand sampling cannot perturb the trajectory.
+const CONTACT_STREAM_ID: u64 = 0xC0217AC7_57BEA000;
 
 /// Where the contact events of a trial come from.
 #[derive(Clone)]
@@ -73,14 +77,33 @@ impl ContactSource {
         }
     }
 
-    /// Materialize the contact events for one trial.
-    pub fn realize(&self, rng: &mut Xoshiro256) -> Arc<ContactTrace> {
+    /// The lazy contact stream for one trial: on-the-fly Poisson
+    /// sampling for [`ContactSource::Homogeneous`] (O(1) memory in the
+    /// trace length), a zero-copy cursor for [`ContactSource::Trace`].
+    ///
+    /// For the homogeneous source the stream runs on its own generator
+    /// forked from `rng` ([`Xoshiro256::split`]); the trace source does
+    /// not touch `rng` at all. Either way the caller's generator ends in
+    /// a state independent of how many contacts are later drawn, so the
+    /// same seed yields the same trajectory whether contacts are
+    /// consumed lazily or materialized first.
+    pub fn stream(&self, rng: &mut Xoshiro256) -> ContactStream {
         match self {
             ContactSource::Homogeneous {
                 nodes,
                 mu,
                 duration,
-            } => Arc::new(poisson_homogeneous(*nodes, *mu, *duration, rng)),
+            } => ContactStream::poisson(*nodes, *mu, *duration, rng.split(CONTACT_STREAM_ID)),
+            ContactSource::Trace(t) => ContactStream::cursor(Arc::clone(t)),
+        }
+    }
+
+    /// Materialize the contact events for one trial by draining
+    /// [`ContactSource::stream`] — the same events the lazy path yields,
+    /// collected into a trace (the regression-reference pipeline).
+    pub fn realize(&self, rng: &mut Xoshiro256) -> Arc<ContactTrace> {
+        match self {
+            ContactSource::Homogeneous { .. } => Arc::new(self.stream(rng).collect_trace()),
             ContactSource::Trace(t) => Arc::clone(t),
         }
     }

@@ -16,9 +16,12 @@
 //!   it into the requester's protocol cache — caches change only through
 //!   the replication policy.
 
+use std::borrow::Cow;
+
 use impatience_core::rng::Xoshiro256;
 use impatience_core::types::SystemModel;
 use impatience_obs::{Recorder, Sink};
+use impatience_traces::ContactStream;
 
 use crate::config::{ContactSource, SimConfig};
 use crate::metrics::Metrics;
@@ -73,16 +76,65 @@ pub fn run_trial_observed<S: Sink>(
     seed: u64,
     rec: &mut Recorder<S>,
 ) -> TrialOutcome {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let contacts = source.stream(&mut rng);
+    run_trial_core(config, source.mean_rate(), contacts, policy, rng, seed, rec)
+}
+
+/// [`run_trial`] through the materialized (seed-era) pipeline: the
+/// trial's contact stream is drained into an in-memory trace first, then
+/// replayed through a zero-copy cursor.
+///
+/// [`ContactSource::stream`] and [`ContactSource::realize`] consume the
+/// trial RNG identically, so this produces **bit-for-bit** the same
+/// [`TrialOutcome`] as [`run_trial`] on the same seed — it exists as the
+/// regression reference for the streaming path and as the comparison
+/// subject of the `contact_pipeline` benchmark.
+pub fn run_trial_materialized(
+    config: &SimConfig,
+    source: &ContactSource,
+    policy: PolicyKind,
+    seed: u64,
+) -> TrialOutcome {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let trace = source.realize(&mut rng);
+    run_trial_core(
+        config,
+        source.mean_rate(),
+        ContactStream::cursor(trace),
+        policy,
+        rng,
+        seed,
+        &mut Recorder::disabled(),
+    )
+}
+
+/// The event loop shared by the streaming and materialized entry points:
+/// `rng` has already seeded the contact stream, `mu_ref` is the source's
+/// reference rate for the homogeneous welfare approximation.
+fn run_trial_core<S: Sink>(
+    config: &SimConfig,
+    mu_ref: f64,
+    mut contacts: ContactStream,
+    policy: PolicyKind,
+    mut rng: Xoshiro256,
+    seed: u64,
+    rec: &mut Recorder<S>,
+) -> TrialOutcome {
     let wall_start = rec.is_active().then(std::time::Instant::now);
     rec.trial_start();
     let mut open_requests: u64 = 0;
-    let mut rng = Xoshiro256::seed_from_u64(seed);
-    let trace = source.realize(&mut rng);
-    let nodes = trace.nodes();
-    let config = config.for_nodes(nodes);
+    let nodes = contacts.nodes();
+    let duration = contacts.duration();
+    // Borrow the caller's config when its profile already fits `nodes`
+    // (the common case) instead of deep-cloning demand + profile + shifts
+    // once per trial.
+    let config: Cow<'_, SimConfig> = if config.profile.nodes() == config.clients(nodes) {
+        Cow::Borrowed(config)
+    } else {
+        Cow::Owned(config.for_nodes(nodes))
+    };
     config.validate(nodes);
-    let duration = trace.duration();
-    let mu_ref = source.mean_rate();
 
     // Population shape: pure P2P (every node serves) or dedicated
     // (nodes 0..servers carry caches, the rest only request).
@@ -116,7 +168,7 @@ pub fn run_trial_observed<S: Sink>(
     // Demand may shift over time (§7's evolving-demand extension); the
     // active segment drives arrivals, item sampling, and snapshots.
     let mut shifts = config.demand_shifts.iter().peekable();
-    let mut current_demand = config.demand.clone();
+    let mut current_demand = &config.demand;
     let mut total_rate = current_demand.total();
     let mut item_sampler =
         (total_rate > 0.0).then(|| impatience_core::rng::AliasTable::new(current_demand.rates()));
@@ -136,7 +188,6 @@ pub fn run_trial_observed<S: Sink>(
         f64::INFINITY
     };
     let mut next_snapshot = 0.0;
-    let mut contacts = trace.events().iter().peekable();
     let mut fulfilled: Vec<Fulfillment> = Vec::new();
 
     loop {
@@ -147,7 +198,7 @@ pub fn run_trial_observed<S: Sink>(
         if let Some(&&(shift_t, ref rates)) = shifts.peek() {
             if shift_t <= t.min(duration) {
                 shifts.next();
-                current_demand = rates.clone();
+                current_demand = rates;
                 total_rate = current_demand.total();
                 item_sampler = (total_rate > 0.0)
                     .then(|| impatience_core::rng::AliasTable::new(current_demand.rates()));
@@ -169,7 +220,7 @@ pub fn run_trial_observed<S: Sink>(
                     next_snapshot,
                     &state.replicas,
                     system,
-                    &current_demand,
+                    current_demand,
                     config.utility.as_ref(),
                 );
             }
@@ -201,7 +252,7 @@ pub fn run_trial_observed<S: Sink>(
             next_request += rng.exp(total_rate);
         } else {
             // --- contact ---
-            let e = *contacts.next().expect("peeked above");
+            let e = contacts.next().expect("peeked above");
             let (a, b) = (e.a as usize, e.b as usize);
             rec.contact(e.time, e.a, e.b);
             fulfilled.clear();
@@ -261,7 +312,7 @@ pub fn run_trial_observed<S: Sink>(
                 next_snapshot,
                 &state.replicas,
                 system,
-                &current_demand,
+                current_demand,
                 config.utility.as_ref(),
             );
         }
@@ -295,7 +346,7 @@ pub fn run_trial_observed<S: Sink>(
     }
     TrialOutcome {
         metrics,
-        final_replicas: state.replicas.clone(),
+        final_replicas: std::mem::take(&mut state.replicas),
         label: policy.label(),
     }
 }
@@ -334,6 +385,37 @@ mod tests {
             a.metrics.observed_rate_series(),
             c.metrics.observed_rate_series()
         );
+    }
+
+    #[test]
+    fn streaming_matches_materialized_bit_for_bit() {
+        // The tentpole regression: lazily sampled contacts must drive the
+        // exact trajectory a pre-materialized trace does, on every shared
+        // seed, for both source kinds.
+        let config = small_config(10, 2);
+        let homogeneous = ContactSource::homogeneous(10, 0.05, 1_000.0);
+        let mut trace_rng = Xoshiro256::seed_from_u64(99);
+        let fixed = ContactSource::trace(impatience_traces::gen::poisson_homogeneous(
+            10,
+            0.05,
+            1_000.0,
+            &mut trace_rng,
+        ));
+        for source in [&homogeneous, &fixed] {
+            for seed in [0u64, 7, 41] {
+                let lazy = run_trial(&config, source, PolicyKind::qcr_default(), seed);
+                let mat = run_trial_materialized(&config, source, PolicyKind::qcr_default(), seed);
+                assert_eq!(lazy.final_replicas, mat.final_replicas, "seed {seed}");
+                assert_eq!(lazy.label, mat.label);
+                let (a, b) = (&lazy.metrics, &mat.metrics);
+                assert_eq!(a.requests_created, b.requests_created, "seed {seed}");
+                assert_eq!(a.immediate_hits, b.immediate_hits);
+                assert_eq!(a.unfulfilled, b.unfulfilled);
+                assert_eq!(a.transmissions, b.transmissions);
+                assert_eq!(a.fulfillments(), b.fulfillments());
+                assert_eq!(a.observed_rate_series(), b.observed_rate_series());
+            }
+        }
     }
 
     #[test]

@@ -15,8 +15,13 @@
 use impatience_core::rng::{AliasTable, Xoshiro256};
 use impatience_core::types::SystemModel;
 use impatience_obs::{Recorder, Sink};
+use impatience_traces::SlotContactStream;
 
 use crate::config::SimConfig;
+
+/// RNG stream id forking slot-contact randomness off the trial seed
+/// (mirrors the continuous engine's contact-stream fork).
+const SLOT_STREAM_ID: u64 = 0xD15C_2E7E_5107_0001;
 use crate::engine::TrialOutcome;
 use crate::metrics::Metrics;
 use crate::policy::{Fulfillment, PolicyKind};
@@ -39,6 +44,23 @@ impl DiscreteSource {
     /// Total simulated time `slots·δ`.
     pub fn duration(&self) -> f64 {
         self.slots as f64 * self.delta
+    }
+
+    /// The lazy slot-contact stream for one trial: each pair meets in
+    /// each slot independently with probability `μ·δ`, sampled in
+    /// O(contacts) by geometric skipping. Runs on its own generator
+    /// forked from `rng`, so the trial's demand randomness is untouched
+    /// by how many contacts occur.
+    ///
+    /// # Panics
+    /// Panics unless `μ·δ < 1`.
+    pub fn stream(&self, rng: &mut Xoshiro256) -> SlotContactStream {
+        SlotContactStream::new(
+            self.nodes,
+            self.mu * self.delta,
+            self.slots,
+            rng.split(SLOT_STREAM_ID),
+        )
     }
 }
 
@@ -95,6 +117,7 @@ pub fn run_trial_discrete_observed<S: Sink>(
     let duration = source.duration();
 
     let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut contacts = source.stream(&mut rng);
     let mut state = SimState::new(nodes, config.items, config.rho);
     state.set_eviction(config.eviction);
     let protocol_utility = config
@@ -118,7 +141,6 @@ pub fn run_trial_discrete_observed<S: Sink>(
     let snapshot_system = SystemModel::pure_p2p(nodes, config.rho, source.mu);
     let snapshot_every = (config.bin / source.delta).max(1.0) as u64;
 
-    let p_contact = source.mu * source.delta;
     let mut requests: Vec<Vec<Request>> = vec![Vec::new(); nodes];
     let mut fulfilled: Vec<Fulfillment> = Vec::new();
 
@@ -160,48 +182,46 @@ pub fn run_trial_discrete_observed<S: Sink>(
             }
         }
 
-        // --- synchronous contacts: each pair independently w.p. μδ ---
-        for a in 0..nodes {
-            for b in (a + 1)..nodes {
-                if !rng.bernoulli(p_contact) {
-                    continue;
-                }
-                rec.contact(now, a as u32, b as u32);
-                fulfilled.clear();
-                for (n, m) in [(a, b), (b, a)] {
-                    let cache_m = &state.caches[m];
-                    requests[n].retain_mut(|r| {
-                        if cache_m.holds(r.item) {
-                            // Waited at least one slot by convention.
-                            let k = (slot - r.created_slot).max(1);
-                            fulfilled.push(Fulfillment {
-                                node: n,
-                                item: r.item,
-                                queries: r.queries + 1,
-                                wait: k as f64 * source.delta,
-                            });
-                            false
-                        } else {
-                            r.queries += 1;
-                            true
-                        }
-                    });
-                }
-                for f in &fulfilled {
-                    let server = if f.node == a { b } else { a };
-                    state.caches[server].touch(f.item);
-                    metrics.record_fulfillment(now, config.utility.h(f.wait));
-                }
-                if rec.is_active() {
-                    for f in &fulfilled {
-                        rec.fulfillment(now, f.node as u32, f.item, f.wait, f.queries as u32);
+        // --- synchronous contacts: each pair independently w.p. μδ,
+        //     drawn lazily from the slot stream in pair order ---
+        while contacts.peek_slot() == Some(slot) {
+            let c = contacts.next().expect("peeked above");
+            let (a, b) = (c.a as usize, c.b as usize);
+            rec.contact(now, c.a, c.b);
+            fulfilled.clear();
+            for (n, m) in [(a, b), (b, a)] {
+                let cache_m = &state.caches[m];
+                requests[n].retain_mut(|r| {
+                    if cache_m.holds(r.item) {
+                        // Waited at least one slot by convention.
+                        let k = (slot - r.created_slot).max(1);
+                        fulfilled.push(Fulfillment {
+                            node: n,
+                            item: r.item,
+                            queries: r.queries + 1,
+                            wait: k as f64 * source.delta,
+                        });
+                        false
+                    } else {
+                        r.queries += 1;
+                        true
                     }
-                    open_requests -= fulfilled.len() as u64;
-                }
-                let transmissions_before = state.transmissions;
-                policy_obj.after_contact(now, a, b, &mut state, &fulfilled, &mut metrics, &mut rng);
-                rec.replications(now, state.transmissions - transmissions_before);
+                });
             }
+            for f in &fulfilled {
+                let server = if f.node == a { b } else { a };
+                state.caches[server].touch(f.item);
+                metrics.record_fulfillment(now, config.utility.h(f.wait));
+            }
+            if rec.is_active() {
+                for f in &fulfilled {
+                    rec.fulfillment(now, f.node as u32, f.item, f.wait, f.queries as u32);
+                }
+                open_requests -= fulfilled.len() as u64;
+            }
+            let transmissions_before = state.transmissions;
+            policy_obj.after_contact(now, a, b, &mut state, &fulfilled, &mut metrics, &mut rng);
+            rec.replications(now, state.transmissions - transmissions_before);
         }
     }
 
@@ -226,7 +246,7 @@ pub fn run_trial_discrete_observed<S: Sink>(
     }
     TrialOutcome {
         metrics,
-        final_replicas: state.replicas.clone(),
+        final_replicas: std::mem::take(&mut state.replicas),
         label: policy.label(),
     }
 }
@@ -368,6 +388,48 @@ mod tests {
             observed.metrics.unfulfilled
         );
         assert_eq!(rec.delay.count(), rec.counters.get("fulfillments"));
+    }
+
+    #[test]
+    fn engine_contacts_equal_independent_stream_on_same_seed() {
+        // Stream/engine equivalence: the contacts the engine processes
+        // are exactly what the seed's forked slot stream yields —
+        // deriving the stream independently reproduces them bit-for-bit.
+        use impatience_obs::{Event, MemorySink, Recorder};
+
+        let config = config(10, 2);
+        let source = DiscreteSource {
+            nodes: 10,
+            mu: 0.05,
+            delta: 0.5,
+            slots: 2_000,
+        };
+        let seed = 4;
+        let mut rec = Recorder::new(MemorySink::new());
+        let _ = run_trial_discrete_observed(
+            &config,
+            &source,
+            PolicyKind::qcr_default(),
+            seed,
+            &mut rec,
+        );
+        let engine_contacts: Vec<(u32, u32, f64)> = rec
+            .sink()
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                Event::Contact { t, a, b } => Some((a, b, t)),
+                _ => None,
+            })
+            .collect();
+
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let expected: Vec<(u32, u32, f64)> = source
+            .stream(&mut rng)
+            .map(|c| (c.a, c.b, c.slot as f64 * source.delta))
+            .collect();
+        assert!(!expected.is_empty());
+        assert_eq!(engine_contacts, expected);
     }
 
     #[test]

@@ -5,10 +5,11 @@
 //! embarrassingly parallel; the runner shards them across OS threads and
 //! aggregates.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 use std::time::Instant;
 
-use impatience_obs::{Recorder, Sink};
+use impatience_obs::{MemorySink, Recorder, Sink, TallySink};
 
 use crate::config::{ContactSource, SimConfig};
 use crate::engine::{run_trial, run_trial_observed, TrialOutcome};
@@ -67,10 +68,21 @@ struct BatchTelemetry {
 
 /// Nearest-rank percentile of an unsorted sample (`q` in [0, 1]).
 pub fn percentile(values: &[f64], q: f64) -> f64 {
-    assert!(!values.is_empty(), "percentile of empty sample");
-    assert!((0.0..=1.0).contains(&q));
     let mut sorted = values.to_vec();
     sorted.sort_by(f64::total_cmp);
+    percentile_sorted(&sorted, q)
+}
+
+/// Nearest-rank percentile of an **already sorted** sample (`q` in
+/// [0, 1]). Callers taking several percentiles of one sample should sort
+/// once and use this instead of paying a clone + sort per rank.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty sample");
+    assert!((0.0..=1.0).contains(&q));
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0].total_cmp(&w[1]).is_le()),
+        "percentile_sorted needs a sorted sample"
+    );
     let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
     sorted[rank - 1]
 }
@@ -122,12 +134,16 @@ fn aggregate(
         outcomes.iter().map(|o| f(o) as f64).sum::<f64>() / trials as f64
     };
 
+    // One sort serves both percentile ranks.
+    let mut sorted_rates = rates.clone();
+    sorted_rates.sort_by(f64::total_cmp);
+
     TrialAggregate {
         label,
         trials,
         mean_rate,
-        p5_rate: percentile(&rates, 0.05),
-        p95_rate: percentile(&rates, 0.95),
+        p5_rate: percentile_sorted(&sorted_rates, 0.05),
+        p95_rate: percentile_sorted(&sorted_rates, 0.95),
         rates,
         observed_series,
         expected_series,
@@ -170,15 +186,64 @@ pub fn run_trials(
     )
 }
 
+/// Shard `trials` jobs over `workers` threads with a work-stealing
+/// counter: each idle worker claims the next unclaimed trial index, so a
+/// straggler trial never idles the rest of the pool (the weakness of the
+/// static `k += workers` striping this replaced — visible in the
+/// `worker_utilization` telemetry). Results come back in trial order;
+/// `busy` is the summed per-trial wall time.
+fn run_sharded<T: Send>(
+    trials: usize,
+    workers: usize,
+    job: &(dyn Fn(usize) -> T + Sync),
+) -> (Vec<T>, f64) {
+    let next = AtomicUsize::new(0);
+    thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let next = &next;
+            handles.push(scope.spawn(move || {
+                let mut local = Vec::new();
+                let mut busy = 0.0f64;
+                loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= trials {
+                        break;
+                    }
+                    let t0 = Instant::now();
+                    let result = job(k);
+                    busy += t0.elapsed().as_secs_f64();
+                    local.push((k, result));
+                }
+                (local, busy)
+            }));
+        }
+        let mut all: Vec<(usize, T)> = Vec::with_capacity(trials);
+        let mut busy_s = 0.0f64;
+        for handle in handles {
+            let (local, busy) = handle.join().expect("trial thread panicked");
+            all.extend(local);
+            busy_s += busy;
+        }
+        all.sort_by_key(|(k, _)| *k);
+        (all.into_iter().map(|(_, r)| r).collect(), busy_s)
+    })
+}
+
 /// [`run_trials`] with instrumentation.
 ///
-/// A live recorder implies a *serial* run: every trial feeds the caller's
-/// recorder directly, so the event stream (e.g. a JSONL trace) is
-/// complete and deterministically ordered, and merged tallies cover all
-/// trials. With a disabled recorder the batch shards across worker
-/// threads exactly as [`run_trials`] always has. Wall-clock telemetry
-/// (total, per-trial, worker utilization) is collected on both paths; its
-/// cost is one `Instant` read per trial.
+/// The batch shards across worker threads whether or not the recorder is
+/// live. Each trial runs against its own per-trial recorder (same
+/// histogram shapes as the caller's); after the join the runner absorbs
+/// the per-trial tallies into `rec` **in trial order**, so counters,
+/// peaks, and histograms are a pure function of `(config, source,
+/// policy, trials, base_seed)` — independent of worker count and
+/// scheduling. Sinks that keep their event stream
+/// ([`Sink::WANTS_EVENTS`], e.g. a JSONL trace) additionally get every
+/// trial's events replayed into `rec`'s sink in trial order, reproducing
+/// the deterministic serial stream; tally-only sinks skip event
+/// buffering entirely. Wall-clock telemetry (total, per-trial, worker
+/// utilization) is collected on every path.
 pub fn run_trials_observed<S: Sink>(
     config: &SimConfig,
     source: &ContactSource,
@@ -189,65 +254,62 @@ pub fn run_trials_observed<S: Sink>(
 ) -> TrialAggregate {
     assert!(trials > 0, "need at least one trial");
     let batch_start = Instant::now();
-
-    if rec.is_active() {
-        let mut outcomes = Vec::with_capacity(trials);
-        let mut busy_s = 0.0f64;
-        for k in 0..trials {
-            let t0 = Instant::now();
-            outcomes.push(run_trial_observed(
-                config,
-                source,
-                policy.clone(),
-                base_seed + k as u64,
-                rec,
-            ));
-            busy_s += t0.elapsed().as_secs_f64();
-        }
-        let telemetry = BatchTelemetry {
-            workers: 1,
-            wall_s: batch_start.elapsed().as_secs_f64(),
-            busy_s,
-            trials,
-        };
-        return aggregate(policy.label(), outcomes, config.warmup_fraction, telemetry);
-    }
-
     let workers = thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
         .min(trials);
-    let (outcomes, busy_s) = thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        for w in 0..workers {
-            let config = config.clone();
-            let source = source.clone();
-            let policy = policy.clone();
-            handles.push(scope.spawn(move || {
-                let mut local = Vec::new();
-                let mut busy = 0.0f64;
-                let mut k = w;
-                while k < trials {
-                    let seed = base_seed + k as u64;
-                    let t0 = Instant::now();
-                    let outcome = run_trial(&config, &source, policy.clone(), seed);
-                    busy += t0.elapsed().as_secs_f64();
-                    local.push((k, outcome));
-                    k += workers;
+
+    let (outcomes, busy_s) = if !rec.is_active() {
+        run_sharded(trials, workers, &|k| {
+            run_trial(config, source, policy.clone(), base_seed + k as u64)
+        })
+    } else {
+        let shape = (
+            rec.delay.range(),
+            rec.inter_contact.range(),
+            rec.delay.buckets(),
+        );
+        if S::WANTS_EVENTS {
+            let (results, busy_s) = run_sharded(trials, workers, &|k| {
+                let mut wrec = Recorder::with_shape(MemorySink::new(), shape.0, shape.1, shape.2);
+                let outcome = run_trial_observed(
+                    config,
+                    source,
+                    policy.clone(),
+                    base_seed + k as u64,
+                    &mut wrec,
+                );
+                (outcome, wrec)
+            });
+            let mut outcomes = Vec::with_capacity(trials);
+            for (outcome, wrec) in results {
+                rec.absorb(&wrec);
+                for event in &wrec.into_sink().events {
+                    rec.sink_mut().record(event);
                 }
-                (local, busy)
-            }));
+                outcomes.push(outcome);
+            }
+            (outcomes, busy_s)
+        } else {
+            let (results, busy_s) = run_sharded(trials, workers, &|k| {
+                let mut wrec = Recorder::with_shape(TallySink, shape.0, shape.1, shape.2);
+                let outcome = run_trial_observed(
+                    config,
+                    source,
+                    policy.clone(),
+                    base_seed + k as u64,
+                    &mut wrec,
+                );
+                (outcome, wrec)
+            });
+            let mut outcomes = Vec::with_capacity(trials);
+            for (outcome, wrec) in results {
+                rec.absorb(&wrec);
+                outcomes.push(outcome);
+            }
+            (outcomes, busy_s)
         }
-        let mut all: Vec<(usize, TrialOutcome)> = Vec::with_capacity(trials);
-        let mut busy_s = 0.0f64;
-        for handle in handles {
-            let (local, busy) = handle.join().expect("trial thread panicked");
-            all.extend(local);
-            busy_s += busy;
-        }
-        all.sort_by_key(|(k, _)| *k);
-        (all.into_iter().map(|(_, o)| o).collect::<Vec<_>>(), busy_s)
-    });
+    };
 
     let telemetry = BatchTelemetry {
         workers,
@@ -289,6 +351,23 @@ mod tests {
     #[should_panic(expected = "empty sample")]
     fn percentile_rejects_empty() {
         let _ = percentile(&[], 0.5);
+    }
+
+    #[test]
+    fn percentile_sorted_matches_percentile() {
+        let unsorted = [5.0, 1.0, 3.0, 2.0, 4.0];
+        let mut sorted = unsorted;
+        sorted.sort_by(f64::total_cmp);
+        for q in [0.0, 0.05, 0.25, 0.5, 0.75, 0.95, 1.0] {
+            assert_eq!(percentile_sorted(&sorted, q), percentile(&unsorted, q));
+        }
+        assert_eq!(percentile_sorted(&[7.0], 0.5), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn percentile_sorted_rejects_empty() {
+        let _ = percentile_sorted(&[], 0.5);
     }
 
     #[test]
@@ -351,11 +430,20 @@ mod tests {
         let mut rec = Recorder::new(TallySink);
         let observed = run_trials_observed(&config, &source, &policy, 5, 42, &mut rec);
 
-        // The serial observed run must reproduce the parallel plain run
-        // trial for trial (seeds are position-based, not worker-based).
+        // The observed run must reproduce the plain run trial for trial
+        // (seeds are position-based, not worker-based), and a live
+        // recorder no longer forces the batch serial: it uses the same
+        // worker pool as the plain run.
         assert_eq!(plain.rates, observed.rates);
         assert_eq!(plain.mean_final_replicas, observed.mean_final_replicas);
-        assert_eq!(observed.workers, 1, "live recorder implies a serial run");
+        let expected_workers = thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(5);
+        assert_eq!(
+            observed.workers, expected_workers,
+            "live recorder must use the full worker pool"
+        );
 
         // Tallies cover every trial.
         assert_eq!(rec.counters.get("trials"), 5);
@@ -372,5 +460,81 @@ mod tests {
         );
         assert!(rec.delay.count() > 0, "some contact fulfillments expected");
         assert!(rec.inter_contact.count() > 0);
+    }
+
+    #[test]
+    fn sharded_tallies_match_a_serial_reference() {
+        use impatience_obs::TallySink;
+
+        let (config, source) = quick_setup();
+        let policy = PolicyKind::qcr_default();
+
+        let mut sharded = Recorder::new(TallySink);
+        let _ = run_trials_observed(&config, &source, &policy, 6, 21, &mut sharded);
+
+        // Manual serial reference: one recorder fed trial by trial.
+        let mut serial = Recorder::new(TallySink);
+        for k in 0..6u64 {
+            let _ = run_trial_observed(&config, &source, policy.clone(), 21 + k, &mut serial);
+        }
+
+        assert_eq!(sharded.counters, serial.counters);
+        assert_eq!(sharded.peaks, serial.peaks);
+        // Histograms: bucket counts, totals, and extremes are exact; the
+        // running f64 sum may differ in association order by a few ULPs.
+        assert_eq!(sharded.delay.count(), serial.delay.count());
+        assert_eq!(sharded.delay.min(), serial.delay.min());
+        assert_eq!(sharded.delay.max(), serial.delay.max());
+        assert_eq!(sharded.delay.quantile(0.5), serial.delay.quantile(0.5));
+        assert_eq!(sharded.inter_contact.count(), serial.inter_contact.count());
+        assert_eq!(
+            sharded.inter_contact.quantile(0.95),
+            serial.inter_contact.quantile(0.95)
+        );
+        let (a, b) = (sharded.delay.mean().unwrap(), serial.delay.mean().unwrap());
+        assert!((a - b).abs() <= 1e-12 * b.abs().max(1.0), "{a} vs {b}");
+    }
+
+    #[test]
+    fn event_sinks_receive_the_serial_stream_in_trial_order() {
+        use impatience_obs::{Event, MemorySink};
+
+        let (config, source) = quick_setup();
+        let policy = PolicyKind::qcr_default();
+
+        let mut parallel = Recorder::new(MemorySink::new());
+        let _ = run_trials_observed(&config, &source, &policy, 4, 33, &mut parallel);
+
+        let mut serial = Recorder::new(MemorySink::new());
+        for k in 0..4u64 {
+            let _ = run_trial_observed(&config, &source, policy.clone(), 33 + k, &mut serial);
+        }
+
+        // Event-for-event identical to the serial stream: per-worker
+        // buffers are flushed in trial order after the join. TrialDone
+        // carries real wall time, so normalize it before comparing.
+        let normalize = |events: &[Event]| -> Vec<Event> {
+            events
+                .iter()
+                .map(|e| match *e {
+                    Event::TrialDone { seed, .. } => Event::TrialDone { seed, wall_s: 0.0 },
+                    ref other => other.clone(),
+                })
+                .collect()
+        };
+        assert_eq!(
+            normalize(&parallel.sink().events),
+            normalize(&serial.sink().events)
+        );
+        let seeds: Vec<u64> = parallel
+            .sink()
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                Event::TrialDone { seed, .. } => Some(seed),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(seeds, vec![33, 34, 35, 36]);
     }
 }

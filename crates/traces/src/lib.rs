@@ -43,6 +43,7 @@ pub mod gen;
 mod import;
 mod io;
 mod stats;
+mod stream;
 mod synth;
 mod trace;
 
@@ -50,6 +51,9 @@ pub use event::ContactEvent;
 pub use import::{read_interval_trace, ImportOptions, IntervalColumns};
 pub use io::{read_trace, read_trace_json, write_trace, write_trace_json, TraceIoError};
 pub use stats::TraceStats;
+pub use stream::{
+    pair_from_index, ContactStream, PoissonContactStream, SlotContact, SlotContactStream,
+};
 pub use synth::resynthesize_memoryless;
 pub use trace::ContactTrace;
 
@@ -59,6 +63,7 @@ pub mod prelude {
         poisson_from_rates, poisson_homogeneous, ConferenceConfig, VehicularConfig,
     };
     pub use crate::{
-        read_trace, resynthesize_memoryless, write_trace, ContactEvent, ContactTrace, TraceStats,
+        read_trace, resynthesize_memoryless, write_trace, ContactEvent, ContactStream,
+        ContactTrace, TraceStats,
     };
 }

@@ -75,8 +75,9 @@ POLICIES:       qcr | qcr-no-routing | opt | uni | sqrt | prop | dom | passive
 OBSERVABILITY:
   --trace-out FILE   write a JSONL event trace; a run manifest (config,
                      seeds, git revision, wall time, percentiles) lands at
-                     FILE with extension .manifest.json. Implies a serial
-                     run so the event stream is complete and ordered.
+                     FILE with extension .manifest.json. Trials still run
+                     on all workers; events are flushed in trial order, so
+                     the stream is complete, ordered, and deterministic.
   --verbose          print counters, percentiles, and solver/worker
                      telemetry after the run
 
@@ -421,7 +422,8 @@ fn simulate(args: &Args) -> Result<(), String> {
             (agg, Some(stats))
         }
         None if verbose => {
-            // Tallies without the event stream (implies a serial run).
+            // Tallies without the event stream (runs on all workers;
+            // per-trial tallies merge deterministically in trial order).
             let mut rec = Recorder::new(TallySink);
             let agg = run_trials_observed(&config, &source, &policy, trials, seed, &mut rec);
             (agg, Some(rec.summary_json()))

@@ -168,6 +168,59 @@ fn manifest_roundtrips_with_summary() {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The parallel observed batch (sharded per-trial recorders, merged
+    /// in trial order) must reproduce the tallies of a plain serial loop
+    /// over the same seeds: counters and peaks bit-for-bit, histogram
+    /// bucket counts / extrema / quantiles exactly, means to float
+    /// round-off (the merge adds per-trial partial sums in a different
+    /// association order than serial recording).
+    #[test]
+    fn sharded_observed_batch_matches_serial_recorder(
+        trials in 1usize..5,
+        base_seed in 0u64..500,
+    ) {
+        let (config, source) = small_sim();
+        let policy = PolicyKind::qcr_default();
+
+        let mut serial = Recorder::new(TallySink);
+        for k in 0..trials {
+            let _ = run_trial_observed(
+                &config, &source, policy.clone(), base_seed + k as u64, &mut serial,
+            );
+        }
+
+        let mut sharded = Recorder::new(TallySink);
+        let agg = impatience_sim::runner::run_trials_observed(
+            &config, &source, &policy, trials, base_seed, &mut sharded,
+        );
+        prop_assert_eq!(agg.trials, trials);
+
+        prop_assert_eq!(&sharded.counters, &serial.counters);
+        prop_assert_eq!(&sharded.peaks, &serial.peaks);
+        for (merged, reference) in [
+            (&sharded.delay, &serial.delay),
+            (&sharded.inter_contact, &serial.inter_contact),
+        ] {
+            prop_assert_eq!(merged.count(), reference.count());
+            prop_assert_eq!(merged.min(), reference.min());
+            prop_assert_eq!(merged.max(), reference.max());
+            for q in [0.05, 0.5, 0.95] {
+                prop_assert_eq!(merged.quantile(q), reference.quantile(q));
+            }
+            match (merged.mean(), reference.mean()) {
+                (Some(a), Some(b)) => prop_assert!(
+                    (a - b).abs() <= 1e-12 * b.abs().max(1.0),
+                    "means diverged: {} vs {}", a, b
+                ),
+                (a, b) => prop_assert_eq!(a, b),
+            }
+        }
+    }
+}
+
+proptest! {
     /// Counter merging is associative and commutative: any grouping of
     /// per-worker tallies folds to the same totals.
     #[test]

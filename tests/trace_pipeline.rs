@@ -125,6 +125,91 @@ fn synthesized_trace_preserves_opt_quality_but_not_burstiness() {
 }
 
 #[test]
+fn streaming_matches_materialized_on_a_fixed_imported_trace() {
+    // The zero-copy cursor (`run_trial`) and the realize-then-replay
+    // reference (`run_trial_materialized`) must produce bit-for-bit the
+    // same outcome on a trace that went through the full on-disk
+    // round-trip, across several seeds.
+    use impatience_sim::engine::{run_trial, run_trial_materialized};
+    let mut rng = Xoshiro256::seed_from_u64(11);
+    let original = small_conference(&mut rng);
+    let mut bytes = Vec::new();
+    write_trace(&original, &mut bytes).unwrap();
+    let loaded = read_trace(bytes.as_slice()).unwrap();
+
+    let utility: Arc<dyn DelayUtility> = Arc::new(Step::new(60.0));
+    let config = SimConfig::builder(15, 3)
+        .demand(Popularity::pareto(15, 1.0).demand_rates(1.0))
+        .profile(DemandProfile::uniform(15, loaded.nodes()))
+        .utility(utility)
+        .bin(60.0)
+        .build();
+    let source = ContactSource::trace(loaded);
+    for seed in [1u64, 9, 42] {
+        let lazy = run_trial(&config, &source, PolicyKind::qcr_default(), seed);
+        let mat = run_trial_materialized(&config, &source, PolicyKind::qcr_default(), seed);
+        assert_eq!(lazy.final_replicas, mat.final_replicas, "seed {seed}");
+        assert_eq!(lazy.label, mat.label);
+        assert_eq!(
+            lazy.metrics.requests_created, mat.metrics.requests_created,
+            "seed {seed}"
+        );
+        assert_eq!(lazy.metrics.immediate_hits, mat.metrics.immediate_hits);
+        assert_eq!(lazy.metrics.unfulfilled, mat.metrics.unfulfilled);
+        assert_eq!(lazy.metrics.transmissions, mat.metrics.transmissions);
+        assert_eq!(lazy.metrics.fulfillments(), mat.metrics.fulfillments());
+        assert_eq!(
+            lazy.metrics.observed_rate_series(),
+            mat.metrics.observed_rate_series(),
+            "seed {seed}: observed series diverged"
+        );
+    }
+}
+
+#[test]
+fn discrete_contact_sequence_is_policy_independent() {
+    // The slotted engine's contacts come from a generator forked off the
+    // trial RNG (`DiscreteSource::stream`), so the contact trajectory is
+    // a function of the seed alone: two runs with different policies —
+    // which consume different amounts of demand randomness — must still
+    // see the identical contact sequence. This is the determinism
+    // contract that lets the lazy geometric-skipping sampler replace the
+    // dense per-pair Bernoulli scan.
+    use impatience_core::prelude::uniform;
+    use impatience_obs::{Event, MemorySink, Recorder};
+    use impatience_sim::engine_discrete::{run_trial_discrete_observed, DiscreteSource};
+
+    let utility: Arc<dyn DelayUtility> = Arc::new(Step::new(10.0));
+    let config = SimConfig::builder(12, 2)
+        .demand(Popularity::pareto(12, 1.0).demand_rates(1.0))
+        .utility(utility)
+        .bin(50.0)
+        .build();
+    let source = DiscreteSource {
+        nodes: 12,
+        mu: 0.05,
+        delta: 0.5,
+        slots: 2_000,
+    };
+    let contacts_under = |policy: PolicyKind| -> Vec<Event> {
+        let mut rec = Recorder::new(MemorySink::new());
+        run_trial_discrete_observed(&config, &source, policy, 7, &mut rec);
+        rec.into_sink()
+            .events
+            .into_iter()
+            .filter(|e| matches!(e, Event::Contact { .. }))
+            .collect()
+    };
+    let qcr = contacts_under(PolicyKind::qcr_default());
+    let uni = contacts_under(PolicyKind::Static {
+        label: "UNI",
+        counts: uniform(12, 12, 2),
+    });
+    assert!(!qcr.is_empty(), "no contacts recorded");
+    assert_eq!(qcr, uni, "contact sequence must not depend on the policy");
+}
+
+#[test]
 fn select_most_active_matches_paper_preprocessing() {
     // §6.3 keeps the 50 best-covered of 73 participants. Emulate on a
     // smaller population and check the kept nodes really are the busiest.

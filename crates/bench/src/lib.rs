@@ -38,7 +38,7 @@ use impatience_core::types::SystemModel;
 use impatience_core::utility::DelayUtility;
 use impatience_core::welfare::HeterogeneousSystem;
 use impatience_json::Json;
-use impatience_obs::Manifest;
+use impatience_obs::{AtomicFile, Manifest};
 use impatience_sim::config::{ContactSource, SimConfig};
 use impatience_sim::policy::PolicyKind;
 use impatience_sim::runner::{run_trials, TrialAggregate};
@@ -94,6 +94,10 @@ impl RunOptions {
 /// Write CSV rows (first row = header) to `<out_dir>/<name>.csv`,
 /// creating the directory if needed, and echo the path.
 ///
+/// The CSV commits atomically (write-temp-then-rename), so a crashed or
+/// killed experiment never leaves a truncated results file behind — at
+/// worst the previous version survives untouched.
+///
 /// Every CSV gets a `.manifest.json` sibling recording provenance: the
 /// producing binary and its arguments, git revision, creation time,
 /// header, and row count — enough to tell which code produced a results
@@ -101,11 +105,12 @@ impl RunOptions {
 pub fn write_csv(out_dir: &Path, name: &str, header: &str, rows: &[String]) {
     fs::create_dir_all(out_dir).expect("cannot create output directory");
     let path = out_dir.join(format!("{name}.csv"));
-    let mut f = fs::File::create(&path).expect("cannot create CSV file");
+    let mut f = AtomicFile::create(&path).expect("cannot create CSV file");
     writeln!(f, "{header}").unwrap();
     for row in rows {
         writeln!(f, "{row}").unwrap();
     }
+    f.commit().expect("cannot commit CSV file");
     println!("wrote {}", path.display());
 
     let argv: Vec<String> = std::env::args().collect();

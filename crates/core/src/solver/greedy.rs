@@ -13,7 +13,7 @@ use std::time::Instant;
 
 use impatience_obs::{Recorder, Sink};
 
-use super::HeapKey;
+use super::{HeapKey, SolverError};
 use crate::allocation::ReplicaCounts;
 use crate::demand::DemandRates;
 use crate::types::SystemModel;
@@ -98,6 +98,16 @@ pub fn greedy_homogeneous(
     greedy_homogeneous_observed(system, demand, utility, &mut Recorder::disabled())
 }
 
+/// [`greedy_homogeneous`] returning a typed [`SolverError`] instead of
+/// panicking on invalid inputs.
+pub fn try_greedy_homogeneous(
+    system: &SystemModel,
+    demand: &DemandRates,
+    utility: &dyn DelayUtility,
+) -> Result<ReplicaCounts, SolverError> {
+    try_greedy_homogeneous_observed(system, demand, utility, &mut Recorder::disabled())
+}
+
 /// [`greedy_homogeneous`] with instrumentation: each placement emits a
 /// `solver_step` carrying the marginal gain taken (the full marginal-gain
 /// trajectory, non-increasing by concavity), and a final `solver_done`
@@ -109,17 +119,31 @@ pub fn greedy_homogeneous_observed<S: Sink>(
     utility: &dyn DelayUtility,
     rec: &mut Recorder<S>,
 ) -> ReplicaCounts {
-    assert!(
-        !(utility.requires_dedicated() && system.population.is_pure_p2p()),
-        "{} has h(0+)=∞ and requires a dedicated-node population",
-        utility.kind()
-    );
+    match try_greedy_homogeneous_observed(system, demand, utility, rec) {
+        Ok(counts) => counts,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`greedy_homogeneous_observed`] returning a typed [`SolverError`]
+/// instead of panicking on invalid inputs.
+pub fn try_greedy_homogeneous_observed<S: Sink>(
+    system: &SystemModel,
+    demand: &DemandRates,
+    utility: &dyn DelayUtility,
+    rec: &mut Recorder<S>,
+) -> Result<ReplicaCounts, SolverError> {
+    if utility.requires_dedicated() && system.population.is_pure_p2p() {
+        return Err(SolverError::RequiresDedicated {
+            utility: utility.kind().to_string(),
+        });
+    }
     let items = demand.items();
     let servers = system.servers();
     let mut counts = ReplicaCounts::zero(items, servers);
     let budget = system.total_slots();
     if budget == 0 || servers == 0 {
-        return counts;
+        return Ok(counts);
     }
 
     // Key: d_i·ΔG_i(x). Infinite marginals (first replica under a
@@ -161,7 +185,7 @@ pub fn greedy_homogeneous_observed<S: Sink>(
             start.elapsed().as_secs_f64(),
         );
     }
-    counts
+    Ok(counts)
 }
 
 /// Brute-force optimum by exhaustive enumeration — exponential, for tiny

@@ -18,6 +18,47 @@ pub mod greedy;
 pub mod het_greedy;
 pub mod relaxed;
 
+/// A solver instance rejected before (or while) solving.
+///
+/// The panicking entry points ([`greedy::greedy_homogeneous`],
+/// [`relaxed::relaxed_optimum`], …) forward these `Display` strings
+/// verbatim; fallible callers use the `try_*` variants instead.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolverError {
+    /// The utility has `h(0⁺) = ∞` but the population is pure P2P, so
+    /// zero-replica items would contribute `−∞` welfare.
+    RequiresDedicated {
+        /// The utility family's name.
+        utility: String,
+    },
+    /// Every demand rate is zero: the welfare surface is flat and no
+    /// water level exists.
+    NoDemand,
+    /// The water-level search could not bracket the budget constraint —
+    /// demand rates are so extreme the level left `[1e-300, 1e300]`.
+    BracketFailed {
+        /// Which side escaped ("above" or "below").
+        bound: &'static str,
+    },
+}
+
+impl std::fmt::Display for SolverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverError::RequiresDedicated { utility } => write!(
+                f,
+                "{utility} has h(0+)=∞ and requires a dedicated-node population"
+            ),
+            SolverError::NoDemand => write!(f, "no demand at all: every rate is zero"),
+            SolverError::BracketFailed { bound } => {
+                write!(f, "failed to bracket the water level from {bound}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
 /// Totally ordered `f64` key with tie-breakers, for solver heaps.
 ///
 /// NaN keys are rejected at construction so the ordering is total in

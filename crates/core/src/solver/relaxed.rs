@@ -21,6 +21,7 @@ use std::time::Instant;
 
 use impatience_obs::{Recorder, Sink};
 
+use super::SolverError;
 use crate::demand::DemandRates;
 use crate::numeric::bisect;
 use crate::types::SystemModel;
@@ -113,6 +114,16 @@ pub fn relaxed_optimum(
     relaxed_optimum_observed(system, demand, utility, &mut Recorder::disabled())
 }
 
+/// [`relaxed_optimum`] returning a typed [`SolverError`] instead of
+/// panicking on invalid inputs.
+pub fn try_relaxed_optimum(
+    system: &SystemModel,
+    demand: &DemandRates,
+    utility: &dyn DelayUtility,
+) -> Result<RelaxedAllocation, SolverError> {
+    try_relaxed_optimum_observed(system, demand, utility, &mut Recorder::disabled())
+}
+
 /// [`relaxed_optimum`] with instrumentation: `solver_done` reports how
 /// many water-level probes the outer bisection needed (iterations) and
 /// how many φ-inversions they cost (evaluations); a final `solver_step`
@@ -125,22 +136,39 @@ pub fn relaxed_optimum_observed<S: Sink>(
     utility: &dyn DelayUtility,
     rec: &mut Recorder<S>,
 ) -> RelaxedAllocation {
-    assert!(
-        !(utility.requires_dedicated() && system.population.is_pure_p2p()),
-        "{} requires a dedicated-node population",
-        utility.kind()
-    );
+    match try_relaxed_optimum_observed(system, demand, utility, rec) {
+        Ok(allocation) => allocation,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`relaxed_optimum_observed`] returning a typed [`SolverError`]
+/// instead of panicking on invalid inputs or a failed water-level
+/// bracket.
+pub fn try_relaxed_optimum_observed<S: Sink>(
+    system: &SystemModel,
+    demand: &DemandRates,
+    utility: &dyn DelayUtility,
+    rec: &mut Recorder<S>,
+) -> Result<RelaxedAllocation, SolverError> {
+    if utility.requires_dedicated() && system.population.is_pure_p2p() {
+        return Err(SolverError::RequiresDedicated {
+            utility: utility.kind().to_string(),
+        });
+    }
     let items = demand.items();
     let s = system.servers() as f64;
     let mu = system.contact_rate;
     let budget = system.total_slots() as f64;
-    assert!(demand.rates().iter().any(|&d| d > 0.0), "no demand at all");
+    if !demand.rates().iter().any(|&d| d > 0.0) {
+        return Err(SolverError::NoDemand);
+    }
 
     if budget == 0.0 || s == 0.0 {
-        return RelaxedAllocation {
+        return Ok(RelaxedAllocation {
             x: vec![0.0; items],
             level: f64::INFINITY,
-        };
+        });
     }
     // If the budget covers the whole catalog at the cap, saturate.
     let demanded: Vec<usize> = (0..items).filter(|&i| demand.rate(i) > 0.0).collect();
@@ -152,13 +180,13 @@ pub fn relaxed_optimum_observed<S: Sink>(
         for &i in &demanded {
             x[i] = s;
         }
-        return RelaxedAllocation {
+        return Ok(RelaxedAllocation {
             x,
             level: demanded
                 .iter()
                 .map(|&i| demand.rate(i) * phi_cap)
                 .fold(f64::INFINITY, f64::min),
-        };
+        });
     }
     let phi_floor = utility.phi(X_FLOOR, mu);
 
@@ -177,11 +205,15 @@ pub fn relaxed_optimum_observed<S: Sink>(
     let mut hi = 1.0;
     while total_at(hi) > budget {
         hi *= 4.0;
-        assert!(hi < 1e300, "failed to bracket the water level from above");
+        if hi >= 1e300 {
+            return Err(SolverError::BracketFailed { bound: "above" });
+        }
     }
     while total_at(lo) < budget {
         lo /= 4.0;
-        assert!(lo > 1e-300, "failed to bracket the water level from below");
+        if lo <= 1e-300 {
+            return Err(SolverError::BracketFailed { bound: "below" });
+        }
     }
     let level = bisect(|l| total_at(l) - budget, lo, hi, 0.0)
         .expect("total_at is monotone decreasing in the level");
@@ -206,7 +238,7 @@ pub fn relaxed_optimum_observed<S: Sink>(
             start.elapsed().as_secs_f64(),
         );
     }
-    RelaxedAllocation { x, level }
+    Ok(RelaxedAllocation { x, level })
 }
 
 /// Projected-gradient ascent on the relaxed problem — the "gradient

@@ -179,11 +179,13 @@ impl Parser<'_> {
             }
             if self.pos > start {
                 // Input is valid UTF-8 and we only stopped on ASCII
-                // delimiters, so the run is a valid str slice.
-                out.push_str(
-                    std::str::from_utf8(&self.bytes[start..self.pos])
-                        .expect("str input slices on ASCII boundaries"),
-                );
+                // delimiters, so the run is a valid str slice; report a
+                // positioned parse error rather than panic if that
+                // invariant ever breaks.
+                match std::str::from_utf8(&self.bytes[start..self.pos]) {
+                    Ok(run) => out.push_str(run),
+                    Err(_) => return Err(self.err("invalid UTF-8 in string")),
+                }
             }
             match self.peek() {
                 None => return Err(self.err("unterminated string")),
@@ -289,8 +291,10 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        let text =
-            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number spans are ASCII");
+        // Number spans are ASCII by construction; degrade to a
+        // positioned parse error instead of panicking if not.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid UTF-8 in number"))?;
         if !is_float {
             if let Ok(n) = text.parse::<i64>() {
                 return Ok(Json::Int(n));

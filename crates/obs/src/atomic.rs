@@ -1,0 +1,151 @@
+//! Crash-safe file output: write-temp-then-rename.
+//!
+//! Every results artifact in the workspace (JSONL event traces,
+//! manifests, CSV tables, campaign checkpoints) is committed through
+//! [`AtomicFile`]: bytes accumulate in `<path>.tmp~` and the final
+//! `rename` publishes them in one step. A crash mid-write leaves the
+//! previous version of the file (or nothing) plus an orphaned temp file
+//! — never a torn artifact that parses halfway.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Suffix appended to the destination name while writing.
+const TMP_SUFFIX: &str = ".tmp~";
+
+/// A file that becomes visible at its destination only on [`commit`].
+///
+/// Implements [`Write`] (buffered). Dropping without committing removes
+/// the temp file, so an aborted writer leaves no partial output behind.
+///
+/// [`commit`]: AtomicFile::commit
+#[derive(Debug)]
+pub struct AtomicFile {
+    dest: PathBuf,
+    tmp: PathBuf,
+    writer: Option<BufWriter<File>>,
+}
+
+impl AtomicFile {
+    /// Start writing the file that will land at `dest`.
+    pub fn create(dest: impl Into<PathBuf>) -> io::Result<AtomicFile> {
+        let dest = dest.into();
+        let mut name = dest
+            .file_name()
+            .ok_or_else(|| io::Error::other("atomic write needs a file name"))?
+            .to_os_string();
+        name.push(TMP_SUFFIX);
+        let tmp = dest.with_file_name(name);
+        let writer = BufWriter::new(File::create(&tmp)?);
+        Ok(AtomicFile {
+            dest,
+            tmp,
+            writer: Some(writer),
+        })
+    }
+
+    /// The destination path.
+    pub fn dest(&self) -> &Path {
+        &self.dest
+    }
+
+    /// Flush, sync to disk, and atomically publish at the destination.
+    pub fn commit(mut self) -> io::Result<()> {
+        let writer = self
+            .writer
+            .take()
+            .ok_or_else(|| io::Error::other("atomic file already committed"))?;
+        let file = writer
+            .into_inner()
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        // Durability before visibility: the rename must not outrun the
+        // data hitting the disk, or a crash could publish an empty file.
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&self.tmp, &self.dest)
+    }
+
+    fn inner(&mut self) -> io::Result<&mut BufWriter<File>> {
+        self.writer
+            .as_mut()
+            .ok_or_else(|| io::Error::other("atomic file already committed"))
+    }
+}
+
+impl Write for AtomicFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.inner()?.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner()?.flush()
+    }
+}
+
+impl Drop for AtomicFile {
+    fn drop(&mut self) {
+        if self.writer.take().is_some() {
+            // Abandoned without commit: clean up the temp file.
+            let _ = std::fs::remove_file(&self.tmp);
+        }
+    }
+}
+
+/// Write `bytes` to `path` atomically in one call.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut f = AtomicFile::create(path)?;
+    f.write_all(bytes)?;
+    f.commit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("impatience-obs-atomic-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn commit_publishes_and_removes_temp() {
+        let dest = scratch("commit.txt");
+        let _ = std::fs::remove_file(&dest);
+        let mut f = AtomicFile::create(&dest).unwrap();
+        f.write_all(b"hello\n").unwrap();
+        let tmp = dest.with_file_name("commit.txt.tmp~");
+        assert!(tmp.exists(), "temp file present before commit");
+        assert!(!dest.exists(), "destination absent before commit");
+        f.commit().unwrap();
+        assert_eq!(std::fs::read_to_string(&dest).unwrap(), "hello\n");
+        assert!(!tmp.exists(), "temp file gone after commit");
+        std::fs::remove_file(&dest).ok();
+    }
+
+    #[test]
+    fn drop_without_commit_leaves_previous_version() {
+        let dest = scratch("abort.txt");
+        std::fs::write(&dest, "old").unwrap();
+        {
+            let mut f = AtomicFile::create(&dest).unwrap();
+            f.write_all(b"new half-written").unwrap();
+            // dropped here: simulated crash before commit
+        }
+        assert_eq!(std::fs::read_to_string(&dest).unwrap(), "old");
+        assert!(
+            !dest.with_file_name("abort.txt.tmp~").exists(),
+            "temp cleaned up on drop"
+        );
+        std::fs::remove_file(&dest).ok();
+    }
+
+    #[test]
+    fn write_atomic_one_shot() {
+        let dest = scratch("oneshot.json");
+        write_atomic(&dest, b"{}\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&dest).unwrap(), "{}\n");
+        std::fs::remove_file(&dest).ok();
+    }
+}

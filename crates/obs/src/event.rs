@@ -105,6 +105,19 @@ pub enum Event {
         /// Wall-clock seconds.
         wall_s: f64,
     },
+    /// An injected fault fired (see `impatience-sim`'s fault model).
+    Fault {
+        /// Simulation time.
+        t: f64,
+        /// Fault kind: `"contact_drop"`, `"node_down"`, `"node_up"`,
+        /// `"cache_fault"`, or `"trace_truncated"`.
+        kind: &'static str,
+        /// The primary node affected.
+        node: u32,
+        /// Kind-specific detail: the peer for contact faults, the item
+        /// lost for cache faults, 0 otherwise.
+        aux: u32,
+    },
 }
 
 impl Event {
@@ -121,6 +134,7 @@ impl Event {
             Event::SolverDone { .. } => "solver_done",
             Event::Span { .. } => "span",
             Event::TrialDone { .. } => "trial_done",
+            Event::Fault { .. } => "fault",
         }
     }
 
@@ -197,6 +211,12 @@ impl Event {
                 push("seed", seed.into());
                 push("wall_s", wall_s.into());
             }
+            Event::Fault { t, kind, node, aux } => {
+                push("t", t.into());
+                push("kind", kind.into());
+                push("node", node.into());
+                push("aux", aux.into());
+            }
         }
         Json::Object(pairs)
     }
@@ -271,6 +291,12 @@ mod tests {
             Event::TrialDone {
                 seed: 7,
                 wall_s: 0.5,
+            },
+            Event::Fault {
+                t: 3.0,
+                kind: "contact_drop",
+                node: 4,
+                aux: 9,
             },
         ];
         for e in events {

@@ -33,7 +33,9 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 #![deny(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod atomic;
 pub mod counter;
 pub mod event;
 pub mod histogram;
@@ -41,6 +43,7 @@ pub mod manifest;
 pub mod recorder;
 pub mod sink;
 
+pub use atomic::{write_atomic, AtomicFile};
 pub use counter::{Counters, Peaks};
 pub use event::Event;
 pub use histogram::Histogram;
@@ -50,6 +53,7 @@ pub use sink::{JsonlSink, MemorySink, NoopSink, Sink, TallySink};
 
 /// The common imports: `use impatience_obs::prelude::*;`.
 pub mod prelude {
+    pub use crate::atomic::{write_atomic, AtomicFile};
     pub use crate::counter::{Counters, Peaks};
     pub use crate::event::Event;
     pub use crate::histogram::Histogram;

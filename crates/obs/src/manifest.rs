@@ -1,6 +1,5 @@
 //! Per-run manifests: provenance for every results artifact.
 
-use std::io::Write;
 use std::path::Path;
 use std::process::Command;
 use std::time::{SystemTime, UNIX_EPOCH};
@@ -54,12 +53,12 @@ impl Manifest {
         Json::Object(self.fields.clone())
     }
 
-    /// Write to `path` (pretty-enough single object plus newline).
+    /// Write to `path` (single object plus newline), atomically: the
+    /// manifest appears fully written or not at all, never torn.
     pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
-        let mut file = std::fs::File::create(path)?;
         let mut text = self.to_json().to_string();
         text.push('\n');
-        file.write_all(text.as_bytes())
+        crate::atomic::write_atomic(path, text.as_bytes())
     }
 
     /// The conventional sibling path for a results file:

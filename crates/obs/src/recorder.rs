@@ -238,6 +238,16 @@ impl<S: Sink> Recorder<S> {
         result
     }
 
+    /// An injected fault fired (`kind` per [`Event::Fault`]).
+    #[inline]
+    pub fn fault(&mut self, t: f64, kind: &'static str, node: u32, aux: u32) {
+        if !S::ACTIVE {
+            return;
+        }
+        self.counters.incr("faults");
+        self.sink.record(&Event::Fault { t, kind, node, aux });
+    }
+
     /// A trial finished.
     #[inline]
     pub fn trial_done(&mut self, seed: u64, wall_s: f64) {

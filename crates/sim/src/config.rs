@@ -1,11 +1,137 @@
 //! Simulation configuration.
 
+use std::fmt;
 use std::sync::Arc;
 
 use impatience_core::demand::{DemandProfile, DemandRates, Popularity};
 use impatience_core::rng::Xoshiro256;
 use impatience_core::utility::{DelayUtility, Step};
 use impatience_traces::{ContactStream, ContactTrace};
+
+use crate::faults::FaultConfig;
+
+/// A rejected simulation configuration: what is wrong and with which
+/// value, surfaced at construction/validation time instead of a panic
+/// mid-campaign. The `Display` strings are stable — the panicking
+/// [`SimConfig::validate`] forwards them verbatim.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// A rates/profile vector disagrees with the catalog size.
+    CatalogMismatch {
+        /// Which input ("demand", "profile", "shifted demand").
+        what: &'static str,
+        /// The catalog size |I|.
+        expected: usize,
+        /// The offending vector's width.
+        found: usize,
+    },
+    /// The catalog is empty.
+    ZeroItems,
+    /// A demand rate is negative or non-finite.
+    InvalidDemand {
+        /// Item index of the offending rate.
+        item: usize,
+        /// The offending value.
+        rate: f64,
+    },
+    /// The dedicated-server split does not fit the population.
+    InvalidPopulation {
+        /// Configured server count.
+        servers: usize,
+        /// Population size.
+        nodes: usize,
+    },
+    /// The demand profile's node count disagrees with the client count.
+    ProfileWidth {
+        /// Expected client count.
+        expected: usize,
+        /// The profile's node count.
+        found: usize,
+    },
+    /// The utility has `h(0⁺) = ∞` but the population is pure P2P.
+    RequiresDedicated {
+        /// The utility family's name.
+        utility: String,
+    },
+    /// A demand shift is malformed.
+    InvalidShift {
+        /// What is wrong.
+        message: String,
+    },
+    /// Non-positive metrics bin width.
+    InvalidBin {
+        /// The offending value.
+        bin: f64,
+    },
+    /// Warm-up fraction outside `[0, 0.9)`.
+    InvalidWarmup {
+        /// The offending value.
+        fraction: f64,
+    },
+    /// The global cache budget `ρ·|S|` overflows.
+    CacheOverflow {
+        /// Per-server capacity ρ.
+        rho: usize,
+        /// Server count |S|.
+        servers: usize,
+    },
+    /// A contact-source parameter (μ, duration, node count) is invalid.
+    InvalidRate {
+        /// What is wrong.
+        message: String,
+    },
+    /// A fault-model parameter is invalid.
+    InvalidFaults {
+        /// What is wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::CatalogMismatch {
+                what,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{what} catalog size mismatch (catalog {expected}, got {found})"
+            ),
+            ConfigError::ZeroItems => write!(f, "catalog must contain at least one item"),
+            ConfigError::InvalidDemand { item, rate } => write!(
+                f,
+                "demand rate of item {item} must be finite and ≥ 0 (got {rate})"
+            ),
+            ConfigError::InvalidPopulation { servers, nodes } => write!(
+                f,
+                "dedicated population needs 1 ≤ servers < nodes (got {servers} of {nodes})"
+            ),
+            ConfigError::ProfileWidth { expected, found } => write!(
+                f,
+                "profile node count must equal the client count ({expected}, got {found})"
+            ),
+            ConfigError::RequiresDedicated { utility } => write!(
+                f,
+                "{utility} has h(0+)=∞; use a dedicated population (SimConfig::dedicated_servers)"
+            ),
+            ConfigError::InvalidShift { message } => write!(f, "{message}"),
+            ConfigError::InvalidBin { bin } => {
+                write!(f, "bin width must be positive (got {bin})")
+            }
+            ConfigError::InvalidWarmup { fraction } => {
+                write!(f, "warm-up fraction must be in [0, 0.9) (got {fraction})")
+            }
+            ConfigError::CacheOverflow { rho, servers } => {
+                write!(f, "global cache budget ρ·|S| = {rho}·{servers} overflows")
+            }
+            ConfigError::InvalidRate { message } => write!(f, "{message}"),
+            ConfigError::InvalidFaults { message } => write!(f, "fault model: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// RNG stream id for forking contact randomness off a trial seed: the
 /// contact stream draws from its own generator so lazily interleaving
@@ -98,6 +224,37 @@ impl ContactSource {
         }
     }
 
+    /// Validate the source parameters (node count, rate, duration) as a
+    /// typed [`ConfigError`] — the CLI's entry gate for user-supplied μ.
+    pub fn try_validate(&self) -> Result<(), ConfigError> {
+        let err = |message: String| Err(ConfigError::InvalidRate { message });
+        match self {
+            ContactSource::Homogeneous {
+                nodes,
+                mu,
+                duration,
+            } => {
+                if *nodes < 2 {
+                    return err(format!("need at least 2 nodes (got {nodes})"));
+                }
+                if !(mu.is_finite() && *mu >= 0.0) {
+                    return err(format!("contact rate μ must be finite and ≥ 0 (got {mu})"));
+                }
+                if !(duration.is_finite() && *duration > 0.0) {
+                    return err(format!(
+                        "duration must be positive and finite (got {duration})"
+                    ));
+                }
+            }
+            ContactSource::Trace(t) => {
+                if t.nodes() < 2 {
+                    return err(format!("trace needs at least 2 nodes (got {})", t.nodes()));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Materialize the contact events for one trial by draining
     /// [`ContactSource::stream`] — the same events the lazy path yields,
     /// collected into a trace (the regression-reference pipeline).
@@ -150,6 +307,8 @@ pub struct SimConfig {
     /// Cache-eviction rule (the paper's model is random replacement;
     /// alternatives are ablation hooks).
     pub eviction: crate::state::EvictionPolicy,
+    /// Fault-injection model (`None` = the clean network).
+    pub faults: Option<FaultConfig>,
 }
 
 impl SimConfig {
@@ -170,6 +329,7 @@ impl SimConfig {
             demand_shifts: Vec::new(),
             protocol_utility: None,
             eviction: crate::state::EvictionPolicy::Random,
+            faults: None,
         }
     }
 
@@ -182,49 +342,95 @@ impl SimConfig {
     }
 
     /// Validate against a node count (profile width, utility finiteness).
+    ///
+    /// # Panics
+    /// Panics with the [`ConfigError`] message on the first violation;
+    /// fallible callers (the CLI, the campaign runner) use
+    /// [`SimConfig::try_validate`] instead.
     pub fn validate(&self, nodes: usize) {
-        assert_eq!(
-            self.demand.items(),
-            self.items,
-            "demand catalog size mismatch"
-        );
-        assert_eq!(
-            self.profile.items(),
-            self.items,
-            "profile catalog size mismatch"
-        );
+        if let Err(e) = self.try_validate(nodes) {
+            panic!("{e}");
+        }
+    }
+
+    /// Validate against a node count, returning the first violation as a
+    /// typed [`ConfigError`] instead of panicking.
+    pub fn try_validate(&self, nodes: usize) -> Result<(), ConfigError> {
+        if self.items == 0 {
+            return Err(ConfigError::ZeroItems);
+        }
+        if self.demand.items() != self.items {
+            return Err(ConfigError::CatalogMismatch {
+                what: "demand",
+                expected: self.items,
+                found: self.demand.items(),
+            });
+        }
+        if let Some((item, &rate)) = self
+            .demand
+            .rates()
+            .iter()
+            .enumerate()
+            .find(|(_, r)| !(r.is_finite() && **r >= 0.0))
+        {
+            return Err(ConfigError::InvalidDemand { item, rate });
+        }
+        if self.profile.items() != self.items {
+            return Err(ConfigError::CatalogMismatch {
+                what: "profile",
+                expected: self.items,
+                found: self.profile.items(),
+            });
+        }
         if let Some(servers) = self.dedicated_servers {
-            assert!(
-                servers >= 1 && servers < nodes,
-                "dedicated population needs 1 ≤ servers < nodes (got {servers} of {nodes})"
-            );
+            if !(servers >= 1 && servers < nodes) {
+                return Err(ConfigError::InvalidPopulation { servers, nodes });
+            }
         }
-        assert_eq!(
-            self.profile.nodes(),
-            self.clients(nodes),
-            "profile node count must equal the client count"
-        );
-        assert!(
-            !(self.utility.requires_dedicated() && self.dedicated_servers.is_none()),
-            "{} has h(0+)=∞; use a dedicated population (SimConfig::dedicated_servers)",
-            self.utility.kind()
-        );
+        let servers = self.dedicated_servers.unwrap_or(nodes);
+        if self.rho.checked_mul(servers).is_none() {
+            return Err(ConfigError::CacheOverflow {
+                rho: self.rho,
+                servers,
+            });
+        }
+        if self.profile.nodes() != self.clients(nodes) {
+            return Err(ConfigError::ProfileWidth {
+                expected: self.clients(nodes),
+                found: self.profile.nodes(),
+            });
+        }
+        if self.utility.requires_dedicated() && self.dedicated_servers.is_none() {
+            return Err(ConfigError::RequiresDedicated {
+                utility: self.utility.kind().to_string(),
+            });
+        }
         for (t, rates) in &self.demand_shifts {
-            assert!(
-                t.is_finite() && *t >= 0.0,
-                "shift times must be finite and ≥ 0"
-            );
-            assert_eq!(
-                rates.items(),
-                self.items,
-                "shifted demand catalog size mismatch"
-            );
+            if !(t.is_finite() && *t >= 0.0) {
+                return Err(ConfigError::InvalidShift {
+                    message: format!("shift times must be finite and ≥ 0 (got {t})"),
+                });
+            }
+            if rates.items() != self.items {
+                return Err(ConfigError::CatalogMismatch {
+                    what: "shifted demand",
+                    expected: self.items,
+                    found: rates.items(),
+                });
+            }
         }
-        assert!(self.bin > 0.0, "bin width must be positive");
-        assert!(
-            (0.0..0.9).contains(&self.warmup_fraction),
-            "warm-up fraction must be in [0, 0.9)"
-        );
+        if self.bin <= 0.0 || self.bin.is_nan() {
+            return Err(ConfigError::InvalidBin { bin: self.bin });
+        }
+        if !(0.0..0.9).contains(&self.warmup_fraction) {
+            return Err(ConfigError::InvalidWarmup {
+                fraction: self.warmup_fraction,
+            });
+        }
+        if let Some(faults) = &self.faults {
+            faults.validate()?;
+        }
+        Ok(())
     }
 }
 
@@ -241,6 +447,7 @@ pub struct SimConfigBuilder {
     demand_shifts: Vec<(f64, DemandRates)>,
     protocol_utility: Option<Arc<dyn DelayUtility>>,
     eviction: crate::state::EvictionPolicy,
+    faults: Option<FaultConfig>,
 }
 
 impl SimConfigBuilder {
@@ -302,6 +509,12 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Attach a fault-injection model (see [`crate::faults`]).
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
     /// Finish building. A missing profile defaults to uniform over the
     /// node count implied at `run_trial` time; here we default to the
     /// catalog-size-free uniform profile lazily via `nodes`.
@@ -325,6 +538,7 @@ impl SimConfigBuilder {
             dedicated_servers: self.dedicated_servers,
             protocol_utility: self.protocol_utility,
             eviction: self.eviction,
+            faults: self.faults,
             demand_shifts: {
                 let mut shifts = self.demand_shifts;
                 shifts.sort_by(|a, b| a.0.total_cmp(&b.0));
@@ -381,6 +595,73 @@ mod tests {
             .build()
             .for_nodes(4);
         c.validate(4);
+    }
+
+    #[test]
+    fn try_validate_returns_typed_errors() {
+        let c = SimConfig::builder(5, 2).build().for_nodes(8);
+        c.try_validate(8).unwrap();
+
+        let mut bad = c.clone();
+        bad.warmup_fraction = 0.95;
+        assert!(matches!(
+            bad.try_validate(8),
+            Err(ConfigError::InvalidWarmup { .. })
+        ));
+
+        let mut bad = c.clone();
+        bad.bin = 0.0;
+        assert!(matches!(
+            bad.try_validate(8),
+            Err(ConfigError::InvalidBin { .. })
+        ));
+
+        let mut bad = c.clone();
+        bad.items = 0;
+        assert_eq!(bad.try_validate(8), Err(ConfigError::ZeroItems));
+
+        // Negative/non-finite rates cannot be built through DemandRates
+        // (its constructor rejects them), so the reachable demand error
+        // is a catalog size mismatch.
+        let mut bad = c.clone();
+        bad.demand = impatience_core::demand::DemandRates::new(vec![1.0; 4]);
+        assert!(matches!(
+            bad.try_validate(8),
+            Err(ConfigError::CatalogMismatch { .. })
+        ));
+
+        let mut bad = c.clone();
+        bad.rho = usize::MAX;
+        assert!(matches!(
+            bad.try_validate(8),
+            Err(ConfigError::CacheOverflow { .. })
+        ));
+
+        let mut bad = c;
+        bad.faults = Some(crate::faults::FaultConfig {
+            truncate_fraction: Some(0.0),
+            ..Default::default()
+        });
+        assert!(matches!(
+            bad.try_validate(8),
+            Err(ConfigError::InvalidFaults { .. })
+        ));
+    }
+
+    #[test]
+    fn source_try_validate_rejects_bad_rates() {
+        ContactSource::homogeneous(5, 0.1, 100.0)
+            .try_validate()
+            .unwrap();
+        assert!(ContactSource::homogeneous(5, -0.1, 100.0)
+            .try_validate()
+            .is_err());
+        assert!(ContactSource::homogeneous(1, 0.1, 100.0)
+            .try_validate()
+            .is_err());
+        assert!(ContactSource::homogeneous(5, 0.1, f64::INFINITY)
+            .try_validate()
+            .is_err());
     }
 
     #[test]

@@ -24,6 +24,7 @@ use impatience_obs::{Recorder, Sink};
 use impatience_traces::ContactStream;
 
 use crate::config::{ContactSource, SimConfig};
+use crate::faults::FaultState;
 use crate::metrics::Metrics;
 use crate::policy::{Fulfillment, PolicyKind};
 use crate::state::SimState;
@@ -164,6 +165,21 @@ fn run_trial_core<S: Sink>(
     );
     policy_obj.initialize(&mut state, &mut rng);
 
+    // Fault injection: the schedule runs on RNG streams derived from the
+    // trial seed and the fault seed only, never from `rng` — attaching an
+    // *inactive* FaultConfig leaves the trajectory bit-for-bit unchanged.
+    if let Some(f) = &config.faults {
+        assert!(
+            !f.panic_on_seeds.contains(&seed),
+            "fault injection: chaos panic for trial seed {seed}"
+        );
+    }
+    let mut faults = config
+        .faults
+        .as_ref()
+        .filter(|f| f.is_active())
+        .map(|f| FaultState::new(f, nodes, servers, duration, seed));
+
     let mut metrics = Metrics::new(duration, config.bin);
     // Demand may shift over time (§7's evolving-demand extension); the
     // active segment drives arrivals, item sampling, and snapshots.
@@ -226,6 +242,11 @@ fn run_trial_core<S: Sink>(
             }
             next_snapshot += config.bin;
         }
+        // Cache-slot faults due by this event fire first: an immediate
+        // hit or a contact fulfillment must see the degraded caches.
+        if let Some(fs) = faults.as_mut() {
+            fs.apply_cache_faults(t, &mut state, &mut metrics, rec);
+        }
 
         if next_request <= next_contact_t {
             // --- request creation ---
@@ -253,6 +274,11 @@ fn run_trial_core<S: Sink>(
         } else {
             // --- contact ---
             let e = contacts.next().expect("peeked above");
+            if let Some(fs) = faults.as_mut() {
+                if !fs.admit_contact(e.time, e.a, e.b, &mut metrics, rec) {
+                    continue;
+                }
+            }
             let (a, b) = (e.a as usize, e.b as usize);
             rec.contact(e.time, e.a, e.b);
             fulfilled.clear();

@@ -135,6 +135,20 @@ pub fn run_trial_discrete_observed<S: Sink>(
     );
     policy_obj.initialize(&mut state, &mut rng);
 
+    // Fault injection (see the continuous engine): independent RNG
+    // streams, so an inactive model cannot perturb the trajectory.
+    if let Some(f) = &config.faults {
+        assert!(
+            !f.panic_on_seeds.contains(&seed),
+            "fault injection: chaos panic for trial seed {seed}"
+        );
+    }
+    let mut faults = config
+        .faults
+        .as_ref()
+        .filter(|f| f.is_active())
+        .map(|f| crate::faults::FaultState::new(f, nodes, nodes, duration, seed));
+
     let mut metrics = Metrics::new(duration, config.bin);
     let total_rate = config.demand.total();
     let item_sampler = (total_rate > 0.0).then(|| AliasTable::new(config.demand.rates()));
@@ -146,6 +160,9 @@ pub fn run_trial_discrete_observed<S: Sink>(
 
     for slot in 0..source.slots {
         let now = slot as f64 * source.delta;
+        if let Some(fs) = faults.as_mut() {
+            fs.apply_cache_faults(now, &mut state, &mut metrics, rec);
+        }
         if slot % snapshot_every == 0 {
             metrics.record_snapshot(
                 now,
@@ -186,6 +203,11 @@ pub fn run_trial_discrete_observed<S: Sink>(
         //     drawn lazily from the slot stream in pair order ---
         while contacts.peek_slot() == Some(slot) {
             let c = contacts.next().expect("peeked above");
+            if let Some(fs) = faults.as_mut() {
+                if !fs.admit_contact(now, c.a, c.b, &mut metrics, rec) {
+                    continue;
+                }
+            }
             let (a, b) = (c.a as usize, c.b as usize);
             rec.contact(now, c.a, c.b);
             fulfilled.clear();

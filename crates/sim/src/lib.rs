@@ -42,26 +42,35 @@
 #![warn(rust_2018_idioms)]
 #![deny(unsafe_code)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod engine;
 pub mod engine_discrete;
+pub mod faults;
 pub mod metrics;
 pub mod policy;
 pub mod runner;
 pub mod state;
 
-pub use config::{ContactSource, SimConfig, SimConfigBuilder};
+pub use checkpoint::{CampaignCheckpoint, CheckpointError};
+pub use config::{ConfigError, ContactSource, SimConfig, SimConfigBuilder};
 pub use engine::{run_trial, TrialOutcome};
 pub use engine_discrete::{run_trial_discrete, DiscreteSource};
+pub use faults::{CacheFaults, Churn, ContactDrop, FaultConfig};
 pub use metrics::Metrics;
 pub use policy::PolicyKind;
-pub use runner::{run_trials, TrialAggregate};
+pub use runner::{run_campaign, run_trials, CampaignError, CampaignOptions, TrialAggregate};
 pub use state::EvictionPolicy;
 
 pub mod prelude {
     //! Convenience re-exports.
-    pub use crate::config::{ContactSource, SimConfig};
+    pub use crate::checkpoint::{CampaignCheckpoint, CheckpointError};
+    pub use crate::config::{ConfigError, ContactSource, SimConfig};
     pub use crate::engine::{run_trial, run_trial_observed};
+    pub use crate::faults::FaultConfig;
     pub use crate::policy::{PolicyKind, QcrConfig};
-    pub use crate::runner::{run_trials, run_trials_observed, TrialAggregate};
+    pub use crate::runner::{
+        run_campaign, run_trials, run_trials_observed, CampaignError, CampaignOptions,
+        TrialAggregate,
+    };
 }

@@ -14,6 +14,27 @@ use impatience_core::demand::DemandRates;
 use impatience_core::types::SystemModel;
 use impatience_core::utility::DelayUtility;
 use impatience_core::welfare::social_welfare_homogeneous;
+use impatience_json::Json;
+
+/// Encode an `f64` as its 16-hex-digit bit pattern — the checkpoint
+/// codec's float representation. Decimal JSON floats cannot round-trip
+/// NaN (the [`Json`] writer emits `null` for non-finite values) and risk
+/// last-ulp drift; the bit pattern is exact by construction.
+pub(crate) fn f64_to_hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+/// Decode [`f64_to_hex`]'s output.
+pub(crate) fn f64_from_hex(s: &str) -> Result<f64, String> {
+    if s.len() != 16 {
+        return Err(format!(
+            "expected a 16-hex-digit float bit pattern, got {s:?}"
+        ));
+    }
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|e| format!("bad float bit pattern {s:?}: {e}"))
+}
 
 /// Measurements collected over one simulation trial.
 #[derive(Clone, Debug)]
@@ -40,6 +61,12 @@ pub struct Metrics {
     pub mandates_created: u64,
     /// Mandates whose creation hit the per-fulfillment cap (QCR only).
     pub mandate_cap_hits: u64,
+    /// Contacts suppressed by fault injection (drops, churn, truncation).
+    pub contacts_dropped: u64,
+    /// Node down-transitions injected by churn.
+    pub node_outages: u64,
+    /// Cache slots erased by injected slot failures.
+    pub cache_faults: u64,
 }
 
 impl Metrics {
@@ -60,6 +87,9 @@ impl Metrics {
             transmissions: 0,
             mandates_created: 0,
             mandate_cap_hits: 0,
+            contacts_dropped: 0,
+            node_outages: 0,
+            cache_faults: 0,
         }
     }
 
@@ -172,6 +202,120 @@ impl Metrics {
         vals.iter().sum::<f64>() / vals.len() as f64
     }
 
+    /// Encode every field — including NaN snapshot slots — for the
+    /// campaign checkpoint. [`Metrics::from_json`] restores the value
+    /// bit-for-bit.
+    pub fn to_json(&self) -> Json {
+        let hexes = |vs: &[f64]| Json::Array(vs.iter().map(|&v| f64_to_hex(v).into()).collect());
+        Json::obj([
+            ("bin", Json::from(f64_to_hex(self.bin))),
+            ("duration", f64_to_hex(self.duration).into()),
+            ("observed_gain", hexes(&self.observed_gain)),
+            (
+                "fulfilled",
+                Json::Array(self.fulfilled.iter().map(|&v| v.into()).collect()),
+            ),
+            ("expected_utility", hexes(&self.expected_utility)),
+            (
+                "replica_series",
+                Json::Array(
+                    self.replica_series
+                        .iter()
+                        .map(|snap| Json::Array(snap.iter().map(|&v| v.into()).collect()))
+                        .collect(),
+                ),
+            ),
+            ("requests_created", self.requests_created.into()),
+            ("immediate_hits", self.immediate_hits.into()),
+            ("unfulfilled", self.unfulfilled.into()),
+            ("transmissions", self.transmissions.into()),
+            ("mandates_created", self.mandates_created.into()),
+            ("mandate_cap_hits", self.mandate_cap_hits.into()),
+            ("contacts_dropped", self.contacts_dropped.into()),
+            ("node_outages", self.node_outages.into()),
+            ("cache_faults", self.cache_faults.into()),
+        ])
+    }
+
+    /// Decode [`Metrics::to_json`]'s output.
+    pub fn from_json(v: &Json) -> Result<Metrics, String> {
+        let hex = |key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("metrics: missing hex field {key:?}"))
+                .and_then(f64_from_hex)
+        };
+        let hex_array = |key: &str| -> Result<Vec<f64>, String> {
+            v.get(key)
+                .and_then(Json::as_array)
+                .ok_or_else(|| format!("metrics: missing array {key:?}"))?
+                .iter()
+                .map(|e| {
+                    e.as_str()
+                        .ok_or_else(|| format!("metrics: non-string entry in {key:?}"))
+                        .and_then(f64_from_hex)
+                })
+                .collect()
+        };
+        let count = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("metrics: missing counter {key:?}"))
+        };
+        let fulfilled = v
+            .get("fulfilled")
+            .and_then(Json::as_array)
+            .ok_or("metrics: missing array \"fulfilled\"")?
+            .iter()
+            .map(|e| e.as_u64().ok_or("metrics: non-integer fulfilled entry"))
+            .collect::<Result<Vec<u64>, _>>()?;
+        let replica_series = v
+            .get("replica_series")
+            .and_then(Json::as_array)
+            .ok_or("metrics: missing array \"replica_series\"")?
+            .iter()
+            .map(|snap| {
+                snap.as_array()
+                    .ok_or_else(|| "metrics: non-array replica snapshot".to_string())?
+                    .iter()
+                    .map(|e| {
+                        e.as_u64()
+                            .and_then(|n| u32::try_from(n).ok())
+                            .ok_or_else(|| "metrics: bad replica count".to_string())
+                    })
+                    .collect::<Result<Vec<u32>, String>>()
+            })
+            .collect::<Result<Vec<Vec<u32>>, String>>()?;
+        let m = Metrics {
+            bin: hex("bin")?,
+            duration: hex("duration")?,
+            observed_gain: hex_array("observed_gain")?,
+            fulfilled,
+            expected_utility: hex_array("expected_utility")?,
+            replica_series,
+            requests_created: count("requests_created")?,
+            immediate_hits: count("immediate_hits")?,
+            unfulfilled: count("unfulfilled")?,
+            transmissions: count("transmissions")?,
+            mandates_created: count("mandates_created")?,
+            mandate_cap_hits: count("mandate_cap_hits")?,
+            contacts_dropped: count("contacts_dropped")?,
+            node_outages: count("node_outages")?,
+            cache_faults: count("cache_faults")?,
+        };
+        if !(m.bin > 0.0 && m.duration > 0.0) {
+            return Err("metrics: non-positive bin or duration".to_string());
+        }
+        let bins = m.observed_gain.len();
+        if m.fulfilled.len() != bins
+            || m.expected_utility.len() != bins
+            || m.replica_series.len() != bins
+        {
+            return Err("metrics: series lengths disagree".to_string());
+        }
+        Ok(m)
+    }
+
     /// Bins to skip for a warm-up fraction; rejects fractions that would
     /// consume the whole measurement window.
     fn warmup_bins(&self, warmup_fraction: f64) -> usize {
@@ -271,6 +415,56 @@ mod tests {
         assert_eq!(m.replica_series_of(2), vec![0, 1]);
         let avg = m.average_expected_utility(0.0);
         assert!(avg.is_finite());
+    }
+
+    #[test]
+    fn json_round_trip_is_bit_exact_including_nan() {
+        let mut m = Metrics::new(100.0, 50.0);
+        let system = SystemModel::pure_p2p(10, 2, 0.05);
+        let demand = Popularity::uniform(3).demand_rates(1.0);
+        let u = Step::new(5.0);
+        m.record_fulfillment(5.0, 0.1 + 0.2); // exercise non-representable sums
+        m.record_snapshot(0.0, &[2, 1, 0], &system, &demand, &u);
+        // Bin 1's snapshot is never recorded: stays NaN.
+        m.requests_created = 7;
+        m.contacts_dropped = 3;
+        m.cache_faults = 1;
+
+        let encoded = m.to_json().to_string();
+        let back = Metrics::from_json(&impatience_json::Json::parse(&encoded).unwrap()).unwrap();
+        assert_eq!(back.observed_gain.len(), m.observed_gain.len());
+        for (a, b) in back.observed_gain.iter().zip(&m.observed_gain) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in back.expected_utility.iter().zip(&m.expected_utility) {
+            assert_eq!(a.to_bits(), b.to_bits(), "NaN must survive the round trip");
+        }
+        assert!(back.expected_utility[1].is_nan());
+        assert_eq!(back.fulfilled, m.fulfilled);
+        assert_eq!(back.replica_series, m.replica_series);
+        assert_eq!(back.requests_created, 7);
+        assert_eq!(back.contacts_dropped, 3);
+        assert_eq!(back.cache_faults, 1);
+        assert_eq!(back.bin.to_bits(), m.bin.to_bits());
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_input() {
+        let m = Metrics::new(100.0, 50.0);
+        let good = m.to_json();
+        // Truncate a series: lengths disagree.
+        let mut bad = good.clone();
+        if let Json::Object(pairs) = &mut bad {
+            for (k, v) in pairs.iter_mut() {
+                if k == "fulfilled" {
+                    *v = Json::Array(vec![]);
+                }
+            }
+        }
+        assert!(Metrics::from_json(&bad).is_err());
+        assert!(Metrics::from_json(&Json::Null).is_err());
+        assert!(f64_from_hex("xyz").is_err());
+        assert!(f64_from_hex("00000000000000000").is_err());
     }
 
     #[test]

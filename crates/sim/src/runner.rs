@@ -5,13 +5,17 @@
 //! embarrassingly parallel; the runner shards them across OS threads and
 //! aggregates.
 
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 use std::time::Instant;
 
 use impatience_obs::{MemorySink, Recorder, Sink, TallySink};
 
-use crate::config::{ContactSource, SimConfig};
+use crate::checkpoint::{fingerprint, CampaignCheckpoint, CheckpointError, TrialRecord};
+use crate::config::{ConfigError, ContactSource, SimConfig};
 use crate::engine::{run_trial, run_trial_observed, TrialOutcome};
 use crate::policy::PolicyKind;
 
@@ -252,12 +256,33 @@ pub fn run_trials_observed<S: Sink>(
     base_seed: u64,
     rec: &mut Recorder<S>,
 ) -> TrialAggregate {
-    assert!(trials > 0, "need at least one trial");
-    let batch_start = Instant::now();
-    let workers = thread::available_parallelism()
+    run_trials_observed_with_workers(config, source, policy, trials, base_seed, None, rec)
+}
+
+/// One worker per available core (4 if that cannot be queried).
+fn default_workers() -> usize {
+    thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
-        .min(trials);
+}
+
+/// [`run_trials_observed`] with an explicit worker count (`None` picks
+/// one per available core). Trial trajectories, tallies, and the event
+/// stream are a pure function of `(config, source, policy, trials,
+/// base_seed)` — independent of the worker count by construction; the
+/// override exists for determinism tests and for sharing a host.
+pub fn run_trials_observed_with_workers<S: Sink>(
+    config: &SimConfig,
+    source: &ContactSource,
+    policy: &PolicyKind,
+    trials: usize,
+    base_seed: u64,
+    workers: Option<usize>,
+    rec: &mut Recorder<S>,
+) -> TrialAggregate {
+    assert!(trials > 0, "need at least one trial");
+    let batch_start = Instant::now();
+    let workers = workers.unwrap_or_else(default_workers).max(1).min(trials);
 
     let (outcomes, busy_s) = if !rec.is_active() {
         run_sharded(trials, workers, &|k| {
@@ -318,6 +343,355 @@ pub fn run_trials_observed<S: Sink>(
         trials,
     };
     aggregate(policy.label(), outcomes, config.warmup_fraction, telemetry)
+}
+
+/// Knobs of a fault-tolerant campaign run ([`run_campaign`]).
+#[derive(Clone, Debug)]
+pub struct CampaignOptions {
+    /// Checkpoint file. `None` disables checkpointing (the campaign
+    /// still skips-and-reports panicking trials).
+    pub checkpoint_path: Option<PathBuf>,
+    /// Trials per checkpoint interval; `0` checkpoints only at the end.
+    pub checkpoint_every: usize,
+    /// Worker threads (`None` picks one per available core).
+    pub workers: Option<usize>,
+    /// Test hook: stop after this many completed chunks as if the
+    /// process had been killed, leaving the checkpoint behind. `None`
+    /// runs to completion.
+    pub abort_after_chunks: Option<usize>,
+    /// The CLI invocation to store in the checkpoint so `--resume` can
+    /// replay it.
+    pub cli_args: Vec<String>,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions {
+            checkpoint_path: None,
+            checkpoint_every: 16,
+            workers: None,
+            abort_after_chunks: None,
+            cli_args: Vec::new(),
+        }
+    }
+}
+
+/// Why a campaign could not produce an aggregate.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// The configuration or contact source is invalid.
+    Config(ConfigError),
+    /// The checkpoint could not be read, written, or matched.
+    Checkpoint(CheckpointError),
+    /// Every trial panicked; there is nothing to aggregate.
+    AllTrialsFailed {
+        /// Planned trial count.
+        trials: usize,
+    },
+    /// The [`CampaignOptions::abort_after_chunks`] test hook fired.
+    Aborted {
+        /// Trials recorded in the checkpoint at the abort point.
+        completed: usize,
+    },
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Config(e) => write!(f, "invalid campaign configuration: {e}"),
+            CampaignError::Checkpoint(e) => write!(f, "{e}"),
+            CampaignError::AllTrialsFailed { trials } => {
+                write!(f, "all {trials} trials failed; nothing to aggregate")
+            }
+            CampaignError::Aborted { completed } => {
+                write!(f, "campaign aborted by test hook after {completed} trials")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CampaignError::Config(e) => Some(e),
+            CampaignError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for CampaignError {
+    fn from(e: CheckpointError) -> Self {
+        CampaignError::Checkpoint(e)
+    }
+}
+
+impl From<ConfigError> for CampaignError {
+    fn from(e: ConfigError) -> Self {
+        CampaignError::Config(e)
+    }
+}
+
+/// Result of a fault-tolerant campaign.
+#[derive(Clone, Debug)]
+pub struct CampaignOutcome {
+    /// Aggregate over every trial that completed (this run or a resumed
+    /// one), in trial order.
+    pub aggregate: TrialAggregate,
+    /// `(trial index, panic message)` of skipped trials.
+    pub skipped: Vec<(usize, String)>,
+    /// Trials restored from the checkpoint instead of re-run.
+    pub resumed: usize,
+    /// Trials executed by this process.
+    pub executed: usize,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "trial panicked (non-string payload)".to_string()
+    }
+}
+
+/// Run one batch of explicit trial indices, each behind `catch_unwind`,
+/// and absorb the instrumentation of successful trials into `rec` in
+/// trial order. Returns `(trial, outcome-or-panic-message)` per index
+/// plus the summed per-trial wall time.
+fn run_batch_observed<S: Sink>(
+    config: &SimConfig,
+    source: &ContactSource,
+    policy: &PolicyKind,
+    base_seed: u64,
+    batch: &[usize],
+    workers: usize,
+    rec: &mut Recorder<S>,
+) -> (Vec<(usize, TrialRecord)>, f64) {
+    let workers = workers.min(batch.len()).max(1);
+    if !rec.is_active() {
+        let (results, busy_s) = run_sharded(batch.len(), workers, &|i| {
+            let k = batch[i];
+            catch_unwind(AssertUnwindSafe(|| {
+                run_trial(config, source, policy.clone(), base_seed + k as u64)
+            }))
+            .map_err(panic_message)
+        });
+        return (batch.iter().copied().zip(results).collect(), busy_s);
+    }
+
+    let shape = (
+        rec.delay.range(),
+        rec.inter_contact.range(),
+        rec.delay.buckets(),
+    );
+    if S::WANTS_EVENTS {
+        let (results, busy_s) = run_sharded(batch.len(), workers, &|i| {
+            let k = batch[i];
+            catch_unwind(AssertUnwindSafe(|| {
+                let mut wrec = Recorder::with_shape(MemorySink::new(), shape.0, shape.1, shape.2);
+                let outcome = run_trial_observed(
+                    config,
+                    source,
+                    policy.clone(),
+                    base_seed + k as u64,
+                    &mut wrec,
+                );
+                (outcome, wrec)
+            }))
+            .map_err(panic_message)
+        });
+        let mut out = Vec::with_capacity(batch.len());
+        for (&k, result) in batch.iter().zip(results) {
+            match result {
+                Ok((outcome, wrec)) => {
+                    rec.absorb(&wrec);
+                    for event in &wrec.into_sink().events {
+                        rec.sink_mut().record(event);
+                    }
+                    out.push((k, Ok(outcome)));
+                }
+                Err(message) => {
+                    rec.fault(0.0, "trial_panic", k as u32, 0);
+                    out.push((k, Err(message)));
+                }
+            }
+        }
+        (out, busy_s)
+    } else {
+        let (results, busy_s) = run_sharded(batch.len(), workers, &|i| {
+            let k = batch[i];
+            catch_unwind(AssertUnwindSafe(|| {
+                let mut wrec = Recorder::with_shape(TallySink, shape.0, shape.1, shape.2);
+                let outcome = run_trial_observed(
+                    config,
+                    source,
+                    policy.clone(),
+                    base_seed + k as u64,
+                    &mut wrec,
+                );
+                (outcome, wrec)
+            }))
+            .map_err(panic_message)
+        });
+        let mut out = Vec::with_capacity(batch.len());
+        for (&k, result) in batch.iter().zip(results) {
+            match result {
+                Ok((outcome, wrec)) => {
+                    rec.absorb(&wrec);
+                    out.push((k, Ok(outcome)));
+                }
+                Err(message) => {
+                    rec.fault(0.0, "trial_panic", k as u32, 0);
+                    out.push((k, Err(message)));
+                }
+            }
+        }
+        (out, busy_s)
+    }
+}
+
+/// Fault-tolerant campaign: [`run_trials_observed`] plus skip-and-report
+/// on panicking trials and checkpoint/resume.
+///
+/// If [`CampaignOptions::checkpoint_path`] names an existing checkpoint
+/// for the **same** campaign (fingerprint, trial count, and base seed
+/// all match), its trials are restored instead of re-run and only the
+/// remainder executes; because cached outcomes round-trip bit-exactly,
+/// the final [`TrialAggregate`] is bit-identical to an uninterrupted
+/// run. A checkpoint from a different campaign is rejected with
+/// [`CheckpointError::Mismatch`]. Progress is snapshotted atomically
+/// every [`CampaignOptions::checkpoint_every`] trials, so killing the
+/// process at any point loses at most one interval of work and never
+/// corrupts the file.
+///
+/// A panicking trial (e.g. a corrupt trace segment, or the
+/// [`crate::faults::FaultConfig::panic_on_seeds`] chaos hook) is
+/// recorded as skipped — in the checkpoint, in the returned
+/// [`CampaignOutcome::skipped`], and as a `trial_panic` fault event —
+/// while the rest of the campaign proceeds. Only if *every* trial fails
+/// does the campaign error out.
+///
+/// Instrumentation caveat on resume: `rec` only sees the trials this
+/// process executes; restored trials contribute to the aggregate but
+/// not to the event stream. Wall-clock telemetry
+/// ([`TrialAggregate::wall_s`] and friends) reflects this process, not
+/// the sum over restarts — it is the one part of the aggregate that is
+/// *not* bit-stable across a kill/resume.
+pub fn run_campaign<S: Sink>(
+    config: &SimConfig,
+    source: &ContactSource,
+    policy: &PolicyKind,
+    trials: usize,
+    base_seed: u64,
+    options: &CampaignOptions,
+    rec: &mut Recorder<S>,
+) -> Result<CampaignOutcome, CampaignError> {
+    if trials == 0 {
+        return Err(ConfigError::InvalidRate {
+            message: "campaign needs at least one trial".to_string(),
+        }
+        .into());
+    }
+    // Like the engines, resolve the run-time-sized profile before
+    // validating (the builder defaults it to one node until the
+    // population is known). The population split must be checked first:
+    // `clients`/`for_nodes` assume it fits.
+    let nodes = source.nodes();
+    if let Some(servers) = config.dedicated_servers {
+        if !(servers >= 1 && servers < nodes) {
+            return Err(ConfigError::InvalidPopulation { servers, nodes }.into());
+        }
+    }
+    if config.profile.nodes() == config.clients(nodes) {
+        config.try_validate(nodes)?;
+    } else {
+        config.for_nodes(nodes).try_validate(nodes)?;
+    }
+    source.try_validate()?;
+    let fp = fingerprint(config, source, policy, trials, base_seed);
+
+    let mut completed: Vec<(usize, TrialRecord)> = Vec::new();
+    let mut resumed = 0usize;
+    if let Some(path) = &options.checkpoint_path {
+        if path.exists() {
+            let ckpt = CampaignCheckpoint::load(path)?;
+            ckpt.check_identity(&fp, trials, base_seed)?;
+            resumed = ckpt.completed.len();
+            completed = ckpt.completed;
+        }
+    }
+
+    let done: HashSet<usize> = completed.iter().map(|&(k, _)| k).collect();
+    let pending: Vec<usize> = (0..trials).filter(|k| !done.contains(k)).collect();
+
+    let workers = options.workers.unwrap_or_else(default_workers).max(1);
+    let chunk = if options.checkpoint_every == 0 {
+        pending.len().max(1)
+    } else {
+        options.checkpoint_every
+    };
+
+    let batch_start = Instant::now();
+    let mut busy_s = 0.0f64;
+    let mut executed = 0usize;
+    let mut chunks_done = 0usize;
+    let mut idx = 0usize;
+    while idx < pending.len() {
+        if options
+            .abort_after_chunks
+            .is_some_and(|limit| chunks_done >= limit)
+        {
+            return Err(CampaignError::Aborted {
+                completed: completed.len(),
+            });
+        }
+        let batch = &pending[idx..(idx + chunk).min(pending.len())];
+        idx += batch.len();
+        let (records, batch_busy) =
+            run_batch_observed(config, source, policy, base_seed, batch, workers, rec);
+        busy_s += batch_busy;
+        executed += records.len();
+        completed.extend(records);
+        completed.sort_by_key(|&(k, _)| k);
+        if let Some(path) = &options.checkpoint_path {
+            let ckpt = CampaignCheckpoint {
+                fingerprint: fp.clone(),
+                base_seed,
+                trials,
+                cli_args: options.cli_args.clone(),
+                completed: completed.clone(),
+            };
+            ckpt.save(path)?;
+        }
+        chunks_done += 1;
+    }
+
+    let mut outcomes = Vec::new();
+    let mut skipped = Vec::new();
+    for (k, record) in &completed {
+        match record {
+            Ok(outcome) => outcomes.push(outcome.clone()),
+            Err(message) => skipped.push((*k, message.clone())),
+        }
+    }
+    if outcomes.is_empty() {
+        return Err(CampaignError::AllTrialsFailed { trials });
+    }
+    let telemetry = BatchTelemetry {
+        workers: workers.min(trials),
+        wall_s: batch_start.elapsed().as_secs_f64(),
+        busy_s,
+        trials: executed.max(1),
+    };
+    let aggregate = aggregate(policy.label(), outcomes, config.warmup_fraction, telemetry);
+    Ok(CampaignOutcome {
+        aggregate,
+        skipped,
+        resumed,
+        executed,
+    })
 }
 
 #[cfg(test)]
@@ -493,6 +867,98 @@ mod tests {
         );
         let (a, b) = (sharded.delay.mean().unwrap(), serial.delay.mean().unwrap());
         assert!((a - b).abs() <= 1e-12 * b.abs().max(1.0), "{a} vs {b}");
+    }
+
+    #[test]
+    fn campaign_without_faults_matches_run_trials_bit_for_bit() {
+        let (config, source) = quick_setup();
+        let policy = PolicyKind::qcr_default();
+        let plain = run_trials(&config, &source, &policy, 6, 50);
+        let campaign = run_campaign(
+            &config,
+            &source,
+            &policy,
+            6,
+            50,
+            &CampaignOptions::default(),
+            &mut Recorder::disabled(),
+        )
+        .unwrap();
+        assert_eq!(campaign.skipped, vec![]);
+        assert_eq!(campaign.resumed, 0);
+        assert_eq!(campaign.executed, 6);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+        assert_eq!(bits(&campaign.aggregate.rates), bits(&plain.rates));
+        assert_eq!(
+            bits(&campaign.aggregate.mean_final_replicas),
+            bits(&plain.mean_final_replicas)
+        );
+        assert_eq!(
+            campaign.aggregate.mean_rate.to_bits(),
+            plain.mean_rate.to_bits()
+        );
+    }
+
+    #[test]
+    fn campaign_skips_and_reports_panicking_trials() {
+        let (mut config, source) = quick_setup();
+        // Chaos hook: trial seeds 61 and 63 panic at trial start.
+        config.faults = Some(crate::faults::FaultConfig {
+            panic_on_seeds: vec![61, 63],
+            ..Default::default()
+        });
+        let policy = PolicyKind::qcr_default();
+        let campaign = run_campaign(
+            &config,
+            &source,
+            &policy,
+            5,
+            60,
+            &CampaignOptions::default(),
+            &mut Recorder::disabled(),
+        )
+        .unwrap();
+        assert_eq!(campaign.aggregate.trials, 3);
+        let skipped: Vec<usize> = campaign.skipped.iter().map(|&(k, _)| k).collect();
+        assert_eq!(skipped, vec![1, 3]);
+        assert!(campaign.skipped[0].1.contains("chaos panic"));
+
+        // All seeds panicking is a campaign-level error.
+        config.faults = Some(crate::faults::FaultConfig {
+            panic_on_seeds: (60..65).collect(),
+            ..Default::default()
+        });
+        assert!(matches!(
+            run_campaign(
+                &config,
+                &source,
+                &policy,
+                5,
+                60,
+                &CampaignOptions::default(),
+                &mut Recorder::disabled(),
+            ),
+            Err(CampaignError::AllTrialsFailed { trials: 5 })
+        ));
+    }
+
+    #[test]
+    fn campaign_rejects_invalid_config_with_typed_error() {
+        let (mut config, source) = quick_setup();
+        config.warmup_fraction = 2.0;
+        let result = run_campaign(
+            &config,
+            &source,
+            &PolicyKind::qcr_default(),
+            3,
+            0,
+            &CampaignOptions::default(),
+            &mut Recorder::disabled(),
+        );
+        assert!(matches!(
+            result,
+            Err(CampaignError::Config(ConfigError::InvalidWarmup { .. }))
+        ));
     }
 
     #[test]

@@ -223,6 +223,32 @@ impl NodeCache {
         self.has.insert(item as usize);
         Ok(Some(evicted))
     }
+
+    /// Erase a uniformly random non-sticky occupant (fault injection:
+    /// a slot failure loses its content without a replacement arriving).
+    /// Returns the lost item, or `None` when nothing is erasable.
+    pub fn drop_random_non_sticky(&mut self, rng: &mut Xoshiro256) -> Option<u32> {
+        let candidates = self.slots.len() - usize::from(self.sticky_slot.is_some());
+        if candidates == 0 {
+            return None;
+        }
+        let mut pick = rng.index(candidates);
+        if let Some(sticky) = self.sticky_slot {
+            if pick >= sticky {
+                pick += 1;
+            }
+        }
+        let lost = self.slots.remove(pick);
+        self.stamps.remove(pick);
+        self.has.remove(lost as usize);
+        // The sticky slot's index shifts down when a lower slot vanishes.
+        if let Some(sticky) = self.sticky_slot {
+            if sticky > pick {
+                self.sticky_slot = Some(sticky - 1);
+            }
+        }
+        Some(lost)
+    }
 }
 
 /// Global mutable simulation state.
@@ -355,6 +381,14 @@ impl SimState {
                 }
             }
         }
+    }
+
+    /// Fault injection: erase a random non-sticky slot of `server`,
+    /// keeping the replica count in sync. Returns the lost item, if any.
+    pub fn fail_cache_slot(&mut self, server: usize, rng: &mut Xoshiro256) -> Option<u32> {
+        let lost = self.caches[server].drop_random_non_sticky(rng)?;
+        self.replicas[lost as usize] -= 1;
+        Some(lost)
     }
 
     /// Copy `item` into `to`'s cache with random replacement (respecting
@@ -533,6 +567,38 @@ mod tests {
         for c in &state.caches {
             assert_eq!(c.len(), 3);
         }
+    }
+
+    #[test]
+    fn drop_random_keeps_sticky_tracked() {
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        let mut c = NodeCache::new(4, 10);
+        c.fill(1);
+        c.fill(2);
+        c.pin_sticky(7); // sticky lands in slot 2
+        c.fill(3);
+        for _ in 0..3 {
+            let lost = c.drop_random_non_sticky(&mut rng).unwrap();
+            assert_ne!(lost, 7, "sticky item erased");
+            assert_eq!(c.sticky_item(), Some(7), "sticky slot index drifted");
+        }
+        assert_eq!(c.len(), 1);
+        assert!(c.drop_random_non_sticky(&mut rng).is_none());
+        assert!(c.holds(7));
+    }
+
+    #[test]
+    fn fail_cache_slot_syncs_replicas() {
+        let mut rng = Xoshiro256::seed_from_u64(12);
+        let mut state = SimState::new(2, 5, 2);
+        state.caches[0].fill(1);
+        state.caches[0].fill(4);
+        state.replicas = vec![0, 1, 0, 0, 1];
+        let lost = state.fail_cache_slot(0, &mut rng).unwrap();
+        assert_eq!(state.replicas[lost as usize], 0);
+        assert_eq!(state.replicas.iter().sum::<u32>(), 1);
+        // Empty (client) caches fail without effect.
+        assert!(state.fail_cache_slot(1, &mut rng).is_none());
     }
 
     #[test]

@@ -65,6 +65,14 @@ pub fn read_interval_trace(
     reader: impl Read,
     options: ImportOptions,
 ) -> Result<ContactTrace, TraceIoError> {
+    if let Some(refresh) = options.refresh_interval {
+        if !(refresh.is_finite() && refresh > 0.0) {
+            return Err(TraceIoError::Format {
+                line: 0,
+                message: format!("refresh interval must be positive and finite (got {refresh})"),
+            });
+        }
+    }
     let reader = BufReader::new(reader);
     let mut intervals: Vec<(f64, f64, u32, u32)> = Vec::new();
     for (idx, line) in reader.lines().enumerate() {
@@ -154,7 +162,6 @@ pub fn read_interval_trace(
         max_time = max_time.max(e);
         events.push(ContactEvent::new(s, a, b));
         if let Some(refresh) = options.refresh_interval {
-            assert!(refresh > 0.0, "refresh interval must be positive");
             let mut t = s + refresh;
             while t <= e {
                 events.push(ContactEvent::new(t, a, b));
@@ -167,6 +174,17 @@ pub fn read_interval_trace(
         max_time.max(f64::MIN_POSITIVE),
         events,
     ))
+}
+
+/// [`read_interval_trace`] on a file; errors carry the path.
+pub fn read_interval_trace_file(
+    path: impl AsRef<std::path::Path>,
+    options: ImportOptions,
+) -> Result<ContactTrace, TraceIoError> {
+    let path = path.as_ref();
+    let annotate = |e: TraceIoError| e.in_file(path);
+    let file = std::fs::File::open(path).map_err(|e| annotate(e.into()))?;
+    read_interval_trace(file, options).map_err(annotate)
 }
 
 #[cfg(test)]
@@ -239,6 +257,23 @@ mod tests {
         let e =
             read_interval_trace("# nothing\n".as_bytes(), ImportOptions::default()).unwrap_err();
         assert!(e.to_string().contains("no contact intervals"), "{e}");
+        // A bad refresh interval is rejected up front with a typed error
+        // instead of panicking mid-parse.
+        for refresh in [0.0, -5.0, f64::NAN] {
+            let opts = ImportOptions {
+                refresh_interval: Some(refresh),
+                ..ImportOptions::default()
+            };
+            let e = read_interval_trace("1 2 0 1\n".as_bytes(), opts).unwrap_err();
+            assert!(e.to_string().contains("refresh interval"), "{e}");
+        }
+    }
+
+    #[test]
+    fn file_import_annotates_path() {
+        let e = read_interval_trace_file("/nonexistent/contacts.dat", ImportOptions::default())
+            .unwrap_err();
+        assert!(e.to_string().contains("contacts.dat"), "{e}");
     }
 
     #[test]

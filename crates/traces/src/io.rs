@@ -18,56 +18,86 @@
 //! ```
 
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
 
 use crate::{ContactEvent, ContactTrace};
 
-/// Errors arising while reading or writing traces.
+/// Errors arising while reading, writing, or importing traces.
+///
+/// Every variant carries enough context to point at the offending input:
+/// [`TraceError::Format`] the 1-based line, [`TraceError::Json`] the byte
+/// offset (via [`impatience_json::JsonParseError`]), and
+/// [`TraceError::File`] the path wrapped around either.
 #[derive(Debug)]
-pub enum TraceIoError {
+pub enum TraceError {
     /// Underlying I/O failure.
     Io(std::io::Error),
     /// Structural problem with the text format.
     Format {
-        /// 1-based line number.
+        /// 1-based line number (0 when the problem is file-wide).
         line: usize,
         /// What went wrong.
         message: String,
     },
-    /// JSON (de)serialization failure.
+    /// JSON (de)serialization failure (carries the byte offset).
     Json(impatience_json::JsonParseError),
+    /// Any of the above, annotated with the file it came from.
+    File {
+        /// The offending file.
+        path: PathBuf,
+        /// The underlying error.
+        source: Box<TraceError>,
+    },
 }
 
-impl std::fmt::Display for TraceIoError {
+/// Former name of [`TraceError`], kept for downstream code.
+pub type TraceIoError = TraceError;
+
+impl TraceError {
+    /// Annotate this error with the file it arose from.
+    pub fn in_file(self, path: impl Into<PathBuf>) -> TraceError {
+        TraceError::File {
+            path: path.into(),
+            source: Box::new(self),
+        }
+    }
+}
+
+impl std::fmt::Display for TraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            TraceIoError::Io(e) => write!(f, "trace I/O error: {e}"),
-            TraceIoError::Format { line, message } => {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::Format { line, message } => {
                 write!(f, "trace format error at line {line}: {message}")
             }
-            TraceIoError::Json(e) => write!(f, "trace JSON error: {e}"),
+            TraceError::Json(e) => write!(f, "trace JSON error: {e}"),
+            TraceError::File { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
         }
     }
 }
 
-impl std::error::Error for TraceIoError {
+impl std::error::Error for TraceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            TraceIoError::Io(e) => Some(e),
-            TraceIoError::Json(e) => Some(e),
-            TraceIoError::Format { .. } => None,
+            TraceError::Io(e) => Some(e),
+            TraceError::Json(e) => Some(e),
+            TraceError::Format { .. } => None,
+            TraceError::File { source, .. } => Some(source),
         }
     }
 }
 
-impl From<std::io::Error> for TraceIoError {
+impl From<std::io::Error> for TraceError {
     fn from(e: std::io::Error) -> Self {
-        TraceIoError::Io(e)
+        TraceError::Io(e)
     }
 }
 
-impl From<impatience_json::JsonParseError> for TraceIoError {
+impl From<impatience_json::JsonParseError> for TraceError {
     fn from(e: impatience_json::JsonParseError) -> Self {
-        TraceIoError::Json(e)
+        TraceError::Json(e)
     }
 }
 
@@ -189,6 +219,22 @@ pub fn read_trace_json(mut reader: impl Read) -> Result<ContactTrace, TraceIoErr
     ContactTrace::from_json(&value).map_err(|message| TraceIoError::Format { line: 0, message })
 }
 
+/// Read a plain-text trace from `path`; errors carry the path.
+pub fn read_trace_file(path: impl AsRef<Path>) -> Result<ContactTrace, TraceError> {
+    let path = path.as_ref();
+    let annotate = |e: TraceError| e.in_file(path);
+    let file = std::fs::File::open(path).map_err(|e| annotate(e.into()))?;
+    read_trace(file).map_err(annotate)
+}
+
+/// Read a JSON trace from `path`; errors carry the path.
+pub fn read_trace_json_file(path: impl AsRef<Path>) -> Result<ContactTrace, TraceError> {
+    let path = path.as_ref();
+    let annotate = |e: TraceError| e.in_file(path);
+    let file = std::fs::File::open(path).map_err(|e| annotate(e.into()))?;
+    read_trace_json(file).map_err(annotate)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,5 +317,35 @@ mod tests {
         let trace = read_trace("# nodes 5\n# duration 10\n".as_bytes()).unwrap();
         assert!(trace.is_empty());
         assert_eq!(trace.nodes(), 5);
+    }
+
+    #[test]
+    fn file_errors_carry_the_path() {
+        let err = read_trace_file("/nonexistent/trace.txt").unwrap_err();
+        assert!(
+            matches!(&err, TraceError::File { path, source }
+                if path.ends_with("trace.txt") && matches!(**source, TraceError::Io(_))),
+            "{err}"
+        );
+        assert!(err.to_string().contains("/nonexistent/trace.txt"), "{err}");
+
+        let dir = std::env::temp_dir().join("impatience-trace-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.txt");
+        std::fs::write(&bad, "1.0 7 7\n").unwrap();
+        let err = read_trace_file(&bad).unwrap_err();
+        assert!(err.to_string().contains("bad.txt"), "{err}");
+        assert!(err.to_string().contains("self-contact"), "{err}");
+
+        let bad_json = dir.join("bad.json");
+        std::fs::write(&bad_json, "{ nope").unwrap();
+        let err = read_trace_json_file(&bad_json).unwrap_err();
+        assert!(
+            matches!(&err, TraceError::File { source, .. }
+                if matches!(**source, TraceError::Json(_))),
+            "{err}"
+        );
+        std::fs::remove_file(&bad).ok();
+        std::fs::remove_file(&bad_json).ok();
     }
 }

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 #![deny(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 mod event;
 pub mod gen;
@@ -48,8 +49,11 @@ mod synth;
 mod trace;
 
 pub use event::ContactEvent;
-pub use import::{read_interval_trace, ImportOptions, IntervalColumns};
-pub use io::{read_trace, read_trace_json, write_trace, write_trace_json, TraceIoError};
+pub use import::{read_interval_trace, read_interval_trace_file, ImportOptions, IntervalColumns};
+pub use io::{
+    read_trace, read_trace_file, read_trace_json, read_trace_json_file, write_trace,
+    write_trace_json, TraceError, TraceIoError,
+};
 pub use stats::TraceStats;
 pub use stream::{
     pair_from_index, ContactStream, PoissonContactStream, SlotContact, SlotContactStream,

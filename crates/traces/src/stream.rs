@@ -270,7 +270,12 @@ impl SlotContactStream {
         if self.ln_q == 0.0 || self.pairs == 0 {
             return None; // p = 0: no pair ever meets
         }
-        let total = self.slots.checked_mul(self.pairs).expect("trial too long");
+        let total = self.slots.checked_mul(self.pairs).unwrap_or_else(|| {
+            panic!(
+                "trial too long: {} slots x {} pairs overflows u64",
+                self.slots, self.pairs
+            )
+        });
         // Geometric(p) failures before the next success.
         let skip = (self.rng.f64_open().ln() / self.ln_q).floor();
         if skip >= (total - self.pos) as f64 {

@@ -8,30 +8,40 @@
 //! impatience solve    --items 50 --servers 50 --rho 5 --mu 0.05 --utility step:10
 //! impatience simulate trace.txt --utility step:10 --policy qcr --trials 15
 //! impatience simulate trace.txt --trace-out events.jsonl --verbose
+//! impatience simulate trace.txt --drop-p 0.2 --churn-up 300 --churn-down 30
+//! impatience simulate trace.txt --trials 200 --checkpoint run.ckpt
+//! impatience resume   run.ckpt
 //! ```
 //!
 //! Argument parsing is hand-rolled (no CLI dependency): every option is
 //! `--name value` (except the boolean `--verbose`), subcommand first,
 //! one optional positional (the trace file).
+//!
+//! Errors are typed ([`CliError`]) and mapped to distinct exit codes so
+//! scripts can tell a usage mistake from a torn checkpoint from a
+//! degraded (skipped-trials) campaign.
 
 use std::collections::HashMap;
-use std::fs::File;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use age_of_impatience::prelude::*;
 use impatience_core::demand::DemandProfile;
 use impatience_core::rng::Xoshiro256;
-use impatience_core::solver::greedy::greedy_homogeneous_observed;
-use impatience_core::solver::relaxed::relaxed_optimum;
+use impatience_core::solver::greedy::try_greedy_homogeneous_observed;
+use impatience_core::solver::relaxed::try_relaxed_optimum;
+use impatience_core::solver::SolverError;
 use impatience_core::utility::{parse_utility, DelayUtility};
 use impatience_core::welfare::HeterogeneousSystem;
 use impatience_json::Json;
-use impatience_obs::{Event, JsonlSink, Manifest, MemorySink, Recorder, TallySink};
+use impatience_obs::{AtomicFile, Event, JsonlSink, Manifest, MemorySink, Recorder, TallySink};
 use impatience_sim::config::SimConfig;
+use impatience_sim::faults::{CacheFaults, Churn, ContactDrop, FaultConfig};
 use impatience_sim::policy::PolicyKind;
+use impatience_sim::runner::{run_trials_observed_with_workers, CampaignOutcome};
 use impatience_traces::gen::{ConferenceConfig, VehicularConfig};
-use impatience_traces::write_trace;
+use impatience_traces::{read_trace_file, write_trace, TraceError};
 
 fn main() -> ExitCode {
     // Dying mid-pipe (`impatience stats t | head`) closes our stdout;
@@ -51,9 +61,126 @@ fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            eprintln!("run `impatience help` for usage");
-            ExitCode::FAILURE
+            eprintln!("error[{}]: {e}", e.kind());
+            if matches!(e, CliError::Usage(_)) {
+                eprintln!("run `impatience help` for usage");
+            }
+            e.exit_code()
+        }
+    }
+}
+
+/// Everything that can go wrong at the CLI boundary, each class with its
+/// own exit code (listed in `USAGE`).
+#[derive(Debug)]
+enum CliError {
+    /// Bad flags, values, or subcommands.
+    Usage(String),
+    /// The simulation configuration was rejected.
+    Config(ConfigError),
+    /// A solver rejected its instance.
+    Solver(SolverError),
+    /// A contact trace could not be read or parsed.
+    Trace(TraceError),
+    /// A campaign checkpoint could not be read, written, or matched.
+    Checkpoint(CheckpointError),
+    /// The campaign itself failed (e.g. every trial panicked).
+    Campaign(CampaignError),
+    /// Results could not be written.
+    Io(String),
+    /// The campaign finished but had to skip trials (degraded result).
+    TrialsSkipped { skipped: usize, trials: usize },
+}
+
+impl CliError {
+    fn kind(&self) -> &'static str {
+        match self {
+            CliError::Usage(_) => "usage",
+            CliError::Config(_) => "config",
+            CliError::Solver(_) => "solver",
+            CliError::Trace(_) => "trace",
+            CliError::Checkpoint(_) => "checkpoint",
+            CliError::Campaign(_) => "campaign",
+            CliError::Io(_) => "io",
+            CliError::TrialsSkipped { .. } => "degraded",
+        }
+    }
+
+    fn exit_code(&self) -> ExitCode {
+        ExitCode::from(match self {
+            CliError::Usage(_) => 2,
+            CliError::Config(_) => 3,
+            CliError::Solver(_) => 4,
+            CliError::Trace(_) => 5,
+            CliError::Checkpoint(_) => 6,
+            CliError::Campaign(_) => 7,
+            CliError::Io(_) => 8,
+            CliError::TrialsSkipped { .. } => 9,
+        })
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Io(m) => f.write_str(m),
+            CliError::Config(e) => write!(f, "{e}"),
+            CliError::Solver(e) => write!(f, "{e}"),
+            CliError::Trace(e) => write!(f, "{e}"),
+            CliError::Checkpoint(e) => write!(f, "{e}"),
+            CliError::Campaign(e) => write!(f, "{e}"),
+            CliError::TrialsSkipped { skipped, trials } => write!(
+                f,
+                "campaign degraded: skipped {skipped} of {trials} trial(s); \
+                 aggregate covers the rest (details above)"
+            ),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(m: String) -> CliError {
+        CliError::Usage(m)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(m: &str) -> CliError {
+        CliError::Usage(m.to_string())
+    }
+}
+
+impl From<ConfigError> for CliError {
+    fn from(e: ConfigError) -> CliError {
+        CliError::Config(e)
+    }
+}
+
+impl From<SolverError> for CliError {
+    fn from(e: SolverError) -> CliError {
+        CliError::Solver(e)
+    }
+}
+
+impl From<TraceError> for CliError {
+    fn from(e: TraceError) -> CliError {
+        CliError::Trace(e)
+    }
+}
+
+impl From<CheckpointError> for CliError {
+    fn from(e: CheckpointError) -> CliError {
+        CliError::Checkpoint(e)
+    }
+}
+
+impl From<CampaignError> for CliError {
+    fn from(e: CampaignError) -> CliError {
+        // Unwrap the typed causes so the exit code reflects the root.
+        match e {
+            CampaignError::Config(c) => CliError::Config(c),
+            CampaignError::Checkpoint(c) => CliError::Checkpoint(c),
+            other => CliError::Campaign(other),
         }
     }
 }
@@ -66,7 +193,9 @@ USAGE:
   impatience stats    TRACE
   impatience solve    [--items N --servers N --rho N --mu F --omega F --utility SPEC]
   impatience simulate TRACE [--items N --rho N --utility SPEC --policy P --trials N --seed N]
-                            [--trace-out FILE] [--verbose]
+                            [--trace-out FILE] [--verbose] [--workers N]
+                            [fault injection] [--checkpoint FILE]
+  impatience resume   CKPT
   impatience help
 
 UTILITY SPECS:  step:<tau> | exp:<nu> | power:<alpha> | neglog
@@ -78,8 +207,31 @@ OBSERVABILITY:
                      FILE with extension .manifest.json. Trials still run
                      on all workers; events are flushed in trial order, so
                      the stream is complete, ordered, and deterministic.
+                     Both files commit atomically (write-temp-then-rename).
   --verbose          print counters, percentiles, and solver/worker
                      telemetry after the run
+
+FAULT INJECTION (simulate; seeded, deterministic, off by default):
+  --drop-p F             drop each contact with probability F; with
+  --drop-burst MEAN      drops arriving in bursts of mean length MEAN
+                         (default 1 = independent Bernoulli)
+  --churn-up MIN         exponential server on/off churn: mean up-time and
+  --churn-down MIN       mean down-time in minutes (give both)
+  --cache-fault-rate F   cache-slot failures per node-minute
+  --truncate F           end each trial at fraction F of the horizon (0<F<=1)
+  --fault-seed N         dedicated RNG stream for the fault processes
+
+CHECKPOINTING (simulate):
+  --checkpoint FILE      save campaign state to FILE after every chunk of
+                         trials (atomic rename); panicking trials are
+                         skipped and reported instead of killing the run
+  --checkpoint-every N   trials per chunk (default 16; 0 = end only)
+  resume CKPT            re-run the invocation stored in CKPT, restoring
+                         finished trials bit-identically and running the rest
+
+EXIT CODES:
+  0 ok | 2 usage | 3 config | 4 solver | 5 trace | 6 checkpoint
+  7 campaign | 8 io | 9 degraded (some trials skipped)
 
 COMMON OPTIONS (defaults):
   --items 50  --rho 5  --omega 1.0  --utility step:10  --trials 15  --seed 42
@@ -129,6 +281,17 @@ impl Args {
         }
     }
 
+    /// `Some(parsed)` if the option was given, `None` otherwise.
+    fn get_opt<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.options.get(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("cannot parse --{name} {v}")),
+        }
+    }
+
     fn verbose(&self) -> bool {
         self.options.contains_key("verbose")
     }
@@ -143,7 +306,7 @@ impl Args {
     }
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<(), CliError> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = raw.first() else {
         println!("{USAGE}");
@@ -154,16 +317,49 @@ fn run() -> Result<(), String> {
         "generate" => generate(&args),
         "stats" => stats(&args),
         "solve" => solve(&args),
-        "simulate" => simulate(&args),
+        "simulate" => simulate(&args, &raw),
+        "resume" => resume(args.positional.first()),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`")),
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
 }
 
-fn generate(args: &Args) -> Result<(), String> {
+/// `impatience resume CKPT`: load the checkpoint and replay the CLI
+/// invocation stored inside it. `run_campaign` re-verifies the
+/// fingerprint and skips every trial already recorded, so finished work
+/// is restored bit-identically and only the remainder executes.
+fn resume(path: Option<&String>) -> Result<(), CliError> {
+    let path = path.ok_or("resume needs a checkpoint file argument")?;
+    let ckpt = CampaignCheckpoint::load(Path::new(path))?;
+    if ckpt.cli_args.is_empty() {
+        return Err(CliError::Usage(format!(
+            "checkpoint {path} stores no CLI invocation; \
+             re-run the original command with --checkpoint {path}"
+        )));
+    }
+    let stored = ckpt.cli_args.clone();
+    let (command, rest) = stored
+        .split_first()
+        .unwrap_or_else(|| unreachable!("non-empty cli_args"));
+    if command != "simulate" {
+        return Err(CliError::Usage(format!(
+            "checkpoint {path} stores unsupported command `{command}`"
+        )));
+    }
+    eprintln!(
+        "resuming ({}/{} trials done): impatience {}",
+        ckpt.completed.len(),
+        ckpt.trials,
+        stored.join(" ")
+    );
+    let args = Args::parse(rest)?;
+    simulate(&args, &stored)
+}
+
+fn generate(args: &Args) -> Result<(), CliError> {
     let kind = args
         .positional
         .first()
@@ -193,14 +389,18 @@ fn generate(args: &Args) -> Result<(), String> {
             };
             cfg.generate(&mut rng)
         }
-        other => return Err(format!("unknown trace kind `{other}`")),
+        other => return Err(CliError::Usage(format!("unknown trace kind `{other}`"))),
     };
     let out = args
         .options
         .get("out")
         .ok_or("generate needs an output file (-o FILE)")?;
-    let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
-    write_trace(&trace, file).map_err(|e| e.to_string())?;
+    // Traces commit atomically like every other artifact: a crash here
+    // never leaves a half-written trace that `stats` would half-parse.
+    let mut buf = Vec::new();
+    write_trace(&trace, &mut buf).map_err(|e| CliError::Io(format!("serializing trace: {e}")))?;
+    impatience_obs::write_atomic(Path::new(out), &buf)
+        .map_err(|e| CliError::Io(format!("cannot write {out}: {e}")))?;
     println!(
         "wrote {} contacts / {} nodes / {:.0} min to {out}",
         trace.len(),
@@ -210,16 +410,15 @@ fn generate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn load_trace(args: &Args) -> Result<ContactTrace, String> {
+fn load_trace(args: &Args) -> Result<ContactTrace, CliError> {
     let path = args
         .positional
         .first()
         .ok_or("expected a trace file argument")?;
-    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    read_trace(file).map_err(|e| e.to_string())
+    Ok(read_trace_file(Path::new(path))?)
 }
 
-fn stats(args: &Args) -> Result<(), String> {
+fn stats(args: &Args) -> Result<(), CliError> {
     let trace = load_trace(args)?;
     let s = TraceStats::from_trace(&trace);
     println!("nodes               : {}", trace.nodes());
@@ -241,7 +440,7 @@ fn stats(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn solve(args: &Args) -> Result<(), String> {
+fn solve(args: &Args) -> Result<(), CliError> {
     let items: usize = args.get("items", 50)?;
     let servers: usize = args.get("servers", 50)?;
     let rho: usize = args.get("rho", 5)?;
@@ -259,16 +458,16 @@ fn solve(args: &Args) -> Result<(), String> {
         SystemModel::pure_p2p(servers, rho, mu)
     };
     if utility.requires_dedicated() && clients == 0 {
-        return Err(format!(
+        return Err(CliError::Usage(format!(
             "{} requires a dedicated population; pass --clients N",
             utility.kind()
-        ));
+        )));
     }
     let demand = Popularity::pareto(items, omega).demand_rates(1.0);
 
     let opt = if args.verbose() {
         let mut rec = Recorder::new(MemorySink::new());
-        let opt = greedy_homogeneous_observed(&system, &demand, utility.as_ref(), &mut rec);
+        let opt = try_greedy_homogeneous_observed(&system, &demand, utility.as_ref(), &mut rec)?;
         if let Some(Event::SolverDone {
             iterations,
             evaluations,
@@ -287,9 +486,9 @@ fn solve(args: &Args) -> Result<(), String> {
         }
         opt
     } else {
-        greedy_homogeneous(&system, &demand, utility.as_ref())
+        try_greedy_homogeneous(&system, &demand, utility.as_ref())?
     };
-    let relaxed = relaxed_optimum(&system, &demand, utility.as_ref());
+    let relaxed = try_relaxed_optimum(&system, &demand, utility.as_ref())?;
     println!(
         "system: |I|={items} |S|={servers} ρ={rho} μ={mu} ω={omega} utility={}",
         utility.kind()
@@ -322,7 +521,50 @@ fn solve(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn simulate(args: &Args) -> Result<(), String> {
+/// Build a [`FaultConfig`] from the `--drop-p`/`--churn-*`/… flags.
+/// `None` when no fault flag was given (the clean network).
+fn fault_config(args: &Args) -> Result<Option<FaultConfig>, CliError> {
+    let mut fc = FaultConfig {
+        seed: args.get("fault-seed", 0)?,
+        ..FaultConfig::default()
+    };
+    let p: f64 = args.get("drop-p", 0.0)?;
+    if p > 0.0 {
+        fc.drop = Some(ContactDrop {
+            p,
+            mean_burst: args.get("drop-burst", 1.0)?,
+        });
+    } else if args.options.contains_key("drop-burst") {
+        return Err("--drop-burst needs --drop-p > 0".into());
+    }
+    let up: f64 = args.get("churn-up", 0.0)?;
+    let down: f64 = args.get("churn-down", 0.0)?;
+    match (up > 0.0, down > 0.0) {
+        (true, true) => {
+            fc.churn = Some(Churn {
+                mean_up: up,
+                mean_down: down,
+            })
+        }
+        (false, false) => {}
+        _ => {
+            return Err("--churn-up and --churn-down must be given together (both > 0)".into());
+        }
+    }
+    let rate: f64 = args.get("cache-fault-rate", 0.0)?;
+    if rate > 0.0 {
+        fc.cache = Some(CacheFaults { rate });
+    }
+    fc.truncate_fraction = args.get_opt("truncate")?;
+    if fc.is_active() {
+        fc.validate()?;
+        Ok(Some(fc))
+    } else {
+        Ok(None)
+    }
+}
+
+fn simulate(args: &Args, invocation: &[String]) -> Result<(), CliError> {
     let trace_file = args.positional.first().cloned().unwrap_or_default();
     let trace = load_trace(args)?;
     let items: usize = args.get("items", 50)?;
@@ -373,50 +615,74 @@ fn simulate(args: &Args) -> Result<(), String> {
             label: "DOM",
             counts: dominant(&demand, nodes, rho),
         },
-        other => return Err(format!("unknown policy `{other}`")),
+        other => return Err(CliError::Usage(format!("unknown policy `{other}`"))),
     };
 
-    let config = SimConfig::builder(items, rho)
+    let faults = fault_config(args)?;
+    let mut builder = SimConfig::builder(items, rho)
         .demand(demand)
         .profile(profile)
         .utility(utility.clone())
         .bin(60.0)
-        .warmup_fraction(0.25)
-        .build();
+        .warmup_fraction(0.25);
+    if let Some(fc) = faults.clone() {
+        builder = builder.faults(fc);
+    }
+    let config = builder.build();
     let source = ContactSource::trace(trace);
     let verbose = args.verbose();
+    let workers: Option<usize> = args.get_opt("workers")?;
+
+    if args.options.contains_key("checkpoint") {
+        return campaign(
+            args,
+            invocation,
+            &config,
+            &source,
+            &policy,
+            trials,
+            seed,
+            &utility,
+            &trace_file,
+            faults.as_ref(),
+        );
+    }
 
     let (agg, stats) = match args.options.get("trace-out") {
         Some(out) => {
-            let path = std::path::Path::new(out);
-            let file = File::create(path).map_err(|e| format!("cannot create {out}: {e}"))?;
-            let mut rec = Recorder::new(JsonlSink::new(std::io::BufWriter::new(file)));
-            let agg = run_trials_observed(&config, &source, &policy, trials, seed, &mut rec);
+            let path = Path::new(out);
+            let file = AtomicFile::create(path)
+                .map_err(|e| CliError::Io(format!("cannot create {out}: {e}")))?;
+            let mut rec = Recorder::new(JsonlSink::new(file));
+            let agg = run_trials_observed_with_workers(
+                &config, &source, &policy, trials, seed, workers, &mut rec,
+            );
             let stats = rec.summary_json();
             rec.into_sink()
                 .into_inner()
-                .map_err(|e| format!("writing {out}: {e}"))?;
+                .and_then(AtomicFile::commit)
+                .map_err(|e| CliError::Io(format!("writing {out}: {e}")))?;
 
             let mut manifest = Manifest::new("simulate");
-            manifest.set("trace", trace_file.as_str());
-            manifest.set("events_file", out.as_str());
-            manifest.set("policy", agg.label.as_str());
-            manifest.set("utility", utility.kind().to_string());
-            manifest.set("items", items as u64);
-            manifest.set("rho", rho as u64);
-            manifest.set("omega", omega);
-            manifest.set("trials", trials as u64);
-            manifest.set("base_seed", seed);
-            manifest.set("warmup_fraction", config.warmup_fraction);
-            manifest.set("workers", agg.workers as u64);
-            manifest.set("wall_s", agg.wall_s);
-            manifest.set("mean_trial_wall_s", agg.mean_trial_wall_s);
-            manifest.set("worker_utilization", agg.worker_utilization);
+            fill_manifest(
+                &mut manifest,
+                &trace_file,
+                out,
+                &agg,
+                &utility,
+                items,
+                rho,
+                omega,
+                trials,
+                seed,
+                &config,
+                faults.as_ref(),
+            );
             manifest.set("stats", stats.clone());
             let mpath = Manifest::sibling_path(path);
             manifest
                 .write_to(&mpath)
-                .map_err(|e| format!("cannot write {}: {e}", mpath.display()))?;
+                .map_err(|e| CliError::Io(format!("cannot write {}: {e}", mpath.display())))?;
             println!("events  → {out}");
             println!("manifest→ {}", mpath.display());
             (agg, Some(stats))
@@ -425,12 +691,169 @@ fn simulate(args: &Args) -> Result<(), String> {
             // Tallies without the event stream (runs on all workers;
             // per-trial tallies merge deterministically in trial order).
             let mut rec = Recorder::new(TallySink);
-            let agg = run_trials_observed(&config, &source, &policy, trials, seed, &mut rec);
+            let agg = run_trials_observed_with_workers(
+                &config, &source, &policy, trials, seed, workers, &mut rec,
+            );
             (agg, Some(rec.summary_json()))
         }
-        None => (run_trials(&config, &source, &policy, trials, seed), None),
+        None => {
+            let mut rec = Recorder::disabled();
+            let agg = run_trials_observed_with_workers(
+                &config, &source, &policy, trials, seed, workers, &mut rec,
+            );
+            (agg, None)
+        }
     };
 
+    report(&agg, stats.as_ref(), trials, &utility, verbose);
+    Ok(())
+}
+
+/// The checkpointed campaign path of `simulate`: trials run behind a
+/// panic barrier (skip-and-report), progress commits to the checkpoint
+/// file after every chunk, and `resume` picks up exactly where a killed
+/// process stopped.
+#[allow(clippy::too_many_arguments)]
+fn campaign(
+    args: &Args,
+    invocation: &[String],
+    config: &SimConfig,
+    source: &ContactSource,
+    policy: &PolicyKind,
+    trials: usize,
+    seed: u64,
+    utility: &Arc<dyn DelayUtility>,
+    trace_file: &str,
+    faults: Option<&FaultConfig>,
+) -> Result<(), CliError> {
+    let ckpt_path = PathBuf::from(args.options.get("checkpoint").cloned().unwrap_or_default());
+    let options = CampaignOptions {
+        checkpoint_path: Some(ckpt_path.clone()),
+        checkpoint_every: args.get("checkpoint-every", 16)?,
+        workers: args.get_opt("workers")?,
+        // Undocumented test hook: die after N chunks as if killed.
+        abort_after_chunks: args.get_opt("abort-after-chunks")?,
+        cli_args: invocation.to_vec(),
+    };
+    let verbose = args.verbose();
+
+    let (outcome, stats): (CampaignOutcome, Option<Json>) = match args.options.get("trace-out") {
+        Some(out) => {
+            let path = Path::new(out);
+            let file = AtomicFile::create(path)
+                .map_err(|e| CliError::Io(format!("cannot create {out}: {e}")))?;
+            let mut rec = Recorder::new(JsonlSink::new(file));
+            let outcome = run_campaign(config, source, policy, trials, seed, &options, &mut rec)?;
+            let stats = rec.summary_json();
+            rec.into_sink()
+                .into_inner()
+                .and_then(AtomicFile::commit)
+                .map_err(|e| CliError::Io(format!("writing {out}: {e}")))?;
+
+            let mut manifest = Manifest::new("campaign");
+            fill_manifest(
+                &mut manifest,
+                trace_file,
+                out,
+                &outcome.aggregate,
+                utility,
+                config.items,
+                config.rho,
+                args.get("omega", 1.0)?,
+                trials,
+                seed,
+                config,
+                faults,
+            );
+            manifest.set("checkpoint", ckpt_path.display().to_string());
+            manifest.set("trials_resumed", outcome.resumed as u64);
+            manifest.set("trials_executed", outcome.executed as u64);
+            manifest.set("trials_skipped", outcome.skipped.len() as u64);
+            manifest.set("stats", stats.clone());
+            let mpath = Manifest::sibling_path(path);
+            manifest
+                .write_to(&mpath)
+                .map_err(|e| CliError::Io(format!("cannot write {}: {e}", mpath.display())))?;
+            println!("events  → {out}");
+            println!("manifest→ {}", mpath.display());
+            (outcome, Some(stats))
+        }
+        None if verbose => {
+            let mut rec = Recorder::new(TallySink);
+            let outcome = run_campaign(config, source, policy, trials, seed, &options, &mut rec)?;
+            let stats = rec.summary_json();
+            (outcome, Some(stats))
+        }
+        None => {
+            let mut rec = Recorder::disabled();
+            let outcome = run_campaign(config, source, policy, trials, seed, &options, &mut rec)?;
+            (outcome, None)
+        }
+    };
+
+    if outcome.resumed > 0 {
+        println!(
+            "resumed {} trial(s) from checkpoint, executed {} this run",
+            outcome.resumed, outcome.executed
+        );
+    }
+    println!("checkpoint → {}", ckpt_path.display());
+    for (k, msg) in &outcome.skipped {
+        eprintln!("warning: trial {k} skipped: {msg}");
+    }
+    report(&outcome.aggregate, stats.as_ref(), trials, utility, verbose);
+    if !outcome.skipped.is_empty() {
+        return Err(CliError::TrialsSkipped {
+            skipped: outcome.skipped.len(),
+            trials,
+        });
+    }
+    Ok(())
+}
+
+/// The manifest fields shared by plain and campaign simulate runs.
+#[allow(clippy::too_many_arguments)]
+fn fill_manifest(
+    manifest: &mut Manifest,
+    trace_file: &str,
+    events_file: &str,
+    agg: &TrialAggregate,
+    utility: &Arc<dyn DelayUtility>,
+    items: usize,
+    rho: usize,
+    omega: f64,
+    trials: usize,
+    seed: u64,
+    config: &SimConfig,
+    faults: Option<&FaultConfig>,
+) {
+    manifest.set("trace", trace_file);
+    manifest.set("events_file", events_file);
+    manifest.set("policy", agg.label.as_str());
+    manifest.set("utility", utility.kind().to_string());
+    manifest.set("items", items as u64);
+    manifest.set("rho", rho as u64);
+    manifest.set("omega", omega);
+    manifest.set("trials", trials as u64);
+    manifest.set("base_seed", seed);
+    manifest.set("warmup_fraction", config.warmup_fraction);
+    manifest.set(
+        "faults",
+        faults.map_or_else(|| "none".to_string(), FaultConfig::summary),
+    );
+    manifest.set("workers", agg.workers as u64);
+    manifest.set("wall_s", agg.wall_s);
+    manifest.set("mean_trial_wall_s", agg.mean_trial_wall_s);
+    manifest.set("worker_utilization", agg.worker_utilization);
+}
+
+fn report(
+    agg: &TrialAggregate,
+    stats: Option<&Json>,
+    trials: usize,
+    utility: &Arc<dyn DelayUtility>,
+    verbose: bool,
+) {
     println!(
         "policy {} over {trials} trials (utility {}):",
         agg.label,
@@ -461,7 +884,7 @@ fn simulate(args: &Args) -> Result<(), String> {
             "  wall time             : {:>10.3} s ({:.4} s/trial)",
             agg.wall_s, agg.mean_trial_wall_s
         );
-        if let Some(stats) = &stats {
+        if let Some(stats) = stats {
             let get = |h: &str, q: &str| {
                 stats
                     .get(h)
@@ -487,7 +910,15 @@ fn simulate(args: &Args) -> Result<(), String> {
             {
                 println!("  peak open requests    : {peak:>10}");
             }
+            if let Some(faults) = stats
+                .get("counters")
+                .and_then(|o| o.get("faults"))
+                .and_then(Json::as_u64)
+            {
+                if faults > 0 {
+                    println!("  fault events          : {faults:>10}");
+                }
+            }
         }
     }
-    Ok(())
 }

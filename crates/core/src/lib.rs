@@ -78,7 +78,9 @@ pub mod prelude {
     pub use crate::demand::{DemandProfile, DemandRates, Popularity};
     pub use crate::rng::Xoshiro256;
     pub use crate::solver::fixed::{dominant, proportional, sqrt_proportional, uniform};
-    pub use crate::solver::greedy::{greedy_homogeneous, try_greedy_homogeneous};
+    pub use crate::solver::greedy::{
+        brute_force_homogeneous, greedy_homogeneous, try_greedy_homogeneous,
+    };
     pub use crate::solver::het_greedy::greedy_heterogeneous;
     pub use crate::solver::relaxed::{relaxed_optimum, try_relaxed_optimum};
     pub use crate::solver::SolverError;

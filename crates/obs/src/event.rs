@@ -105,6 +105,20 @@ pub enum Event {
         /// Wall-clock seconds.
         wall_s: f64,
     },
+    /// One conformance scenario of the verification oracle finished
+    /// (see `impatience-oracle`).
+    ScenarioDone {
+        /// 0-based scenario index within the matrix.
+        index: u64,
+        /// Invariant checks that passed.
+        passed: u32,
+        /// Invariant checks that failed.
+        failed: u32,
+        /// Invariant checks skipped as not applicable.
+        skipped: u32,
+        /// Wall-clock seconds.
+        wall_s: f64,
+    },
     /// An injected fault fired (see `impatience-sim`'s fault model).
     Fault {
         /// Simulation time.
@@ -134,6 +148,7 @@ impl Event {
             Event::SolverDone { .. } => "solver_done",
             Event::Span { .. } => "span",
             Event::TrialDone { .. } => "trial_done",
+            Event::ScenarioDone { .. } => "scenario",
             Event::Fault { .. } => "fault",
         }
     }
@@ -209,6 +224,19 @@ impl Event {
             }
             Event::TrialDone { seed, wall_s } => {
                 push("seed", seed.into());
+                push("wall_s", wall_s.into());
+            }
+            Event::ScenarioDone {
+                index,
+                passed,
+                failed,
+                skipped,
+                wall_s,
+            } => {
+                push("index", index.into());
+                push("passed", passed.into());
+                push("failed", failed.into());
+                push("skipped", skipped.into());
                 push("wall_s", wall_s.into());
             }
             Event::Fault { t, kind, node, aux } => {
@@ -291,6 +319,13 @@ mod tests {
             Event::TrialDone {
                 seed: 7,
                 wall_s: 0.5,
+            },
+            Event::ScenarioDone {
+                index: 3,
+                passed: 4,
+                failed: 0,
+                skipped: 1,
+                wall_s: 0.1,
             },
             Event::Fault {
                 t: 3.0,

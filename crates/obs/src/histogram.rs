@@ -102,15 +102,16 @@ impl Histogram {
     /// The `q`-quantile (`q` in `[0, 1]`), interpolated within its
     /// bucket; `None` if the histogram is empty.
     ///
-    /// Uses the nearest-rank definition (the smallest value with at
-    /// least `⌈q·n⌉` samples at or below it), matching
-    /// `impatience_sim::runner::percentile` up to bucket resolution.
+    /// Uses the shared nearest-rank definition of [`crate::stats`] (the
+    /// smallest value with at least `⌈q·n⌉` samples at or below it), so
+    /// it matches `impatience_sim::runner::percentile` — which delegates
+    /// to the same function — up to bucket resolution.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
         if self.total == 0 {
             return None;
         }
-        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let rank = crate::stats::nearest_rank(q, self.total);
         let width = self.range / self.counts.len() as f64;
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {

@@ -42,6 +42,7 @@ pub mod histogram;
 pub mod manifest;
 pub mod recorder;
 pub mod sink;
+pub mod stats;
 
 pub use atomic::{write_atomic, AtomicFile};
 pub use counter::{Counters, Peaks};
@@ -50,6 +51,7 @@ pub use histogram::Histogram;
 pub use manifest::{git_revision, Manifest};
 pub use recorder::Recorder;
 pub use sink::{JsonlSink, MemorySink, NoopSink, Sink, TallySink};
+pub use stats::{nearest_rank, percentile, percentile_sorted};
 
 /// The common imports: `use impatience_obs::prelude::*;`.
 pub mod prelude {
@@ -60,4 +62,5 @@ pub mod prelude {
     pub use crate::manifest::{git_revision, Manifest};
     pub use crate::recorder::Recorder;
     pub use crate::sink::{JsonlSink, MemorySink, NoopSink, Sink, TallySink};
+    pub use crate::stats::{nearest_rank, percentile, percentile_sorted};
 }

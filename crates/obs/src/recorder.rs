@@ -238,6 +238,31 @@ impl<S: Sink> Recorder<S> {
         result
     }
 
+    /// One verification-oracle scenario finished with the given
+    /// per-invariant tallies.
+    #[inline]
+    pub fn scenario_done(
+        &mut self,
+        index: u64,
+        passed: u32,
+        failed: u32,
+        skipped: u32,
+        wall_s: f64,
+    ) {
+        if !S::ACTIVE {
+            return;
+        }
+        self.counters.incr("scenarios");
+        self.counters.add("invariant_failures", failed as u64);
+        self.sink.record(&Event::ScenarioDone {
+            index,
+            passed,
+            failed,
+            skipped,
+            wall_s,
+        });
+    }
+
     /// An injected fault fired (`kind` per [`Event::Fault`]).
     #[inline]
     pub fn fault(&mut self, t: f64, kind: &'static str, node: u32, aux: u32) {

@@ -1,0 +1,257 @@
+//! Exhaustive brute-force optima for tiny instances.
+//!
+//! The greedy solvers come with guarantees *relative to OPT*; checking
+//! them needs OPT itself. For instances small enough to enumerate
+//! (`|I| ≤ 8`, `ρ|S| ≤ 10` in the conformance matrix) this module walks
+//! the entire feasible set and returns the true maximum, giving the
+//! property tests an unimpeachable reference.
+
+use std::collections::HashMap;
+
+use impatience_core::allocation::AllocationMatrix;
+use impatience_core::demand::{DemandProfile, DemandRates};
+use impatience_core::utility::DelayUtility;
+use impatience_core::welfare::HeterogeneousSystem;
+
+// The homogeneous brute force lives next to the greedy it validates.
+pub use impatience_core::solver::greedy::brute_force_homogeneous;
+
+/// Hard cap on the number of cache configurations the heterogeneous
+/// brute force will enumerate.
+const MAX_CONFIGURATIONS: f64 = 5_000_000.0;
+
+/// All item subsets of size ≤ `rho` over `items` items, as bitmasks.
+fn cache_candidates(items: usize, rho: usize) -> Vec<u32> {
+    assert!(items <= 16, "instance too large for brute force");
+    (0u32..(1 << items))
+        .filter(|m| (m.count_ones() as usize) <= rho)
+        .collect()
+}
+
+/// True optimal allocation of a heterogeneous instance by exhaustive
+/// enumeration of per-server cache contents — exponential, tiny
+/// instances only.
+///
+/// Every server independently picks any subset of at most `ρ` items, so
+/// the search space is `(Σ_{k≤ρ} C(|I|,k))^{|S|}` configurations; the
+/// function asserts this stays below an internal cap. Returns the best
+/// allocation and its welfare (which may be `−∞` only if *every*
+/// feasible allocation is, e.g. a cost-type utility with more demanded
+/// items than total cache slots).
+///
+/// # Panics
+/// Panics if the instance is too large to enumerate.
+pub fn brute_force_heterogeneous(
+    system: &HeterogeneousSystem,
+    demand: &DemandRates,
+    profile: &DemandProfile,
+    utility: &dyn DelayUtility,
+) -> (AllocationMatrix, f64) {
+    let items = demand.items();
+    let servers = system.servers.len();
+    let candidates = cache_candidates(items, system.rho);
+    assert!(
+        (candidates.len() as f64).powi(servers as i32) <= MAX_CONFIGURATIONS,
+        "instance too large for brute force: {}^{servers} configurations",
+        candidates.len()
+    );
+
+    // `choice[s]` indexes `candidates`; odometer over all servers.
+    let mut choice = vec![0usize; servers];
+    let mut best: Option<(Vec<usize>, f64)> = None;
+    let mut gains = GainCache::default();
+    loop {
+        let welfare = welfare_of(
+            system,
+            demand,
+            profile,
+            utility,
+            &candidates,
+            &choice,
+            &mut gains,
+        );
+        if best.as_ref().is_none_or(|(_, bw)| welfare > *bw) {
+            best = Some((choice.clone(), welfare));
+        }
+        let mut pos = 0;
+        loop {
+            if pos == servers {
+                let (choice, welfare) =
+                    best.expect("the all-empty configuration is always feasible");
+                return (materialize(system, items, &candidates, &choice), welfare);
+            }
+            if choice[pos] + 1 < candidates.len() {
+                choice[pos] += 1;
+                break;
+            }
+            choice[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+/// Memoized `G(λ)` lookups: the enumeration revisits the same fulfillment
+/// rates millions of times, and for `Custom` utilities each `gain` call is
+/// an adaptive quadrature. The distinct λ set is tiny (sums of a handful
+/// of pairwise rates), so caching by bit pattern collapses the cost.
+#[derive(Default)]
+struct GainCache(HashMap<u64, f64>);
+
+impl GainCache {
+    fn gain(&mut self, utility: &dyn DelayUtility, lambda: f64) -> f64 {
+        match self.0.get(&lambda.to_bits()) {
+            Some(&g) => g,
+            None => {
+                let g = utility.gain(lambda);
+                self.0.insert(lambda.to_bits(), g);
+                g
+            }
+        }
+    }
+}
+
+/// Welfare of one enumerated configuration: Lemma 1 summed over items,
+/// mirroring `item_welfare_heterogeneous` with the gain lookups memoized
+/// (the `brute_force_dominates_greedy_and_respects_bound` test pins this
+/// against the core implementation).
+fn welfare_of(
+    system: &HeterogeneousSystem,
+    demand: &DemandRates,
+    profile: &DemandProfile,
+    utility: &dyn DelayUtility,
+    candidates: &[u32],
+    choice: &[usize],
+    gains: &mut GainCache,
+) -> f64 {
+    let mut total = 0.0;
+    let mut holders = Vec::with_capacity(choice.len());
+    for item in 0..demand.items() {
+        let d = demand.rate(item);
+        if d == 0.0 {
+            continue;
+        }
+        holders.clear();
+        for (server, &c) in choice.iter().enumerate() {
+            if candidates[c] & (1 << item) != 0 {
+                holders.push(server);
+            }
+        }
+        let mut item_total = 0.0;
+        for (j, &client_node) in system.clients.iter().enumerate() {
+            let pi = profile.pi(item, j);
+            if pi == 0.0 {
+                continue;
+            }
+            let self_cached = holders
+                .iter()
+                .any(|&col| system.servers[col] == client_node);
+            let g = if self_cached {
+                utility.h_zero()
+            } else {
+                gains.gain(utility, system.fulfillment_rate(&holders, client_node))
+            };
+            if g == f64::NEG_INFINITY {
+                return f64::NEG_INFINITY;
+            }
+            item_total += pi * g;
+        }
+        total += d * item_total;
+    }
+    total
+}
+
+fn materialize(
+    system: &HeterogeneousSystem,
+    items: usize,
+    candidates: &[u32],
+    choice: &[usize],
+) -> AllocationMatrix {
+    let mut alloc = AllocationMatrix::new(items, choice.len(), system.rho);
+    for (server, &c) in choice.iter().enumerate() {
+        for item in 0..items {
+            if candidates[c] & (1 << item) != 0 {
+                alloc.place(item, server);
+            }
+        }
+    }
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impatience_core::demand::Popularity;
+    use impatience_core::solver::het_greedy::greedy_heterogeneous;
+    use impatience_core::utility::{Exponential, Step};
+    use impatience_core::welfare::{social_welfare_heterogeneous, ContactRates};
+
+    #[test]
+    fn candidates_count_small_subsets() {
+        // 1 + C(4,1) + C(4,2) = 11 subsets of ≤ 2 of 4 items.
+        assert_eq!(cache_candidates(4, 2).len(), 11);
+        assert_eq!(cache_candidates(3, 3).len(), 8);
+    }
+
+    #[test]
+    fn brute_force_dominates_greedy_and_respects_bound() {
+        let rates = ContactRates::from_fn(5, |a, b| 0.02 * ((a * 3 + b) % 4 + 1) as f64);
+        let system = HeterogeneousSystem::pure_p2p(rates, 1);
+        let demand = Popularity::pareto(3, 1.0).demand_rates(1.0);
+        let profile = DemandProfile::uniform(3, 5);
+        for utility in [
+            Box::new(Step::new(4.0)) as Box<dyn DelayUtility>,
+            Box::new(Exponential::new(0.3)),
+        ] {
+            let (opt, w_opt) =
+                brute_force_heterogeneous(&system, &demand, &profile, utility.as_ref());
+            let w_check =
+                social_welfare_heterogeneous(&system, &opt, &demand, &profile, utility.as_ref());
+            assert!((w_opt - w_check).abs() < 1e-12, "reported welfare mismatch");
+
+            let greedy = greedy_heterogeneous(&system, &demand, &profile, utility.as_ref());
+            let w_greedy =
+                social_welfare_heterogeneous(&system, &greedy, &demand, &profile, utility.as_ref());
+            assert!(w_greedy <= w_opt + 1e-9, "greedy above the true optimum");
+            assert!(
+                w_greedy >= (1.0 - 1.0 / std::f64::consts::E) * w_opt - 1e-9,
+                "Theorem 1 bound violated: {w_greedy} < (1-1/e)·{w_opt}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_homogeneous_brute_force_on_constant_rates() {
+        use impatience_core::types::SystemModel;
+        use impatience_core::welfare::social_welfare_homogeneous;
+        let nodes = 4;
+        let mu = 0.05;
+        let rates = ContactRates::homogeneous(nodes, mu);
+        let system = HeterogeneousSystem::pure_p2p(rates, 1);
+        let demand = Popularity::pareto(3, 1.0).demand_rates(1.0);
+        let profile = DemandProfile::uniform(3, nodes);
+        let utility = Step::new(5.0);
+        let (_, w_het) = brute_force_heterogeneous(&system, &demand, &profile, &utility);
+
+        let hom = SystemModel::pure_p2p(nodes, 1, mu);
+        let (opt, w_hom) = brute_force_homogeneous(&hom, &demand, &utility);
+        let w_eval = social_welfare_homogeneous(&hom, &demand, &utility, &opt.as_f64());
+        assert!((w_hom - w_eval).abs() < 1e-12);
+        // The heterogeneous enumeration sees concrete placements, the
+        // homogeneous closed form their (1−x/N) average — identical under
+        // constant rates and uniform π.
+        assert!(
+            (w_het - w_hom).abs() < 1e-9 * w_hom.abs().max(1.0),
+            "het {w_het} vs hom {w_hom}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn rejects_oversized_instances() {
+        let rates = ContactRates::homogeneous(20, 0.05);
+        let system = HeterogeneousSystem::pure_p2p(rates, 5);
+        let demand = Popularity::pareto(12, 1.0).demand_rates(1.0);
+        let profile = DemandProfile::uniform(12, 20);
+        let _ = brute_force_heterogeneous(&system, &demand, &profile, &Step::new(1.0));
+    }
+}

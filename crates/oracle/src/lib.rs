@@ -1,0 +1,46 @@
+//! # impatience-oracle
+//!
+//! Differential verification of the paper's *relational* guarantees.
+//!
+//! The theory layer makes claims that relate independent computations to
+//! one another rather than to fixed constants: greedy placement is within
+//! `(1 − 1/e)` of the true optimum (Theorem 1) and exact under
+//! homogeneous contacts (Theorem 2); the analytic welfare of Eqs. (2)–(5)
+//! is the mean the Monte-Carlo simulator converges to; the discrete-time
+//! model approaches the continuous one as the slot shrinks (§3.4); and at
+//! the relaxed optimum every interior item sits on Property 1's common
+//! water level `d_i·φ(x̃_i) = λ`. This crate checks those relations
+//! systematically:
+//!
+//! * [`brute`] — exhaustive enumeration of tiny instances, yielding the
+//!   *true* OPT against which both greedy solvers are judged;
+//! * [`differential`] — analytic-vs-Monte-Carlo comparisons gated by
+//!   CLT-derived confidence intervals (disagreement is flagged only when
+//!   statistically significant, never on a fixed epsilon), plus the
+//!   discrete→continuous slot-refinement convergence check;
+//! * [`scenario`] — the seeded conformance matrix over
+//!   {utility families} × {populations} × {contact regimes} × {faults},
+//!   each cell a self-describing record with per-invariant pass/fail;
+//! * [`report`] — JSONL + summary-table conformance reports written
+//!   atomically.
+//!
+//! The `impatience verify [--quick|--full]` CLI subcommand is a thin
+//! wrapper over [`scenario::run_matrix`] + [`report`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod brute;
+pub mod differential;
+pub mod report;
+pub mod scenario;
+
+pub use brute::{brute_force_heterogeneous, brute_force_homogeneous};
+pub use differential::{
+    clt_interval, engines_match, mc_gain_estimate, slot_refinement_errors, Comparison,
+};
+pub use report::{summary_table, write_report};
+pub use scenario::{
+    run_matrix, CheckStatus, InvariantResult, MatrixOptions, ScenarioRecord, INVARIANTS,
+};

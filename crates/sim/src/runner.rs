@@ -70,26 +70,11 @@ struct BatchTelemetry {
     trials: usize,
 }
 
-/// Nearest-rank percentile of an unsorted sample (`q` in [0, 1]).
-pub fn percentile(values: &[f64], q: f64) -> f64 {
-    let mut sorted = values.to_vec();
-    sorted.sort_by(f64::total_cmp);
-    percentile_sorted(&sorted, q)
-}
-
-/// Nearest-rank percentile of an **already sorted** sample (`q` in
-/// [0, 1]). Callers taking several percentiles of one sample should sort
-/// once and use this instead of paying a clone + sort per rank.
-pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
-    assert!(!sorted.is_empty(), "percentile of empty sample");
-    assert!((0.0..=1.0).contains(&q));
-    debug_assert!(
-        sorted.windows(2).all(|w| w[0].total_cmp(&w[1]).is_le()),
-        "percentile_sorted needs a sorted sample"
-    );
-    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
-}
+// Nearest-rank percentiles. One shared implementation serves both the
+// exact sample percentiles here and the bucketed histogram quantiles in
+// `impatience-obs` — re-exported so existing `runner::percentile`
+// callers keep working.
+pub use impatience_obs::stats::{percentile, percentile_sorted};
 
 fn aggregate(
     label: String,

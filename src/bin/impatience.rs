@@ -11,6 +11,7 @@
 //! impatience simulate trace.txt --drop-p 0.2 --churn-up 300 --churn-down 30
 //! impatience simulate trace.txt --trials 200 --checkpoint run.ckpt
 //! impatience resume   run.ckpt
+//! impatience verify   --quick -o conformance.jsonl
 //! ```
 //!
 //! Argument parsing is hand-rolled (no CLI dependency): every option is
@@ -36,6 +37,7 @@ use impatience_core::utility::{parse_utility, DelayUtility};
 use impatience_core::welfare::HeterogeneousSystem;
 use impatience_json::Json;
 use impatience_obs::{AtomicFile, Event, JsonlSink, Manifest, MemorySink, Recorder, TallySink};
+use impatience_oracle::{run_matrix, summary_table, write_report, CheckStatus, MatrixOptions};
 use impatience_sim::config::SimConfig;
 use impatience_sim::faults::{CacheFaults, Churn, ContactDrop, FaultConfig};
 use impatience_sim::policy::PolicyKind;
@@ -90,6 +92,8 @@ enum CliError {
     Io(String),
     /// The campaign finished but had to skip trials (degraded result).
     TrialsSkipped { skipped: usize, trials: usize },
+    /// The conformance matrix ran but at least one invariant failed.
+    Verify { failed: u32, scenarios: usize },
 }
 
 impl CliError {
@@ -103,6 +107,7 @@ impl CliError {
             CliError::Campaign(_) => "campaign",
             CliError::Io(_) => "io",
             CliError::TrialsSkipped { .. } => "degraded",
+            CliError::Verify { .. } => "verify",
         }
     }
 
@@ -116,6 +121,7 @@ impl CliError {
             CliError::Campaign(_) => 7,
             CliError::Io(_) => 8,
             CliError::TrialsSkipped { .. } => 9,
+            CliError::Verify { .. } => 10,
         })
     }
 }
@@ -133,6 +139,11 @@ impl std::fmt::Display for CliError {
                 f,
                 "campaign degraded: skipped {skipped} of {trials} trial(s); \
                  aggregate covers the rest (details above)"
+            ),
+            CliError::Verify { failed, scenarios } => write!(
+                f,
+                "conformance matrix failed: {failed} invariant violation(s) \
+                 across {scenarios} scenario(s); details above and in the report"
             ),
         }
     }
@@ -196,6 +207,7 @@ USAGE:
                             [--trace-out FILE] [--verbose] [--workers N]
                             [fault injection] [--checkpoint FILE]
   impatience resume   CKPT
+  impatience verify   [--quick|--full] [--seed N] [-o FILE] [--trace-out FILE] [--limit N]
   impatience help
 
 UTILITY SPECS:  step:<tau> | exp:<nu> | power:<alpha> | neglog
@@ -221,6 +233,19 @@ FAULT INJECTION (simulate; seeded, deterministic, off by default):
   --truncate F           end each trial at fraction F of the horizon (0<F<=1)
   --fault-seed N         dedicated RNG stream for the fault processes
 
+VERIFICATION (verify; deterministic given --seed):
+  Runs the oracle conformance matrix — 5 utility families x 3 population
+  shapes x {hom,het} contacts x {clean,faults} — and checks each cell
+  against the paper's invariants: submodularity, the Property 1
+  equilibrium residual, welfare monotonicity, greedy vs brute-force
+  optima (Theorems 1-2), bit-level determinism, and slot-refinement
+  convergence. --full adds the Monte-Carlo differential checks
+  (analytic vs simulated welfare, continuous vs discrete engines);
+  --quick is the default and the CI gate. The JSONL report lands at
+  -o FILE (default conformance.jsonl) with a manifest sibling;
+  --trace-out streams per-scenario events; --limit N truncates the
+  matrix (test hook).
+
 CHECKPOINTING (simulate):
   --checkpoint FILE      save campaign state to FILE after every chunk of
                          trials (atomic rename); panicking trials are
@@ -232,6 +257,7 @@ CHECKPOINTING (simulate):
 EXIT CODES:
   0 ok | 2 usage | 3 config | 4 solver | 5 trace | 6 checkpoint
   7 campaign | 8 io | 9 degraded (some trials skipped)
+  10 verify (conformance invariant violated)
 
 COMMON OPTIONS (defaults):
   --items 50  --rho 5  --omega 1.0  --utility step:10  --trials 15  --seed 42
@@ -253,7 +279,7 @@ impl Args {
         while let Some(arg) = it.next() {
             if let Some(name) = arg.strip_prefix("--") {
                 // Boolean flags take no value.
-                if name == "verbose" {
+                if name == "verbose" || name == "quick" || name == "full" {
                     options.insert(name.to_string(), "true".to_string());
                     continue;
                 }
@@ -319,6 +345,7 @@ fn run() -> Result<(), CliError> {
         "solve" => solve(&args),
         "simulate" => simulate(&args, &raw),
         "resume" => resume(args.positional.first()),
+        "verify" => verify(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -706,6 +733,106 @@ fn simulate(args: &Args, invocation: &[String]) -> Result<(), CliError> {
     };
 
     report(&agg, stats.as_ref(), trials, &utility, verbose);
+    Ok(())
+}
+
+/// `impatience verify [--quick|--full]`: run the seeded scenario
+/// conformance matrix from the oracle crate and fail (exit 10) on any
+/// invariant violation. Quick mode — the default and the CI gate —
+/// covers the solver-side invariants plus short determinism trials;
+/// `--full` adds the Monte-Carlo differential checks (analytic vs
+/// simulated welfare, continuous vs discrete engine duality).
+fn verify(args: &Args) -> Result<(), CliError> {
+    let quick = args.options.contains_key("quick");
+    let full = args.options.contains_key("full");
+    if quick && full {
+        return Err("--quick and --full are mutually exclusive".into());
+    }
+    let seed: u64 = args.get("seed", 42)?;
+    let mut opts = if full {
+        MatrixOptions::full(seed)
+    } else {
+        MatrixOptions::quick(seed)
+    };
+    if let Some(limit) = args.get_opt("limit")? {
+        opts = opts.with_limit(limit);
+    }
+    let out = args
+        .options
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "conformance.jsonl".to_string());
+
+    // Scenario progress streams through the Recorder either way: into a
+    // JSONL event file when asked for, or into in-memory tallies whose
+    // summary lands in the manifest.
+    let (records, stats) = match args.options.get("trace-out") {
+        Some(events) => {
+            let path = Path::new(events);
+            let file = AtomicFile::create(path)
+                .map_err(|e| CliError::Io(format!("cannot create {events}: {e}")))?;
+            let mut rec = Recorder::new(JsonlSink::new(file));
+            let records = run_matrix(&opts, &mut rec);
+            let stats = rec.summary_json();
+            rec.into_sink()
+                .into_inner()
+                .and_then(AtomicFile::commit)
+                .map_err(|e| CliError::Io(format!("writing {events}: {e}")))?;
+            println!("events  → {events}");
+            (records, stats)
+        }
+        None => {
+            let mut rec = Recorder::new(TallySink);
+            let records = run_matrix(&opts, &mut rec);
+            let stats = rec.summary_json();
+            (records, stats)
+        }
+    };
+
+    let report_path = PathBuf::from(&out);
+    write_report(&report_path, &records)
+        .map_err(|e| CliError::Io(format!("cannot write {out}: {e}")))?;
+
+    let scenarios = records.len();
+    let runnable = records.iter().filter(|r| r.ran()).count();
+    let (mut passed, mut failed, mut skipped) = (0u32, 0u32, 0u32);
+    for r in &records {
+        passed += r.passed();
+        failed += r.failed();
+        skipped += r.skipped();
+    }
+    let wall_s: f64 = records.iter().map(|r| r.wall_s).sum();
+
+    let mut manifest = Manifest::new("verify");
+    manifest.set("mode", if full { "full" } else { "quick" });
+    manifest.set("base_seed", seed);
+    manifest.set("report", out.as_str());
+    manifest.set("scenarios", scenarios as u64);
+    manifest.set("runnable", runnable as u64);
+    manifest.set("checks_passed", u64::from(passed));
+    manifest.set("checks_failed", u64::from(failed));
+    manifest.set("checks_skipped", u64::from(skipped));
+    manifest.set("wall_s", wall_s);
+    manifest.set("stats", stats);
+    let mpath = Manifest::sibling_path(&report_path);
+    manifest
+        .write_to(&mpath)
+        .map_err(|e| CliError::Io(format!("cannot write {}: {e}", mpath.display())))?;
+
+    print!("{}", summary_table(&records));
+    println!("report  → {out}");
+    println!("manifest→ {}", mpath.display());
+    for r in &records {
+        for check in r.results.iter().filter(|c| c.status == CheckStatus::Fail) {
+            eprintln!(
+                "violation: {} / {}: {} (value {:.3e})",
+                r.name, check.name, check.detail, check.value
+            );
+        }
+    }
+    if failed > 0 {
+        return Err(CliError::Verify { failed, scenarios });
+    }
     Ok(())
 }
 

@@ -17,6 +17,10 @@
 //!   baselines;
 //! * [`obs`] (`impatience-obs`) — zero-cost-when-disabled instrumentation:
 //!   counters, delay histograms, JSONL event traces, and run manifests;
+//! * [`oracle`] (`impatience-oracle`) — the differential verification
+//!   oracle: brute-force optima for tiny instances, analytic-vs-Monte-Carlo
+//!   cross checks, and the scenario conformance matrix behind
+//!   `impatience verify`;
 //! * [`json`] (`impatience-json`) — the dependency-free JSON value type
 //!   the instrumentation and trace I/O are built on.
 //!
@@ -48,6 +52,7 @@ pub use impatience_core as core;
 pub use impatience_json as json;
 pub use impatience_mobility as mobility;
 pub use impatience_obs as obs;
+pub use impatience_oracle as oracle;
 pub use impatience_sim as sim;
 pub use impatience_traces as traces;
 

@@ -1,353 +1,21 @@
 //! # impatience-bench
 //!
-//! The experiment harness that regenerates every table and figure of the
-//! paper's evaluation (§6). Each `src/bin/*` binary reproduces one
-//! figure/table and writes CSV series under `results/`; this library
-//! holds the shared plumbing: competitor construction, normalized-loss
-//! computation, and CSV output.
+//! Criterion micro-benchmarks for the workspace's hot paths: the greedy
+//! solvers (Theorems 1–2), the delay-utility evaluations and closed
+//! forms, the discrete-event simulator, and trace generation /
+//! statistics. Run them with:
 //!
-//! Binaries (`cargo run -p impatience-bench --release --bin …`):
+//! ```text
+//! cargo bench -p impatience-bench
+//! ```
 //!
-//! | binary | reproduces |
-//! |---|---|
-//! | `table1_closed_forms` | Table 1 (closed forms vs numerics) |
-//! | `fig1_delay_utilities` | Fig. 1 (delay-utility families) |
-//! | `fig2_alloc_exponent` | Fig. 2 (optimal allocation exponent) |
-//! | `fig3_mandate_routing` | Fig. 3 (mandate-routing ablation) |
-//! | `fig4_homogeneous` | Fig. 4 (QCR vs fixed allocations) |
-//! | `fig5_conference` | Fig. 5 (conference trace) |
-//! | `fig6_vehicular` | Fig. 6 (vehicular trace) |
-//!
-//! All binaries accept `--quick` for a reduced-size run (CI-friendly) and
-//! `--out <dir>` to redirect the CSV output (default `results/`).
+//! The figure/table **experiment harness** that used to live in this
+//! crate's `src/bin/` has moved to the declarative pipeline in
+//! `impatience-exp`: every paper figure, ablation, and extension is now
+//! a TOML spec under `experiments/`, executed with
+//! `impatience reproduce` (see EXPERIMENTS.md). This crate keeps only
+//! the performance benchmarks, which measure code speed rather than
+//! reproduce results.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
-
-use std::fs;
-use std::io::Write as _;
-use std::path::{Path, PathBuf};
-use std::sync::Arc;
-
-use impatience_core::allocation::ReplicaCounts;
-use impatience_core::demand::{DemandProfile, DemandRates};
-use impatience_core::solver::fixed::{dominant, proportional, sqrt_proportional, uniform};
-use impatience_core::solver::greedy::greedy_homogeneous;
-use impatience_core::solver::het_greedy::greedy_heterogeneous;
-use impatience_core::types::SystemModel;
-use impatience_core::utility::DelayUtility;
-use impatience_core::welfare::HeterogeneousSystem;
-use impatience_json::Json;
-use impatience_obs::{AtomicFile, Manifest};
-use impatience_sim::config::{ContactSource, SimConfig};
-use impatience_sim::policy::PolicyKind;
-use impatience_sim::runner::{run_trials, TrialAggregate};
-use impatience_traces::TraceStats;
-
-/// Common command-line options of the figure binaries.
-#[derive(Clone, Debug)]
-pub struct RunOptions {
-    /// Reduced problem sizes / trial counts for smoke runs.
-    pub quick: bool,
-    /// Output directory for CSV files.
-    pub out_dir: PathBuf,
-}
-
-impl RunOptions {
-    /// Parse from `std::env::args` (supports `--quick`, `--out DIR`).
-    pub fn from_args() -> Self {
-        let mut quick = false;
-        let mut out_dir = PathBuf::from("results");
-        let mut args = std::env::args().skip(1);
-        while let Some(arg) = args.next() {
-            match arg.as_str() {
-                "--quick" => quick = true,
-                "--out" => {
-                    out_dir =
-                        PathBuf::from(args.next().expect("--out requires a directory argument"));
-                }
-                other => panic!("unknown argument `{other}` (expected --quick / --out DIR)"),
-            }
-        }
-        RunOptions { quick, out_dir }
-    }
-
-    /// Scale a full-size count down for quick runs.
-    pub fn scaled(&self, full: usize, quick: usize) -> usize {
-        if self.quick {
-            quick
-        } else {
-            full
-        }
-    }
-
-    /// Scale a full-size duration down for quick runs.
-    pub fn scaled_f(&self, full: f64, quick: f64) -> f64 {
-        if self.quick {
-            quick
-        } else {
-            full
-        }
-    }
-}
-
-/// Write CSV rows (first row = header) to `<out_dir>/<name>.csv`,
-/// creating the directory if needed, and echo the path.
-///
-/// The CSV commits atomically (write-temp-then-rename), so a crashed or
-/// killed experiment never leaves a truncated results file behind — at
-/// worst the previous version survives untouched.
-///
-/// Every CSV gets a `.manifest.json` sibling recording provenance: the
-/// producing binary and its arguments, git revision, creation time,
-/// header, and row count — enough to tell which code produced a results
-/// file without trusting a shared log.
-pub fn write_csv(out_dir: &Path, name: &str, header: &str, rows: &[String]) {
-    fs::create_dir_all(out_dir).expect("cannot create output directory");
-    let path = out_dir.join(format!("{name}.csv"));
-    let mut f = AtomicFile::create(&path).expect("cannot create CSV file");
-    writeln!(f, "{header}").unwrap();
-    for row in rows {
-        writeln!(f, "{row}").unwrap();
-    }
-    f.commit().expect("cannot commit CSV file");
-    println!("wrote {}", path.display());
-
-    let argv: Vec<String> = std::env::args().collect();
-    let binary = argv
-        .first()
-        .map(|s| {
-            Path::new(s)
-                .file_name()
-                .map(|n| n.to_string_lossy().into_owned())
-                .unwrap_or_else(|| s.clone())
-        })
-        .unwrap_or_default();
-    let mut manifest = Manifest::new("bench_csv");
-    manifest.set("binary", binary);
-    manifest.set("args", Json::from(argv[1..].to_vec()));
-    manifest.set("csv", path.display().to_string());
-    manifest.set("header", header);
-    manifest.set("rows", rows.len() as u64);
-    let mpath = Manifest::sibling_path(&path);
-    manifest.write_to(&mpath).expect("cannot write manifest");
-    println!("wrote {}", mpath.display());
-}
-
-/// The §6.1 competitor suite for a *homogeneous* setting: OPT (exact
-/// greedy of Theorem 2), UNI, SQRT, PROP, DOM.
-pub fn homogeneous_competitors(
-    system: &SystemModel,
-    demand: &DemandRates,
-    utility: &dyn DelayUtility,
-) -> Vec<PolicyKind> {
-    let servers = system.servers();
-    let rho = system.cache_capacity;
-    vec![
-        PolicyKind::Static {
-            label: "OPT",
-            counts: greedy_homogeneous(system, demand, utility),
-        },
-        PolicyKind::Static {
-            label: "UNI",
-            counts: uniform(demand.items(), servers, rho),
-        },
-        PolicyKind::Static {
-            label: "SQRT",
-            counts: sqrt_proportional(demand, servers, rho),
-        },
-        PolicyKind::Static {
-            label: "PROP",
-            counts: proportional(demand, servers, rho),
-        },
-        PolicyKind::Static {
-            label: "DOM",
-            counts: dominant(demand, servers, rho),
-        },
-    ]
-}
-
-/// The competitor suite for a *trace* setting: OPT is the submodular
-/// greedy of Theorem 1 on rates estimated from the trace (the paper's
-/// memoryless approximation, §6.3); the others are rate-blind.
-pub fn trace_competitors(
-    trace_stats: &TraceStats,
-    rho: usize,
-    demand: &DemandRates,
-    profile: &DemandProfile,
-    utility: &dyn DelayUtility,
-) -> Vec<PolicyKind> {
-    let nodes = trace_stats.nodes();
-    let mut rates = trace_stats.rates().clone();
-    if utility.h_infinity() == f64::NEG_INFINITY {
-        // Unbounded waiting costs make the memoryless welfare −∞ whenever
-        // some client cannot reach any holder, which degenerates the
-        // greedy (every placement looks equally worthless and OPT
-        // collapses to DOM). Never-observed pairs are a finite-observation
-        // artifact, so smooth them with a small ambient rate (2 % of the
-        // trace mean) before estimating OPT.
-        let floor = (rates.mean_rate() * 0.02).max(1e-12);
-        for a in 0..nodes {
-            for b in (a + 1)..nodes {
-                if rates.rate(a, b) == 0.0 {
-                    rates.set_rate(a, b, floor);
-                }
-            }
-        }
-    }
-    let hsys = HeterogeneousSystem::pure_p2p(rates, rho);
-    let opt_matrix = greedy_heterogeneous(&hsys, demand, profile, utility);
-    vec![
-        PolicyKind::Static {
-            label: "OPT",
-            counts: opt_matrix.to_counts(),
-        },
-        PolicyKind::Static {
-            label: "UNI",
-            counts: uniform(demand.items(), nodes, rho),
-        },
-        PolicyKind::Static {
-            label: "SQRT",
-            counts: sqrt_proportional(demand, nodes, rho),
-        },
-        PolicyKind::Static {
-            label: "PROP",
-            counts: proportional(demand, nodes, rho),
-        },
-        PolicyKind::Static {
-            label: "DOM",
-            counts: dominant(demand, nodes, rho),
-        },
-    ]
-}
-
-/// Run QCR plus a competitor list, returning `(label, aggregate)` pairs.
-///
-/// All policies share `base_seed` (paired randomness) so their contact
-/// and demand realizations match trial-for-trial.
-pub fn run_policy_suite(
-    config: &SimConfig,
-    source: &ContactSource,
-    competitors: Vec<PolicyKind>,
-    trials: usize,
-    base_seed: u64,
-) -> Vec<(String, TrialAggregate)> {
-    let mut policies = vec![PolicyKind::qcr_default()];
-    policies.extend(competitors);
-    policies
-        .into_iter()
-        .map(|p| {
-            let agg = run_trials(config, source, &p, trials, base_seed);
-            (p.label(), agg)
-        })
-        .collect()
-}
-
-/// Extract `(U − U_OPT)/|U_OPT|` in percent for every non-OPT policy,
-/// using the *simulated* OPT utility as the reference (as the paper's
-/// Fig. 4–6 do).
-pub fn normalized_losses(suite: &[(String, TrialAggregate)]) -> Vec<(String, f64)> {
-    let u_opt = suite
-        .iter()
-        .find(|(l, _)| l == "OPT")
-        .map(|(_, a)| a.mean_rate)
-        .expect("suite must contain OPT");
-    suite
-        .iter()
-        .filter(|(l, _)| l != "OPT")
-        .map(|(l, a)| {
-            (
-                l.clone(),
-                impatience_sim::metrics::normalized_loss_percent(a.mean_rate, u_opt),
-            )
-        })
-        .collect()
-}
-
-/// Convenience: the paper's §6.2 homogeneous setting (50 pure-P2P nodes,
-/// 50 items, ρ = 5, μ = 0.05, Pareto(ω = 1) demand).
-pub fn paper_homogeneous_setting(
-    utility: Arc<dyn DelayUtility>,
-    duration: f64,
-) -> (SimConfig, ContactSource, SystemModel) {
-    let system = SystemModel::pure_p2p(50, 5, 0.05);
-    let demand = impatience_core::demand::Popularity::pareto(50, 1.0).demand_rates(1.0);
-    let config = SimConfig::builder(50, 5)
-        .demand(demand)
-        .utility(utility)
-        .bin(60.0)
-        .warmup_fraction(0.3)
-        .build();
-    let source = ContactSource::homogeneous(50, 0.05, duration);
-    (config, source, system)
-}
-
-/// Pretty-print a suite summary to stdout.
-pub fn print_suite(title: &str, suite: &[(String, TrialAggregate)]) {
-    println!("\n=== {title} ===");
-    println!(
-        "{:<16} {:>12} {:>12} {:>12} {:>14}",
-        "policy", "mean U", "p5", "p95", "transmissions"
-    );
-    for (label, agg) in suite {
-        println!(
-            "{:<16} {:>12.5} {:>12.5} {:>12.5} {:>14.1}",
-            label, agg.mean_rate, agg.p5_rate, agg.p95_rate, agg.mean_transmissions
-        );
-    }
-    for (label, loss) in normalized_losses(suite) {
-        println!("  loss vs OPT  {label:<14} {loss:>9.2}%");
-    }
-}
-
-/// Format one CSV row of a loss table.
-pub fn loss_row(param: f64, losses: &[(String, f64)]) -> String {
-    let mut row = format!("{param}");
-    for (_, loss) in losses {
-        row.push_str(&format!(",{loss}"));
-    }
-    row
-}
-
-/// Header matching [`loss_row`].
-pub fn loss_header(param_name: &str, losses: &[(String, f64)]) -> String {
-    let mut h = param_name.to_string();
-    for (label, _) in losses {
-        h.push_str(&format!(",{label}"));
-    }
-    h
-}
-
-/// A fixed-allocation policy from explicit counts (helper for ablations).
-pub fn static_policy(label: &'static str, counts: ReplicaCounts) -> PolicyKind {
-    PolicyKind::Static { label, counts }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use impatience_core::demand::Popularity;
-    use impatience_core::utility::Step;
-
-    #[test]
-    fn competitor_suite_has_expected_labels() {
-        let system = SystemModel::pure_p2p(10, 2, 0.05);
-        let demand = Popularity::pareto(10, 1.0).demand_rates(1.0);
-        let comp = homogeneous_competitors(&system, &demand, &Step::new(1.0));
-        let labels: Vec<String> = comp.iter().map(|p| p.label()).collect();
-        assert_eq!(labels, vec!["OPT", "UNI", "SQRT", "PROP", "DOM"]);
-        // All competitors use the full budget.
-        for p in &comp {
-            if let PolicyKind::Static { counts, .. } = p {
-                assert_eq!(counts.total(), 20);
-            }
-        }
-    }
-
-    #[test]
-    fn loss_table_formatting() {
-        let losses = vec![("QCR".to_string(), -1.5), ("UNI".to_string(), -20.0)];
-        assert_eq!(loss_header("tau", &losses), "tau,QCR,UNI");
-        assert_eq!(loss_row(2.0, &losses), "2,-1.5,-20");
-    }
-}

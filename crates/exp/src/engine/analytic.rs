@@ -1,0 +1,255 @@
+//! Engines for the analytic (simulation-free) experiment kinds:
+//! Fig. 1's utility curves, Fig. 2's allocation exponent, Table 1's
+//! closed forms, and the mixed-catalog welfare comparison.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use impatience_core::demand::{DemandRates, Popularity};
+use impatience_core::solver::fixed::{proportional, sqrt_proportional, uniform};
+use impatience_core::solver::greedy::greedy_homogeneous;
+use impatience_core::solver::relaxed::relaxed_optimum;
+use impatience_core::types::SystemModel;
+use impatience_core::utility::{DelayUtility, Exponential, NegLog, Power, UtilityKind};
+use impatience_core::welfare::{
+    greedy_homogeneous_mixed, social_welfare_homogeneous_mixed, UtilityCatalog,
+};
+use impatience_obs::Sink;
+
+use super::{emit, ExecContext, ExecReport};
+use crate::error::ExpError;
+use crate::spec::{
+    utility_of, AllocExponentSpec, ClosedFormsSpec, MixedCatalogSpec, Spec, UtilityCurvesSpec,
+};
+
+/// Fig. 1: sample `h(t)` for each panel's utility families.
+pub fn utility_curves<S: Sink>(
+    spec: &Spec,
+    s: &UtilityCurvesSpec,
+    ctx: &mut ExecContext<'_, S>,
+    report: &mut ExecReport,
+) -> Result<(), ExpError> {
+    for panel in &s.panels {
+        let started = Instant::now();
+        let utilities: Vec<Arc<dyn DelayUtility>> = panel
+            .utilities
+            .iter()
+            .map(|u| utility_of(&spec.name, u))
+            .collect::<Result<_, _>>()?;
+        let mut header = "t".to_string();
+        for name in &panel.labels {
+            header.push(',');
+            header.push_str(name);
+        }
+        let mut rows = Vec::new();
+        for k in 1..=s.points {
+            let t = s.t_step * k as f64;
+            let mut row = format!("{t}");
+            for u in &utilities {
+                row.push_str(&format!(",{}", u.h(t)));
+            }
+            rows.push(row);
+        }
+        emit(spec, ctx, report, &panel.file, &header, &rows, &[], 0)?;
+        ctx.cell_done(spec, &panel.file, rows.len() as u64, started, report);
+    }
+    Ok(())
+}
+
+/// Least-squares slope of `ln x` against `ln d`, skipping clamped points.
+fn fit_slope(d: &[f64], x: &[f64]) -> f64 {
+    let pts: Vec<(f64, f64)> = d
+        .iter()
+        .zip(x)
+        .filter(|&(&di, &xi)| di > 0.0 && xi > 1e-7)
+        .map(|(&di, &xi)| (di.ln(), xi.ln()))
+        .collect();
+    let n = pts.len() as f64;
+    let (sx, sy) = pts
+        .iter()
+        .fold((0.0, 0.0), |(a, b), &(u, v)| (a + u, b + v));
+    let (sxx, sxy) = pts
+        .iter()
+        .fold((0.0, 0.0), |(a, b), &(u, v)| (a + u * u, b + u * v));
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+/// Fig. 2: the relaxed optimum satisfies `x̃_i ∝ d_i^{1/(2−α)}`
+/// (Property 1 water-filling); fit the log-log slope and compare with
+/// the analytic exponent. The α grid is carried as integer tenths so the
+/// swept values are bit-exact; α = 1 is realized by NegLog.
+pub fn alloc_exponent<S: Sink>(
+    spec: &Spec,
+    s: &AllocExponentSpec,
+    ctx: &mut ExecContext<'_, S>,
+    report: &mut ExecReport,
+) -> Result<(), ExpError> {
+    let started = Instant::now();
+    let system = SystemModel::dedicated(s.clients, s.servers, s.rho, s.mu);
+    let demand = Popularity::pareto(s.items, s.omega).demand_rates(1.0);
+    let mut rows = Vec::new();
+    for k in s.alpha_tenths.0..=s.alpha_tenths.1 {
+        if k == 10 {
+            continue; // α = 1 diverges for the power family; NegLog covers it below.
+        }
+        let alpha = 0.1 * k as f64;
+        let utility = Power::new(alpha);
+        let relaxed = relaxed_optimum(&system, &demand, &utility);
+        let fitted = fit_slope(demand.rates(), &relaxed.x);
+        let expect = 1.0 / (2.0 - alpha);
+        rows.push(format!("{alpha},{fitted},{expect}"));
+    }
+    let relaxed = relaxed_optimum(&system, &demand, &NegLog::new());
+    let fitted = fit_slope(demand.rates(), &relaxed.x);
+    rows.push(format!("1,{fitted},1"));
+    emit(
+        spec,
+        ctx,
+        report,
+        &s.file,
+        "alpha,fitted_exponent,analytic_exponent",
+        &rows,
+        &[],
+        0,
+    )?;
+    ctx.cell_done(spec, &s.file, rows.len() as u64, started, report);
+    Ok(())
+}
+
+fn rel_err(closed: f64, numeric: f64) -> f64 {
+    if closed == numeric {
+        return 0.0;
+    }
+    (closed - numeric).abs() / closed.abs().max(numeric.abs()).max(1e-300)
+}
+
+/// Table 1: for every family, cross-validate the closed-form gain `G`,
+/// equilibrium transform `φ` and reaction function `ψ` against direct
+/// numerical integration.
+pub fn closed_forms<S: Sink>(
+    spec: &Spec,
+    s: &ClosedFormsSpec,
+    ctx: &mut ExecContext<'_, S>,
+    report: &mut ExecReport,
+) -> Result<(), ExpError> {
+    let mu = s.mu;
+    let mut rows = Vec::new();
+    for (name, family) in s.labels.iter().zip(&s.families) {
+        let started = Instant::now();
+        let u = utility_of(&spec.name, family)?;
+        for &x in &s.gain_points {
+            let lambda = mu * x;
+            let closed = u.gain(lambda);
+            let numeric = u.gain_numeric(lambda).map_err(|e| {
+                ExpError::spec(&spec.name, format!("{name}: gain integral failed: {e}"))
+            })?;
+            let e = rel_err(closed, numeric);
+            rows.push(format!("{name},gain,{x},{closed},{numeric},{e}"));
+        }
+        // φ(x): the step family's differential utility is a Dirac
+        // measure, so its numeric column uses a finite-difference of the
+        // (already verified) gain.
+        for &x in &s.phi_points {
+            let closed = u.phi(x, mu);
+            let numeric = match u.kind() {
+                UtilityKind::Step { .. } => {
+                    let eps = 1e-6 * x;
+                    (u.gain(mu * (x + eps)) - u.gain(mu * (x - eps))) / (2.0 * eps)
+                }
+                _ => u.phi_numeric(x, mu).map_err(|e| {
+                    ExpError::spec(&spec.name, format!("{name}: phi integral failed: {e}"))
+                })?,
+            };
+            let e = rel_err(closed, numeric);
+            rows.push(format!("{name},phi,{x},{closed},{numeric},{e}"));
+        }
+        // ψ(y) against the defining relation (s/y)·φ(s/y).
+        for &y in &s.psi_points {
+            let closed = u.psi(y, s.servers, mu);
+            let x = s.servers / y;
+            let numeric = x * u.phi(x, mu);
+            let e = rel_err(closed, numeric);
+            rows.push(format!("{name},psi,{y},{closed},{numeric},{e}"));
+        }
+        ctx.cell_done(
+            spec,
+            name,
+            (s.gain_points.len() + s.phi_points.len() + s.psi_points.len()) as u64,
+            started,
+            report,
+        );
+    }
+    emit(
+        spec,
+        ctx,
+        report,
+        &s.file,
+        "family,quantity,point,closed,numeric,rel_err",
+        &rows,
+        &[],
+        0,
+    )?;
+    Ok(())
+}
+
+/// Mixed-catalog extension: even items urgent, odd items patient; every
+/// allocation strategy evaluated under the true per-item welfare.
+pub fn mixed_catalog<S: Sink>(
+    spec: &Spec,
+    s: &MixedCatalogSpec,
+    ctx: &mut ExecContext<'_, S>,
+    report: &mut ExecReport,
+) -> Result<(), ExpError> {
+    let started = Instant::now();
+    let system = SystemModel::pure_p2p(s.nodes, s.rho, s.mu);
+    let demand: DemandRates = Popularity::pareto(s.items, 1.0).demand_rates(1.0);
+    let catalog = UtilityCatalog::new(
+        (0..s.items)
+            .map(|i| -> Arc<dyn DelayUtility> {
+                if i % 2 == 0 {
+                    Arc::new(Exponential::new(s.urgent_nu))
+                } else {
+                    Arc::new(Exponential::new(s.patient_nu))
+                }
+            })
+            .collect(),
+    );
+    let evaluate = |counts: &[u32]| {
+        let xs: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+        social_welfare_homogeneous_mixed(&system, &demand, &catalog, &xs)
+    };
+    let mixed_opt = greedy_homogeneous_mixed(&system, &demand, &catalog);
+    let w_star = evaluate(mixed_opt.counts());
+
+    let mut rows = Vec::new();
+    let mut push = |name: &str, counts: &[u32]| {
+        let w = evaluate(counts);
+        let loss = 100.0 * (w - w_star) / w_star.abs();
+        rows.push(format!("{name},{w},{loss}"));
+    };
+    push("mixed-aware greedy", mixed_opt.counts());
+    for (name, nu) in [
+        ("assume-all-urgent", s.urgent_nu),
+        ("assume-all-patient", s.patient_nu),
+        ("assume-average", (s.urgent_nu * s.patient_nu).sqrt()),
+    ] {
+        let counts = greedy_homogeneous(&system, &demand, &Exponential::new(nu));
+        push(name, counts.counts());
+    }
+    push("UNI", uniform(s.items, s.nodes, s.rho).counts());
+    push("SQRT", sqrt_proportional(&demand, s.nodes, s.rho).counts());
+    push("PROP", proportional(&demand, s.nodes, s.rho).counts());
+
+    emit(
+        spec,
+        ctx,
+        report,
+        &s.file,
+        "strategy,welfare,loss_vs_mixed_pct",
+        &rows,
+        &[],
+        0,
+    )?;
+    ctx.cell_done(spec, &s.file, rows.len() as u64, started, report);
+    Ok(())
+}

@@ -1,0 +1,298 @@
+//! The experiment executor: compiles a parsed [`Spec`] into campaign
+//! invocations and results files.
+//!
+//! Every simulated cell goes through
+//! [`impatience_sim::runner::run_campaign`], which gives
+//! each one panic isolation, optional checkpoint/resume, and fault
+//! injection for free; without a checkpoint or faults the campaign path
+//! is bit-identical to the plain trial runner, so the declarative
+//! pipeline reproduces exactly what the retired per-figure binaries
+//! wrote. Per-cell progress streams through the recorder as
+//! [`Event::ExperimentDone`](impatience_obs::Event) events.
+
+mod analytic;
+mod homogeneous;
+mod trace;
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use impatience_obs::{Recorder, Sink};
+use impatience_sim::config::{ContactSource, SimConfig};
+use impatience_sim::policy::PolicyKind;
+use impatience_sim::runner::{run_campaign, CampaignOptions, TrialAggregate};
+
+use crate::error::ExpError;
+use crate::spec::{Spec, SpecKind};
+use crate::suite;
+
+/// Where and how a spec executes.
+pub struct ExecContext<'a, S: Sink> {
+    /// Results directory.
+    pub out_dir: PathBuf,
+    /// Checkpoint directory; `None` disables checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Worker threads per campaign (`None` picks one per core).
+    pub workers: Option<usize>,
+    /// The CLI invocation, stored in checkpoints for `--resume` replay.
+    pub cli_args: Vec<String>,
+    /// Suppress per-artifact stdout notes.
+    pub quiet: bool,
+    /// Event/counter stream for per-cell progress.
+    pub rec: &'a mut Recorder<S>,
+}
+
+/// What a spec execution produced.
+#[derive(Debug, Default)]
+pub struct ExecReport {
+    /// CSV paths written, in order.
+    pub artifacts: Vec<PathBuf>,
+    /// Cells completed.
+    pub cells: usize,
+    /// `(cell/policy, panic message)` of trials the campaigns skipped.
+    pub skipped: Vec<(String, String)>,
+}
+
+fn slug(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
+impl<S: Sink> ExecContext<'_, S> {
+    fn note(&self, msg: &str) {
+        if !self.quiet {
+            println!("{msg}");
+        }
+    }
+
+    /// Run one `(cell, policy)` through the campaign runner.
+    #[allow(clippy::too_many_arguments)]
+    fn run_one(
+        &mut self,
+        spec: &Spec,
+        cell: &str,
+        config: &SimConfig,
+        source: &ContactSource,
+        policy: &PolicyKind,
+        trials: usize,
+        base_seed: u64,
+        report: &mut ExecReport,
+    ) -> Result<TrialAggregate, ExpError> {
+        let label = policy.label();
+        let options = CampaignOptions {
+            checkpoint_path: self.checkpoint_dir.as_ref().map(|dir| {
+                dir.join(format!(
+                    "{}--{}--{}.ckpt",
+                    spec.name,
+                    slug(cell),
+                    slug(&label)
+                ))
+            }),
+            workers: self.workers,
+            cli_args: self.cli_args.clone(),
+            ..CampaignOptions::default()
+        };
+        let outcome = run_campaign(
+            config, source, policy, trials, base_seed, &options, self.rec,
+        )
+        .map_err(|source| ExpError::Campaign {
+            spec: spec.name.clone(),
+            cell: format!("{cell}/{label}"),
+            source,
+        })?;
+        for (k, msg) in outcome.skipped {
+            report
+                .skipped
+                .push((format!("{cell}/{label} trial {k}"), msg));
+        }
+        // The checkpoint has served its purpose once the cell completes;
+        // removing it keeps `--resume` directories from accumulating.
+        if let Some(path) = &options.checkpoint_path {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(outcome.aggregate)
+    }
+
+    /// Run QCR plus a competitor list, returning `(label, aggregate)`
+    /// pairs. All policies share `base_seed` (paired randomness) so
+    /// their contact and demand realizations match trial-for-trial.
+    #[allow(clippy::too_many_arguments)]
+    fn policy_suite(
+        &mut self,
+        spec: &Spec,
+        cell: &str,
+        config: &SimConfig,
+        source: &ContactSource,
+        competitors: Vec<PolicyKind>,
+        trials: usize,
+        base_seed: u64,
+        report: &mut ExecReport,
+    ) -> Result<Vec<(String, TrialAggregate)>, ExpError> {
+        let mut policies = vec![PolicyKind::qcr_default()];
+        policies.extend(competitors);
+        policies
+            .into_iter()
+            .map(|p| {
+                let agg =
+                    self.run_one(spec, cell, config, source, &p, trials, base_seed, report)?;
+                Ok((p.label(), agg))
+            })
+            .collect()
+    }
+
+    /// Close a cell: bump the counter, emit the progress event.
+    fn cell_done(
+        &mut self,
+        spec: &Spec,
+        cell: &str,
+        rows: u64,
+        started: Instant,
+        report: &mut ExecReport,
+    ) {
+        report.cells += 1;
+        self.rec
+            .experiment_done(&spec.name, cell, rows, started.elapsed().as_secs_f64());
+    }
+}
+
+impl Spec {
+    /// Compile the spec's simulation configurations and validate them
+    /// against the simulator's own rules
+    /// ([`SimConfig::try_validate`]) without running anything.
+    /// Analytic kinds and trace suites (whose node count only exists
+    /// once the trace is generated) validate trivially.
+    pub fn validate(&self) -> Result<(), ExpError> {
+        // Mirror the campaign runner: resolve the run-time-sized profile
+        // before validating (the builder defaults it to one node until
+        // the population is known).
+        let check = |config: &SimConfig, nodes: usize| -> Result<(), ExpError> {
+            let result = if config.profile.nodes() == config.clients(nodes) {
+                config.try_validate(nodes)
+            } else {
+                config.for_nodes(nodes).try_validate(nodes)
+            };
+            result.map_err(|source| ExpError::Config {
+                spec: self.name.clone(),
+                source,
+            })
+        };
+        let need_trials = |trials: usize| {
+            if trials == 0 {
+                Err(ExpError::spec(&self.name, "trials must be at least 1"))
+            } else {
+                Ok(())
+            }
+        };
+        match &self.kind {
+            SpecKind::LossSweep(s) => {
+                need_trials(s.trials)?;
+                for sweep in &s.sweeps {
+                    let utility =
+                        crate::spec::family_utility(&self.name, &sweep.family, sweep.values[0])?;
+                    let (config, source, _) = homogeneous::sweep_setting(s, utility);
+                    check(&config, source.nodes())?;
+                }
+                Ok(())
+            }
+            SpecKind::MandateRouting(s) => {
+                need_trials(s.trials)?;
+                let utility: std::sync::Arc<dyn impatience_core::utility::DelayUtility> =
+                    std::sync::Arc::new(impatience_core::utility::Power::new(s.alpha));
+                let (config, source, _) = suite::paper_homogeneous_setting(utility, s.duration);
+                check(&config, source.nodes())
+            }
+            SpecKind::QcrAblation(s) => {
+                need_trials(s.trials)?;
+                for family in &s.regimes {
+                    let utility = crate::spec::utility_of(&self.name, family)?;
+                    let (config, source, _) = suite::paper_homogeneous_setting(utility, s.duration);
+                    check(&config, source.nodes())?;
+                }
+                Ok(())
+            }
+            SpecKind::Eviction(s) => {
+                need_trials(s.trials)?;
+                for family in &s.regimes {
+                    let utility = crate::spec::utility_of(&self.name, family)?;
+                    let (config, source, _) = suite::paper_homogeneous_setting(utility, s.duration);
+                    check(&config, source.nodes())?;
+                }
+                Ok(())
+            }
+            SpecKind::Degraded(s) => {
+                need_trials(s.trials)?;
+                let utility = crate::spec::utility_of(&self.name, &s.utility)?;
+                let (config, source, _) = suite::paper_homogeneous_setting(utility, s.duration);
+                check(&config, source.nodes())
+            }
+            SpecKind::DynamicDemand(s) => {
+                need_trials(s.trials)?;
+                let utility = crate::spec::utility_of(&self.name, &s.utility)?;
+                let config = SimConfig::builder(s.items, s.rho)
+                    .demand(suite::pareto_demand(s.items))
+                    .utility(utility)
+                    .bin(100.0)
+                    .warmup_fraction(0.0)
+                    .build();
+                check(&config, s.nodes)
+            }
+            SpecKind::TraceSuite(s) => need_trials(s.trials),
+            SpecKind::UtilityCurves(_)
+            | SpecKind::AllocExponent(_)
+            | SpecKind::ClosedForms(_)
+            | SpecKind::MixedCatalog(_) => Ok(()),
+        }
+    }
+}
+
+/// Execute one spec, writing its artifacts into `ctx.out_dir`.
+pub fn run_spec<S: Sink>(
+    spec: &Spec,
+    ctx: &mut ExecContext<'_, S>,
+) -> Result<ExecReport, ExpError> {
+    let mut report = ExecReport::default();
+    match &spec.kind {
+        SpecKind::UtilityCurves(s) => analytic::utility_curves(spec, s, ctx, &mut report)?,
+        SpecKind::AllocExponent(s) => analytic::alloc_exponent(spec, s, ctx, &mut report)?,
+        SpecKind::ClosedForms(s) => analytic::closed_forms(spec, s, ctx, &mut report)?,
+        SpecKind::MixedCatalog(s) => analytic::mixed_catalog(spec, s, ctx, &mut report)?,
+        SpecKind::LossSweep(s) => homogeneous::loss_sweep(spec, s, ctx, &mut report)?,
+        SpecKind::MandateRouting(s) => homogeneous::mandate_routing(spec, s, ctx, &mut report)?,
+        SpecKind::QcrAblation(s) => homogeneous::qcr_ablation(spec, s, ctx, &mut report)?,
+        SpecKind::DynamicDemand(s) => homogeneous::dynamic_demand(spec, s, ctx, &mut report)?,
+        SpecKind::Eviction(s) => homogeneous::eviction(spec, s, ctx, &mut report)?,
+        SpecKind::Degraded(s) => homogeneous::degraded(spec, s, ctx, &mut report)?,
+        SpecKind::TraceSuite(s) => trace::trace_suite(spec, s, ctx, &mut report)?,
+    }
+    Ok(report)
+}
+
+/// Shared by the engines: write a CSV + manifest and note it.
+#[allow(clippy::too_many_arguments)]
+fn emit<S: Sink>(
+    spec: &Spec,
+    ctx: &ExecContext<'_, S>,
+    report: &mut ExecReport,
+    name: &str,
+    header: &str,
+    rows: &[String],
+    seeds: &[u64],
+    trials: usize,
+) -> Result<(), ExpError> {
+    let meta = crate::artifact::ArtifactMeta {
+        spec,
+        seeds,
+        trials,
+    };
+    let path = crate::artifact::write_csv(&ctx.out_dir, name, header, rows, &meta)?;
+    ctx.note(&format!("wrote {}", path.display()));
+    report.artifacts.push(path);
+    Ok(())
+}

@@ -1,0 +1,153 @@
+//! Engine for the generated-trace suites (Figs. 5–6): conference and
+//! vehicular scenarios, optionally re-run on the memoryless resynthesis.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use impatience_core::demand::DemandProfile;
+use impatience_core::rng::Xoshiro256;
+use impatience_core::utility::DelayUtility;
+use impatience_obs::Sink;
+use impatience_sim::config::{ContactSource, SimConfig};
+use impatience_traces::gen::{ConferenceConfig, VehicularConfig};
+use impatience_traces::{resynthesize_memoryless, ContactTrace, TraceStats};
+
+use super::{emit, ExecContext, ExecReport};
+use crate::error::ExpError;
+use crate::spec::{family_utility, utility_of, Spec, TraceKind, TraceSuiteSpec};
+use crate::suite::{loss_header, loss_row, normalized_losses, pareto_demand, trace_competitors};
+
+/// Figs. 5–6: generate the trace from its seed, run the optional
+/// observed-utility time series, then each sweep axis — on the actual
+/// trace or (Fig. 5c) on the memoryless resynthesis, whose generation
+/// *continues* the trace RNG exactly as the retired figure binaries did.
+pub fn trace_suite<S: Sink>(
+    spec: &Spec,
+    s: &TraceSuiteSpec,
+    ctx: &mut ExecContext<'_, S>,
+    report: &mut ExecReport,
+) -> Result<(), ExpError> {
+    let mut rng = Xoshiro256::seed_from_u64(s.trace_seed);
+    let trace = match s.trace {
+        TraceKind::Conference => ConferenceConfig::default().generate(&mut rng),
+        TraceKind::Vehicular => VehicularConfig::default().generate(&mut rng),
+    };
+    let synthesized = s
+        .sweeps
+        .iter()
+        .any(|sw| sw.synthesized)
+        .then(|| resynthesize_memoryless(&trace, &mut rng));
+
+    let stats = TraceStats::from_trace(&trace);
+    let demand = pareto_demand(s.items);
+    let profile = DemandProfile::uniform(s.items, trace.nodes());
+
+    let build_config = |utility: Arc<dyn DelayUtility>| {
+        SimConfig::builder(s.items, s.rho)
+            .demand(demand.clone())
+            .profile(profile.clone())
+            .utility(utility)
+            .bin(s.bin)
+            .warmup_fraction(s.warmup_fraction)
+            .build()
+    };
+
+    // The observed-utility time series (Fig. 5a), on the actual trace.
+    if let Some(ts) = &s.timeseries {
+        let started = Instant::now();
+        let utility = utility_of(&spec.name, &ts.utility)?;
+        let config = build_config(utility.clone());
+        let competitors = trace_competitors(&stats, s.rho, &demand, &profile, utility.as_ref());
+        let source = ContactSource::trace(trace.clone());
+        let cell = format!("{} timeseries", ts.file);
+        let suite = ctx.policy_suite(
+            spec,
+            &cell,
+            &config,
+            &source,
+            competitors,
+            s.trials,
+            ts.seed,
+            report,
+        )?;
+        let bins = suite[0].1.observed_series.len();
+        let mut header = "time".to_string();
+        for (label, _) in &suite {
+            header.push_str(&format!(",{label}"));
+        }
+        let mut rows = Vec::new();
+        for b in 0..bins {
+            let mut row = format!("{}", b as f64 * s.bin);
+            for (_, agg) in &suite {
+                row.push_str(&format!(",{}", agg.observed_series[b]));
+            }
+            rows.push(row);
+        }
+        emit(
+            spec,
+            ctx,
+            report,
+            &ts.file,
+            &header,
+            &rows,
+            &[ts.seed],
+            s.trials,
+        )?;
+        ctx.cell_done(spec, &cell, suite.len() as u64, started, report);
+    }
+
+    // The loss-vs-parameter sweep axes.
+    for sweep in &s.sweeps {
+        let (sweep_trace, sweep_stats): (&ContactTrace, TraceStats) = if sweep.synthesized {
+            let t = synthesized
+                .as_ref()
+                .expect("synthesized trace exists when a sweep asks for it");
+            (t, TraceStats::from_trace(t))
+        } else {
+            (&trace, TraceStats::from_trace(&trace))
+        };
+        let source = ContactSource::trace(sweep_trace.clone());
+        let mut rows = Vec::new();
+        let mut header = String::new();
+        for &value in &sweep.axis.values {
+            let tag = if sweep.synthesized {
+                " (synthesized)"
+            } else {
+                ""
+            };
+            let cell = format!("{}={value}{tag}", sweep.axis.param);
+            let started = Instant::now();
+            let utility = family_utility(&spec.name, &sweep.axis.family, value)?;
+            let config = build_config(utility.clone());
+            let competitors =
+                trace_competitors(&sweep_stats, s.rho, &demand, &profile, utility.as_ref());
+            let suite = ctx.policy_suite(
+                spec,
+                &cell,
+                &config,
+                &source,
+                competitors,
+                s.trials,
+                sweep.axis.seed,
+                report,
+            )?;
+            let losses = normalized_losses(&suite);
+            if header.is_empty() {
+                header = loss_header(&sweep.axis.param, &losses);
+            }
+            rows.push(loss_row(value, &losses));
+            ctx.cell_done(spec, &cell, suite.len() as u64, started, report);
+        }
+        emit(
+            spec,
+            ctx,
+            report,
+            &sweep.axis.file,
+            &header,
+            &rows,
+            &[sweep.axis.seed],
+            s.trials,
+        )?;
+    }
+    Ok(())
+}

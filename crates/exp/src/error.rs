@@ -1,0 +1,98 @@
+//! The typed error taxonomy of the experiment pipeline.
+
+use std::path::PathBuf;
+
+use impatience_sim::config::ConfigError;
+use impatience_sim::runner::CampaignError;
+
+use crate::toml::TomlError;
+
+/// Everything that can go wrong while loading, validating, or executing
+/// an experiment spec.
+///
+/// The variants mirror the workspace's error-taxonomy convention: each
+/// carries enough context to point at the offending file/cell, and the
+/// simulation-facing ones wrap the underlying typed errors
+/// ([`ConfigError`], [`CampaignError`]) so callers can map them onto
+/// their existing exit codes.
+#[derive(Debug)]
+pub enum ExpError {
+    /// A spec or artifact could not be read/written.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A spec file is not valid (subset-)TOML.
+    Parse {
+        /// The spec file.
+        path: PathBuf,
+        /// The parse failure with its line number.
+        source: TomlError,
+    },
+    /// A spec parsed but its contents are inconsistent (unknown kind,
+    /// missing field, bad utility string, mismatched array lengths, ...).
+    Spec {
+        /// The spec name (or file stem while parsing).
+        spec: String,
+        /// What is wrong.
+        message: String,
+    },
+    /// A spec compiled into a simulation configuration the simulator
+    /// rejects — the spec-level validation reuses
+    /// [`SimConfig::try_validate`](impatience_sim::config::SimConfig::try_validate).
+    Config {
+        /// The spec name.
+        spec: String,
+        /// The underlying configuration error.
+        source: ConfigError,
+    },
+    /// A campaign failed while executing one cell of a spec.
+    Campaign {
+        /// The spec name.
+        spec: String,
+        /// The cell label (sweep point / policy).
+        cell: String,
+        /// The underlying campaign error.
+        source: CampaignError,
+    },
+}
+
+impl ExpError {
+    /// Helper: a [`ExpError::Spec`] from anything stringy.
+    pub fn spec(spec: impl Into<String>, message: impl Into<String>) -> Self {
+        ExpError::Spec {
+            spec: spec.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ExpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExpError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            ExpError::Parse { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+            ExpError::Spec { spec, message } => write!(f, "spec `{spec}`: {message}"),
+            ExpError::Config { spec, source } => {
+                write!(f, "spec `{spec}` compiles to an invalid config: {source}")
+            }
+            ExpError::Campaign { spec, cell, source } => {
+                write!(f, "spec `{spec}`, cell `{cell}`: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExpError::Io { source, .. } => Some(source),
+            ExpError::Parse { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

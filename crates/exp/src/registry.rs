@@ -1,0 +1,161 @@
+//! The spec registry: discovery and selection of `experiments/*.toml`.
+
+use std::path::Path;
+
+use crate::error::ExpError;
+use crate::spec::Spec;
+
+/// All specs found in a directory, sorted by file name (which gives a
+/// stable `--list`/`--all` order).
+#[derive(Debug)]
+pub struct Registry {
+    specs: Vec<Spec>,
+}
+
+impl Registry {
+    /// Load every `*.toml` in `dir`. Duplicate spec names are an error
+    /// (two files cannot both claim `fig4`).
+    pub fn load_dir(dir: &Path) -> Result<Registry, ExpError> {
+        let io_err = |source: std::io::Error| ExpError::Io {
+            path: dir.to_path_buf(),
+            source,
+        };
+        let mut paths: Vec<_> = std::fs::read_dir(dir)
+            .map_err(io_err)?
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(io_err)?
+            .into_iter()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "toml"))
+            .collect();
+        paths.sort();
+        let mut specs = Vec::with_capacity(paths.len());
+        for path in paths {
+            let spec = Spec::load(&path)?;
+            if let Some(prev) = specs.iter().find(|s: &&Spec| s.name == spec.name) {
+                return Err(ExpError::spec(
+                    &spec.name,
+                    format!(
+                        "duplicate spec name (also defined by {})",
+                        prev.path.display()
+                    ),
+                ));
+            }
+            specs.push(spec);
+        }
+        Ok(Registry { specs })
+    }
+
+    /// Every spec, in file-name order.
+    pub fn all(&self) -> &[Spec] {
+        &self.specs
+    }
+
+    /// Select by explicit names (spec name or file stem). Unknown names
+    /// are an error listing what exists.
+    pub fn by_names(&self, names: &[String]) -> Result<Vec<&Spec>, ExpError> {
+        names
+            .iter()
+            .map(|n| {
+                self.specs
+                    .iter()
+                    .find(|s| {
+                        s.name == *n || s.path.file_stem().is_some_and(|stem| stem == n.as_str())
+                    })
+                    .ok_or_else(|| {
+                        ExpError::spec(
+                            n.clone(),
+                            format!("no such spec (available: {})", self.names().join(", ")),
+                        )
+                    })
+            })
+            .collect()
+    }
+
+    /// Select every spec reproducing paper figure `fig`.
+    pub fn by_figure(&self, fig: u32) -> Result<Vec<&Spec>, ExpError> {
+        let hits: Vec<&Spec> = self
+            .specs
+            .iter()
+            .filter(|s| s.figure == Some(fig))
+            .collect();
+        if hits.is_empty() {
+            return Err(ExpError::spec(
+                format!("--fig {fig}"),
+                format!(
+                    "no spec reproduces figure {fig} (figures: {})",
+                    self.figures()
+                        .iter()
+                        .map(u32::to_string)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            ));
+        }
+        Ok(hits)
+    }
+
+    fn names(&self) -> Vec<String> {
+        self.specs.iter().map(|s| s.name.clone()).collect()
+    }
+
+    fn figures(&self) -> Vec<u32> {
+        let mut figs: Vec<u32> = self.specs.iter().filter_map(|s| s.figure).collect();
+        figs.sort_unstable();
+        figs.dedup();
+        figs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "exp-registry-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn mixed(name: &str, figure: Option<u32>) -> String {
+        let fig = figure
+            .map(|f| format!("figure = {f}\n"))
+            .unwrap_or_default();
+        format!(
+            "name = \"{name}\"\n{fig}title = \"t\"\nkind = \"mixed_catalog\"\n[setting]\nitems = 4\nnodes = 4\nrho = 1\nmu = 0.05\nurgent_nu = 1.0\npatient_nu = 0.01\nfile = \"{name}\"\n"
+        )
+    }
+
+    #[test]
+    fn loads_sorted_and_selects() {
+        let dir = scratch_dir();
+        std::fs::write(dir.join("b_two.toml"), mixed("two", Some(7))).unwrap();
+        std::fs::write(dir.join("a_one.toml"), mixed("one", None)).unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+        let reg = Registry::load_dir(&dir).unwrap();
+        let names: Vec<&str> = reg.all().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["one", "two"]);
+        assert_eq!(reg.by_figure(7).unwrap()[0].name, "two");
+        assert!(reg.by_figure(9).is_err());
+        // Select by spec name and by file stem.
+        assert_eq!(reg.by_names(&["one".to_string()]).unwrap()[0].name, "one");
+        assert_eq!(reg.by_names(&["b_two".to_string()]).unwrap()[0].name, "two");
+        assert!(reg.by_names(&["nope".to_string()]).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let dir = scratch_dir();
+        std::fs::write(dir.join("a.toml"), mixed("same", None)).unwrap();
+        std::fs::write(dir.join("b.toml"), mixed("same", None)).unwrap();
+        let err = Registry::load_dir(&dir).unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,201 @@
+//! Shared experiment plumbing: competitor construction, the paper's
+//! canonical settings, and normalized-loss tables.
+//!
+//! These helpers are the (former) `impatience-bench` library routines,
+//! kept bit-for-bit compatible so the declarative pipeline regenerates
+//! the same CSVs the figure binaries used to produce.
+
+use std::sync::Arc;
+
+use impatience_core::demand::{DemandProfile, DemandRates, Popularity};
+use impatience_core::solver::fixed::{dominant, proportional, sqrt_proportional, uniform};
+use impatience_core::solver::greedy::greedy_homogeneous;
+use impatience_core::solver::het_greedy::greedy_heterogeneous;
+use impatience_core::types::SystemModel;
+use impatience_core::utility::DelayUtility;
+use impatience_core::welfare::HeterogeneousSystem;
+use impatience_sim::config::{ContactSource, SimConfig};
+use impatience_sim::policy::PolicyKind;
+use impatience_sim::runner::TrialAggregate;
+use impatience_traces::TraceStats;
+
+/// The paper's Pareto(ω = 1) demand at 1 request/min system-wide — the
+/// popularity model of every simulated evaluation section.
+pub fn pareto_demand(items: usize) -> DemandRates {
+    Popularity::pareto(items, 1.0).demand_rates(1.0)
+}
+
+/// The §6.1 competitor suite for a *homogeneous* setting: OPT (exact
+/// greedy of Theorem 2), UNI, SQRT, PROP, DOM.
+pub fn homogeneous_competitors(
+    system: &SystemModel,
+    demand: &DemandRates,
+    utility: &dyn DelayUtility,
+) -> Vec<PolicyKind> {
+    let servers = system.servers();
+    let rho = system.cache_capacity;
+    vec![
+        PolicyKind::Static {
+            label: "OPT",
+            counts: greedy_homogeneous(system, demand, utility),
+        },
+        PolicyKind::Static {
+            label: "UNI",
+            counts: uniform(demand.items(), servers, rho),
+        },
+        PolicyKind::Static {
+            label: "SQRT",
+            counts: sqrt_proportional(demand, servers, rho),
+        },
+        PolicyKind::Static {
+            label: "PROP",
+            counts: proportional(demand, servers, rho),
+        },
+        PolicyKind::Static {
+            label: "DOM",
+            counts: dominant(demand, servers, rho),
+        },
+    ]
+}
+
+/// The competitor suite for a *trace* setting: OPT is the submodular
+/// greedy of Theorem 1 on rates estimated from the trace (the paper's
+/// memoryless approximation, §6.3); the others are rate-blind.
+pub fn trace_competitors(
+    trace_stats: &TraceStats,
+    rho: usize,
+    demand: &DemandRates,
+    profile: &DemandProfile,
+    utility: &dyn DelayUtility,
+) -> Vec<PolicyKind> {
+    let nodes = trace_stats.nodes();
+    let mut rates = trace_stats.rates().clone();
+    if utility.h_infinity() == f64::NEG_INFINITY {
+        // Unbounded waiting costs make the memoryless welfare −∞ whenever
+        // some client cannot reach any holder, which degenerates the
+        // greedy (every placement looks equally worthless and OPT
+        // collapses to DOM). Never-observed pairs are a finite-observation
+        // artifact, so smooth them with a small ambient rate (2 % of the
+        // trace mean) before estimating OPT.
+        let floor = (rates.mean_rate() * 0.02).max(1e-12);
+        for a in 0..nodes {
+            for b in (a + 1)..nodes {
+                if rates.rate(a, b) == 0.0 {
+                    rates.set_rate(a, b, floor);
+                }
+            }
+        }
+    }
+    let hsys = HeterogeneousSystem::pure_p2p(rates, rho);
+    let opt_matrix = greedy_heterogeneous(&hsys, demand, profile, utility);
+    vec![
+        PolicyKind::Static {
+            label: "OPT",
+            counts: opt_matrix.to_counts(),
+        },
+        PolicyKind::Static {
+            label: "UNI",
+            counts: uniform(demand.items(), nodes, rho),
+        },
+        PolicyKind::Static {
+            label: "SQRT",
+            counts: sqrt_proportional(demand, nodes, rho),
+        },
+        PolicyKind::Static {
+            label: "PROP",
+            counts: proportional(demand, nodes, rho),
+        },
+        PolicyKind::Static {
+            label: "DOM",
+            counts: dominant(demand, nodes, rho),
+        },
+    ]
+}
+
+/// Extract `(U − U_OPT)/|U_OPT|` in percent for every non-OPT policy,
+/// using the *simulated* OPT utility as the reference (as the paper's
+/// Fig. 4–6 do).
+///
+/// # Panics
+/// Panics if the suite carries no `OPT` entry; every suite the engines
+/// build includes one.
+pub fn normalized_losses(suite: &[(String, TrialAggregate)]) -> Vec<(String, f64)> {
+    let u_opt = suite
+        .iter()
+        .find(|(l, _)| l == "OPT")
+        .map(|(_, a)| a.mean_rate)
+        .expect("suite must contain OPT");
+    suite
+        .iter()
+        .filter(|(l, _)| l != "OPT")
+        .map(|(l, a)| {
+            (
+                l.clone(),
+                impatience_sim::metrics::normalized_loss_percent(a.mean_rate, u_opt),
+            )
+        })
+        .collect()
+}
+
+/// Convenience: the paper's §6.2 homogeneous setting (50 pure-P2P nodes,
+/// 50 items, ρ = 5, μ = 0.05, Pareto(ω = 1) demand).
+pub fn paper_homogeneous_setting(
+    utility: Arc<dyn DelayUtility>,
+    duration: f64,
+) -> (SimConfig, ContactSource, SystemModel) {
+    let system = SystemModel::pure_p2p(50, 5, 0.05);
+    let demand = pareto_demand(50);
+    let config = SimConfig::builder(50, 5)
+        .demand(demand)
+        .utility(utility)
+        .bin(60.0)
+        .warmup_fraction(0.3)
+        .build();
+    let source = ContactSource::homogeneous(50, 0.05, duration);
+    (config, source, system)
+}
+
+/// Format one CSV row of a loss table.
+pub fn loss_row(param: f64, losses: &[(String, f64)]) -> String {
+    let mut row = format!("{param}");
+    for (_, loss) in losses {
+        row.push_str(&format!(",{loss}"));
+    }
+    row
+}
+
+/// Header matching [`loss_row`].
+pub fn loss_header(param_name: &str, losses: &[(String, f64)]) -> String {
+    let mut h = param_name.to_string();
+    for (label, _) in losses {
+        h.push_str(&format!(",{label}"));
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impatience_core::utility::Step;
+
+    #[test]
+    fn competitor_suite_has_expected_labels() {
+        let system = SystemModel::pure_p2p(10, 2, 0.05);
+        let demand = pareto_demand(10);
+        let comp = homogeneous_competitors(&system, &demand, &Step::new(1.0));
+        let labels: Vec<String> = comp.iter().map(|p| p.label()).collect();
+        assert_eq!(labels, vec!["OPT", "UNI", "SQRT", "PROP", "DOM"]);
+        for p in &comp {
+            if let PolicyKind::Static { counts, .. } = p {
+                assert_eq!(counts.total(), 20);
+            }
+        }
+    }
+
+    #[test]
+    fn loss_table_formatting() {
+        let losses = vec![("QCR".to_string(), -1.5), ("UNI".to_string(), -20.0)];
+        assert_eq!(loss_header("tau", &losses), "tau,QCR,UNI");
+        assert_eq!(loss_row(2.0, &losses), "2,-1.5,-20");
+    }
+}

@@ -1,0 +1,55 @@
+//! The committed `experiments/*.toml` specs must always parse, validate,
+//! and plan. This is the cheap half of `impatience reproduce --check`:
+//! it catches schema drift without running any simulation.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use impatience_exp::Registry;
+
+fn registry() -> Registry {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../experiments");
+    Registry::load_dir(&dir).expect("experiments/ must load")
+}
+
+#[test]
+fn all_committed_specs_parse_validate_and_plan() {
+    let reg = registry();
+    assert_eq!(reg.all().len(), 13, "expected 13 committed specs");
+    let mut outputs = BTreeSet::new();
+    for spec in reg.all() {
+        spec.validate()
+            .unwrap_or_else(|e| panic!("{} failed validation: {e}", spec.name));
+        let plan = spec.plan().expect("plan");
+        assert!(!plan.outputs.is_empty(), "{} plans no outputs", spec.name);
+        for out in &plan.outputs {
+            assert!(
+                outputs.insert(out.clone()),
+                "duplicate output file {out} (from {})",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn every_paper_figure_is_covered() {
+    let reg = registry();
+    let figures: BTreeSet<u32> = reg.all().iter().filter_map(|s| s.figure).collect();
+    assert_eq!(figures, (1..=6).collect::<BTreeSet<u32>>());
+}
+
+#[test]
+fn spec_selection_by_name_and_figure() {
+    let reg = registry();
+    let by_name = reg.by_names(&["fig4".to_string()]).unwrap();
+    assert_eq!(by_name.len(), 1);
+    assert_eq!(by_name[0].figure, Some(4));
+
+    let by_fig = reg.by_figure(2).unwrap();
+    assert_eq!(by_fig.len(), 1);
+    assert_eq!(by_fig[0].name, "fig2");
+
+    assert!(reg.by_names(&["nonexistent".to_string()]).is_err());
+    assert!(reg.by_figure(42).is_err());
+}

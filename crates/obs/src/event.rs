@@ -119,6 +119,19 @@ pub enum Event {
         /// Wall-clock seconds.
         wall_s: f64,
     },
+    /// One cell of a declarative experiment finished (see
+    /// `impatience-exp`): a sweep point, panel, or table block of a
+    /// `reproduce` run.
+    ExperimentDone {
+        /// The experiment spec name (e.g. `"fig4"`).
+        spec: String,
+        /// The cell label within the spec (e.g. `"power alpha=-2"`).
+        cell: String,
+        /// CSV rows the cell contributed.
+        rows: u64,
+        /// Wall-clock seconds.
+        wall_s: f64,
+    },
     /// An injected fault fired (see `impatience-sim`'s fault model).
     Fault {
         /// Simulation time.
@@ -149,6 +162,7 @@ impl Event {
             Event::Span { .. } => "span",
             Event::TrialDone { .. } => "trial_done",
             Event::ScenarioDone { .. } => "scenario",
+            Event::ExperimentDone { .. } => "experiment",
             Event::Fault { .. } => "fault",
         }
     }
@@ -239,6 +253,17 @@ impl Event {
                 push("skipped", skipped.into());
                 push("wall_s", wall_s.into());
             }
+            Event::ExperimentDone {
+                ref spec,
+                ref cell,
+                rows,
+                wall_s,
+            } => {
+                push("spec", spec.as_str().into());
+                push("cell", cell.as_str().into());
+                push("rows", rows.into());
+                push("wall_s", wall_s.into());
+            }
             Event::Fault { t, kind, node, aux } => {
                 push("t", t.into());
                 push("kind", kind.into());
@@ -326,6 +351,12 @@ mod tests {
                 failed: 0,
                 skipped: 1,
                 wall_s: 0.1,
+            },
+            Event::ExperimentDone {
+                spec: "fig4".into(),
+                cell: "power alpha=-2".into(),
+                rows: 1,
+                wall_s: 3.5,
             },
             Event::Fault {
                 t: 3.0,

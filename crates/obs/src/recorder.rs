@@ -263,6 +263,22 @@ impl<S: Sink> Recorder<S> {
         });
     }
 
+    /// One declarative-experiment cell finished (a sweep point, panel,
+    /// or table block of an `impatience reproduce` run).
+    #[inline]
+    pub fn experiment_done(&mut self, spec: &str, cell: &str, rows: u64, wall_s: f64) {
+        if !S::ACTIVE {
+            return;
+        }
+        self.counters.incr("experiment_cells");
+        self.sink.record(&Event::ExperimentDone {
+            spec: spec.to_string(),
+            cell: cell.to_string(),
+            rows,
+            wall_s,
+        });
+    }
+
     /// An injected fault fired (`kind` per [`Event::Fault`]).
     #[inline]
     pub fn fault(&mut self, t: f64, kind: &'static str, node: u32, aux: u32) {
@@ -353,6 +369,17 @@ mod tests {
                 "replication"
             ]
         );
+    }
+
+    #[test]
+    fn experiment_cells_are_tallied_and_forwarded() {
+        let mut r = Recorder::new(MemorySink::new());
+        r.experiment_done("fig4", "power alpha=0", 1, 2.5);
+        assert_eq!(r.counters.get("experiment_cells"), 1);
+        assert!(matches!(
+            &r.sink().events[0],
+            Event::ExperimentDone { spec, rows: 1, .. } if spec == "fig4"
+        ));
     }
 
     #[test]

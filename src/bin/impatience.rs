@@ -12,6 +12,8 @@
 //! impatience simulate trace.txt --trials 200 --checkpoint run.ckpt
 //! impatience resume   run.ckpt
 //! impatience verify   --quick -o conformance.jsonl
+//! impatience reproduce --all
+//! impatience reproduce --fig 4 --check
 //! ```
 //!
 //! Argument parsing is hand-rolled (no CLI dependency): every option is
@@ -35,6 +37,7 @@ use impatience_core::solver::relaxed::try_relaxed_optimum;
 use impatience_core::solver::SolverError;
 use impatience_core::utility::{parse_utility, DelayUtility};
 use impatience_core::welfare::HeterogeneousSystem;
+use impatience_exp::{run_spec, CheckOutcome, ExecContext, ExpError, Registry, Spec};
 use impatience_json::Json;
 use impatience_obs::{AtomicFile, Event, JsonlSink, Manifest, MemorySink, Recorder, TallySink};
 use impatience_oracle::{run_matrix, summary_table, write_report, CheckStatus, MatrixOptions};
@@ -94,6 +97,11 @@ enum CliError {
     TrialsSkipped { skipped: usize, trials: usize },
     /// The conformance matrix ran but at least one invariant failed.
     Verify { failed: u32, scenarios: usize },
+    /// The experiment pipeline failed (spec parse, validation, execution).
+    Exp(ExpError),
+    /// `reproduce --check` regenerated results that differ from the
+    /// committed baselines.
+    Drift { drifted: usize, checked: usize },
 }
 
 impl CliError {
@@ -108,6 +116,12 @@ impl CliError {
             CliError::Io(_) => "io",
             CliError::TrialsSkipped { .. } => "degraded",
             CliError::Verify { .. } => "verify",
+            CliError::Exp(e) => match e {
+                ExpError::Io { .. } => "io",
+                ExpError::Campaign { .. } => "campaign",
+                _ => "config",
+            },
+            CliError::Drift { .. } => "drift",
         }
     }
 
@@ -122,6 +136,12 @@ impl CliError {
             CliError::Io(_) => 8,
             CliError::TrialsSkipped { .. } => 9,
             CliError::Verify { .. } => 10,
+            CliError::Exp(e) => match e {
+                ExpError::Io { .. } => 8,
+                ExpError::Campaign { .. } => 7,
+                _ => 3,
+            },
+            CliError::Drift { .. } => 11,
         })
     }
 }
@@ -144,6 +164,12 @@ impl std::fmt::Display for CliError {
                 f,
                 "conformance matrix failed: {failed} invariant violation(s) \
                  across {scenarios} scenario(s); details above and in the report"
+            ),
+            CliError::Exp(e) => write!(f, "{e}"),
+            CliError::Drift { drifted, checked } => write!(
+                f,
+                "reproduction drift: {drifted} of {checked} artifact(s) \
+                 differ from the committed results (details above)"
             ),
         }
     }
@@ -185,6 +211,12 @@ impl From<CheckpointError> for CliError {
     }
 }
 
+impl From<ExpError> for CliError {
+    fn from(e: ExpError) -> CliError {
+        CliError::Exp(e)
+    }
+}
+
 impl From<CampaignError> for CliError {
     fn from(e: CampaignError) -> CliError {
         // Unwrap the typed causes so the exit code reflects the root.
@@ -208,6 +240,8 @@ USAGE:
                             [fault injection] [--checkpoint FILE]
   impatience resume   CKPT
   impatience verify   [--quick|--full] [--seed N] [-o FILE] [--trace-out FILE] [--limit N]
+  impatience reproduce [SPEC..] [--fig N | --all] [--list] [--check] [--resume]
+                       [--specs DIR] [-o DIR] [--workers N] [--trace-out FILE] [--verbose]
   impatience help
 
 UTILITY SPECS:  step:<tau> | exp:<nu> | power:<alpha> | neglog
@@ -246,6 +280,21 @@ VERIFICATION (verify; deterministic given --seed):
   --trace-out streams per-scenario events; --limit N truncates the
   matrix (test hook).
 
+REPRODUCTION (reproduce; deterministic, seeds live in the specs):
+  Compiles the declarative TOML scenario specs in experiments/ (one per
+  paper figure / table / ablation / extension) into simulation campaigns
+  and writes each results/NAME.csv atomically with a provenance manifest
+  sibling (spec hash, seeds, trials, git revision) at
+  NAME.manifest.json. Select specs by name (`reproduce fig4 table1`), by
+  figure (`--fig 4`), or all of them (`--all`).
+  --list             show every spec with its outputs instead of running
+  --check            regenerate into a scratch directory and byte-compare
+                     against the committed CSVs; any drift exits 11
+  --resume           checkpoint each campaign under OUT/.checkpoints and
+                     resume finished trials from a previous killed run
+  --specs DIR        spec directory (default experiments)
+  -o DIR             results directory (default results)
+
 CHECKPOINTING (simulate):
   --checkpoint FILE      save campaign state to FILE after every chunk of
                          trials (atomic rename); panicking trials are
@@ -258,6 +307,7 @@ EXIT CODES:
   0 ok | 2 usage | 3 config | 4 solver | 5 trace | 6 checkpoint
   7 campaign | 8 io | 9 degraded (some trials skipped)
   10 verify (conformance invariant violated)
+  11 drift (reproduce --check differs from committed results)
 
 COMMON OPTIONS (defaults):
   --items 50  --rho 5  --omega 1.0  --utility step:10  --trials 15  --seed 42
@@ -279,7 +329,10 @@ impl Args {
         while let Some(arg) = it.next() {
             if let Some(name) = arg.strip_prefix("--") {
                 // Boolean flags take no value.
-                if name == "verbose" || name == "quick" || name == "full" {
+                if matches!(
+                    name,
+                    "verbose" | "quick" | "full" | "all" | "list" | "check" | "resume"
+                ) {
                     options.insert(name.to_string(), "true".to_string());
                     continue;
                 }
@@ -346,6 +399,7 @@ fn run() -> Result<(), CliError> {
         "simulate" => simulate(&args, &raw),
         "resume" => resume(args.positional.first()),
         "verify" => verify(&args),
+        "reproduce" => reproduce(&args, &raw),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -834,6 +888,246 @@ fn verify(args: &Args) -> Result<(), CliError> {
         return Err(CliError::Verify { failed, scenarios });
     }
     Ok(())
+}
+
+/// What one `reproduce` invocation did, across every selected spec.
+#[derive(Default)]
+struct ReproOutcome {
+    specs: usize,
+    artifacts: usize,
+    trials_total: usize,
+    skipped: Vec<(String, String)>,
+    drifted: usize,
+    checked: usize,
+}
+
+/// `impatience reproduce`: compile the declarative TOML specs in
+/// `experiments/` into simulation campaigns and write every figure's
+/// CSV — with a provenance manifest sibling — under `results/`.
+/// `--check` regenerates into a scratch directory, byte-compares
+/// against the committed CSVs, and exits 11 on any drift; `--resume`
+/// checkpoints each campaign so a killed run restarts where it stopped.
+fn reproduce(args: &Args, invocation: &[String]) -> Result<(), CliError> {
+    let specs_dir = args
+        .options
+        .get("specs")
+        .map(String::as_str)
+        .unwrap_or("experiments");
+    let registry = Registry::load_dir(Path::new(specs_dir))?;
+
+    let list = args.options.contains_key("list");
+    let selected: Vec<&Spec> = if let Some(fig) = args.get_opt::<u32>("fig")? {
+        registry.by_figure(fig)?
+    } else if !args.positional.is_empty() {
+        registry.by_names(&args.positional)?
+    } else if args.options.contains_key("all") || list {
+        registry.all().iter().collect()
+    } else {
+        return Err(
+            "reproduce needs spec names, --fig N, or --all (--list shows what is available)".into(),
+        );
+    };
+
+    if list {
+        println!(
+            "{:<18} {:>3}  {:<15} {:>5} {:>6}  outputs",
+            "spec", "fig", "kind", "cells", "trials"
+        );
+        for spec in &selected {
+            let plan = spec.plan()?;
+            let fig = spec
+                .figure
+                .map_or_else(|| "-".to_string(), |f| f.to_string());
+            let outputs: Vec<String> = plan.outputs.iter().map(|o| format!("{o}.csv")).collect();
+            println!(
+                "{:<18} {:>3}  {:<15} {:>5} {:>6}  {}",
+                spec.name,
+                fig,
+                spec.kind.name(),
+                plan.cells.len(),
+                plan.trials,
+                outputs.join(" ")
+            );
+        }
+        return Ok(());
+    }
+
+    let check = args.options.contains_key("check");
+    let baseline_dir = PathBuf::from(
+        args.options
+            .get("out")
+            .map(String::as_str)
+            .unwrap_or("results"),
+    );
+    // --check runs into a scratch directory so a drifted regeneration
+    // can never clobber the committed baselines it is judging.
+    let run_dir = if check {
+        baseline_dir.join(".check")
+    } else {
+        baseline_dir.clone()
+    };
+    let checkpoint_dir = args
+        .options
+        .contains_key("resume")
+        .then(|| run_dir.join(".checkpoints"));
+    let workers: Option<usize> = args.get_opt("workers")?;
+    let verbose = args.verbose();
+
+    let outcome = match args.options.get("trace-out") {
+        Some(out) => {
+            let path = Path::new(out);
+            let file = AtomicFile::create(path)
+                .map_err(|e| CliError::Io(format!("cannot create {out}: {e}")))?;
+            let mut rec = Recorder::new(JsonlSink::new(file));
+            let outcome = reproduce_run(
+                &selected,
+                &run_dir,
+                &baseline_dir,
+                check,
+                checkpoint_dir,
+                workers,
+                invocation,
+                &mut rec,
+            );
+            rec.into_sink()
+                .into_inner()
+                .and_then(AtomicFile::commit)
+                .map_err(|e| CliError::Io(format!("writing {out}: {e}")))?;
+            println!("events  → {out}");
+            outcome?
+        }
+        None if verbose => {
+            let mut rec = Recorder::new(TallySink);
+            reproduce_run(
+                &selected,
+                &run_dir,
+                &baseline_dir,
+                check,
+                checkpoint_dir,
+                workers,
+                invocation,
+                &mut rec,
+            )?
+        }
+        None => {
+            let mut rec = Recorder::disabled();
+            reproduce_run(
+                &selected,
+                &run_dir,
+                &baseline_dir,
+                check,
+                checkpoint_dir,
+                workers,
+                invocation,
+                &mut rec,
+            )?
+        }
+    };
+
+    if check {
+        let _ = std::fs::remove_dir_all(&run_dir);
+        if outcome.drifted > 0 {
+            return Err(CliError::Drift {
+                drifted: outcome.drifted,
+                checked: outcome.checked,
+            });
+        }
+        println!(
+            "check ok: {} artifact(s) byte-identical to {}/",
+            outcome.checked,
+            baseline_dir.display()
+        );
+    } else {
+        println!(
+            "reproduced {} spec(s), {} artifact(s) → {}/",
+            outcome.specs,
+            outcome.artifacts,
+            run_dir.display()
+        );
+    }
+    if !outcome.skipped.is_empty() {
+        for (cell, msg) in &outcome.skipped {
+            eprintln!("warning: {cell} skipped: {msg}");
+        }
+        return Err(CliError::TrialsSkipped {
+            skipped: outcome.skipped.len(),
+            trials: outcome.trials_total,
+        });
+    }
+    Ok(())
+}
+
+/// The sink-generic body of `reproduce`: run every selected spec,
+/// collect artifacts and skipped trials, and (in check mode) compare
+/// each regenerated CSV against its committed baseline.
+#[allow(clippy::too_many_arguments)]
+fn reproduce_run<S: impatience_obs::Sink>(
+    selected: &[&Spec],
+    run_dir: &Path,
+    baseline_dir: &Path,
+    check: bool,
+    checkpoint_dir: Option<PathBuf>,
+    workers: Option<usize>,
+    invocation: &[String],
+    rec: &mut Recorder<S>,
+) -> Result<ReproOutcome, CliError> {
+    let mut outcome = ReproOutcome::default();
+    for spec in selected {
+        println!("── {} — {}", spec.name, spec.title);
+        let plan = spec.plan()?;
+        outcome.trials_total += plan.trials * plan.cells.len().max(1);
+        let mut ctx = ExecContext {
+            out_dir: run_dir.to_path_buf(),
+            checkpoint_dir: checkpoint_dir.clone(),
+            workers,
+            cli_args: invocation.to_vec(),
+            quiet: check,
+            rec,
+        };
+        let report = run_spec(spec, &mut ctx)?;
+        outcome.specs += 1;
+        outcome.artifacts += report.artifacts.len();
+        for (cell, msg) in report.skipped {
+            outcome.skipped.push((format!("{}:{cell}", spec.name), msg));
+        }
+        if check {
+            for artifact in &report.artifacts {
+                let name = artifact
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                let baseline = baseline_dir.join(&name);
+                outcome.checked += 1;
+                match impatience_exp::check::compare(&baseline, artifact)? {
+                    CheckOutcome::Match => println!("  check {name} … ok"),
+                    CheckOutcome::MissingBaseline => {
+                        outcome.drifted += 1;
+                        println!("  check {name} … MISSING baseline {}", baseline.display());
+                    }
+                    CheckOutcome::Drift {
+                        first_line,
+                        expected,
+                        actual,
+                    } => {
+                        outcome.drifted += 1;
+                        println!("  check {name} … DRIFT at line {first_line}");
+                        if let Some(e) = expected {
+                            println!("    committed  : {e}");
+                        }
+                        if let Some(a) = actual {
+                            println!("    regenerated: {a}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // An empty checkpoint directory means every campaign finished and
+    // cleaned up after itself.
+    if let Some(dir) = checkpoint_dir {
+        let _ = std::fs::remove_dir(dir);
+    }
+    Ok(outcome)
 }
 
 /// The checkpointed campaign path of `simulate`: trials run behind a

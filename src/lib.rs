@@ -22,7 +22,10 @@
 //!   cross checks, and the scenario conformance matrix behind
 //!   `impatience verify`;
 //! * [`json`] (`impatience-json`) — the dependency-free JSON value type
-//!   the instrumentation and trace I/O are built on.
+//!   the instrumentation and trace I/O are built on;
+//! * [`exp`] (`impatience-exp`) — the declarative experiment pipeline:
+//!   TOML scenario specs in `experiments/` compiled into simulation
+//!   campaigns, behind `impatience reproduce`.
 //!
 //! ## Sixty-second tour
 //!
@@ -49,6 +52,7 @@
 //! "VideoForU" motivating deployment and trace-driven simulations.
 
 pub use impatience_core as core;
+pub use impatience_exp as exp;
 pub use impatience_json as json;
 pub use impatience_mobility as mobility;
 pub use impatience_obs as obs;

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Observability overhead regression gate.
+
+Parses one or more criterion text outputs containing the
+``observability_overhead`` group and asserts that the ``noop`` row's
+median stays within 2% of the ``uninstrumented`` row's median.
+
+Both rows run the identical engine — ``run_trial`` is
+``run_trial_observed::<NoopSink>`` by construction — so any real gap
+means the static-dispatch zero-cost design was broken (a dynamic branch,
+a non-inlined hook, work on the disabled span path). Shared CI runners
+are noisy, so the gate takes the *best* (minimum) median per row across
+all provided runs before comparing; pass three runs for a robust verdict.
+
+Usage: check_overhead.py BENCH_OUT [BENCH_OUT ...]
+Exit codes: 0 within budget, 1 regression, 2 parse failure.
+"""
+
+import re
+import sys
+
+BUDGET = 1.02
+
+UNITS = {"ns": 1.0, "µs": 1e3, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+LINE = re.compile(
+    r"observability_overhead/(\w+)\s+time:\s*"
+    r"\[\s*([\d.]+)\s*(ns|µs|us|ms|s)"  # min
+    r"\s+([\d.]+)\s*(ns|µs|us|ms|s)"  # median
+    r"\s+([\d.]+)\s*(ns|µs|us|ms|s)\s*\]"  # max
+)
+
+
+def parse(path):
+    """Return {row: median_ns} for the overhead group in one output."""
+    rows = {}
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            m = LINE.search(line)
+            if m:
+                rows[m.group(1)] = float(m.group(4)) * UNITS[m.group(5)]
+    return rows
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    best = {}
+    for path in argv[1:]:
+        for row, median_ns in parse(path).items():
+            best[row] = min(best.get(row, float("inf")), median_ns)
+    missing = {"uninstrumented", "noop"} - set(best)
+    if missing:
+        print(f"overhead gate: missing bench rows {sorted(missing)} in {argv[1:]}")
+        return 2
+    base, noop = best["uninstrumented"], best["noop"]
+    ratio = noop / base
+    for row in sorted(best):
+        print(f"  {row:<16} best median {best[row] / 1e6:9.3f} ms")
+    print(f"overhead gate: noop/uninstrumented = {ratio:.4f} (budget {BUDGET})")
+    if ratio > BUDGET:
+        print("FAIL: no-op sink path regressed beyond 2% of the uninstrumented path")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

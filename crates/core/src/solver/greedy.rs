@@ -133,6 +133,7 @@ pub fn try_greedy_homogeneous_observed<S: Sink>(
     utility: &dyn DelayUtility,
     rec: &mut Recorder<S>,
 ) -> Result<ReplicaCounts, SolverError> {
+    let _span = impatience_obs::span!("solve.greedy");
     if utility.requires_dedicated() && system.population.is_pure_p2p() {
         return Err(SolverError::RequiresDedicated {
             utility: utility.kind().to_string(),

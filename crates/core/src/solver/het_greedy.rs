@@ -58,6 +58,7 @@ pub fn greedy_heterogeneous_observed<S: Sink>(
     utility: &dyn DelayUtility,
     rec: &mut Recorder<S>,
 ) -> AllocationMatrix {
+    let _span = impatience_obs::span!("solve.het_greedy");
     let items = demand.items();
     let servers = system.servers.len();
     assert_eq!(profile.items(), items);

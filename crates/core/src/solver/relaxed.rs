@@ -151,6 +151,7 @@ pub fn try_relaxed_optimum_observed<S: Sink>(
     utility: &dyn DelayUtility,
     rec: &mut Recorder<S>,
 ) -> Result<RelaxedAllocation, SolverError> {
+    let _span = impatience_obs::span!("solve.relaxed");
     if utility.requires_dedicated() && system.population.is_pure_p2p() {
         return Err(SolverError::RequiresDedicated {
             utility: utility.kind().to_string(),

@@ -64,6 +64,7 @@ pub fn write_csv(
     manifest.set("rows", rows.len() as u64);
     manifest.set("seeds", Json::from(meta.seeds.to_vec()));
     manifest.set("trials", meta.trials as u64);
+    manifest.stamp_runtime(None);
     let mpath = Manifest::sibling_path(&path);
     manifest.write_to(&mpath).map_err(|e| io_err(&mpath, e))?;
     Ok(path)

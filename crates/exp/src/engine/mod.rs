@@ -17,7 +17,7 @@ mod trace;
 use std::path::PathBuf;
 use std::time::Instant;
 
-use impatience_obs::{Recorder, Sink};
+use impatience_obs::{Progress, Recorder, Sink};
 use impatience_sim::config::{ContactSource, SimConfig};
 use impatience_sim::policy::PolicyKind;
 use impatience_sim::runner::{run_campaign, CampaignOptions, TrialAggregate};
@@ -40,6 +40,10 @@ pub struct ExecContext<'a, S: Sink> {
     pub quiet: bool,
     /// Event/counter stream for per-cell progress.
     pub rec: &'a mut Recorder<S>,
+    /// Live per-cell progress meter (stderr, TTY-gated; ticked at the
+    /// same site that emits `ExperimentDone`). Use
+    /// [`Progress::disabled`] when no live feedback is wanted.
+    pub progress: Progress,
 }
 
 /// What a spec execution produced.
@@ -85,6 +89,7 @@ impl<S: Sink> ExecContext<'_, S> {
         base_seed: u64,
         report: &mut ExecReport,
     ) -> Result<TrialAggregate, ExpError> {
+        let _span = impatience_obs::span!("cell");
         let label = policy.label();
         let options = CampaignOptions {
             checkpoint_path: self.checkpoint_dir.as_ref().map(|dir| {
@@ -159,6 +164,7 @@ impl<S: Sink> ExecContext<'_, S> {
         report.cells += 1;
         self.rec
             .experiment_done(&spec.name, cell, rows, started.elapsed().as_secs_f64());
+        self.progress.tick(&format!("{}: {cell}", spec.name));
     }
 }
 
@@ -257,6 +263,7 @@ pub fn run_spec<S: Sink>(
     spec: &Spec,
     ctx: &mut ExecContext<'_, S>,
 ) -> Result<ExecReport, ExpError> {
+    let _span = impatience_obs::span!("spec");
     let mut report = ExecReport::default();
     match &spec.kind {
         SpecKind::UtilityCurves(s) => analytic::utility_curves(spec, s, ctx, &mut report)?,
@@ -291,7 +298,9 @@ fn emit<S: Sink>(
         seeds,
         trials,
     };
+    let write_span = impatience_obs::span!("write_csv");
     let path = crate::artifact::write_csv(&ctx.out_dir, name, header, rows, &meta)?;
+    write_span.close();
     ctx.note(&format!("wrote {}", path.display()));
     report.artifacts.push(path);
     Ok(())

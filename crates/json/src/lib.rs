@@ -195,6 +195,42 @@ impl Json {
     }
 }
 
+/// Write `x` exactly as [`Json::Float`] serializes it: shortest
+/// round-trip via `{}`, a `.0` suffix when the text would otherwise look
+/// integral, `null` for non-finite values. Exposed so callers building
+/// JSON text directly (e.g. the JSONL event fast path in
+/// `impatience-obs`) stay byte-identical with tree serialization.
+pub fn write_f64(x: f64, out: &mut String) {
+    if x.is_finite() {
+        use fmt::Write as _;
+        let start = out.len();
+        let _ = write!(out, "{x}");
+        if !out[start..].contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Write `n` exactly as `Json::from(u64)` serializes it (integer text,
+/// falling back to the float path above `i64::MAX`).
+pub fn write_u64(n: u64, out: &mut String) {
+    match i64::try_from(n) {
+        Ok(i) => {
+            use fmt::Write as _;
+            let _ = write!(out, "{i}");
+        }
+        Err(_) => write_f64(n as f64, out),
+    }
+}
+
+/// Write `s` as a quoted, escaped JSON string exactly as [`Json::Str`]
+/// serializes it.
+pub fn write_str(s: &str, out: &mut String) {
+    write_escaped(s, out);
+}
+
 fn write_escaped(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {

@@ -1,0 +1,18 @@
+//! Embed the compiler version so manifests can stamp `rustc` without
+//! shelling out at runtime (which could observe a different toolchain
+//! than the one that built the binary).
+
+use std::process::Command;
+
+fn main() {
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".to_string());
+    let version = Command::new(rustc)
+        .arg("--version")
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_default();
+    println!("cargo:rustc-env=IMPATIENCE_RUSTC={version}");
+}

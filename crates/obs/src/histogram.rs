@@ -99,6 +99,26 @@ impl Histogram {
         self.overflow
     }
 
+    /// Sum of all samples (exact).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Number of samples strictly below `value` as resolvable by the
+    /// bucket grid: counts every bucket whose upper edge is ≤ `value`.
+    /// Used for Prometheus cumulative-bucket exposition.
+    pub fn cumulative_below(&self, value: f64) -> u64 {
+        if value <= 0.0 {
+            return 0;
+        }
+        if value >= self.range {
+            return self.total - self.overflow;
+        }
+        let width = self.range / self.counts.len() as f64;
+        let whole = (value / width).floor() as usize;
+        self.counts[..whole.min(self.counts.len())].iter().sum()
+    }
+
     /// The `q`-quantile (`q` in `[0, 1]`), interpolated within its
     /// bucket; `None` if the histogram is empty.
     ///

@@ -66,6 +66,25 @@ impl Manifest {
     pub fn sibling_path(results_path: &Path) -> std::path::PathBuf {
         results_path.with_extension("manifest.json")
     }
+
+    /// Stamp runtime provenance: the compiler that built this binary
+    /// (`rustc`), the process's peak resident set so far
+    /// (`peak_rss_bytes`, Linux), and — when profiling ran — the summed
+    /// wall time of root spans (`span_wall_s`), so manifests and
+    /// `.profile.json` reports cross-reference.
+    pub fn stamp_runtime(&mut self, total_span_wall_s: Option<f64>) {
+        match rustc_version() {
+            Some(v) => self.set("rustc", v),
+            None => self.set("rustc", Json::Null),
+        }
+        match peak_rss_bytes() {
+            Some(b) => self.set("peak_rss_bytes", b),
+            None => self.set("peak_rss_bytes", Json::Null),
+        }
+        if let Some(wall) = total_span_wall_s {
+            self.set("span_wall_s", wall);
+        }
+    }
 }
 
 /// Seconds since the unix epoch.
@@ -94,6 +113,26 @@ pub fn git_revision() -> Option<String> {
         .filter(|o| o.status.success())
         .is_some_and(|o| !o.stdout.is_empty());
     Some(if dirty { format!("{rev}+dirty") } else { rev })
+}
+
+/// The `rustc --version` string of the compiler that built this crate
+/// (captured at build time), or `None` if it could not be determined.
+pub fn rustc_version() -> Option<String> {
+    let v = env!("IMPATIENCE_RUSTC");
+    (!v.is_empty()).then(|| v.to_string())
+}
+
+/// The process's peak resident set size in bytes, from
+/// `/proc/self/status` (`VmHWM`). `None` on platforms without procfs.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -138,6 +177,27 @@ mod tests {
             Manifest::sibling_path(Path::new("results/fig4.csv")),
             Path::new("results/fig4.manifest.json")
         );
+    }
+
+    #[test]
+    fn stamp_runtime_fills_cross_reference_fields() {
+        let mut m = Manifest::new("test");
+        m.stamp_runtime(Some(1.25));
+        // The build script always runs, so the rustc string is embedded
+        // (it can only be null if `rustc --version` itself failed).
+        assert!(m.get("rustc").is_some());
+        assert!(m.get("peak_rss_bytes").is_some());
+        assert_eq!(m.get("span_wall_s").and_then(Json::as_f64), Some(1.25));
+        let mut without_spans = Manifest::new("test");
+        without_spans.stamp_runtime(None);
+        assert!(without_spans.get("span_wall_s").is_none());
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        let rss = peak_rss_bytes().unwrap();
+        assert!(rss > 1024 * 1024, "peak RSS {rss} implausibly small");
     }
 
     #[test]

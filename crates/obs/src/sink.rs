@@ -27,6 +27,12 @@ pub trait Sink {
 
     /// Receive one event.
     fn record(&mut self, event: &Event);
+
+    /// Push any internally buffered events toward their destination.
+    /// Called at natural run boundaries — checkpoint saves, end of
+    /// campaign — so buffering sinks (see [`JsonlSink`]) can batch
+    /// writes between them. The default is a no-op.
+    fn flush(&mut self) {}
 }
 
 /// The disabled sink: `ACTIVE = false`, all hooks compile away.
@@ -78,22 +84,32 @@ impl Sink for MemorySink {
 
 /// Writes one JSON object per event per line (JSONL).
 ///
+/// Events serialize directly into an internal batch buffer (no
+/// intermediate JSON tree — see [`Event::write_jsonl`]) which drains to
+/// the writer when it passes [`JsonlSink::BATCH_BYTES`], on
+/// [`Sink::flush`] (called by the runner at checkpoint boundaries), and
+/// on [`JsonlSink::into_inner`]. Batching is what removed the ~5×
+/// overhead the PR 1 `observability_overhead` bench measured for
+/// per-event writes.
+///
 /// I/O errors don't panic the hot path; the first one is kept and can be
-/// inspected with [`JsonlSink::take_error`] after the run. Wrap the
-/// writer in a `BufWriter` for file output.
+/// inspected with [`JsonlSink::take_error`] after the run.
 #[derive(Debug)]
 pub struct JsonlSink<W: Write> {
     writer: W,
-    line: String,
+    buf: String,
     error: Option<std::io::Error>,
 }
 
 impl<W: Write> JsonlSink<W> {
+    /// Drain the batch buffer to the writer once it exceeds this size.
+    pub const BATCH_BYTES: usize = 64 * 1024;
+
     /// Stream events to `writer`.
     pub fn new(writer: W) -> Self {
         JsonlSink {
             writer,
-            line: String::new(),
+            buf: String::with_capacity(Self::BATCH_BYTES + 4096),
             error: None,
         }
     }
@@ -103,8 +119,20 @@ impl<W: Write> JsonlSink<W> {
         self.error.take()
     }
 
-    /// Flush and return the writer.
+    fn drain(&mut self) {
+        if self.buf.is_empty() || self.error.is_some() {
+            self.buf.clear();
+            return;
+        }
+        if let Err(e) = self.writer.write_all(self.buf.as_bytes()) {
+            self.error = Some(e);
+        }
+        self.buf.clear();
+    }
+
+    /// Flush buffered events and the writer, then return the writer.
     pub fn into_inner(mut self) -> std::io::Result<W> {
+        self.drain();
         self.writer.flush()?;
         if let Some(e) = self.error {
             return Err(e);
@@ -118,11 +146,19 @@ impl<W: Write> Sink for JsonlSink<W> {
         if self.error.is_some() {
             return;
         }
-        self.line.clear();
-        event.to_json().write(&mut self.line);
-        self.line.push('\n');
-        if let Err(e) = self.writer.write_all(self.line.as_bytes()) {
-            self.error = Some(e);
+        event.write_jsonl(&mut self.buf);
+        self.buf.push('\n');
+        if self.buf.len() >= Self::BATCH_BYTES {
+            self.drain();
+        }
+    }
+
+    fn flush(&mut self) {
+        self.drain();
+        if self.error.is_none() {
+            if let Err(e) = self.writer.flush() {
+                self.error = Some(e);
+            }
         }
     }
 }
@@ -188,7 +224,70 @@ mod tests {
         let mut sink = JsonlSink::new(Failing);
         sink.record(&Event::Contact { t: 0.0, a: 0, b: 1 });
         sink.record(&Event::Contact { t: 1.0, a: 0, b: 1 });
+        // Batched events only reach the writer on flush.
+        sink.flush();
         assert!(sink.take_error().is_some());
         assert!(sink.take_error().is_none());
+    }
+
+    #[test]
+    fn jsonl_sink_batches_until_flush() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        #[derive(Clone, Default)]
+        struct CountingWriter {
+            writes: Rc<RefCell<usize>>,
+            bytes: Rc<RefCell<Vec<u8>>>,
+        }
+        impl Write for CountingWriter {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                *self.writes.borrow_mut() += 1;
+                self.bytes.borrow_mut().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let writer = CountingWriter::default();
+        let writes = writer.writes.clone();
+        let bytes = writer.bytes.clone();
+        let mut sink = JsonlSink::new(writer);
+        for i in 0..100 {
+            sink.record(&Event::Contact {
+                t: i as f64,
+                a: 0,
+                b: 1,
+            });
+        }
+        assert_eq!(*writes.borrow(), 0, "events must batch, not write-through");
+        sink.flush();
+        assert_eq!(*writes.borrow(), 1, "one batched write on flush");
+        let text = String::from_utf8(bytes.borrow().clone()).unwrap();
+        assert_eq!(text.lines().count(), 100);
+        // Re-flushing with nothing buffered writes nothing.
+        sink.flush();
+        assert_eq!(*writes.borrow(), 1);
+    }
+
+    #[test]
+    fn jsonl_batch_buffer_drains_at_threshold() {
+        let mut sink = JsonlSink::new(Vec::new());
+        // Each contact line is ~40 bytes; push well past BATCH_BYTES.
+        let n = (JsonlSink::<Vec<u8>>::BATCH_BYTES / 20) as u64;
+        for i in 0..n {
+            sink.record(&Event::Replication {
+                t: i as f64,
+                count: i,
+            });
+        }
+        let bytes = sink.into_inner().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(text.lines().count(), n as usize);
+        for line in text.lines().take(50) {
+            impatience_json::Json::parse(line).unwrap();
+        }
     }
 }

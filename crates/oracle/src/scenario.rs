@@ -329,6 +329,12 @@ fn utilities() -> Vec<(&'static str, Arc<dyn DelayUtility>)> {
 /// aside).
 pub fn run_matrix<S: Sink>(opts: &MatrixOptions, rec: &mut Recorder<S>) -> Vec<ScenarioRecord> {
     let pops = [PopKind::Dedicated, PopKind::PureP2p, PopKind::Mixed];
+    // 5 utilities × 3 populations × {hom,het} × {clean,faults}, capped by
+    // an explicit --limit. The meter is stderr-only and TTY-gated, so
+    // batch runs and the JSONL report never see it.
+    let full = utilities().len() * pops.len() * 2 * 2;
+    let total = opts.limit.map_or(full, |n| n.min(full)) as u64;
+    let mut progress = impatience_obs::Progress::new("verify", total);
     let mut records = Vec::new();
     let mut root = Xoshiro256::seed_from_u64(opts.base_seed);
     let mut index = 0u64;
@@ -359,12 +365,14 @@ pub fn run_matrix<S: Sink>(opts: &MatrixOptions, rec: &mut Recorder<S>) -> Vec<S
                         record.skipped(),
                         record.wall_s,
                     );
+                    progress.tick(&record.name);
                     records.push(record);
                     index += 1;
                 }
             }
         }
     }
+    progress.finish();
     records
 }
 
@@ -380,6 +388,7 @@ fn run_scenario(
     faults: bool,
     started: Instant,
 ) -> ScenarioRecord {
+    let _span = impatience_obs::span!("scenario");
     let contacts_label = if het_contacts { "het" } else { "hom" };
     let faults_label = if faults { "faults" } else { "clean" };
     let name = format!("{ulabel}/{}/{contacts_label}/{faults_label}", pop.label());

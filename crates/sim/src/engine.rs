@@ -122,6 +122,11 @@ fn run_trial_core<S: Sink>(
     seed: u64,
     rec: &mut Recorder<S>,
 ) -> TrialOutcome {
+    // Self-profiling spans (impatience_obs::span) are gated process-wide
+    // and cost one relaxed atomic load each when profiling is off; they
+    // are independent of the recorder's sink, so `--profile` attributes
+    // wall time even on otherwise-unobserved runs.
+    let _trial_span = impatience_obs::span!("trial");
     let wall_start = rec.is_active().then(std::time::Instant::now);
     rec.trial_start();
     let mut open_requests: u64 = 0;
@@ -207,7 +212,11 @@ fn run_trial_core<S: Sink>(
     let mut fulfilled: Vec<Fulfillment> = Vec::new();
 
     loop {
-        let next_contact_t = contacts.peek().map_or(f64::INFINITY, |e| e.time);
+        // Lazy contact-stream sampling happens inside peek/next.
+        let next_contact_t = {
+            let _s = impatience_obs::span!("stream");
+            contacts.peek().map_or(f64::INFINITY, |e| e.time)
+        };
         let t = next_request.min(next_contact_t);
         // Demand shifts due before the next event take effect first: the
         // arrival process restarts (memorylessly) with the new rates.
@@ -232,6 +241,7 @@ fn run_trial_core<S: Sink>(
         // Bin-start snapshots due before this event.
         while next_snapshot <= t && next_snapshot < duration {
             if let Some(system) = &snapshot_system {
+                let _s = impatience_obs::span!("snapshot");
                 metrics.record_snapshot(
                     next_snapshot,
                     &state.replicas,
@@ -250,6 +260,7 @@ fn run_trial_core<S: Sink>(
 
         if next_request <= next_contact_t {
             // --- request creation ---
+            let _s = impatience_obs::span!("request");
             let sampler = item_sampler.as_ref().expect("arrivals imply demand");
             let item = sampler.sample(&mut rng) as u32;
             let node = client_base + config.profile.sample_origin(item as usize, &mut rng);
@@ -273,6 +284,7 @@ fn run_trial_core<S: Sink>(
             next_request += rng.exp(total_rate);
         } else {
             // --- contact ---
+            let _s = impatience_obs::span!("contact");
             let e = contacts.next().expect("peeked above");
             if let Some(fs) = faults.as_mut() {
                 if !fs.admit_contact(e.time, e.a, e.b, &mut metrics, rec) {
@@ -282,6 +294,7 @@ fn run_trial_core<S: Sink>(
             let (a, b) = (e.a as usize, e.b as usize);
             rec.contact(e.time, e.a, e.b);
             fulfilled.clear();
+            let exchange_span = impatience_obs::span!("exchange");
             for (n, m) in [(a, b), (b, a)] {
                 // Split borrows: peer cache is read-only here. Queries
                 // only count against cache-carrying (server) nodes — in a
@@ -325,6 +338,8 @@ fn run_trial_core<S: Sink>(
                 }
                 open_requests -= fulfilled.len() as u64;
             }
+            exchange_span.close();
+            let _policy_span = impatience_obs::span!("policy");
             let transmissions_before = state.transmissions;
             policy_obj.after_contact(e.time, a, b, &mut state, &fulfilled, &mut metrics, &mut rng);
             rec.replications(e.time, state.transmissions - transmissions_before);
@@ -334,6 +349,7 @@ fn run_trial_core<S: Sink>(
     // Trailing snapshots after the last event.
     while next_snapshot < duration {
         if let Some(system) = &snapshot_system {
+            let _s = impatience_obs::span!("snapshot");
             metrics.record_snapshot(
                 next_snapshot,
                 &state.replicas,
@@ -345,6 +361,7 @@ fn run_trial_core<S: Sink>(
         next_snapshot += config.bin;
     }
 
+    let _settle_span = impatience_obs::span!("settle");
     metrics.unfulfilled = requests.iter().map(|r| r.len() as u64).sum();
     // Settle requests still outstanding at the horizon. For utilities
     // bounded below (step, exponential: h(∞) finite) the pessimistic

@@ -99,6 +99,10 @@ pub fn run_trial_discrete_observed<S: Sink>(
     seed: u64,
     rec: &mut Recorder<S>,
 ) -> TrialOutcome {
+    // Same span vocabulary as the continuous engine (root "trial" with
+    // request/contact/exchange/policy children), so phase trees from
+    // either engine line up in `trace diff`.
+    let _trial_span = impatience_obs::span!("trial");
     let wall_start = rec.is_active().then(std::time::Instant::now);
     rec.trial_start();
     let mut open_requests: u64 = 0;
@@ -164,6 +168,7 @@ pub fn run_trial_discrete_observed<S: Sink>(
             fs.apply_cache_faults(now, &mut state, &mut metrics, rec);
         }
         if slot % snapshot_every == 0 {
+            let _s = impatience_obs::span!("snapshot");
             metrics.record_snapshot(
                 now,
                 &state.replicas,
@@ -175,6 +180,7 @@ pub fn run_trial_discrete_observed<S: Sink>(
 
         // --- arrivals this slot (Poisson with mean total_rate·δ) ---
         if let Some(sampler) = &item_sampler {
+            let _s = impatience_obs::span!("request");
             let arrivals = rng.poisson(total_rate * source.delta);
             for _ in 0..arrivals {
                 let item = sampler.sample(&mut rng) as u32;
@@ -202,6 +208,7 @@ pub fn run_trial_discrete_observed<S: Sink>(
         // --- synchronous contacts: each pair independently w.p. μδ,
         //     drawn lazily from the slot stream in pair order ---
         while contacts.peek_slot() == Some(slot) {
+            let _s = impatience_obs::span!("contact");
             let c = contacts.next().expect("peeked above");
             if let Some(fs) = faults.as_mut() {
                 if !fs.admit_contact(now, c.a, c.b, &mut metrics, rec) {
@@ -211,6 +218,7 @@ pub fn run_trial_discrete_observed<S: Sink>(
             let (a, b) = (c.a as usize, c.b as usize);
             rec.contact(now, c.a, c.b);
             fulfilled.clear();
+            let exchange_span = impatience_obs::span!("exchange");
             for (n, m) in [(a, b), (b, a)] {
                 let cache_m = &state.caches[m];
                 requests[n].retain_mut(|r| {
@@ -241,12 +249,15 @@ pub fn run_trial_discrete_observed<S: Sink>(
                 }
                 open_requests -= fulfilled.len() as u64;
             }
+            exchange_span.close();
+            let _policy_span = impatience_obs::span!("policy");
             let transmissions_before = state.transmissions;
             policy_obj.after_contact(now, a, b, &mut state, &fulfilled, &mut metrics, &mut rng);
             rec.replications(now, state.transmissions - transmissions_before);
         }
     }
 
+    let _settle_span = impatience_obs::span!("settle");
     metrics.unfulfilled = requests.iter().map(|r| r.len() as u64).sum();
     let h_inf = config.utility.h_infinity();
     for (node, node_requests) in requests.iter().enumerate() {

@@ -269,7 +269,12 @@ pub fn run_trials_observed_with_workers<S: Sink>(
     let batch_start = Instant::now();
     let workers = workers.unwrap_or_else(default_workers).max(1).min(trials);
 
+    // Main-thread profiling spans: "trials" covers dispatch plus the
+    // wait for workers (whose own time lands under the per-worker
+    // "trial" root), "merge" the tally/event absorption, "aggregate"
+    // the statistics fold.
     let (outcomes, busy_s) = if !rec.is_active() {
+        let _s = impatience_obs::span!("trials");
         run_sharded(trials, workers, &|k| {
             run_trial(config, source, policy.clone(), base_seed + k as u64)
         })
@@ -280,6 +285,7 @@ pub fn run_trials_observed_with_workers<S: Sink>(
             rec.delay.buckets(),
         );
         if S::WANTS_EVENTS {
+            let trials_span = impatience_obs::span!("trials");
             let (results, busy_s) = run_sharded(trials, workers, &|k| {
                 let mut wrec = Recorder::with_shape(MemorySink::new(), shape.0, shape.1, shape.2);
                 let outcome = run_trial_observed(
@@ -291,6 +297,8 @@ pub fn run_trials_observed_with_workers<S: Sink>(
                 );
                 (outcome, wrec)
             });
+            trials_span.close();
+            let _merge_span = impatience_obs::span!("merge");
             let mut outcomes = Vec::with_capacity(trials);
             for (outcome, wrec) in results {
                 rec.absorb(&wrec);
@@ -301,6 +309,7 @@ pub fn run_trials_observed_with_workers<S: Sink>(
             }
             (outcomes, busy_s)
         } else {
+            let trials_span = impatience_obs::span!("trials");
             let (results, busy_s) = run_sharded(trials, workers, &|k| {
                 let mut wrec = Recorder::with_shape(TallySink, shape.0, shape.1, shape.2);
                 let outcome = run_trial_observed(
@@ -312,6 +321,8 @@ pub fn run_trials_observed_with_workers<S: Sink>(
                 );
                 (outcome, wrec)
             });
+            trials_span.close();
+            let _merge_span = impatience_obs::span!("merge");
             let mut outcomes = Vec::with_capacity(trials);
             for (outcome, wrec) in results {
                 rec.absorb(&wrec);
@@ -327,6 +338,7 @@ pub fn run_trials_observed_with_workers<S: Sink>(
         busy_s,
         trials,
     };
+    let _agg_span = impatience_obs::span!("aggregate");
     aggregate(policy.label(), outcomes, config.warmup_fraction, telemetry)
 }
 
@@ -456,6 +468,7 @@ fn run_batch_observed<S: Sink>(
 ) -> (Vec<(usize, TrialRecord)>, f64) {
     let workers = workers.min(batch.len()).max(1);
     if !rec.is_active() {
+        let _s = impatience_obs::span!("trials");
         let (results, busy_s) = run_sharded(batch.len(), workers, &|i| {
             let k = batch[i];
             catch_unwind(AssertUnwindSafe(|| {
@@ -472,6 +485,7 @@ fn run_batch_observed<S: Sink>(
         rec.delay.buckets(),
     );
     if S::WANTS_EVENTS {
+        let trials_span = impatience_obs::span!("trials");
         let (results, busy_s) = run_sharded(batch.len(), workers, &|i| {
             let k = batch[i];
             catch_unwind(AssertUnwindSafe(|| {
@@ -487,6 +501,8 @@ fn run_batch_observed<S: Sink>(
             }))
             .map_err(panic_message)
         });
+        trials_span.close();
+        let _merge_span = impatience_obs::span!("merge");
         let mut out = Vec::with_capacity(batch.len());
         for (&k, result) in batch.iter().zip(results) {
             match result {
@@ -505,6 +521,7 @@ fn run_batch_observed<S: Sink>(
         }
         (out, busy_s)
     } else {
+        let trials_span = impatience_obs::span!("trials");
         let (results, busy_s) = run_sharded(batch.len(), workers, &|i| {
             let k = batch[i];
             catch_unwind(AssertUnwindSafe(|| {
@@ -520,6 +537,8 @@ fn run_batch_observed<S: Sink>(
             }))
             .map_err(panic_message)
         });
+        trials_span.close();
+        let _merge_span = impatience_obs::span!("merge");
         let mut out = Vec::with_capacity(batch.len());
         for (&k, result) in batch.iter().zip(results) {
             match result {
@@ -640,7 +659,11 @@ pub fn run_campaign<S: Sink>(
         executed += records.len();
         completed.extend(records);
         completed.sort_by_key(|&(k, _)| k);
+        // Checkpoint boundary: snapshot progress and drain any events
+        // the sink has batched, so a kill between checkpoints loses at
+        // most one interval of trace alongside one interval of trials.
         if let Some(path) = &options.checkpoint_path {
+            let _s = impatience_obs::span!("checkpoint_save");
             let ckpt = CampaignCheckpoint {
                 fingerprint: fp.clone(),
                 base_seed,
@@ -650,6 +673,7 @@ pub fn run_campaign<S: Sink>(
             };
             ckpt.save(path)?;
         }
+        rec.sink_mut().flush();
         chunks_done += 1;
     }
 

@@ -39,7 +39,10 @@ use impatience_core::utility::{parse_utility, DelayUtility};
 use impatience_core::welfare::HeterogeneousSystem;
 use impatience_exp::{run_spec, CheckOutcome, ExecContext, ExpError, Registry, Spec};
 use impatience_json::Json;
-use impatience_obs::{AtomicFile, Event, JsonlSink, Manifest, MemorySink, Recorder, TallySink};
+use impatience_obs::{
+    render_diff, AtomicFile, Event, JsonlSink, Manifest, MemorySink, MetricsRegistry, Progress,
+    Recorder, Sink, TallySink, TraceSummary,
+};
 use impatience_oracle::{run_matrix, summary_table, write_report, CheckStatus, MatrixOptions};
 use impatience_sim::config::SimConfig;
 use impatience_sim::faults::{CacheFaults, Churn, ContactDrop, FaultConfig};
@@ -236,12 +239,17 @@ USAGE:
   impatience stats    TRACE
   impatience solve    [--items N --servers N --rho N --mu F --omega F --utility SPEC]
   impatience simulate TRACE [--items N --rho N --utility SPEC --policy P --trials N --seed N]
-                            [--trace-out FILE] [--verbose] [--workers N]
+                            [--trace-out FILE] [--verbose] [--workers N] [--profile]
                             [fault injection] [--checkpoint FILE]
   impatience resume   CKPT
   impatience verify   [--quick|--full] [--seed N] [-o FILE] [--trace-out FILE] [--limit N]
+                      [--profile]
   impatience reproduce [SPEC..] [--fig N | --all] [--list] [--check] [--resume]
                        [--specs DIR] [-o DIR] [--workers N] [--trace-out FILE] [--verbose]
+                       [--profile]
+  impatience trace    summarize FILE [--top K]
+  impatience trace    diff FILE_A FILE_B
+  impatience trace    export FILE --prom [-o FILE]
   impatience help
 
 UTILITY SPECS:  step:<tau> | exp:<nu> | power:<alpha> | neglog
@@ -256,6 +264,25 @@ OBSERVABILITY:
                      Both files commit atomically (write-temp-then-rename).
   --verbose          print counters, percentiles, and solver/worker
                      telemetry after the run
+  --profile          time the run with hierarchical spans (trial, contact,
+                     exchange, solve.*, checkpoint, write_csv, ...) and
+                     print the phase tree — wall, self, calls, p50/p95 —
+                     after the run. reproduce writes the tree as
+                     NAME.profile.json next to each spec's first artifact
+                     plus a Prometheus NAME.prom; verify writes them as
+                     siblings of the conformance report; simulate writes
+                     them next to --trace-out when given. Off by default:
+                     the disarmed span probes cost one relaxed atomic
+                     load, and results are bit-identical either way.
+
+TRACE ANALYSIS (trace; operates on --trace-out JSONL files):
+  summarize FILE     event counts by kind, time range, the span phase
+                     tree reconstructed from solver/trial events, and the
+                     top --top K slowest cells and trials (default 5)
+  diff A B           per-phase wall-time deltas and event-kind counts
+                     between two traces (new/missing kinds flagged)
+  export FILE --prom re-render a trace's tallies as Prometheus text
+                     exposition; -o FILE writes atomically, else stdout
 
 FAULT INJECTION (simulate; seeded, deterministic, off by default):
   --drop-p F             drop each contact with probability F; with
@@ -331,7 +358,15 @@ impl Args {
                 // Boolean flags take no value.
                 if matches!(
                     name,
-                    "verbose" | "quick" | "full" | "all" | "list" | "check" | "resume"
+                    "verbose"
+                        | "quick"
+                        | "full"
+                        | "all"
+                        | "list"
+                        | "check"
+                        | "resume"
+                        | "profile"
+                        | "prom"
                 ) {
                     options.insert(name.to_string(), "true".to_string());
                     continue;
@@ -400,6 +435,7 @@ fn run() -> Result<(), CliError> {
         "resume" => resume(args.positional.first()),
         "verify" => verify(&args),
         "reproduce" => reproduce(&args, &raw),
+        "trace" => trace_cmd(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -654,6 +690,13 @@ fn simulate(args: &Args, invocation: &[String]) -> Result<(), CliError> {
     let trials: usize = args.get("trials", 15)?;
     let seed: u64 = args.get("seed", 42)?;
     let utility = args.utility()?;
+    // Arm the span probes before any solver runs so `--policy opt`'s
+    // allocation solve lands in the profile too. (`profiling`, not
+    // `profile`: the demand profile below owns that name.)
+    let profiling = args.options.contains_key("profile");
+    if profiling {
+        impatience_obs::span::enable();
+    }
     let policy_name = args
         .options
         .get("policy")
@@ -739,6 +782,15 @@ fn simulate(args: &Args, invocation: &[String]) -> Result<(), CliError> {
                 &config, &source, &policy, trials, seed, workers, &mut rec,
             );
             let stats = rec.summary_json();
+            let span_wall = if profiling {
+                emit_profile(
+                    &rec,
+                    Some(&path.with_extension("profile.json")),
+                    Some(&path.with_extension("prom")),
+                )?
+            } else {
+                None
+            };
             rec.into_sink()
                 .into_inner()
                 .and_then(AtomicFile::commit)
@@ -759,6 +811,7 @@ fn simulate(args: &Args, invocation: &[String]) -> Result<(), CliError> {
                 &config,
                 faults.as_ref(),
             );
+            manifest.stamp_runtime(span_wall);
             manifest.set("stats", stats.clone());
             let mpath = Manifest::sibling_path(path);
             manifest
@@ -768,13 +821,18 @@ fn simulate(args: &Args, invocation: &[String]) -> Result<(), CliError> {
             println!("manifest→ {}", mpath.display());
             (agg, Some(stats))
         }
-        None if verbose => {
+        None if verbose || profiling => {
             // Tallies without the event stream (runs on all workers;
             // per-trial tallies merge deterministically in trial order).
+            // --profile rides this path so the .prom-able tallies exist
+            // even when nobody asked for the event file.
             let mut rec = Recorder::new(TallySink);
             let agg = run_trials_observed_with_workers(
                 &config, &source, &policy, trials, seed, workers, &mut rec,
             );
+            if profiling {
+                emit_profile(&rec, None, None)?;
+            }
             (agg, Some(rec.summary_json()))
         }
         None => {
@@ -803,6 +861,10 @@ fn verify(args: &Args) -> Result<(), CliError> {
         return Err("--quick and --full are mutually exclusive".into());
     }
     let seed: u64 = args.get("seed", 42)?;
+    let profile = args.options.contains_key("profile");
+    if profile {
+        impatience_obs::span::enable();
+    }
     let mut opts = if full {
         MatrixOptions::full(seed)
     } else {
@@ -816,11 +878,16 @@ fn verify(args: &Args) -> Result<(), CliError> {
         .get("out")
         .cloned()
         .unwrap_or_else(|| "conformance.jsonl".to_string());
+    let report_path = PathBuf::from(&out);
+    let profile_paths = (
+        report_path.with_extension("profile.json"),
+        report_path.with_extension("prom"),
+    );
 
     // Scenario progress streams through the Recorder either way: into a
     // JSONL event file when asked for, or into in-memory tallies whose
     // summary lands in the manifest.
-    let (records, stats) = match args.options.get("trace-out") {
+    let (records, stats, span_wall) = match args.options.get("trace-out") {
         Some(events) => {
             let path = Path::new(events);
             let file = AtomicFile::create(path)
@@ -828,22 +895,31 @@ fn verify(args: &Args) -> Result<(), CliError> {
             let mut rec = Recorder::new(JsonlSink::new(file));
             let records = run_matrix(&opts, &mut rec);
             let stats = rec.summary_json();
+            let span_wall = if profile {
+                emit_profile(&rec, Some(&profile_paths.0), Some(&profile_paths.1))?
+            } else {
+                None
+            };
             rec.into_sink()
                 .into_inner()
                 .and_then(AtomicFile::commit)
                 .map_err(|e| CliError::Io(format!("writing {events}: {e}")))?;
             println!("events  → {events}");
-            (records, stats)
+            (records, stats, span_wall)
         }
         None => {
             let mut rec = Recorder::new(TallySink);
             let records = run_matrix(&opts, &mut rec);
             let stats = rec.summary_json();
-            (records, stats)
+            let span_wall = if profile {
+                emit_profile(&rec, Some(&profile_paths.0), Some(&profile_paths.1))?
+            } else {
+                None
+            };
+            (records, stats, span_wall)
         }
     };
 
-    let report_path = PathBuf::from(&out);
     write_report(&report_path, &records)
         .map_err(|e| CliError::Io(format!("cannot write {out}: {e}")))?;
 
@@ -867,6 +943,7 @@ fn verify(args: &Args) -> Result<(), CliError> {
     manifest.set("checks_failed", u64::from(failed));
     manifest.set("checks_skipped", u64::from(skipped));
     manifest.set("wall_s", wall_s);
+    manifest.stamp_runtime(span_wall);
     manifest.set("stats", stats);
     let mpath = Manifest::sibling_path(&report_path);
     manifest
@@ -888,6 +965,103 @@ fn verify(args: &Args) -> Result<(), CliError> {
         return Err(CliError::Verify { failed, scenarios });
     }
     Ok(())
+}
+
+/// Shared by the `--profile` handlers: drain the span tree, print the
+/// phase report, and optionally write it as `.profile.json` and as
+/// Prometheus text exposition (span series plus the recorder's counters
+/// and delay histograms). Returns the summed root wall time for the
+/// manifest's `span_wall_s` cross-reference, or `None` when nothing was
+/// recorded.
+fn emit_profile<S: Sink>(
+    rec: &Recorder<S>,
+    json_path: Option<&Path>,
+    prom_path: Option<&Path>,
+) -> Result<Option<f64>, CliError> {
+    let report = impatience_obs::span::take_report();
+    if report.is_empty() {
+        println!("profile: no spans recorded");
+        return Ok(None);
+    }
+    print!("{}", report.render());
+    if let Some(path) = json_path {
+        let mut text = report.to_json().to_string();
+        text.push('\n');
+        impatience_obs::write_atomic(path, text.as_bytes())
+            .map_err(|e| CliError::Io(format!("cannot write {}: {e}", path.display())))?;
+        println!("profile → {}", path.display());
+    }
+    if let Some(path) = prom_path {
+        let mut registry = MetricsRegistry::new();
+        registry.absorb_recorder(rec);
+        registry.absorb_phase_report(&report);
+        registry
+            .write_prom(path)
+            .map_err(|e| CliError::Io(format!("cannot write {}: {e}", path.display())))?;
+        println!("metrics → {}", path.display());
+    }
+    Ok(Some(report.total_wall_s))
+}
+
+/// `impatience trace <summarize|diff|export>`: offline analysis of the
+/// JSONL event traces that `simulate`, `verify`, and `reproduce` write
+/// with `--trace-out`. Parsing is lenient — unreadable lines are counted,
+/// not fatal — so a truncated trace from a killed run still summarizes.
+fn trace_cmd(args: &Args) -> Result<(), CliError> {
+    let sub = args
+        .positional
+        .first()
+        .ok_or("trace needs a subcommand: summarize | diff | export")?;
+    let load = |path: &str| -> Result<TraceSummary, CliError> {
+        TraceSummary::from_file(Path::new(path))
+            .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))
+    };
+    match sub.as_str() {
+        "summarize" => {
+            let path = args
+                .positional
+                .get(1)
+                .ok_or("trace summarize needs a JSONL trace file")?;
+            let top: usize = args.get("top", 5)?;
+            print!("{}", load(path)?.render(top));
+            Ok(())
+        }
+        "diff" => {
+            let a = args
+                .positional
+                .get(1)
+                .ok_or("trace diff needs two JSONL trace files")?;
+            let b = args
+                .positional
+                .get(2)
+                .ok_or("trace diff needs two JSONL trace files")?;
+            print!("{}", render_diff(&load(a)?, &load(b)?, a, b));
+            Ok(())
+        }
+        "export" => {
+            let path = args
+                .positional
+                .get(1)
+                .ok_or("trace export needs a JSONL trace file")?;
+            if !args.options.contains_key("prom") {
+                return Err("trace export needs --prom (the only export format)".into());
+            }
+            let registry = load(path)?.to_registry();
+            match args.options.get("out") {
+                Some(out) => {
+                    registry
+                        .write_prom(Path::new(out))
+                        .map_err(|e| CliError::Io(format!("cannot write {out}: {e}")))?;
+                    println!("metrics → {out}");
+                }
+                None => print!("{}", registry.render()),
+            }
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown trace subcommand `{other}` (summarize | diff | export)"
+        ))),
+    }
 }
 
 /// What one `reproduce` invocation did, across every selected spec.
@@ -913,7 +1087,13 @@ fn reproduce(args: &Args, invocation: &[String]) -> Result<(), CliError> {
         .get("specs")
         .map(String::as_str)
         .unwrap_or("experiments");
+    let profile = args.options.contains_key("profile");
+    if profile {
+        impatience_obs::span::enable();
+    }
+    let compile_span = impatience_obs::span!("spec.compile");
     let registry = Registry::load_dir(Path::new(specs_dir))?;
+    compile_span.close();
 
     let list = args.options.contains_key("list");
     let selected: Vec<&Spec> = if let Some(fig) = args.get_opt::<u32>("fig")? {
@@ -987,6 +1167,7 @@ fn reproduce(args: &Args, invocation: &[String]) -> Result<(), CliError> {
                 checkpoint_dir,
                 workers,
                 invocation,
+                profile,
                 &mut rec,
             );
             rec.into_sink()
@@ -996,7 +1177,9 @@ fn reproduce(args: &Args, invocation: &[String]) -> Result<(), CliError> {
             println!("events  → {out}");
             outcome?
         }
-        None if verbose => {
+        None if verbose || profile => {
+            // --profile rides the tally path so the per-spec .prom has
+            // recorder counters to absorb alongside the span tree.
             let mut rec = Recorder::new(TallySink);
             reproduce_run(
                 &selected,
@@ -1006,6 +1189,7 @@ fn reproduce(args: &Args, invocation: &[String]) -> Result<(), CliError> {
                 checkpoint_dir,
                 workers,
                 invocation,
+                profile,
                 &mut rec,
             )?
         }
@@ -1019,6 +1203,7 @@ fn reproduce(args: &Args, invocation: &[String]) -> Result<(), CliError> {
                 checkpoint_dir,
                 workers,
                 invocation,
+                profile,
                 &mut rec,
             )?
         }
@@ -1069,6 +1254,7 @@ fn reproduce_run<S: impatience_obs::Sink>(
     checkpoint_dir: Option<PathBuf>,
     workers: Option<usize>,
     invocation: &[String],
+    profile: bool,
     rec: &mut Recorder<S>,
 ) -> Result<ReproOutcome, CliError> {
     let mut outcome = ReproOutcome::default();
@@ -1083,8 +1269,19 @@ fn reproduce_run<S: impatience_obs::Sink>(
             cli_args: invocation.to_vec(),
             quiet: check,
             rec,
+            progress: Progress::new(&spec.name, plan.cells.len() as u64),
         };
         let report = run_spec(spec, &mut ctx)?;
+        ctx.progress.finish();
+        // One profile per spec, drained right after it ran so the next
+        // spec starts from an empty span tree. Named after the spec's
+        // first artifact: results/fig2_alloc_exponent.{profile.json,prom}.
+        if profile {
+            let stem = report.artifacts.first();
+            let json_path = stem.map(|p| p.with_extension("profile.json"));
+            let prom_path = stem.map(|p| p.with_extension("prom"));
+            emit_profile(ctx.rec, json_path.as_deref(), prom_path.as_deref())?;
+        }
         outcome.specs += 1;
         outcome.artifacts += report.artifacts.len();
         for (cell, msg) in report.skipped {
@@ -1157,6 +1354,7 @@ fn campaign(
         cli_args: invocation.to_vec(),
     };
     let verbose = args.verbose();
+    let profile = args.options.contains_key("profile");
 
     let (outcome, stats): (CampaignOutcome, Option<Json>) = match args.options.get("trace-out") {
         Some(out) => {
@@ -1166,6 +1364,15 @@ fn campaign(
             let mut rec = Recorder::new(JsonlSink::new(file));
             let outcome = run_campaign(config, source, policy, trials, seed, &options, &mut rec)?;
             let stats = rec.summary_json();
+            let span_wall = if profile {
+                emit_profile(
+                    &rec,
+                    Some(&path.with_extension("profile.json")),
+                    Some(&path.with_extension("prom")),
+                )?
+            } else {
+                None
+            };
             rec.into_sink()
                 .into_inner()
                 .and_then(AtomicFile::commit)
@@ -1190,6 +1397,7 @@ fn campaign(
             manifest.set("trials_resumed", outcome.resumed as u64);
             manifest.set("trials_executed", outcome.executed as u64);
             manifest.set("trials_skipped", outcome.skipped.len() as u64);
+            manifest.stamp_runtime(span_wall);
             manifest.set("stats", stats.clone());
             let mpath = Manifest::sibling_path(path);
             manifest
@@ -1199,10 +1407,13 @@ fn campaign(
             println!("manifest→ {}", mpath.display());
             (outcome, Some(stats))
         }
-        None if verbose => {
+        None if verbose || profile => {
             let mut rec = Recorder::new(TallySink);
             let outcome = run_campaign(config, source, policy, trials, seed, &options, &mut rec)?;
             let stats = rec.summary_json();
+            if profile {
+                emit_profile(&rec, None, None)?;
+            }
             (outcome, Some(stats))
         }
         None => {

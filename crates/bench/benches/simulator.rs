@@ -13,6 +13,7 @@ use impatience_obs::{JsonlSink, Recorder, TallySink};
 use impatience_sim::config::{ContactSource, SimConfig};
 use impatience_sim::engine::{run_trial, run_trial_materialized, run_trial_observed};
 use impatience_sim::policy::PolicyKind;
+use impatience_sim::sharded::run_trial_sharded;
 
 fn setup(duration: f64) -> (SimConfig, ContactSource, u64) {
     let utility: Arc<dyn DelayUtility> = Arc::new(Step::new(10.0));
@@ -192,11 +193,57 @@ fn bench_contact_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
+/// The intra-trial sharded engine at a population the serial engine can
+/// also still handle, so the single-thread serial row is a direct
+/// reference: `serial` is [`run_trial`] on the identical config/source,
+/// `sharded_w{1,2,8}` spread the same trial over 1/2/8 worker threads
+/// (bit-identical outputs; only the wall clock may differ). n = 20 000
+/// keeps every epoch above the engine's inline threshold so the threaded
+/// path is what gets measured. ~2M contacts per trial, matching the
+/// `contact_pipeline` rows. On a single-core host the w2/w8 rows measure
+/// scheduling overhead, not speedup — read them next to the `host` note
+/// in `BENCH_contact_pipeline.json`.
+fn bench_sharded_engine(c: &mut Criterion) {
+    let n = 20_000usize;
+    let mu = 1.67e-5;
+    let duration = 600.0;
+    let pairs = (n as f64) * (n as f64 - 1.0) / 2.0;
+    let contacts = (pairs * mu * duration) as u64;
+    let utility: Arc<dyn DelayUtility> = Arc::new(Step::new(10.0));
+    let config = SimConfig::builder(50, 5)
+        .demand(Popularity::pareto(50, 1.0).demand_rates(1.0))
+        .utility(utility)
+        .bin(100.0)
+        .build();
+    let source = ContactSource::homogeneous(n, mu, duration);
+    let policy = PolicyKind::qcr_default();
+    let mut group = c.benchmark_group("sharded_engine");
+    group.warm_up_time(Duration::from_millis(800));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(contacts));
+    group.bench_function("serial_n20000", |b| {
+        b.iter(|| black_box(run_trial(&config, &source, policy.clone(), 1)))
+    });
+    for workers in [1usize, 2, 8] {
+        group.bench_function(format!("sharded_n20000_w{workers}"), |b| {
+            b.iter(|| {
+                black_box(
+                    run_trial_sharded(&config, &source, policy.clone(), 1, workers)
+                        .expect("supported configuration"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_trial_throughput,
     bench_trace_realization,
     bench_observability_overhead,
-    bench_contact_pipeline
+    bench_contact_pipeline,
+    bench_sharded_engine
 );
 criterion_main!(benches);

@@ -169,6 +169,19 @@ pub trait DelayUtility: Send + Sync {
         self.h_zero().is_infinite()
     }
 
+    /// Batched fulfillment-gain evaluation: appends `h(w)` for each wait
+    /// `w > 0`, and `h(0⁺)` for `w == 0`, to `out` in input order — the
+    /// exact per-fulfillment branch the simulator engines apply. A single
+    /// virtual call per meeting amortizes the dynamic dispatch that a
+    /// per-fulfillment `h` lookup would pay; families with cheap closed
+    /// forms may override this to vectorize the loop body.
+    fn h_batch(&self, waits: &[f64], out: &mut Vec<f64>) {
+        out.reserve(waits.len());
+        for &w in waits {
+            out.push(if w > 0.0 { self.h(w) } else { self.h_zero() });
+        }
+    }
+
     /// Family label for reporting.
     fn kind(&self) -> UtilityKind;
 

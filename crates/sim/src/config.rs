@@ -85,6 +85,12 @@ pub enum ConfigError {
         /// What is wrong.
         message: String,
     },
+    /// The intra-trial sharded engine cannot run this configuration
+    /// (see [`crate::sharded`] for the supported subset).
+    UnsupportedSharded {
+        /// The unsupported feature.
+        feature: &'static str,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -127,6 +133,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::InvalidRate { message } => write!(f, "{message}"),
             ConfigError::InvalidFaults { message } => write!(f, "fault model: {message}"),
+            ConfigError::UnsupportedSharded { feature } => {
+                write!(f, "the sharded engine does not support {feature}")
+            }
         }
     }
 }

@@ -22,10 +22,9 @@ use crate::config::SimConfig;
 /// RNG stream id forking slot-contact randomness off the trial seed
 /// (mirrors the continuous engine's contact-stream fork).
 const SLOT_STREAM_ID: u64 = 0xD15C_2E7E_5107_0001;
-use crate::engine::TrialOutcome;
+use crate::engine::{TrialOutcome, TrialScratch};
 use crate::metrics::Metrics;
 use crate::policy::{Fulfillment, PolicyKind};
-use crate::state::SimState;
 
 /// Parameters of a slotted homogeneous run.
 #[derive(Clone, Copy, Debug)]
@@ -64,14 +63,6 @@ impl DiscreteSource {
     }
 }
 
-#[derive(Clone, Copy, Debug)]
-struct Request {
-    item: u32,
-    /// Slot in which the request was created.
-    created_slot: u64,
-    queries: u64,
-}
-
 /// Run one slotted trial. Waits are multiples of δ; gains are `h(k·δ)`
 /// for a request fulfilled `k ≥ 1` slots after creation (within-slot
 /// fulfillment earns `h(δ)`, matching the discrete welfare convention of
@@ -99,6 +90,19 @@ pub fn run_trial_discrete_observed<S: Sink>(
     seed: u64,
     rec: &mut Recorder<S>,
 ) -> TrialOutcome {
+    run_trial_discrete_observed_scratch(config, source, policy, seed, rec, &mut TrialScratch::new())
+}
+
+/// [`run_trial_discrete_observed`] reusing caller-owned working storage
+/// (see [`crate::engine::run_trial_observed_scratch`]).
+pub fn run_trial_discrete_observed_scratch<S: Sink>(
+    config: &SimConfig,
+    source: &DiscreteSource,
+    policy: PolicyKind,
+    seed: u64,
+    rec: &mut Recorder<S>,
+    scratch: &mut TrialScratch,
+) -> TrialOutcome {
     // Same span vocabulary as the continuous engine (root "trial" with
     // request/contact/exchange/policy children), so phase trees from
     // either engine line up in `trace diff`.
@@ -122,7 +126,15 @@ pub fn run_trial_discrete_observed<S: Sink>(
 
     let mut rng = Xoshiro256::seed_from_u64(seed);
     let mut contacts = source.stream(&mut rng);
-    let mut state = SimState::new(nodes, config.items, config.rho);
+    let TrialScratch {
+        state,
+        slot_requests: requests,
+        fulfilled,
+        waits,
+        gains,
+        ..
+    } = scratch;
+    state.reset(nodes, nodes, config.items, config.rho);
     state.set_eviction(config.eviction);
     let protocol_utility = config
         .protocol_utility
@@ -137,7 +149,7 @@ pub fn run_trial_discrete_observed<S: Sink>(
         config.rho,
         &config.demand,
     );
-    policy_obj.initialize(&mut state, &mut rng);
+    policy_obj.initialize(state, &mut rng);
 
     // Fault injection (see the continuous engine): independent RNG
     // streams, so an inactive model cannot perturb the trajectory.
@@ -159,13 +171,13 @@ pub fn run_trial_discrete_observed<S: Sink>(
     let snapshot_system = SystemModel::pure_p2p(nodes, config.rho, source.mu);
     let snapshot_every = (config.bin / source.delta).max(1.0) as u64;
 
-    let mut requests: Vec<Vec<Request>> = vec![Vec::new(); nodes];
-    let mut fulfilled: Vec<Fulfillment> = Vec::new();
+    requests.reset(nodes);
+    fulfilled.clear();
 
     for slot in 0..source.slots {
         let now = slot as f64 * source.delta;
         if let Some(fs) = faults.as_mut() {
-            fs.apply_cache_faults(now, &mut state, &mut metrics, rec);
+            fs.apply_cache_faults(now, state, &mut metrics, rec);
         }
         if slot % snapshot_every == 0 {
             let _s = impatience_obs::span!("snapshot");
@@ -187,16 +199,12 @@ pub fn run_trial_discrete_observed<S: Sink>(
                 let node = config.profile.sample_origin(item as usize, &mut rng);
                 metrics.requests_created += 1;
                 rec.request(now, node as u32, item);
-                if state.caches[node].holds(item) {
+                if state.caches.holds(node, item) {
                     metrics.immediate_hits += 1;
                     metrics.record_fulfillment(now, config.utility.h_zero());
                     rec.immediate_hit(now, node as u32, item);
                 } else {
-                    requests[node].push(Request {
-                        item,
-                        created_slot: slot,
-                        queries: 0,
-                    });
+                    requests.push(node, item, slot);
                     if rec.is_active() {
                         open_requests += 1;
                         rec.open_requests(open_requests);
@@ -220,31 +228,40 @@ pub fn run_trial_discrete_observed<S: Sink>(
             fulfilled.clear();
             let exchange_span = impatience_obs::span!("exchange");
             for (n, m) in [(a, b), (b, a)] {
-                let cache_m = &state.caches[m];
-                requests[n].retain_mut(|r| {
-                    if cache_m.holds(r.item) {
+                let cache_m = state.caches.node(m);
+                requests.retain(n, |item, created_slot, queries| {
+                    if cache_m.holds(item) {
                         // Waited at least one slot by convention.
-                        let k = (slot - r.created_slot).max(1);
+                        let k = (slot - created_slot).max(1);
                         fulfilled.push(Fulfillment {
                             node: n,
-                            item: r.item,
-                            queries: r.queries + 1,
+                            item,
+                            queries: *queries + 1,
                             wait: k as f64 * source.delta,
                         });
                         false
                     } else {
-                        r.queries += 1;
+                        *queries += 1;
                         true
                     }
                 });
             }
-            for f in &fulfilled {
+            for f in fulfilled.iter() {
                 let server = if f.node == a { b } else { a };
-                state.caches[server].touch(f.item);
-                metrics.record_fulfillment(now, config.utility.h(f.wait));
+                state.caches.node_mut(server).touch(f.item);
+            }
+            // Batched gain evaluation (waits are k·δ ≥ δ > 0, so the
+            // batch's `w > 0` branch always takes the `h(w)` arm —
+            // identical to the scalar `h(f.wait)` call).
+            waits.clear();
+            waits.extend(fulfilled.iter().map(|f| f.wait));
+            gains.clear();
+            config.utility.h_batch(waits, gains);
+            for &gain in gains.iter() {
+                metrics.record_fulfillment(now, gain);
             }
             if rec.is_active() {
-                for f in &fulfilled {
+                for f in fulfilled.iter() {
                     rec.fulfillment(now, f.node as u32, f.item, f.wait, f.queries as u32);
                 }
                 open_requests -= fulfilled.len() as u64;
@@ -252,26 +269,23 @@ pub fn run_trial_discrete_observed<S: Sink>(
             exchange_span.close();
             let _policy_span = impatience_obs::span!("policy");
             let transmissions_before = state.transmissions;
-            policy_obj.after_contact(now, a, b, &mut state, &fulfilled, &mut metrics, &mut rng);
+            policy_obj.after_contact(now, a, b, state, fulfilled, &mut metrics, &mut rng);
             rec.replications(now, state.transmissions - transmissions_before);
         }
     }
 
     let _settle_span = impatience_obs::span!("settle");
-    metrics.unfulfilled = requests.iter().map(|r| r.len() as u64).sum();
+    metrics.unfulfilled = requests.len();
     let h_inf = config.utility.h_infinity();
-    for (node, node_requests) in requests.iter().enumerate() {
-        for r in node_requests {
-            let age =
-                ((source.slots - r.created_slot) as f64 * source.delta).max(f64::MIN_POSITIVE);
-            let gain = if h_inf.is_finite() {
-                h_inf
-            } else {
-                config.utility.h(age)
-            };
-            metrics.record_settlement(duration, gain);
-            rec.unfulfilled(duration, node as u32, r.item, age);
-        }
+    for (node, item, created_slot) in requests.iter() {
+        let age = ((source.slots - created_slot) as f64 * source.delta).max(f64::MIN_POSITIVE);
+        let gain = if h_inf.is_finite() {
+            h_inf
+        } else {
+            config.utility.h(age)
+        };
+        metrics.record_settlement(duration, gain);
+        rec.unfulfilled(duration, node as u32, item, age);
     }
     metrics.transmissions = state.transmissions;
     if let Some(start) = wall_start {
@@ -279,7 +293,7 @@ pub fn run_trial_discrete_observed<S: Sink>(
     }
     TrialOutcome {
         metrics,
-        final_replicas: std::mem::take(&mut state.replicas),
+        final_replicas: state.replicas.clone(),
         label: policy.label(),
     }
 }

@@ -44,22 +44,31 @@
 
 pub mod checkpoint;
 pub mod config;
+pub mod contact_bin;
 pub mod engine;
 pub mod engine_discrete;
 pub mod faults;
 pub mod metrics;
 pub mod policy;
 pub mod runner;
+pub mod sharded;
 pub mod state;
 
 pub use checkpoint::{CampaignCheckpoint, CheckpointError};
 pub use config::{ConfigError, ContactSource, SimConfig, SimConfigBuilder};
+pub use contact_bin::BatchedContacts;
 pub use engine::{run_trial, TrialOutcome};
 pub use engine_discrete::{run_trial_discrete, DiscreteSource};
 pub use faults::{CacheFaults, Churn, ContactDrop, FaultConfig};
 pub use metrics::Metrics;
 pub use policy::PolicyKind;
-pub use runner::{run_campaign, run_trials, CampaignError, CampaignOptions, TrialAggregate};
+pub use runner::{
+    run_campaign, run_trials, run_trials_sharded, CampaignError, CampaignOptions, ShardedAggregate,
+    TrialAggregate,
+};
+pub use sharded::{
+    run_trial_sharded, validate_sharded, FaultRecord, ShardedOutcome, LOGICAL_SHARDS,
+};
 pub use state::EvictionPolicy;
 
 pub mod prelude {
@@ -73,4 +82,5 @@ pub mod prelude {
         run_campaign, run_trials, run_trials_observed, CampaignError, CampaignOptions,
         TrialAggregate,
     };
+    pub use crate::sharded::{run_trial_sharded, validate_sharded, ShardedOutcome};
 }

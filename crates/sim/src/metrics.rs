@@ -316,6 +316,47 @@ impl Metrics {
         Ok(m)
     }
 
+    /// Fold another fragment of the same trial into this one — the
+    /// sharded engine's reduction, called once per shard/lane in a fixed
+    /// order so the f64 summation order (and hence every bit of the
+    /// result) is independent of the worker count.
+    ///
+    /// Binned series sum element-wise and counters add. Snapshot series
+    /// (expected utility, replica counts) are *global* facts the sharded
+    /// engine records serially on the merged state, so `other` must not
+    /// carry any — fragments never call [`Metrics::record_snapshot`].
+    ///
+    /// # Panics
+    /// Panics if the two metrics disagree on `(duration, bin)` or if
+    /// `other` carries snapshots.
+    pub fn merge(&mut self, other: &Metrics) {
+        assert!(
+            self.bin.to_bits() == other.bin.to_bits()
+                && self.duration.to_bits() == other.duration.to_bits(),
+            "cannot merge metrics with different binning"
+        );
+        assert!(
+            other.expected_utility.iter().all(|v| v.is_nan())
+                && other.replica_series.iter().all(Vec::is_empty),
+            "fragments must not carry snapshots (recorded globally)"
+        );
+        for (a, b) in self.observed_gain.iter_mut().zip(&other.observed_gain) {
+            *a += b;
+        }
+        for (a, b) in self.fulfilled.iter_mut().zip(&other.fulfilled) {
+            *a += b;
+        }
+        self.requests_created += other.requests_created;
+        self.immediate_hits += other.immediate_hits;
+        self.unfulfilled += other.unfulfilled;
+        self.transmissions += other.transmissions;
+        self.mandates_created += other.mandates_created;
+        self.mandate_cap_hits += other.mandate_cap_hits;
+        self.contacts_dropped += other.contacts_dropped;
+        self.node_outages += other.node_outages;
+        self.cache_faults += other.cache_faults;
+    }
+
     /// Bins to skip for a warm-up fraction; rejects fractions that would
     /// consume the whole measurement window.
     fn warmup_bins(&self, warmup_fraction: f64) -> usize {

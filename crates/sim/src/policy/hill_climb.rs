@@ -86,7 +86,7 @@ impl HillClimb {
         let mut best_add: Option<(f64, u32)> = None;
         for i in 0..items {
             let i32_ = i as u32;
-            if self.demand.rate(i) == 0.0 || state.caches[node].holds(i32_) {
+            if self.demand.rate(i) == 0.0 || state.caches.holds(node, i32_) {
                 continue; // undemanded items earn nothing (0·(−∞) is NaN, not value)
             }
             let x = state.replicas[i];
@@ -105,8 +105,8 @@ impl HillClimb {
         // Cheapest occupant to drop (never the sticky item; never the
         // last replica of an item when dropping it would cost ∞).
         let mut best_drop: Option<(f64, u32)> = None;
-        let sticky = state.caches[node].sticky_item();
-        for &j in state.caches[node].items() {
+        let sticky = state.caches.node(node).sticky_item();
+        for &j in state.caches.node(node).items() {
             if Some(j) == sticky {
                 continue;
             }
@@ -126,11 +126,11 @@ impl HillClimb {
             return false;
         };
         // A free slot (catalog smaller than capacity) is filled directly.
-        if state.caches[node].len() < state.caches[node].capacity() {
+        if state.caches.node(node).len() < state.caches.node(node).capacity() {
             if up <= 0.0 {
                 return false;
             }
-            let filled = state.caches[node].fill(add);
+            let filled = state.caches.node_mut(node).fill(add);
             debug_assert!(filled);
             state.replicas[add as usize] += 1;
             state.transmissions += 1;
@@ -143,7 +143,7 @@ impl HillClimb {
             return false; // local optimum at this node
         }
         // Swap: drop `drop`, fetch `add` (one transmission).
-        let swapped = state.caches[node].swap_item(drop, add);
+        let swapped = state.caches.node_mut(node).swap_item(drop, add);
         debug_assert!(swapped);
         state.replicas[drop as usize] -= 1;
         state.replicas[add as usize] += 1;

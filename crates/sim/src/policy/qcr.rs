@@ -200,10 +200,10 @@ impl Qcr {
     fn execute(&mut self, carrier: usize, peer: usize, state: &mut SimState, rng: &mut Xoshiro256) {
         let items: Vec<u32> = self.mandates[carrier].keys().copied().collect();
         for item in items {
-            if !state.caches[carrier].holds(item) {
+            if !state.caches.holds(carrier, item) {
                 continue; // stalled: replica lost to random replacement
             }
-            if state.caches[peer].holds(item) {
+            if state.caches.holds(peer, item) {
                 if self.cfg.rewriting {
                     Self::consume(&mut self.mandates[carrier], item, 1);
                 }
@@ -242,8 +242,8 @@ impl Qcr {
             if total == 0 {
                 continue;
             }
-            let ha = state.caches[a].holds(item);
-            let hb = state.caches[b].holds(item);
+            let ha = state.caches.holds(a, item);
+            let hb = state.caches.holds(b, item);
             let sticky = state.sticky_owner[item as usize];
             let to_a = match (ha, hb) {
                 (true, false) => total,
@@ -361,7 +361,7 @@ mod tests {
     fn execution_copies_only_from_holders_to_nonholders() {
         let mut rng = Xoshiro256::seed_from_u64(3);
         let mut state = SimState::new(2, 4, 2);
-        state.caches[0].fill(1);
+        state.caches.node_mut(0).fill(1);
         state.replicas[1] = 1;
         let mut p = qcr(QcrConfig::default());
         p.mandates[0].insert(1, 2);
@@ -379,8 +379,8 @@ mod tests {
     fn rewriting_consumes_mandates_without_copying() {
         let mut rng = Xoshiro256::seed_from_u64(4);
         let mut state = SimState::new(2, 4, 2);
-        state.caches[0].fill(1);
-        state.caches[1].fill(1);
+        state.caches.node_mut(0).fill(1);
+        state.caches.node_mut(1).fill(1);
         state.replicas[1] = 2;
         let mut p = qcr(QcrConfig {
             rewriting: true,
@@ -398,12 +398,12 @@ mod tests {
         // one, the mandate stalls (it is routing's job to migrate it).
         let mut rng = Xoshiro256::seed_from_u64(31);
         let mut state = SimState::new(2, 4, 2);
-        state.caches[1].fill(1);
+        state.caches.node_mut(1).fill(1);
         state.replicas[1] = 1;
         let mut p = qcr(QcrConfig::default());
         p.mandates[0].insert(1, 2);
         p.execute(0, 1, &mut state, &mut rng);
-        assert!(!state.caches[0].holds(1));
+        assert!(!state.caches.node(0).holds(1));
         assert_eq!(state.replicas[1], 1, "no copy may be made");
         assert_eq!(p.outstanding_mandates(), 2, "mandates stall, not vanish");
     }
@@ -424,7 +424,7 @@ mod tests {
     fn routing_moves_mandates_to_holder() {
         let mut rng = Xoshiro256::seed_from_u64(6);
         let mut state = SimState::new(2, 4, 2);
-        state.caches[1].fill(2);
+        state.caches.node_mut(1).fill(2);
         state.replicas[2] = 1;
         let mut p = qcr(QcrConfig::default());
         p.mandates[0].insert(2, 5);
@@ -437,8 +437,8 @@ mod tests {
     fn routing_splits_between_two_holders() {
         let mut rng = Xoshiro256::seed_from_u64(7);
         let mut state = SimState::new(2, 4, 2);
-        state.caches[0].fill(2);
-        state.caches[1].fill(2);
+        state.caches.node_mut(0).fill(2);
+        state.caches.node_mut(1).fill(2);
         state.replicas[2] = 2;
         let mut p = qcr(QcrConfig::default());
         p.mandates[0].insert(2, 6);
@@ -451,8 +451,8 @@ mod tests {
     fn routing_prefers_sticky_seed() {
         let mut rng = Xoshiro256::seed_from_u64(8);
         let mut state = SimState::new(2, 4, 2);
-        state.caches[0].pin_sticky(2);
-        state.caches[1].fill(2);
+        state.caches.node_mut(0).pin_sticky(2);
+        state.caches.node_mut(1).fill(2);
         state.replicas[2] = 2;
         state.sticky_owner[2] = 0;
         let mut p = qcr(QcrConfig::default());

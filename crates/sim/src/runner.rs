@@ -16,8 +16,9 @@ use impatience_obs::{MemorySink, Recorder, Sink, TallySink};
 
 use crate::checkpoint::{fingerprint, CampaignCheckpoint, CheckpointError, TrialRecord};
 use crate::config::{ConfigError, ContactSource, SimConfig};
-use crate::engine::{run_trial, run_trial_observed, TrialOutcome};
+use crate::engine::{run_trial_observed_scratch, run_trial_scratch, TrialOutcome, TrialScratch};
 use crate::policy::PolicyKind;
+use crate::sharded::run_trial_sharded;
 
 /// Aggregate of many independent trials of one policy.
 #[derive(Clone, Debug)]
@@ -179,12 +180,16 @@ pub fn run_trials(
 /// counter: each idle worker claims the next unclaimed trial index, so a
 /// straggler trial never idles the rest of the pool (the weakness of the
 /// static `k += workers` striping this replaced — visible in the
-/// `worker_utilization` telemetry). Results come back in trial order;
-/// `busy` is the summed per-trial wall time.
-fn run_sharded<T: Send>(
+/// `worker_utilization` telemetry). Each worker owns one `W` (its
+/// [`TrialScratch`] pool slot) built once by `make_worker` and threaded
+/// through every trial it claims, so steady-state trials allocate
+/// nothing. Results come back in trial order; `busy` is the summed
+/// per-trial wall time.
+fn run_sharded<T: Send, W>(
     trials: usize,
     workers: usize,
-    job: &(dyn Fn(usize) -> T + Sync),
+    make_worker: &(dyn Fn() -> W + Sync),
+    job: &(dyn Fn(&mut W, usize) -> T + Sync),
 ) -> (Vec<T>, f64) {
     let next = AtomicUsize::new(0);
     thread::scope(|scope| {
@@ -192,6 +197,7 @@ fn run_sharded<T: Send>(
         for _ in 0..workers {
             let next = &next;
             handles.push(scope.spawn(move || {
+                let mut worker_state = make_worker();
                 let mut local = Vec::new();
                 let mut busy = 0.0f64;
                 loop {
@@ -200,7 +206,7 @@ fn run_sharded<T: Send>(
                         break;
                     }
                     let t0 = Instant::now();
-                    let result = job(k);
+                    let result = job(&mut worker_state, k);
                     busy += t0.elapsed().as_secs_f64();
                     local.push((k, result));
                 }
@@ -275,8 +281,14 @@ pub fn run_trials_observed_with_workers<S: Sink>(
     // the statistics fold.
     let (outcomes, busy_s) = if !rec.is_active() {
         let _s = impatience_obs::span!("trials");
-        run_sharded(trials, workers, &|k| {
-            run_trial(config, source, policy.clone(), base_seed + k as u64)
+        run_sharded(trials, workers, &TrialScratch::new, &|scratch, k| {
+            run_trial_scratch(
+                config,
+                source,
+                policy.clone(),
+                base_seed + k as u64,
+                scratch,
+            )
         })
     } else {
         let shape = (
@@ -286,17 +298,20 @@ pub fn run_trials_observed_with_workers<S: Sink>(
         );
         if S::WANTS_EVENTS {
             let trials_span = impatience_obs::span!("trials");
-            let (results, busy_s) = run_sharded(trials, workers, &|k| {
-                let mut wrec = Recorder::with_shape(MemorySink::new(), shape.0, shape.1, shape.2);
-                let outcome = run_trial_observed(
-                    config,
-                    source,
-                    policy.clone(),
-                    base_seed + k as u64,
-                    &mut wrec,
-                );
-                (outcome, wrec)
-            });
+            let (results, busy_s) =
+                run_sharded(trials, workers, &TrialScratch::new, &|scratch, k| {
+                    let mut wrec =
+                        Recorder::with_shape(MemorySink::new(), shape.0, shape.1, shape.2);
+                    let outcome = run_trial_observed_scratch(
+                        config,
+                        source,
+                        policy.clone(),
+                        base_seed + k as u64,
+                        &mut wrec,
+                        scratch,
+                    );
+                    (outcome, wrec)
+                });
             trials_span.close();
             let _merge_span = impatience_obs::span!("merge");
             let mut outcomes = Vec::with_capacity(trials);
@@ -310,17 +325,19 @@ pub fn run_trials_observed_with_workers<S: Sink>(
             (outcomes, busy_s)
         } else {
             let trials_span = impatience_obs::span!("trials");
-            let (results, busy_s) = run_sharded(trials, workers, &|k| {
-                let mut wrec = Recorder::with_shape(TallySink, shape.0, shape.1, shape.2);
-                let outcome = run_trial_observed(
-                    config,
-                    source,
-                    policy.clone(),
-                    base_seed + k as u64,
-                    &mut wrec,
-                );
-                (outcome, wrec)
-            });
+            let (results, busy_s) =
+                run_sharded(trials, workers, &TrialScratch::new, &|scratch, k| {
+                    let mut wrec = Recorder::with_shape(TallySink, shape.0, shape.1, shape.2);
+                    let outcome = run_trial_observed_scratch(
+                        config,
+                        source,
+                        policy.clone(),
+                        base_seed + k as u64,
+                        &mut wrec,
+                        scratch,
+                    );
+                    (outcome, wrec)
+                });
             trials_span.close();
             let _merge_span = impatience_obs::span!("merge");
             let mut outcomes = Vec::with_capacity(trials);
@@ -340,6 +357,79 @@ pub fn run_trials_observed_with_workers<S: Sink>(
     };
     let _agg_span = impatience_obs::span!("aggregate");
     aggregate(policy.label(), outcomes, config.warmup_fraction, telemetry)
+}
+
+/// Aggregate of a batch of *intra-trial sharded* trials
+/// ([`run_trials_sharded`]): the usual [`TrialAggregate`] plus the
+/// artifacts specific to the sharded engine.
+#[derive(Clone, Debug)]
+pub struct ShardedAggregate {
+    /// The standard cross-trial statistics.
+    pub aggregate: TrialAggregate,
+    /// Total contacts processed across all trials and lanes.
+    pub contacts_processed: u64,
+    /// Per-trial event digests, in trial order — a bit-identity
+    /// fingerprint of the whole batch (independent of worker count).
+    pub event_digests: Vec<u64>,
+    /// Total injected-fault records across all trials.
+    pub fault_events: u64,
+}
+
+/// Run `trials` trials on the intra-trial sharded engine
+/// ([`crate::sharded`]) and aggregate like [`run_trials`].
+///
+/// The parallelism is *inside* each trial: trials execute one after
+/// another, each spreading its shard and lane tasks over `workers`
+/// threads (`None` picks one per core). Trial `k` uses seed
+/// `base_seed + k`; every statistic, digest, and fault count is
+/// independent of `workers` by construction.
+///
+/// # Errors
+/// [`ConfigError`] when the configuration falls outside the sharded
+/// engine's supported subset (see [`crate::sharded::validate_sharded`]).
+pub fn run_trials_sharded(
+    config: &SimConfig,
+    source: &ContactSource,
+    policy: &PolicyKind,
+    trials: usize,
+    base_seed: u64,
+    workers: Option<usize>,
+) -> Result<ShardedAggregate, ConfigError> {
+    assert!(trials > 0, "need at least one trial");
+    let workers = workers.unwrap_or_else(default_workers).max(1);
+    let batch_start = Instant::now();
+    let mut outcomes = Vec::with_capacity(trials);
+    let mut event_digests = Vec::with_capacity(trials);
+    let mut contacts_processed = 0u64;
+    let mut fault_events = 0u64;
+    let mut busy_s = 0.0f64;
+    for k in 0..trials {
+        let t0 = Instant::now();
+        let sharded = run_trial_sharded(
+            config,
+            source,
+            policy.clone(),
+            base_seed + k as u64,
+            workers,
+        )?;
+        busy_s += t0.elapsed().as_secs_f64();
+        contacts_processed += sharded.contacts_processed;
+        fault_events += sharded.fault_log.len() as u64;
+        event_digests.push(sharded.event_digest);
+        outcomes.push(sharded.outcome);
+    }
+    let telemetry = BatchTelemetry {
+        workers,
+        wall_s: batch_start.elapsed().as_secs_f64(),
+        busy_s,
+        trials,
+    };
+    Ok(ShardedAggregate {
+        aggregate: aggregate(policy.label(), outcomes, config.warmup_fraction, telemetry),
+        contacts_processed,
+        event_digests,
+        fault_events,
+    })
 }
 
 /// Knobs of a fault-tolerant campaign run ([`run_campaign`]).
@@ -469,13 +559,20 @@ fn run_batch_observed<S: Sink>(
     let workers = workers.min(batch.len()).max(1);
     if !rec.is_active() {
         let _s = impatience_obs::span!("trials");
-        let (results, busy_s) = run_sharded(batch.len(), workers, &|i| {
-            let k = batch[i];
-            catch_unwind(AssertUnwindSafe(|| {
-                run_trial(config, source, policy.clone(), base_seed + k as u64)
-            }))
-            .map_err(panic_message)
-        });
+        let (results, busy_s) =
+            run_sharded(batch.len(), workers, &TrialScratch::new, &|scratch, i| {
+                let k = batch[i];
+                catch_unwind(AssertUnwindSafe(|| {
+                    run_trial_scratch(
+                        config,
+                        source,
+                        policy.clone(),
+                        base_seed + k as u64,
+                        scratch,
+                    )
+                }))
+                .map_err(panic_message)
+            });
         return (batch.iter().copied().zip(results).collect(), busy_s);
     }
 
@@ -486,21 +583,24 @@ fn run_batch_observed<S: Sink>(
     );
     if S::WANTS_EVENTS {
         let trials_span = impatience_obs::span!("trials");
-        let (results, busy_s) = run_sharded(batch.len(), workers, &|i| {
-            let k = batch[i];
-            catch_unwind(AssertUnwindSafe(|| {
-                let mut wrec = Recorder::with_shape(MemorySink::new(), shape.0, shape.1, shape.2);
-                let outcome = run_trial_observed(
-                    config,
-                    source,
-                    policy.clone(),
-                    base_seed + k as u64,
-                    &mut wrec,
-                );
-                (outcome, wrec)
-            }))
-            .map_err(panic_message)
-        });
+        let (results, busy_s) =
+            run_sharded(batch.len(), workers, &TrialScratch::new, &|scratch, i| {
+                let k = batch[i];
+                catch_unwind(AssertUnwindSafe(|| {
+                    let mut wrec =
+                        Recorder::with_shape(MemorySink::new(), shape.0, shape.1, shape.2);
+                    let outcome = run_trial_observed_scratch(
+                        config,
+                        source,
+                        policy.clone(),
+                        base_seed + k as u64,
+                        &mut wrec,
+                        scratch,
+                    );
+                    (outcome, wrec)
+                }))
+                .map_err(panic_message)
+            });
         trials_span.close();
         let _merge_span = impatience_obs::span!("merge");
         let mut out = Vec::with_capacity(batch.len());
@@ -522,21 +622,23 @@ fn run_batch_observed<S: Sink>(
         (out, busy_s)
     } else {
         let trials_span = impatience_obs::span!("trials");
-        let (results, busy_s) = run_sharded(batch.len(), workers, &|i| {
-            let k = batch[i];
-            catch_unwind(AssertUnwindSafe(|| {
-                let mut wrec = Recorder::with_shape(TallySink, shape.0, shape.1, shape.2);
-                let outcome = run_trial_observed(
-                    config,
-                    source,
-                    policy.clone(),
-                    base_seed + k as u64,
-                    &mut wrec,
-                );
-                (outcome, wrec)
-            }))
-            .map_err(panic_message)
-        });
+        let (results, busy_s) =
+            run_sharded(batch.len(), workers, &TrialScratch::new, &|scratch, i| {
+                let k = batch[i];
+                catch_unwind(AssertUnwindSafe(|| {
+                    let mut wrec = Recorder::with_shape(TallySink, shape.0, shape.1, shape.2);
+                    let outcome = run_trial_observed_scratch(
+                        config,
+                        source,
+                        policy.clone(),
+                        base_seed + k as u64,
+                        &mut wrec,
+                        scratch,
+                    );
+                    (outcome, wrec)
+                }))
+                .map_err(panic_message)
+            });
         trials_span.close();
         let _merge_span = impatience_obs::span!("merge");
         let mut out = Vec::with_capacity(batch.len());
@@ -706,6 +808,7 @@ pub fn run_campaign<S: Sink>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::run_trial_observed;
     use impatience_core::demand::Popularity;
     use impatience_core::utility::Step;
     use std::sync::Arc;

@@ -4,8 +4,28 @@
 //! random replacement on insertion, and one *sticky* replica per item that
 //! can never be erased — the initial seeder keeps its copy, preventing
 //! absorbing states where an item vanishes from the system.
+//!
+//! # Storage layout
+//!
+//! Cache state lives in a struct-of-arrays [`CacheArena`]: one flat slot
+//! array (stride ρ), one flat stamp array, and per-node `len`/`sticky`/
+//! `clock` vectors, all indexed by node id. Compared to the earlier
+//! one-heap-object-per-node layout (a `Vec` of per-node caches, each with
+//! its own slot vector and membership bitset) this removes ~5 allocations
+//! per node and the per-node `|I|`-bit membership set — at n = 10⁶ nodes
+//! the old layout cost gigabytes and a pointer chase per lookup, the
+//! arena costs `n·ρ` words and an ≤ ρ-element scan. Cache-carrying nodes
+//! occupy the id prefix `0..cache_nodes` (in a dedicated population the
+//! servers come first; in pure P2P every node carries a cache), so
+//! capacity is a branch, not a lookup, and a contiguous node-id range maps
+//! to a contiguous arena range — which is what lets the sharded engine
+//! split one arena into per-shard blocks without copying.
+//!
+//! Per-node views ([`CacheRef`]/[`CacheMut`]) expose the same operations
+//! the per-node objects had, with identical RNG consumption and victim
+//! selection, so trajectories are bit-identical to the previous layout.
 
-use impatience_core::allocation::{AllocationMatrix, BitSet};
+use impatience_core::allocation::AllocationMatrix;
 use impatience_core::rng::Xoshiro256;
 
 /// Which occupant a full cache evicts on insertion.
@@ -26,87 +46,280 @@ pub enum EvictionPolicy {
     Fifo,
 }
 
-/// One node's cache: `ρ` slots of item ids plus an optional pinned
-/// (sticky) slot.
+/// `sticky` sentinel: no pinned slot.
+const NO_STICKY: u32 = u32::MAX;
+
+/// Struct-of-arrays cache state for a whole population.
+///
+/// Nodes `0..cache_nodes` carry `rho`-slot caches; the rest (clients in a
+/// dedicated population) have zero capacity and no arena storage.
 #[derive(Clone, Debug)]
-pub struct NodeCache {
-    /// Item held in each occupied slot.
+pub struct CacheArena {
+    /// Total population size (servers + clients).
+    nodes: usize,
+    /// Nodes `0..cache_nodes` carry caches.
+    cache_nodes: usize,
+    /// Per-cache capacity ρ (the slot stride).
+    rho: usize,
+    /// Item held in each slot: node `n` owns `slots[n·ρ .. n·ρ + len[n]]`.
     slots: Vec<u32>,
-    /// Fast membership lookup.
-    has: BitSet,
-    /// Capacity (ρ).
-    capacity: usize,
-    /// Index into `slots` of the sticky item, if any.
-    sticky_slot: Option<usize>,
-    /// Eviction rule.
-    eviction: EvictionPolicy,
     /// Per-slot timestamp (insertion for FIFO, last use for LRU).
     stamps: Vec<u64>,
-    /// Logical clock driving the stamps.
-    clock: u64,
+    /// Occupied-slot count per cache-carrying node.
+    len: Vec<u32>,
+    /// Slot index of the sticky item per node ([`NO_STICKY`] = none).
+    sticky: Vec<u32>,
+    /// Logical clock driving the stamps, per node.
+    clock: Vec<u64>,
+    /// Eviction rule (arena-wide; the ablation hook applies globally).
+    eviction: EvictionPolicy,
 }
 
-impl NodeCache {
-    /// An empty cache of the given capacity over a catalog of `items`,
-    /// with random replacement.
-    pub fn new(capacity: usize, items: usize) -> Self {
-        NodeCache {
-            slots: Vec::with_capacity(capacity),
-            has: BitSet::new(items),
-            capacity,
-            sticky_slot: None,
+impl CacheArena {
+    /// Empty caches: nodes `0..cache_nodes` get capacity `rho`, the rest
+    /// capacity zero.
+    pub fn new(nodes: usize, cache_nodes: usize, rho: usize) -> Self {
+        assert!(cache_nodes <= nodes);
+        CacheArena {
+            nodes,
+            cache_nodes,
+            rho,
+            slots: vec![0; cache_nodes * rho],
+            stamps: vec![0; cache_nodes * rho],
+            len: vec![0; cache_nodes],
+            sticky: vec![NO_STICKY; cache_nodes],
+            clock: vec![0; cache_nodes],
             eviction: EvictionPolicy::Random,
-            stamps: Vec::with_capacity(capacity),
-            clock: 0,
         }
     }
 
-    /// Change the eviction rule (ablation hook).
+    /// Reset to the freshly-constructed state for the given shape,
+    /// reusing existing allocations (the scratch-pool hook). The result
+    /// is indistinguishable from [`CacheArena::new`].
+    pub fn reset(&mut self, nodes: usize, cache_nodes: usize, rho: usize) {
+        assert!(cache_nodes <= nodes);
+        self.nodes = nodes;
+        self.cache_nodes = cache_nodes;
+        self.rho = rho;
+        self.slots.clear();
+        self.slots.resize(cache_nodes * rho, 0);
+        self.stamps.clear();
+        self.stamps.resize(cache_nodes * rho, 0);
+        self.len.clear();
+        self.len.resize(cache_nodes, 0);
+        self.sticky.clear();
+        self.sticky.resize(cache_nodes, NO_STICKY);
+        self.clock.clear();
+        self.clock.resize(cache_nodes, 0);
+        self.eviction = EvictionPolicy::Random;
+    }
+
+    /// Total population size.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of cache-carrying nodes (capacity > 0), i.e. servers.
+    pub fn cache_nodes(&self) -> usize {
+        if self.rho > 0 {
+            self.cache_nodes
+        } else {
+            0
+        }
+    }
+
+    /// Per-cache capacity of node `n` (ρ for servers, 0 for clients).
+    #[inline]
+    pub fn capacity_of(&self, n: usize) -> usize {
+        if n < self.cache_nodes {
+            self.rho
+        } else {
+            0
+        }
+    }
+
+    /// Set the eviction rule (arena-wide ablation hook; call before
+    /// seeding).
     pub fn set_eviction(&mut self, policy: EvictionPolicy) {
         self.eviction = policy;
     }
 
-    /// Record a *use* of `item` (a request served from this cache);
-    /// relevant under [`EvictionPolicy::Lru`] only.
-    pub fn touch(&mut self, item: u32) {
-        if self.eviction != EvictionPolicy::Lru {
-            return;
+    /// Whether node `n` holds `item` — an ≤ ρ-element scan of its slots.
+    #[inline]
+    pub fn holds(&self, n: usize, item: u32) -> bool {
+        if n >= self.cache_nodes {
+            return false;
         }
-        if let Some(pos) = self.slots.iter().position(|&i| i == item) {
-            self.clock += 1;
-            self.stamps[pos] = self.clock;
-        }
+        let base = n * self.rho;
+        self.slots[base..base + self.len[n] as usize].contains(&item)
     }
 
-    /// Capacity ρ.
+    /// Shared view of node `n`'s cache.
+    #[inline]
+    pub fn node(&self, n: usize) -> CacheRef<'_> {
+        assert!(n < self.nodes);
+        CacheRef { arena: self, n }
+    }
+
+    /// Mutable view of node `n`'s cache.
+    #[inline]
+    pub fn node_mut(&mut self, n: usize) -> CacheMut<'_> {
+        assert!(n < self.nodes);
+        CacheMut { arena: self, n }
+    }
+
+    /// Iterate over all per-node views in node order.
+    pub fn iter(&self) -> impl Iterator<Item = CacheRef<'_>> {
+        (0..self.nodes).map(|n| CacheRef { arena: self, n })
+    }
+
+    /// Split a pure-P2P arena into contiguous node blocks (the sharded
+    /// engine's per-shard states). `block_sizes` must sum to the node
+    /// count; block `s` receives nodes `[Σ_{t<s} size_t, ...)` renumbered
+    /// from zero. Requires every node to carry a cache (pure P2P).
+    pub(crate) fn split_into_blocks(mut self, block_sizes: &[usize]) -> Vec<CacheArena> {
+        assert_eq!(self.cache_nodes, self.nodes, "split requires pure P2P");
+        assert_eq!(block_sizes.iter().sum::<usize>(), self.nodes);
+        let mut out = Vec::with_capacity(block_sizes.len());
+        // Walk blocks back-to-front so split_off peels the tail cheaply.
+        let mut tail: Vec<CacheArena> = Vec::with_capacity(block_sizes.len());
+        for &size in block_sizes.iter().rev() {
+            let keep = self.nodes - size;
+            tail.push(CacheArena {
+                nodes: size,
+                cache_nodes: size,
+                rho: self.rho,
+                slots: self.slots.split_off(keep * self.rho),
+                stamps: self.stamps.split_off(keep * self.rho),
+                len: self.len.split_off(keep),
+                sticky: self.sticky.split_off(keep),
+                clock: self.clock.split_off(keep),
+                eviction: self.eviction,
+            });
+            self.nodes = keep;
+            self.cache_nodes = keep;
+        }
+        out.extend(tail.into_iter().rev());
+        out
+    }
+}
+
+/// Shared view of one node's cache inside a [`CacheArena`].
+#[derive(Clone, Copy)]
+pub struct CacheRef<'a> {
+    arena: &'a CacheArena,
+    n: usize,
+}
+
+impl CacheRef<'_> {
+    #[inline]
+    fn base(&self) -> usize {
+        self.n * self.arena.rho
+    }
+
+    /// Capacity ρ (0 for client nodes).
+    #[inline]
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.arena.capacity_of(self.n)
     }
 
     /// Number of occupied slots.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.slots.len()
+        if self.n < self.arena.cache_nodes {
+            self.arena.len[self.n] as usize
+        } else {
+            0
+        }
     }
 
     /// Whether no slot is occupied.
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.len() == 0
     }
 
     /// Whether this node holds `item`.
     #[inline]
     pub fn holds(&self, item: u32) -> bool {
-        self.has.contains(item as usize)
+        self.arena.holds(self.n, item)
     }
 
     /// The item pinned as sticky here, if any.
     pub fn sticky_item(&self) -> Option<u32> {
-        self.sticky_slot.map(|s| self.slots[s])
+        if self.n >= self.arena.cache_nodes {
+            return None;
+        }
+        let s = self.arena.sticky[self.n];
+        (s != NO_STICKY).then(|| self.arena.slots[self.base() + s as usize])
     }
 
     /// Items currently cached.
-    pub fn items(&self) -> &[u32] {
-        &self.slots
+    pub fn items(&self) -> &'_ [u32] {
+        if self.n >= self.arena.cache_nodes {
+            return &[];
+        }
+        let base = self.base();
+        &self.arena.slots[base..base + self.arena.len[self.n] as usize]
+    }
+}
+
+/// Mutable view of one node's cache inside a [`CacheArena`].
+pub struct CacheMut<'a> {
+    arena: &'a mut CacheArena,
+    n: usize,
+}
+
+impl CacheMut<'_> {
+    #[inline]
+    fn base(&self) -> usize {
+        self.n * self.arena.rho
+    }
+
+    fn len(&self) -> usize {
+        if self.n < self.arena.cache_nodes {
+            self.arena.len[self.n] as usize
+        } else {
+            0
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.arena.capacity_of(self.n)
+    }
+
+    fn sticky(&self) -> Option<usize> {
+        if self.n >= self.arena.cache_nodes {
+            return None;
+        }
+        let s = self.arena.sticky[self.n];
+        (s != NO_STICKY).then_some(s as usize)
+    }
+
+    /// Whether this node holds `item`.
+    #[inline]
+    pub fn holds(&self, item: u32) -> bool {
+        self.arena.holds(self.n, item)
+    }
+
+    /// Position of `item` among the occupied slots, if present.
+    fn position(&self, item: u32) -> Option<usize> {
+        let base = self.base();
+        self.arena.slots[base..base + self.len()]
+            .iter()
+            .position(|&i| i == item)
+    }
+
+    /// Record a *use* of `item` (a request served from this cache);
+    /// relevant under [`EvictionPolicy::Lru`] only.
+    pub fn touch(&mut self, item: u32) {
+        if self.arena.eviction != EvictionPolicy::Lru {
+            return;
+        }
+        if let Some(pos) = self.position(item) {
+            self.arena.clock[self.n] += 1;
+            let base = self.base();
+            self.arena.stamps[base + pos] = self.arena.clock[self.n];
+        }
     }
 
     /// Pin `item` as this node's sticky replica (inserting it if absent).
@@ -116,23 +329,21 @@ impl NodeCache {
     /// cache is full of *other* items and has no free slot (pin sticky
     /// items before filling).
     pub fn pin_sticky(&mut self, item: u32) {
-        assert!(
-            self.sticky_slot.is_none(),
-            "cache already has a sticky item"
-        );
-        if let Some(pos) = self.slots.iter().position(|&i| i == item) {
-            self.sticky_slot = Some(pos);
+        assert!(self.sticky().is_none(), "cache already has a sticky item");
+        if let Some(pos) = self.position(item) {
+            self.arena.sticky[self.n] = pos as u32;
             return;
         }
         assert!(
-            self.slots.len() < self.capacity,
+            self.len() < self.capacity(),
             "no free slot to pin the sticky replica"
         );
-        self.clock += 1;
-        self.slots.push(item);
-        self.stamps.push(self.clock);
-        self.has.insert(item as usize);
-        self.sticky_slot = Some(self.slots.len() - 1);
+        self.arena.clock[self.n] += 1;
+        let (base, len) = (self.base(), self.len());
+        self.arena.slots[base + len] = item;
+        self.arena.stamps[base + len] = self.arena.clock[self.n];
+        self.arena.len[self.n] += 1;
+        self.arena.sticky[self.n] = len as u32;
     }
 
     /// Fill a free slot with `item` (no eviction). Returns `false` if the
@@ -145,13 +356,14 @@ impl NodeCache {
             return false;
         }
         assert!(
-            self.slots.len() < self.capacity,
+            self.len() < self.capacity(),
             "cache is full; use insert_evict"
         );
-        self.clock += 1;
-        self.slots.push(item);
-        self.stamps.push(self.clock);
-        self.has.insert(item as usize);
+        self.arena.clock[self.n] += 1;
+        let (base, len) = (self.base(), self.len());
+        self.arena.slots[base + len] = item;
+        self.arena.stamps[base + len] = self.arena.clock[self.n];
+        self.arena.len[self.n] += 1;
         true
     }
 
@@ -163,17 +375,16 @@ impl NodeCache {
         if !self.holds(old) || self.holds(new) {
             return false;
         }
-        let Some(pos) = self.slots.iter().position(|&i| i == old) else {
+        let Some(pos) = self.position(old) else {
             return false;
         };
-        if Some(pos) == self.sticky_slot {
+        if Some(pos) == self.sticky() {
             return false;
         }
-        self.has.remove(old as usize);
-        self.clock += 1;
-        self.slots[pos] = new;
-        self.stamps[pos] = self.clock;
-        self.has.insert(new as usize);
+        self.arena.clock[self.n] += 1;
+        let base = self.base();
+        self.arena.slots[base + pos] = new;
+        self.arena.stamps[base + pos] = self.arena.clock[self.n];
         true
     }
 
@@ -184,25 +395,27 @@ impl NodeCache {
     /// present, or when every slot is sticky (cannot evict).
     #[allow(clippy::result_unit_err)] // rejection carries no information beyond itself
     pub fn insert_evict(&mut self, item: u32, rng: &mut Xoshiro256) -> Result<Option<u32>, ()> {
-        if self.holds(item) || self.capacity == 0 {
+        if self.holds(item) || self.capacity() == 0 {
             return Err(());
         }
-        if self.slots.len() < self.capacity {
-            self.clock += 1;
-            self.slots.push(item);
-            self.stamps.push(self.clock);
-            self.has.insert(item as usize);
+        let (base, len) = (self.base(), self.len());
+        if len < self.capacity() {
+            self.arena.clock[self.n] += 1;
+            self.arena.slots[base + len] = item;
+            self.arena.stamps[base + len] = self.arena.clock[self.n];
+            self.arena.len[self.n] += 1;
             return Ok(None);
         }
         // Choose a victim slot among non-sticky slots.
-        let candidates = self.slots.len() - usize::from(self.sticky_slot.is_some());
+        let sticky = self.sticky();
+        let candidates = len - usize::from(sticky.is_some());
         if candidates == 0 {
             return Err(());
         }
-        let pick = match self.eviction {
+        let pick = match self.arena.eviction {
             EvictionPolicy::Random => {
                 let mut pick = rng.index(candidates);
-                if let Some(sticky) = self.sticky_slot {
+                if let Some(sticky) = sticky {
                     if pick >= sticky {
                         pick += 1;
                     }
@@ -210,17 +423,15 @@ impl NodeCache {
                 pick
             }
             // LRU and FIFO: smallest stamp among non-sticky slots.
-            EvictionPolicy::Lru | EvictionPolicy::Fifo => (0..self.slots.len())
-                .filter(|&s| Some(s) != self.sticky_slot)
-                .min_by_key(|&s| self.stamps[s])
+            EvictionPolicy::Lru | EvictionPolicy::Fifo => (0..len)
+                .filter(|&s| Some(s) != sticky)
+                .min_by_key(|&s| self.arena.stamps[base + s])
                 .expect("candidates > 0"),
         };
-        let evicted = self.slots[pick];
-        self.has.remove(evicted as usize);
-        self.clock += 1;
-        self.slots[pick] = item;
-        self.stamps[pick] = self.clock;
-        self.has.insert(item as usize);
+        let evicted = self.arena.slots[base + pick];
+        self.arena.clock[self.n] += 1;
+        self.arena.slots[base + pick] = item;
+        self.arena.stamps[base + pick] = self.arena.clock[self.n];
         Ok(Some(evicted))
     }
 
@@ -228,34 +439,196 @@ impl NodeCache {
     /// a slot failure loses its content without a replacement arriving).
     /// Returns the lost item, or `None` when nothing is erasable.
     pub fn drop_random_non_sticky(&mut self, rng: &mut Xoshiro256) -> Option<u32> {
-        let candidates = self.slots.len() - usize::from(self.sticky_slot.is_some());
+        let sticky = self.sticky();
+        let len = self.len();
+        let candidates = len - usize::from(sticky.is_some());
         if candidates == 0 {
             return None;
         }
         let mut pick = rng.index(candidates);
-        if let Some(sticky) = self.sticky_slot {
+        if let Some(sticky) = sticky {
             if pick >= sticky {
                 pick += 1;
             }
         }
-        let lost = self.slots.remove(pick);
-        self.stamps.remove(pick);
-        self.has.remove(lost as usize);
+        let base = self.base();
+        let lost = self.arena.slots[base + pick];
+        // Shift the tail down one slot (the arena analogue of Vec::remove).
+        self.arena
+            .slots
+            .copy_within(base + pick + 1..base + len, base + pick);
+        self.arena
+            .stamps
+            .copy_within(base + pick + 1..base + len, base + pick);
+        self.arena.len[self.n] -= 1;
         // The sticky slot's index shifts down when a lower slot vanishes.
-        if let Some(sticky) = self.sticky_slot {
+        if let Some(sticky) = sticky {
             if sticky > pick {
-                self.sticky_slot = Some(sticky - 1);
+                self.arena.sticky[self.n] = (sticky - 1) as u32;
             }
         }
         Some(lost)
     }
 }
 
+/// `next`-link sentinel: end of a queue / end of the free list.
+const NIL: u32 = u32::MAX;
+
+/// Flat arena of per-node pending-request queues.
+///
+/// Replaces the engines' per-node `Vec<Request>` jagged vectors: all
+/// requests live in struct-of-arrays entry storage threaded into
+/// per-node FIFO lists, with freed entries recycled through a free list.
+/// After warmup a trial's steady-state request population churns in
+/// place with **zero allocation**; across trials the arena is part of
+/// [`crate::engine::TrialScratch`] and is reused outright.
+///
+/// `P` is the engine-specific creation stamp: `f64` event time for the
+/// continuous engine, `u64` slot index for the discrete one. Queue order
+/// is insertion order, exactly matching `Vec::push` + `retain_mut`, so
+/// fulfillment and settlement sequences — and therefore RNG consumption
+/// and metrics — are bit-identical to the jagged layout.
+#[derive(Clone, Debug)]
+pub struct RequestArena<P: Copy> {
+    /// First pending entry per node ([`NIL`] = empty).
+    head: Vec<u32>,
+    /// Last pending entry per node (push target).
+    tail: Vec<u32>,
+    /// Entry link: next entry in the same node's queue, or free list.
+    next: Vec<u32>,
+    /// Requested item per entry.
+    item: Vec<u32>,
+    /// Creation stamp per entry.
+    created: Vec<P>,
+    /// Unanswered-query count per entry (the QCR reaction input).
+    queries: Vec<u64>,
+    /// Head of the recycled-entry list.
+    free: u32,
+    /// Live entries across all nodes.
+    len: u64,
+}
+
+impl<P: Copy> Default for RequestArena<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: Copy> RequestArena<P> {
+    /// Empty arena for zero nodes; call [`RequestArena::reset`] to size.
+    pub fn new() -> Self {
+        RequestArena {
+            head: Vec::new(),
+            tail: Vec::new(),
+            next: Vec::new(),
+            item: Vec::new(),
+            created: Vec::new(),
+            queries: Vec::new(),
+            free: NIL,
+            len: 0,
+        }
+    }
+
+    /// Clear all queues and size for `nodes`, keeping entry capacity.
+    pub fn reset(&mut self, nodes: usize) {
+        self.head.clear();
+        self.head.resize(nodes, NIL);
+        self.tail.clear();
+        self.tail.resize(nodes, NIL);
+        self.next.clear();
+        self.item.clear();
+        self.created.clear();
+        self.queries.clear();
+        self.free = NIL;
+        self.len = 0;
+    }
+
+    /// Total pending requests across all nodes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether no request is pending anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append a fresh request (zero queries) to `node`'s queue.
+    pub fn push(&mut self, node: usize, item: u32, created: P) {
+        let slot = if self.free != NIL {
+            let slot = self.free as usize;
+            self.free = self.next[slot];
+            self.item[slot] = item;
+            self.created[slot] = created;
+            self.queries[slot] = 0;
+            self.next[slot] = NIL;
+            slot as u32
+        } else {
+            self.item.push(item);
+            self.created.push(created);
+            self.queries.push(0);
+            self.next.push(NIL);
+            (self.item.len() - 1) as u32
+        };
+        if self.tail[node] == NIL {
+            self.head[node] = slot;
+        } else {
+            self.next[self.tail[node] as usize] = slot;
+        }
+        self.tail[node] = slot;
+        self.len += 1;
+    }
+
+    /// Walk `node`'s queue in insertion order; `keep(item, created,
+    /// queries)` decides per request whether it stays pending. Removed
+    /// entries are recycled. Semantically `Vec::retain_mut`.
+    pub fn retain(&mut self, node: usize, mut keep: impl FnMut(u32, P, &mut u64) -> bool) {
+        let mut prev = NIL;
+        let mut cur = self.head[node];
+        while cur != NIL {
+            let i = cur as usize;
+            let after = self.next[i];
+            if keep(self.item[i], self.created[i], &mut self.queries[i]) {
+                prev = cur;
+            } else {
+                if prev == NIL {
+                    self.head[node] = after;
+                } else {
+                    self.next[prev as usize] = after;
+                }
+                if self.tail[node] == cur {
+                    self.tail[node] = prev;
+                }
+                self.next[i] = self.free;
+                self.free = cur;
+                self.len -= 1;
+            }
+            cur = after;
+        }
+    }
+
+    /// Iterate every pending request as `(node, item, created)` — nodes
+    /// ascending, each queue in insertion order (the settlement sweep).
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u32, P)> + '_ {
+        self.head.iter().enumerate().flat_map(move |(node, &h)| {
+            let mut cur = h;
+            std::iter::from_fn(move || {
+                if cur == NIL {
+                    return None;
+                }
+                let i = cur as usize;
+                cur = self.next[i];
+                Some((node, self.item[i], self.created[i]))
+            })
+        })
+    }
+}
+
 /// Global mutable simulation state.
 #[derive(Clone, Debug)]
 pub struct SimState {
-    /// Per-node caches.
-    pub caches: Vec<NodeCache>,
+    /// Per-node caches (struct-of-arrays).
+    pub caches: CacheArena,
     /// Live replica count per item (kept in sync with the caches).
     pub replicas: Vec<u32>,
     /// Sticky-seed node of each item (`usize::MAX` = none).
@@ -268,9 +641,14 @@ impl SimState {
     /// Apply an eviction rule to every cache (ablation hook; call before
     /// seeding).
     pub fn set_eviction(&mut self, policy: EvictionPolicy) {
-        for cache in &mut self.caches {
-            cache.set_eviction(policy);
-        }
+        self.caches.set_eviction(policy);
+    }
+}
+
+impl Default for SimState {
+    /// A zero-node, zero-item state (a scratch placeholder to `reset`).
+    fn default() -> Self {
+        SimState::new(0, 0, 0)
     }
 }
 
@@ -279,7 +657,7 @@ impl SimState {
     /// `rho`).
     pub fn new(nodes: usize, items: usize, rho: usize) -> Self {
         SimState {
-            caches: (0..nodes).map(|_| NodeCache::new(rho, items)).collect(),
+            caches: CacheArena::new(nodes, nodes, rho),
             replicas: vec![0; items],
             sticky_owner: vec![usize::MAX; items],
             transmissions: 0,
@@ -291,18 +669,29 @@ impl SimState {
     pub fn new_dedicated(nodes: usize, servers: usize, items: usize, rho: usize) -> Self {
         assert!(servers <= nodes);
         SimState {
-            caches: (0..nodes)
-                .map(|n| NodeCache::new(if n < servers { rho } else { 0 }, items))
-                .collect(),
+            caches: CacheArena::new(nodes, servers, rho),
             replicas: vec![0; items],
             sticky_owner: vec![usize::MAX; items],
             transmissions: 0,
         }
     }
 
+    /// Reset to the state [`SimState::new`] would build (or
+    /// [`SimState::new_dedicated`] when `servers < nodes`), reusing the
+    /// existing allocations — the scratch-pool hook that removes per-trial
+    /// state construction from the campaign hot path.
+    pub fn reset(&mut self, nodes: usize, servers: usize, items: usize, rho: usize) {
+        self.caches.reset(nodes, servers, rho);
+        self.replicas.clear();
+        self.replicas.resize(items, 0);
+        self.sticky_owner.clear();
+        self.sticky_owner.resize(items, usize::MAX);
+        self.transmissions = 0;
+    }
+
     /// Number of nodes.
     pub fn nodes(&self) -> usize {
-        self.caches.len()
+        self.caches.nodes()
     }
 
     /// Number of items.
@@ -317,24 +706,23 @@ impl SimState {
     pub fn seed_sticky_and_fill(&mut self, rng: &mut Xoshiro256) {
         let items = self.items();
         let mut node_order: Vec<usize> = (0..self.nodes())
-            .filter(|&n| self.caches[n].capacity() > 0)
+            .filter(|&n| self.caches.capacity_of(n) > 0)
             .collect();
         assert!(!node_order.is_empty(), "no cache-carrying nodes to seed");
         let nodes = node_order.len();
         rng.shuffle(&mut node_order);
         for item in 0..items {
             let node = node_order[item % nodes];
-            if self.caches[node].sticky_item().is_none()
-                && self.caches[node].len() < self.caches[node].capacity()
-            {
-                self.caches[node].pin_sticky(item as u32);
+            let cache = self.caches.node(node);
+            if cache.sticky_item().is_none() && cache.len() < cache.capacity() {
+                self.caches.node_mut(node).pin_sticky(item as u32);
                 self.sticky_owner[item] = node;
                 self.replicas[item] += 1;
-            } else if !self.caches[node].holds(item as u32) {
+            } else if !cache.holds(item as u32) {
                 // More items than nodes: overflow seeds are regular
                 // (non-sticky) copies on the next nodes with room.
-                if self.caches[node].len() < self.caches[node].capacity() {
-                    self.caches[node].fill(item as u32);
+                if cache.len() < cache.capacity() {
+                    self.caches.node_mut(node).fill(item as u32);
                     self.replicas[item] += 1;
                 }
             }
@@ -342,9 +730,9 @@ impl SimState {
         // Fill remaining slots with random distinct items.
         for &node in &node_order {
             let mut guard = 0;
-            while self.caches[node].len() < self.caches[node].capacity() {
+            while self.caches.node(node).len() < self.caches.capacity_of(node) {
                 let item = rng.index(items) as u32;
-                if self.caches[node].fill(item) {
+                if self.caches.node_mut(node).fill(item) {
                     self.replicas[item as usize] += 1;
                 }
                 guard += 1;
@@ -357,7 +745,7 @@ impl SimState {
 
     /// Number of cache-carrying (server) nodes.
     pub fn servers(&self) -> usize {
-        self.caches.iter().filter(|c| c.capacity() > 0).count()
+        self.caches.cache_nodes()
     }
 
     /// Pin caches to a precomputed allocation (for the fixed-allocation
@@ -372,11 +760,11 @@ impl SimState {
         );
         assert_eq!(alloc.items(), self.items());
         let server_ids: Vec<usize> = (0..self.nodes())
-            .filter(|&n| self.caches[n].capacity() > 0)
+            .filter(|&n| self.caches.capacity_of(n) > 0)
             .collect();
         for (col, &node) in server_ids.iter().enumerate() {
             for item in alloc.cache_of(col) {
-                if self.caches[node].fill(item as u32) {
+                if self.caches.node_mut(node).fill(item as u32) {
                     self.replicas[item] += 1;
                 }
             }
@@ -386,7 +774,7 @@ impl SimState {
     /// Fault injection: erase a random non-sticky slot of `server`,
     /// keeping the replica count in sync. Returns the lost item, if any.
     pub fn fail_cache_slot(&mut self, server: usize, rng: &mut Xoshiro256) -> Option<u32> {
-        let lost = self.caches[server].drop_random_non_sticky(rng)?;
+        let lost = self.caches.node_mut(server).drop_random_non_sticky(rng)?;
         self.replicas[lost as usize] -= 1;
         Some(lost)
     }
@@ -394,7 +782,7 @@ impl SimState {
     /// Copy `item` into `to`'s cache with random replacement (respecting
     /// sticky slots). Returns `true` if a new replica was created.
     pub fn replicate(&mut self, item: u32, to: usize, rng: &mut Xoshiro256) -> bool {
-        match self.caches[to].insert_evict(item, rng) {
+        match self.caches.node_mut(to).insert_evict(item, rng) {
             Ok(evicted) => {
                 self.replicas[item as usize] += 1;
                 if let Some(old) = evicted {
@@ -412,39 +800,47 @@ impl SimState {
 mod tests {
     use super::*;
 
+    /// A one-node arena stands in for the former per-node cache object.
+    fn single(rho: usize) -> CacheArena {
+        CacheArena::new(1, 1, rho)
+    }
+
     #[test]
     fn cache_fill_and_membership() {
-        let mut c = NodeCache::new(3, 10);
+        let mut a = single(3);
+        let mut c = a.node_mut(0);
         assert!(c.fill(4));
         assert!(!c.fill(4));
         assert!(c.fill(7));
         assert!(c.holds(4));
         assert!(!c.holds(5));
-        assert_eq!(c.len(), 2);
-        assert!(!c.is_empty());
+        assert_eq!(a.node(0).len(), 2);
+        assert!(!a.node(0).is_empty());
     }
 
     #[test]
     fn eviction_is_random_but_never_sticky() {
         let mut rng = Xoshiro256::seed_from_u64(1);
-        let mut c = NodeCache::new(3, 10);
+        let mut a = single(3);
+        let mut c = a.node_mut(0);
         c.pin_sticky(0);
         c.fill(1);
         c.fill(2);
         // Insert many items: 0 must survive every eviction.
         for item in 3..10u32 {
-            let evicted = c.insert_evict(item, &mut rng).unwrap();
+            let evicted = a.node_mut(0).insert_evict(item, &mut rng).unwrap();
             assert_ne!(evicted, Some(0), "sticky item evicted");
-            assert!(c.holds(0));
-            assert_eq!(c.len(), 3);
+            assert!(a.node(0).holds(0));
+            assert_eq!(a.node(0).len(), 3);
         }
     }
 
     #[test]
     fn fifo_evicts_oldest_insertion() {
         let mut rng = Xoshiro256::seed_from_u64(40);
-        let mut c = NodeCache::new(3, 10);
-        c.set_eviction(EvictionPolicy::Fifo);
+        let mut a = single(3);
+        a.set_eviction(EvictionPolicy::Fifo);
+        let mut c = a.node_mut(0);
         c.fill(0);
         c.fill(1);
         c.fill(2);
@@ -456,8 +852,9 @@ mod tests {
     #[test]
     fn lru_touch_protects_recently_used() {
         let mut rng = Xoshiro256::seed_from_u64(41);
-        let mut c = NodeCache::new(3, 10);
-        c.set_eviction(EvictionPolicy::Lru);
+        let mut a = single(3);
+        a.set_eviction(EvictionPolicy::Lru);
+        let mut c = a.node_mut(0);
         c.fill(0);
         c.fill(1);
         c.fill(2);
@@ -471,8 +868,9 @@ mod tests {
     #[test]
     fn lru_respects_sticky() {
         let mut rng = Xoshiro256::seed_from_u64(42);
-        let mut c = NodeCache::new(2, 10);
-        c.set_eviction(EvictionPolicy::Lru);
+        let mut a = single(2);
+        a.set_eviction(EvictionPolicy::Lru);
+        let mut c = a.node_mut(0);
         c.pin_sticky(0); // oldest stamp, but pinned
         c.fill(1);
         assert_eq!(c.insert_evict(2, &mut rng), Ok(Some(1)));
@@ -482,8 +880,9 @@ mod tests {
     #[test]
     fn touch_is_noop_outside_lru() {
         let mut rng = Xoshiro256::seed_from_u64(43);
-        let mut c = NodeCache::new(2, 10);
-        c.set_eviction(EvictionPolicy::Fifo);
+        let mut a = single(2);
+        a.set_eviction(EvictionPolicy::Fifo);
+        let mut c = a.node_mut(0);
         c.fill(0);
         c.fill(1);
         c.touch(0); // FIFO ignores uses
@@ -493,7 +892,8 @@ mod tests {
     #[test]
     fn insert_existing_is_rejected() {
         let mut rng = Xoshiro256::seed_from_u64(2);
-        let mut c = NodeCache::new(2, 5);
+        let mut a = single(2);
+        let mut c = a.node_mut(0);
         c.fill(1);
         assert_eq!(c.insert_evict(1, &mut rng), Err(()));
     }
@@ -501,7 +901,8 @@ mod tests {
     #[test]
     fn all_sticky_cache_rejects_eviction() {
         let mut rng = Xoshiro256::seed_from_u64(3);
-        let mut c = NodeCache::new(1, 5);
+        let mut a = single(1);
+        let mut c = a.node_mut(0);
         c.pin_sticky(2);
         assert_eq!(c.insert_evict(4, &mut rng), Err(()));
         assert!(c.holds(2));
@@ -509,19 +910,33 @@ mod tests {
 
     #[test]
     fn pin_sticky_on_existing_item() {
-        let mut c = NodeCache::new(2, 5);
+        let mut a = single(2);
+        let mut c = a.node_mut(0);
         c.fill(3);
         c.pin_sticky(3);
-        assert_eq!(c.sticky_item(), Some(3));
-        assert_eq!(c.len(), 1);
+        assert_eq!(a.node(0).sticky_item(), Some(3));
+        assert_eq!(a.node(0).len(), 1);
     }
 
     #[test]
     #[should_panic(expected = "already has a sticky item")]
     fn second_sticky_rejected() {
-        let mut c = NodeCache::new(3, 5);
-        c.pin_sticky(0);
-        c.pin_sticky(1);
+        let mut a = single(3);
+        a.node_mut(0).pin_sticky(0);
+        a.node_mut(0).pin_sticky(1);
+    }
+
+    #[test]
+    fn client_nodes_have_no_storage() {
+        let mut rng = Xoshiro256::seed_from_u64(13);
+        let mut a = CacheArena::new(3, 1, 2);
+        a.node_mut(0).fill(1);
+        assert_eq!(a.capacity_of(2), 0);
+        assert!(!a.node(2).holds(1));
+        assert!(a.node(2).items().is_empty());
+        assert_eq!(a.node(2).sticky_item(), None);
+        assert_eq!(a.node_mut(2).insert_evict(1, &mut rng), Err(()));
+        assert!(a.node_mut(2).drop_random_non_sticky(&mut rng).is_none());
     }
 
     #[test]
@@ -537,11 +952,11 @@ mod tests {
             );
             assert!(state.replicas[item] >= 1);
             let owner = state.sticky_owner[item];
-            assert_eq!(state.caches[owner].sticky_item(), Some(item as u32));
+            assert_eq!(state.caches.node(owner).sticky_item(), Some(item as u32));
         }
         // Caches are full and replica counts consistent.
         let mut recount = vec![0u32; 50];
-        for c in &state.caches {
+        for c in state.caches.iter() {
             assert_eq!(c.len(), 5);
             for &i in c.items() {
                 recount[i as usize] += 1;
@@ -564,7 +979,7 @@ mod tests {
             .filter(|&&o| o != usize::MAX)
             .count();
         assert_eq!(sticky_count, 4);
-        for c in &state.caches {
+        for c in state.caches.iter() {
             assert_eq!(c.len(), 3);
         }
     }
@@ -572,32 +987,39 @@ mod tests {
     #[test]
     fn drop_random_keeps_sticky_tracked() {
         let mut rng = Xoshiro256::seed_from_u64(11);
-        let mut c = NodeCache::new(4, 10);
+        let mut a = single(4);
+        let mut c = a.node_mut(0);
         c.fill(1);
         c.fill(2);
         c.pin_sticky(7); // sticky lands in slot 2
         c.fill(3);
         for _ in 0..3 {
-            let lost = c.drop_random_non_sticky(&mut rng).unwrap();
+            let lost = a.node_mut(0).drop_random_non_sticky(&mut rng).unwrap();
             assert_ne!(lost, 7, "sticky item erased");
-            assert_eq!(c.sticky_item(), Some(7), "sticky slot index drifted");
+            assert_eq!(
+                a.node(0).sticky_item(),
+                Some(7),
+                "sticky slot index drifted"
+            );
         }
-        assert_eq!(c.len(), 1);
-        assert!(c.drop_random_non_sticky(&mut rng).is_none());
-        assert!(c.holds(7));
+        assert_eq!(a.node(0).len(), 1);
+        assert!(a.node_mut(0).drop_random_non_sticky(&mut rng).is_none());
+        assert!(a.node(0).holds(7));
     }
 
     #[test]
     fn fail_cache_slot_syncs_replicas() {
         let mut rng = Xoshiro256::seed_from_u64(12);
         let mut state = SimState::new(2, 5, 2);
-        state.caches[0].fill(1);
-        state.caches[0].fill(4);
+        state.caches.node_mut(0).fill(1);
+        state.caches.node_mut(0).fill(4);
         state.replicas = vec![0, 1, 0, 0, 1];
         let lost = state.fail_cache_slot(0, &mut rng).unwrap();
         assert_eq!(state.replicas[lost as usize], 0);
         assert_eq!(state.replicas.iter().sum::<u32>(), 1);
-        // Empty (client) caches fail without effect.
+        // Drained caches fail without effect.
+        let _ = state.fail_cache_slot(1, &mut rng);
+        state.replicas = vec![0; 5];
         assert!(state.fail_cache_slot(1, &mut rng).is_none());
     }
 
@@ -605,7 +1027,7 @@ mod tests {
     fn replicate_updates_counts() {
         let mut rng = Xoshiro256::seed_from_u64(9);
         let mut state = SimState::new(3, 5, 2);
-        state.caches[0].fill(1);
+        state.caches.node_mut(0).fill(1);
         state.replicas[1] = 1;
         assert!(state.replicate(1, 2, &mut rng));
         assert_eq!(state.replicas[1], 2);
@@ -619,8 +1041,8 @@ mod tests {
     fn replicate_with_eviction_keeps_global_count() {
         let mut rng = Xoshiro256::seed_from_u64(10);
         let mut state = SimState::new(2, 4, 1);
-        state.caches[0].fill(0);
-        state.caches[1].fill(1);
+        state.caches.node_mut(0).fill(0);
+        state.caches.node_mut(1).fill(1);
         state.replicas = vec![1, 1, 0, 0];
         assert!(state.replicate(2, 1, &mut rng));
         assert_eq!(state.replicas, vec![1, 0, 1, 0]);
@@ -635,5 +1057,107 @@ mod tests {
         let mut state = SimState::new(3, 3, 2);
         state.load_allocation(&alloc);
         assert_eq!(state.replicas, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn reset_matches_fresh_construction() {
+        let mut rng = Xoshiro256::seed_from_u64(21);
+        let mut used = SimState::new(12, 8, 3);
+        used.set_eviction(EvictionPolicy::Lru);
+        used.seed_sticky_and_fill(&mut rng);
+        used.replicate(0, 3, &mut rng);
+        used.reset(9, 4, 6, 2);
+        let fresh = SimState::new_dedicated(9, 4, 6, 2);
+        assert_eq!(format!("{used:?}"), format!("{fresh:?}"));
+        // And the reset state behaves identically under the same seed.
+        let mut r1 = Xoshiro256::seed_from_u64(5);
+        let mut r2 = Xoshiro256::seed_from_u64(5);
+        let mut fresh = fresh;
+        used.seed_sticky_and_fill(&mut r1);
+        fresh.seed_sticky_and_fill(&mut r2);
+        assert_eq!(format!("{used:?}"), format!("{fresh:?}"));
+    }
+
+    #[test]
+    fn request_arena_matches_vec_retain_semantics() {
+        // Mirror a jagged Vec<Vec<(item, created, queries)>> through the
+        // same operation sequence and require identical contents/order.
+        let mut arena: RequestArena<f64> = RequestArena::new();
+        arena.reset(3);
+        let mut model: Vec<Vec<(u32, f64, u64)>> = vec![Vec::new(); 3];
+        let mut rng = Xoshiro256::seed_from_u64(77);
+        for step in 0..200u32 {
+            let node = rng.index(3);
+            if rng.bernoulli(0.6) {
+                let item = step % 7;
+                arena.push(node, item, step as f64);
+                model[node].push((item, step as f64, 0));
+            } else {
+                let drop_item = step % 7;
+                arena.retain(node, |item, _, q| {
+                    if item == drop_item {
+                        false
+                    } else {
+                        *q += 1;
+                        true
+                    }
+                });
+                model[node].retain_mut(|r| {
+                    if r.0 == drop_item {
+                        false
+                    } else {
+                        r.2 += 1;
+                        true
+                    }
+                });
+            }
+        }
+        let expect: Vec<(usize, u32, f64)> = model
+            .iter()
+            .enumerate()
+            .flat_map(|(n, q)| q.iter().map(move |&(i, c, _)| (n, i, c)))
+            .collect();
+        let got: Vec<(usize, u32, f64)> = arena.iter().collect();
+        assert_eq!(got, expect);
+        assert_eq!(arena.len() as usize, expect.len());
+        // Reset recycles storage and empties every queue.
+        arena.reset(2);
+        assert!(arena.is_empty());
+        assert_eq!(arena.iter().count(), 0);
+    }
+
+    #[test]
+    fn request_arena_recycles_entries() {
+        let mut arena: RequestArena<u64> = RequestArena::new();
+        arena.reset(1);
+        for round in 0..50u64 {
+            arena.push(0, 1, round);
+            arena.push(0, 2, round);
+            arena.retain(0, |item, _, _| item != 1);
+            arena.retain(0, |item, _, _| item != 2);
+        }
+        assert!(arena.is_empty());
+        // Steady-state churn must not grow entry storage unboundedly.
+        assert!(arena.item.len() <= 2, "entries not recycled");
+    }
+
+    #[test]
+    fn split_into_blocks_preserves_contents() {
+        let mut rng = Xoshiro256::seed_from_u64(14);
+        let mut state = SimState::new(10, 10, 2);
+        state.seed_sticky_and_fill(&mut rng);
+        let expect: Vec<Vec<u32>> = state.caches.iter().map(|c| c.items().to_vec()).collect();
+        let sticky: Vec<Option<u32>> = state.caches.iter().map(|c| c.sticky_item()).collect();
+        let blocks = state.caches.split_into_blocks(&[3, 4, 3]);
+        assert_eq!(blocks.len(), 3);
+        let mut global = 0usize;
+        for block in &blocks {
+            for local in 0..block.nodes() {
+                assert_eq!(block.node(local).items(), &expect[global][..]);
+                assert_eq!(block.node(local).sticky_item(), sticky[global]);
+                global += 1;
+            }
+        }
+        assert_eq!(global, 10);
     }
 }

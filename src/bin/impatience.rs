@@ -47,7 +47,10 @@ use impatience_oracle::{run_matrix, summary_table, write_report, CheckStatus, Ma
 use impatience_sim::config::SimConfig;
 use impatience_sim::faults::{CacheFaults, Churn, ContactDrop, FaultConfig};
 use impatience_sim::policy::PolicyKind;
-use impatience_sim::runner::{run_trials_observed_with_workers, CampaignOutcome};
+use impatience_sim::runner::{
+    run_trials_observed_with_workers, run_trials_sharded, CampaignOutcome,
+};
+use impatience_sim::sharded::LOGICAL_SHARDS;
 use impatience_traces::gen::{ConferenceConfig, VehicularConfig};
 use impatience_traces::{read_trace_file, write_trace, TraceError};
 
@@ -241,6 +244,9 @@ USAGE:
   impatience simulate TRACE [--items N --rho N --utility SPEC --policy P --trials N --seed N]
                             [--trace-out FILE] [--verbose] [--workers N] [--profile]
                             [fault injection] [--checkpoint FILE]
+  impatience simulate --shards W --nodes N --mu F --duration T
+                            [--items N --rho N --utility SPEC --policy P --trials N
+                             --seed N --verbose --profile] [fault injection]
   impatience resume   CKPT
   impatience verify   [--quick|--full] [--seed N] [-o FILE] [--trace-out FILE] [--limit N]
                       [--profile]
@@ -283,6 +289,18 @@ TRACE ANALYSIS (trace; operates on --trace-out JSONL files):
                      between two traces (new/missing kinds flagged)
   export FILE --prom re-render a trace's tallies as Prometheus text
                      exposition; -o FILE writes atomically, else stdout
+
+SCALE RUNS (simulate --shards; the intra-trial sharded engine):
+  --shards W         run each trial on the sharded engine with W worker
+                     threads. Nodes split into 16 logical shards; contacts
+                     are sampled streaming per shard lane from a synthetic
+                     homogeneous Poisson source (--nodes/--mu/--duration
+                     replace the TRACE argument), so million-node trials
+                     with ~1e9 contacts fit in memory. Output — welfare
+                     series, fault log, event digest — is bit-identical
+                     for every W. Supports qcr/passive/static policies and
+                     drop/cache/truncation faults; churn, traces, and
+                     demand shifts stay on the serial engine.
 
 FAULT INJECTION (simulate; seeded, deterministic, off by default):
   --drop-p F             drop each contact with probability F; with
@@ -682,6 +700,9 @@ fn fault_config(args: &Args) -> Result<Option<FaultConfig>, CliError> {
 }
 
 fn simulate(args: &Args, invocation: &[String]) -> Result<(), CliError> {
+    if args.options.contains_key("shards") {
+        return simulate_sharded(args);
+    }
     let trace_file = args.positional.first().cloned().unwrap_or_default();
     let trace = load_trace(args)?;
     let items: usize = args.get("items", 50)?;
@@ -845,6 +866,139 @@ fn simulate(args: &Args, invocation: &[String]) -> Result<(), CliError> {
     };
 
     report(&agg, stats.as_ref(), trials, &utility, verbose);
+    Ok(())
+}
+
+/// Peak resident set size of this process in kilobytes, from
+/// `/proc/self/status` (`None` off Linux or if the field is missing).
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// `impatience simulate --shards W --nodes N --mu F --duration T`: one
+/// trial at a time on the intra-trial sharded engine, its 16 logical
+/// shards spread over W worker threads. The contact source is synthetic
+/// homogeneous Poisson (sampled streaming per shard lane — no trace file
+/// is ever materialized), which is what makes million-node populations
+/// with ~10⁹ contacts fit in memory. Results are bit-identical for every
+/// W; only the wall clock changes.
+fn simulate_sharded(args: &Args) -> Result<(), CliError> {
+    if let Some(path) = args.positional.first() {
+        return Err(CliError::Usage(format!(
+            "--shards runs on a synthetic homogeneous source; drop the trace \
+             argument `{path}` and pass --nodes/--mu/--duration instead"
+        )));
+    }
+    for unsupported in ["checkpoint", "trace-out", "workers"] {
+        if args.options.contains_key(unsupported) {
+            return Err(CliError::Usage(format!(
+                "--{unsupported} is not supported with --shards \
+                 (parallelism is inside each trial)"
+            )));
+        }
+    }
+    let shards: usize = args.get("shards", 1)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let nodes: usize = args.get("nodes", 10_000)?;
+    let mu: f64 = args.get("mu", 0.005)?;
+    let duration: f64 = args.get("duration", 3_000.0)?;
+    let items: usize = args.get("items", 50)?;
+    let rho: usize = args.get("rho", 5)?;
+    let omega: f64 = args.get("omega", 1.0)?;
+    let trials: usize = args.get("trials", 3)?;
+    let seed: u64 = args.get("seed", 42)?;
+    let utility = args.utility()?;
+    let verbose = args.verbose();
+    let profiling = args.options.contains_key("profile");
+    if profiling {
+        impatience_obs::span::enable();
+    }
+
+    let demand = Popularity::pareto(items, omega).demand_rates(1.0);
+    let policy_name = args
+        .options
+        .get("policy")
+        .map(String::as_str)
+        .unwrap_or("qcr");
+    let policy = match policy_name {
+        "qcr" => PolicyKind::qcr_default(),
+        "qcr-no-routing" => PolicyKind::Qcr(impatience_sim::policy::QcrConfig {
+            mandate_routing: false,
+            ..Default::default()
+        }),
+        "passive" => PolicyKind::Passive { replicas: 1.0 },
+        "opt" => {
+            // The homogeneous greedy optimum — analytic, so it costs the
+            // same at 10⁶ nodes as at 50.
+            let system = SystemModel::pure_p2p(nodes, rho, mu);
+            let counts = try_greedy_homogeneous(&system, &demand, utility.as_ref())?;
+            PolicyKind::Static {
+                label: "OPT",
+                counts,
+            }
+        }
+        "uni" => PolicyKind::Static {
+            label: "UNI",
+            counts: uniform(items, nodes, rho),
+        },
+        "sqrt" => PolicyKind::Static {
+            label: "SQRT",
+            counts: sqrt_proportional(&demand, nodes, rho),
+        },
+        "prop" => PolicyKind::Static {
+            label: "PROP",
+            counts: proportional(&demand, nodes, rho),
+        },
+        "dom" => PolicyKind::Static {
+            label: "DOM",
+            counts: dominant(&demand, nodes, rho),
+        },
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown policy `{other}` (with --shards: qcr, qcr-no-routing, \
+                 passive, opt, uni, sqrt, prop, dom)"
+            )))
+        }
+    };
+
+    let faults = fault_config(args)?;
+    let mut builder = SimConfig::builder(items, rho)
+        .demand(demand)
+        .utility(utility.clone())
+        .bin(60.0)
+        .warmup_fraction(0.25);
+    if let Some(fc) = faults.clone() {
+        builder = builder.faults(fc);
+    }
+    let config = builder.build();
+    let source = ContactSource::homogeneous(nodes, mu, duration);
+
+    let agg = run_trials_sharded(&config, &source, &policy, trials, seed, Some(shards))?;
+
+    report(&agg.aggregate, None, trials, &utility, verbose);
+    println!(
+        "  shard workers         : {:>10} ({LOGICAL_SHARDS} logical shards)",
+        shards
+    );
+    println!("  contacts processed    : {:>10}", agg.contacts_processed);
+    let batch_digest = agg
+        .event_digests
+        .iter()
+        .fold(0u64, |h, &d| h.rotate_left(7) ^ d);
+    println!("  event digest          : {batch_digest:#018x}");
+    if agg.fault_events > 0 {
+        println!("  fault events          : {:>10}", agg.fault_events);
+    }
+    if let Some(kb) = peak_rss_kb() {
+        println!("  peak RSS              : {:>10.1} MiB", kb as f64 / 1024.0);
+    }
+    if profiling {
+        emit_profile(&Recorder::disabled(), None, None)?;
+    }
     Ok(())
 }
 

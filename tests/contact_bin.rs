@@ -1,0 +1,215 @@
+//! Contracts of the compact binary contact format (`sim::contact_bin`):
+//! the LE record round-trip is lossless, batched streaming is
+//! bit-identical to direct stream consumption, the on-disk layout is
+//! frozen by a committed golden fixture, and truncated or corrupt input
+//! fails with a typed [`TraceError`] instead of yielding garbage events.
+
+use impatience_core::rng::Xoshiro256;
+use impatience_sim::contact_bin::{
+    decode_records, read_contact_bin, read_contact_bin_file, write_contact_bin,
+    write_contact_bin_file, BatchedContacts, DEFAULT_BATCH, MAGIC, RECORD_BYTES,
+};
+use impatience_traces::{ContactEvent, ContactStream, ContactTrace, TraceError};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+
+const GOLDEN: &str = "tests/fixtures/contacts_golden.bin";
+
+fn fixture_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN)
+}
+
+/// The fixed trace behind the golden fixture: small, hand-checkable, and
+/// exercising the field widths (fractional times, node 0, max node).
+fn golden_trace() -> ContactTrace {
+    let events = vec![
+        ContactEvent::new(0.5, 0, 1),
+        ContactEvent::new(1.25, 2, 5),
+        ContactEvent::new(7.0, 1, 4),
+        ContactEvent::new(7.0, 0, 5),
+        ContactEvent::new(99.875, 3, 4),
+    ];
+    ContactTrace::new(6, 100.0, events)
+}
+
+fn encode_trace(trace: &ContactTrace) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    write_contact_bin(trace, &mut bytes).expect("in-memory write cannot fail");
+    bytes
+}
+
+/// The committed fixture freezes the wire layout: if this test fails the
+/// format changed, which breaks every reader of existing files. Bump the
+/// MAGIC version instead of editing the fixture. Regenerate (after a
+/// deliberate version bump) with `UPDATE_GOLDEN=1 cargo test -q
+/// --test contact_bin`.
+#[test]
+fn golden_fixture_freezes_the_wire_layout() {
+    let bytes = encode_trace(&golden_trace());
+    let path = fixture_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &bytes).expect("write fixture");
+    }
+    let committed = std::fs::read(&path).expect("read committed fixture");
+    assert_eq!(
+        committed, bytes,
+        "encoder output differs from the committed fixture"
+    );
+    assert_eq!(committed.len(), MAGIC.len() + 12 + 5 * RECORD_BYTES);
+    assert_eq!(&committed[..MAGIC.len()], &MAGIC);
+    let trace = read_contact_bin_file(&path).expect("fixture must parse");
+    assert_eq!(trace.nodes(), 6);
+    assert_eq!(trace.duration(), 100.0);
+    assert_eq!(trace.events(), golden_trace().events());
+}
+
+#[test]
+fn file_round_trip_is_lossless() {
+    let dir = std::env::temp_dir().join("impatience-contact-bin-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("roundtrip-{}.bin", std::process::id()));
+    let rng = Xoshiro256::seed_from_u64(7);
+    let events: Vec<ContactEvent> = ContactStream::poisson(30, 0.01, 500.0, rng).collect();
+    assert!(events.len() > 100, "want a non-trivial trace");
+    let trace = ContactTrace::new(30, 500.0, events);
+    write_contact_bin_file(&trace, &path).expect("write");
+    let back = read_contact_bin_file(&path).expect("read");
+    assert_eq!(back.nodes(), trace.nodes());
+    assert_eq!(back.duration(), trace.duration());
+    assert_eq!(back.events(), trace.events());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn truncated_and_corrupt_input_is_rejected() {
+    let good = encode_trace(&golden_trace());
+    let header = MAGIC.len() + 12;
+
+    // Mid-record truncation is blamed on the first incomplete record.
+    match read_contact_bin(&good[..header + RECORD_BYTES + 5]) {
+        Err(TraceError::Format { line, message }) => {
+            assert_eq!(line, 2);
+            assert!(message.contains("truncated"), "{message}");
+        }
+        other => panic!("expected a truncation error, got {other:?}"),
+    }
+
+    // A file shorter than the header, or with the wrong magic, is not a
+    // contact-bin file at all.
+    assert!(matches!(
+        read_contact_bin(&good[..header - 3]),
+        Err(TraceError::Format { line: 0, .. })
+    ));
+    let mut wrong_magic = good.clone();
+    wrong_magic[0] ^= 0xFF;
+    assert!(matches!(
+        read_contact_bin(&wrong_magic[..]),
+        Err(TraceError::Format { line: 0, .. })
+    ));
+
+    // Unknown version byte (the last magic byte) must also refuse.
+    let mut wrong_version = good.clone();
+    wrong_version[MAGIC.len() - 1] = 2;
+    assert!(matches!(
+        read_contact_bin(&wrong_version[..]),
+        Err(TraceError::Format { line: 0, .. })
+    ));
+
+    // Corrupt payloads: each mutation violates one record invariant and
+    // must be blamed on the record that carries it.
+    let corrupt = |mutate: &dyn Fn(&mut Vec<u8>), needle: &str, at_line: usize| {
+        let mut bytes = good.clone();
+        mutate(&mut bytes);
+        match read_contact_bin(&bytes[..]) {
+            Err(TraceError::Format { line, message }) => {
+                assert_eq!(line, at_line, "wrong blame for {needle:?}: {message}");
+                assert!(message.contains(needle), "{message}");
+            }
+            other => panic!("expected {needle:?} error, got {other:?}"),
+        }
+    };
+    // Record 1's time → NaN.
+    corrupt(
+        &|b| b[header..header + 8].copy_from_slice(&f64::NAN.to_le_bytes()),
+        "finite",
+        1,
+    );
+    // Record 3's time < record 2's (out of order).
+    corrupt(
+        &|b| {
+            let off = header + 2 * RECORD_BYTES;
+            b[off..off + 8].copy_from_slice(&0.75f64.to_le_bytes());
+        },
+        "non-decreasing",
+        3,
+    );
+    // Record 2's pair unnormalized (a == b).
+    corrupt(
+        &|b| {
+            let off = header + RECORD_BYTES + 8;
+            b[off..off + 4].copy_from_slice(&5u32.to_le_bytes());
+        },
+        "a < b",
+        2,
+    );
+    // Record 5's second node out of the declared population.
+    corrupt(
+        &|b| {
+            let off = header + 4 * RECORD_BYTES + 12;
+            b[off..off + 4].copy_from_slice(&6u32.to_le_bytes());
+        },
+        "out of range",
+        5,
+    );
+    // Last record's time past the declared duration.
+    corrupt(
+        &|b| {
+            let off = header + 4 * RECORD_BYTES;
+            b[off..off + 8].copy_from_slice(&100.5f64.to_le_bytes());
+        },
+        "exceeds the declared duration",
+        5,
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Streaming through the batch encoder is bit-identical to consuming
+    /// the stream directly, for any population, rate, and batch size —
+    /// the property the sharded engine's per-lane batching rests on.
+    #[test]
+    fn batched_consumption_matches_direct_streaming(
+        seed in 0u64..1_000,
+        nodes in 2usize..40,
+        mu in 1e-4f64..0.05,
+        batch in 1usize..(2 * DEFAULT_BATCH),
+    ) {
+        let duration = 400.0;
+        let direct: Vec<ContactEvent> =
+            ContactStream::poisson(nodes, mu, duration, Xoshiro256::seed_from_u64(seed))
+                .collect();
+        let stream =
+            ContactStream::poisson(nodes, mu, duration, Xoshiro256::seed_from_u64(seed));
+        let batched: Vec<ContactEvent> =
+            BatchedContacts::with_batch(stream, batch).collect();
+        prop_assert_eq!(&batched, &direct);
+    }
+
+    /// encode → decode is the identity on any sampled trace, and the
+    /// validating decoder accepts everything the sampler produces.
+    #[test]
+    fn encode_decode_round_trip(seed in 0u64..1_000, nodes in 2usize..40) {
+        let duration = 300.0;
+        let events: Vec<ContactEvent> =
+            ContactStream::poisson(nodes, 0.01, duration, Xoshiro256::seed_from_u64(seed))
+                .collect();
+        let trace = ContactTrace::new(nodes, duration, events.clone());
+        let bytes = encode_trace(&trace);
+        let payload = &bytes[MAGIC.len() + 12..];
+        let decoded = decode_records(payload, nodes).expect("sampled traces are valid");
+        prop_assert_eq!(&decoded, &events);
+        let back = read_contact_bin(&bytes[..]).expect("full file parses");
+        prop_assert_eq!(back.events(), &events[..]);
+    }
+}

@@ -178,14 +178,14 @@ proptest! {
         // Hammer a node cache with random fills/evictions and check the
         // sticky replica and capacity invariants throughout.
         let mut rng = Xoshiro256::seed_from_u64(seed);
-        let mut cache = impatience_sim::state::NodeCache::new(rho, items as usize);
+        let mut arena = impatience_sim::state::CacheArena::new(1, 1, rho);
         let sticky = rng.below(items as u64) as u32;
-        cache.pin_sticky(sticky);
+        arena.node_mut(0).pin_sticky(sticky);
         for _ in 0..ops {
             let item = rng.below(items as u64) as u32;
-            let _ = cache.insert_evict(item, &mut rng);
-            prop_assert!(cache.len() <= rho);
-            prop_assert!(cache.holds(sticky), "sticky item evicted");
+            let _ = arena.node_mut(0).insert_evict(item, &mut rng);
+            prop_assert!(arena.node(0).len() <= rho);
+            prop_assert!(arena.node(0).holds(sticky), "sticky item evicted");
         }
     }
 

@@ -1,0 +1,169 @@
+//! Worker-count bit-identity contracts of the intra-trial sharded
+//! engine, mirroring the discipline of `fault_tolerance.rs`: the same
+//! seed must produce the identical fault log, welfare trajectory, and
+//! event digest at 1, 2, and 8 workers — fault injection included — and
+//! the sharded engine must statistically agree with the serial engine on
+//! the model they both simulate.
+
+use impatience_core::demand::Popularity;
+use impatience_core::utility::Step;
+use impatience_sim::config::{ConfigError, ContactSource, SimConfig};
+use impatience_sim::faults::{CacheFaults, Churn, ContactDrop, FaultConfig};
+use impatience_sim::policy::PolicyKind;
+use impatience_sim::runner::{run_trials, run_trials_sharded};
+use impatience_sim::sharded::{run_trial_sharded, ShardedOutcome};
+use std::sync::Arc;
+
+fn config(faults: Option<FaultConfig>) -> SimConfig {
+    let mut builder = SimConfig::builder(12, 2)
+        .demand(Popularity::pareto(12, 1.0).demand_rates(0.8))
+        .utility(Arc::new(Step::new(15.0)))
+        .bin(100.0)
+        .warmup_fraction(0.25);
+    if let Some(fc) = faults {
+        builder = builder.faults(fc);
+    }
+    builder.build()
+}
+
+fn all_supported_faults() -> FaultConfig {
+    FaultConfig {
+        seed: 31,
+        drop: Some(ContactDrop {
+            p: 0.25,
+            mean_burst: 3.0,
+        }),
+        cache: Some(CacheFaults { rate: 0.002 }),
+        truncate_fraction: Some(0.9),
+        ..FaultConfig::default()
+    }
+}
+
+fn run(workers: usize, faults: Option<FaultConfig>, seed: u64) -> ShardedOutcome {
+    let source = ContactSource::homogeneous(96, 0.01, 1_500.0);
+    run_trial_sharded(
+        &config(faults),
+        &source,
+        PolicyKind::qcr_default(),
+        seed,
+        workers,
+    )
+    .expect("supported configuration")
+}
+
+/// Every observable artifact of a trial is a pure function of the seed,
+/// independent of the worker count — the tentpole guarantee, checked
+/// with the full supported fault set active.
+#[test]
+fn worker_count_never_changes_any_bit() {
+    for seed in [3, 17] {
+        let baseline = run(1, Some(all_supported_faults()), seed);
+        assert!(
+            !baseline.fault_log.is_empty(),
+            "fault injection must be live for the gate to mean anything"
+        );
+        assert!(baseline.outcome.metrics.contacts_dropped > 0);
+        assert!(baseline.contacts_processed > 1_000);
+        for workers in [2, 8] {
+            let other = run(workers, Some(all_supported_faults()), seed);
+            assert_eq!(
+                other.event_digest, baseline.event_digest,
+                "{workers} workers"
+            );
+            assert_eq!(other.fault_log, baseline.fault_log, "{workers} workers");
+            assert_eq!(other.contacts_processed, baseline.contacts_processed);
+            assert_eq!(
+                other.outcome.final_replicas,
+                baseline.outcome.final_replicas
+            );
+            let (m, b) = (&other.outcome.metrics, &baseline.outcome.metrics);
+            assert_eq!(m.observed_rate_series(), b.observed_rate_series());
+            assert_eq!(m.expected_utility_series(), b.expected_utility_series());
+            assert_eq!(m.requests_created, b.requests_created);
+            assert_eq!(m.immediate_hits, b.immediate_hits);
+            assert_eq!(m.transmissions, b.transmissions);
+            assert_eq!(m.unfulfilled, b.unfulfilled);
+            assert_eq!(m.mandates_created, b.mandates_created);
+            assert_eq!(m.contacts_dropped, b.contacts_dropped);
+            assert_eq!(m.cache_faults, b.cache_faults);
+        }
+    }
+}
+
+/// The clean-network path (no fault state at all) must be worker-stable
+/// too — it skips the admission code entirely, so it needs its own gate.
+#[test]
+fn clean_runs_are_worker_stable() {
+    let baseline = run(1, None, 11);
+    assert!(baseline.fault_log.is_empty());
+    for workers in [2, 8] {
+        let other = run(workers, None, 11);
+        assert_eq!(other.event_digest, baseline.event_digest);
+        assert_eq!(
+            other.outcome.metrics.observed_rate_series(),
+            baseline.outcome.metrics.observed_rate_series()
+        );
+    }
+}
+
+/// The batch runner's cross-trial aggregate (rates, series, digests)
+/// inherits the per-trial guarantee.
+#[test]
+fn batch_aggregate_is_worker_stable() {
+    let source = ContactSource::homogeneous(64, 0.01, 1_000.0);
+    let cfg = config(Some(all_supported_faults()));
+    let policy = PolicyKind::qcr_default();
+    let base = run_trials_sharded(&cfg, &source, &policy, 4, 99, Some(1)).unwrap();
+    let wide = run_trials_sharded(&cfg, &source, &policy, 4, 99, Some(8)).unwrap();
+    assert_eq!(base.event_digests, wide.event_digests);
+    assert_eq!(base.fault_events, wide.fault_events);
+    assert_eq!(base.contacts_processed, wide.contacts_processed);
+    assert_eq!(base.aggregate.rates, wide.aggregate.rates);
+    assert_eq!(
+        base.aggregate.observed_series,
+        wide.aggregate.observed_series
+    );
+    assert_eq!(
+        base.aggregate.mean_final_replicas,
+        wide.aggregate.mean_final_replicas
+    );
+    assert!(base.fault_events > 0);
+}
+
+/// Sharded and serial engines sample different realizations of the same
+/// stochastic model, so their trial-averaged welfare must agree within
+/// sampling noise (they share demand, utility, population, and μ).
+#[test]
+fn sharded_welfare_agrees_with_the_serial_engine() {
+    let cfg = config(None);
+    let source = ContactSource::homogeneous(96, 0.01, 1_500.0);
+    let policy = PolicyKind::qcr_default();
+    let serial = run_trials(&cfg, &source, &policy, 10, 1234);
+    let sharded = run_trials_sharded(&cfg, &source, &policy, 10, 1234, Some(2)).unwrap();
+    let (a, b) = (serial.mean_rate, sharded.aggregate.mean_rate);
+    assert!(a > 0.0 && b > 0.0);
+    let rel = (a - b).abs() / a.max(b);
+    assert!(
+        rel < 0.12,
+        "serial {a:.4} vs sharded {b:.4} utility/min differ by {:.1}%",
+        rel * 100.0
+    );
+}
+
+/// Configurations the sharded engine cannot honor are rejected up front
+/// with the dedicated error, not silently approximated.
+#[test]
+fn unsupported_configurations_error_cleanly() {
+    let source = ContactSource::homogeneous(64, 0.01, 1_000.0);
+    let churny = config(Some(FaultConfig {
+        churn: Some(Churn {
+            mean_up: 200.0,
+            mean_down: 40.0,
+        }),
+        ..FaultConfig::default()
+    }));
+    let err = run_trials_sharded(&churny, &source, &PolicyKind::qcr_default(), 1, 7, Some(2))
+        .unwrap_err();
+    assert!(matches!(err, ConfigError::UnsupportedSharded { .. }));
+    assert!(err.to_string().contains("sharded engine"), "{err}");
+}

@@ -1,0 +1,199 @@
+//! Typed error taxonomy of the distributed runtime.
+//!
+//! Extends the PR 3 per-class CLI exit codes: every `NetError` maps to
+//! exit code **12** in `impatience netrun`. The variants separate what
+//! went wrong at the *protocol* layer (a link that was never up, a
+//! contact window that closed before the peers exchanged a single
+//! message, a transfer that exhausted its retry budget) from the one
+//! failure that is always a bug rather than weather: a violated mandate
+//! conservation invariant at quiesce.
+
+use std::fmt;
+
+use crate::wire::WireError;
+
+/// Everything that can go wrong inside the distributed QCR runtime.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NetError {
+    /// A message was submitted for a link that is not up (or to a node
+    /// outside the population). In normal operation the kernel counts
+    /// and drops these; the error surfaces when a caller demands strict
+    /// transport semantics.
+    TransportClosed {
+        /// Sending node.
+        from: u32,
+        /// Intended receiver.
+        to: u32,
+        /// Simulation time of the attempt.
+        at: f64,
+    },
+    /// A contact window closed before the two endpoints completed even
+    /// one advert exchange, while at least one of them had protocol
+    /// state pending for the other (strict mode only; otherwise counted
+    /// and retried at the next contact).
+    HandshakeTimeout {
+        /// The node reporting the failed exchange.
+        node: u32,
+        /// The peer it never heard from.
+        peer: u32,
+        /// The contact-window id.
+        window: u64,
+    },
+    /// A two-phase mandate transfer exhausted its retry budget without
+    /// an acknowledgment. The mandates stay escrowed (conservation
+    /// holds); strict mode turns the parked transfer into this error.
+    AckTimeout {
+        /// The escrow holder.
+        node: u32,
+        /// The unresponsive peer.
+        peer: u32,
+        /// The transfer id.
+        xfer: u64,
+        /// Send attempts made before giving up.
+        attempts: u32,
+    },
+    /// The quiesce-time mandate audit failed: minted mandates are not
+    /// exactly accounted for by executions, discards, node pools, and
+    /// in-flight escrow. Always a protocol bug, never injected weather.
+    ConservationViolation {
+        /// Mandates minted over the trial.
+        minted: u64,
+        /// Mandates consumed by producing (or rejecting) a copy.
+        executed: u64,
+        /// Mandates destroyed at pool-cap clamps.
+        discarded: u64,
+        /// Mandates sitting in node pools at quiesce.
+        pooled: u64,
+        /// Mandates still escrowed in unapplied transfers at quiesce.
+        escrowed: u64,
+    },
+    /// A wire frame failed to decode.
+    Codec(WireError),
+    /// The run was configured with parameters the runtime cannot honor.
+    Config(String),
+}
+
+impl NetError {
+    /// Stable machine-readable class name (manifest / log field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            NetError::TransportClosed { .. } => "transport_closed",
+            NetError::HandshakeTimeout { .. } => "handshake_timeout",
+            NetError::AckTimeout { .. } => "ack_timeout",
+            NetError::ConservationViolation { .. } => "conservation_violation",
+            NetError::Codec(_) => "codec",
+            NetError::Config(_) => "config",
+        }
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::TransportClosed { from, to, at } => {
+                write!(f, "transport closed: {from} -> {to} at t={at}")
+            }
+            NetError::HandshakeTimeout { node, peer, window } => write!(
+                f,
+                "handshake timeout: node {node} never heard from {peer} in window {window}"
+            ),
+            NetError::AckTimeout {
+                node,
+                peer,
+                xfer,
+                attempts,
+            } => write!(
+                f,
+                "ack timeout: transfer {xfer} from {node} to {peer} unacked after {attempts} attempts"
+            ),
+            NetError::ConservationViolation {
+                minted,
+                executed,
+                discarded,
+                pooled,
+                escrowed,
+            } => write!(
+                f,
+                "mandate conservation violated: minted {minted} != executed {executed} \
+                 + discarded {discarded} + pooled {pooled} + escrowed {escrowed} \
+                 (= {})",
+                executed + discarded + pooled + escrowed
+            ),
+            NetError::Codec(e) => write!(f, "wire codec: {e}"),
+            NetError::Config(msg) => write!(f, "net config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        NetError::Codec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_kind_cover_every_variant() {
+        let cases: Vec<NetError> = vec![
+            NetError::TransportClosed {
+                from: 1,
+                to: 2,
+                at: 3.5,
+            },
+            NetError::HandshakeTimeout {
+                node: 0,
+                peer: 9,
+                window: 77,
+            },
+            NetError::AckTimeout {
+                node: 4,
+                peer: 5,
+                xfer: 12,
+                attempts: 64,
+            },
+            NetError::ConservationViolation {
+                minted: 10,
+                executed: 4,
+                discarded: 1,
+                pooled: 3,
+                escrowed: 1,
+            },
+            NetError::Codec(WireError::Truncated { need: 6, have: 2 }),
+            NetError::Config("bad".into()),
+        ];
+        let kinds: Vec<&str> = cases.iter().map(|e| e.kind()).collect();
+        assert_eq!(
+            kinds,
+            [
+                "transport_closed",
+                "handshake_timeout",
+                "ack_timeout",
+                "conservation_violation",
+                "codec",
+                "config"
+            ]
+        );
+        for e in &cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn conservation_message_shows_the_imbalance() {
+        let e = NetError::ConservationViolation {
+            minted: 10,
+            executed: 4,
+            discarded: 1,
+            pooled: 3,
+            escrowed: 1,
+        };
+        let s = e.to_string();
+        assert!(s.contains("minted 10"), "{s}");
+        assert!(s.contains("= 9"), "{s}");
+    }
+}

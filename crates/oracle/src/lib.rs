@@ -18,6 +18,9 @@
 //!   CLT-derived confidence intervals (disagreement is flagged only when
 //!   statistically significant, never on a fixed epsilon), plus the
 //!   discrete→continuous slot-refinement convergence check;
+//! * [`netdiff`] — the distributed message-passing QCR runtime
+//!   (`impatience-net`) against the in-process engine on paired seeds,
+//!   with an explicit allowance for its documented protocol biases;
 //! * [`scenario`] — the seeded conformance matrix over
 //!   {utility families} × {populations} × {contact regimes} × {faults},
 //!   each cell a self-describing record with per-invariant pass/fail;
@@ -33,6 +36,7 @@
 
 pub mod brute;
 pub mod differential;
+pub mod netdiff;
 pub mod report;
 pub mod scenario;
 
@@ -40,6 +44,7 @@ pub use brute::{brute_force_heterogeneous, brute_force_homogeneous};
 pub use differential::{
     clt_interval, engines_match, mc_gain_estimate, slot_refinement_errors, Comparison,
 };
+pub use netdiff::net_vs_engine;
 pub use report::{summary_table, write_report};
 pub use scenario::{
     run_matrix, CheckStatus, InvariantResult, MatrixOptions, ScenarioRecord, INVARIANTS,

@@ -740,6 +740,7 @@ fn sim_parts(
             }),
             cache: None,
             truncate_fraction: None,
+            msg: None,
             panic_on_seeds: Vec::new(),
         });
     }

@@ -36,6 +36,11 @@ use crate::state::SimState;
 const CHURN_STREAM_ID: u64 = 0xFA17_0001_C4B2_9D01;
 const DROP_STREAM_ID: u64 = 0xFA17_0002_D209_BA55;
 const CACHE_STREAM_ID: u64 = 0xFA17_0003_5107_FA11;
+/// Stream id reserved for the message-layer transport (`impatience-net`).
+/// Exported so the distributed runtime forks its chaos off the *same*
+/// base seed (`trial_seed ^ rotl(fault_seed, 23)`) as the engine-side
+/// processes, keeping the whole fault schedule worker-count-independent.
+pub const MSG_STREAM_ID: u64 = 0xFA17_0004_AE55_A6E5;
 
 /// Exponential on/off churn for cache-carrying nodes.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -67,6 +72,34 @@ pub struct CacheFaults {
     pub rate: f64,
 }
 
+/// Message-layer faults for the distributed runtime (`impatience-net`).
+///
+/// The in-process engines exchange no messages, so this family is inert
+/// there by construction: attaching it leaves every engine trajectory
+/// bit-for-bit unchanged (its RNG streams fork from the fault base seed,
+/// never from the trial's demand generator). The `crates/net` transport
+/// consumes it to drop, duplicate, and reorder wire messages.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MsgFaults {
+    /// Probability that a sent message is silently lost.
+    pub loss_p: f64,
+    /// Probability that a delivered message arrives twice.
+    pub dup_p: f64,
+    /// Maximum reorder window, in units of the base message delay: each
+    /// delivery is delayed by an extra `U(0, reorder_window) × delay`,
+    /// so messages up to `reorder_window` "slots" apart can swap order.
+    /// `0` preserves FIFO ordering per link.
+    pub reorder_window: u32,
+}
+
+impl MsgFaults {
+    /// Whether any message-layer process is active; an all-zero config
+    /// is the identity transport.
+    pub fn is_active(&self) -> bool {
+        self.loss_p > 0.0 || self.dup_p > 0.0 || self.reorder_window > 0
+    }
+}
+
 /// The full fault model attached to a [`crate::SimConfig`].
 ///
 /// `Default` is the empty model: no process active, engines behave
@@ -84,6 +117,10 @@ pub struct FaultConfig {
     pub cache: Option<CacheFaults>,
     /// Lose every contact after this fraction of the horizon (in (0, 1]).
     pub truncate_fraction: Option<f64>,
+    /// Message-layer faults. Consumed only by the `impatience-net`
+    /// transport; the in-process engines ignore it entirely, so an
+    /// engine run with `msg` attached is bit-identical to one without.
+    pub msg: Option<MsgFaults>,
     /// Chaos hook: trials run with any of these seeds panic at startup.
     /// Exercises the campaign runner's skip-and-report path in tests.
     pub panic_on_seeds: Vec<u64>,
@@ -96,6 +133,7 @@ impl FaultConfig {
             || self.drop.is_some()
             || self.cache.is_some()
             || self.truncate_fraction.is_some()
+            || self.msg.is_some_and(|m| m.is_active())
             || !self.panic_on_seeds.is_empty()
     }
 
@@ -148,6 +186,20 @@ impl FaultConfig {
                 return bad(format!("truncate fraction must be in (0, 1] (got {f})"));
             }
         }
+        if let Some(m) = self.msg {
+            if !(0.0..1.0).contains(&m.loss_p) {
+                return bad(format!(
+                    "message loss probability must be in [0, 1) (got {})",
+                    m.loss_p
+                ));
+            }
+            if !(0.0..1.0).contains(&m.dup_p) {
+                return bad(format!(
+                    "message duplication probability must be in [0, 1) (got {})",
+                    m.dup_p
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -166,7 +218,43 @@ impl FaultConfig {
         if let Some(f) = self.truncate_fraction {
             parts.push(format!("truncate={f}"));
         }
+        if let Some(m) = self.msg {
+            parts.push(format!("msg={}/{}/{}", m.loss_p, m.dup_p, m.reorder_window));
+        }
         parts.join(",")
+    }
+
+    /// The precomputed churn toggle schedule for one trial, as
+    /// `(time, node, up)` triples sorted by time. This is exactly the
+    /// schedule [`FaultState`] plays back inside the engines, exported so
+    /// the distributed runtime can crash and restart *its* node tasks at
+    /// the same instants the engine would suppress their contacts —
+    /// identical discipline, identical seeds, identical worker-count
+    /// independence.
+    pub fn churn_schedule(
+        &self,
+        nodes: usize,
+        duration: f64,
+        trial_seed: u64,
+    ) -> Vec<(f64, u32, bool)> {
+        let mut base = Xoshiro256::seed_from_u64(trial_seed ^ self.seed.rotate_left(23));
+        let mut toggles = Vec::new();
+        if let Some(churn) = self.churn {
+            let up_rate = 1.0 / churn.mean_up;
+            let down_rate = 1.0 / churn.mean_down;
+            for node in 0..nodes {
+                let mut rng = base.split(CHURN_STREAM_ID ^ node as u64);
+                let mut t = rng.exp(up_rate);
+                let mut up = false; // first toggle goes down
+                while t < duration && toggles.len() < MAX_TOGGLES {
+                    toggles.push((t, node as u32, up));
+                    t += rng.exp(if up { up_rate } else { down_rate });
+                    up = !up;
+                }
+            }
+            toggles.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        }
+        toggles
     }
 }
 

@@ -59,7 +59,7 @@ pub use config::{ConfigError, ContactSource, SimConfig, SimConfigBuilder};
 pub use contact_bin::BatchedContacts;
 pub use engine::{run_trial, TrialOutcome};
 pub use engine_discrete::{run_trial_discrete, DiscreteSource};
-pub use faults::{CacheFaults, Churn, ContactDrop, FaultConfig};
+pub use faults::{CacheFaults, Churn, ContactDrop, FaultConfig, MsgFaults};
 pub use metrics::Metrics;
 pub use policy::PolicyKind;
 pub use runner::{

@@ -9,7 +9,7 @@ mod qcr;
 mod static_alloc;
 
 pub use hill_climb::HillClimb;
-pub use qcr::{Qcr, QcrConfig, Reaction};
+pub use qcr::{reaction_scale, Qcr, QcrConfig, Reaction};
 pub use static_alloc::StaticAllocation;
 
 use std::sync::Arc;

@@ -103,32 +103,7 @@ impl Qcr {
         assert!(cfg.gain_scale > 0.0, "gain scale must be positive");
         assert!(servers > 0 && servers <= nodes, "need 1 ≤ servers ≤ nodes");
         let mu_ref = if mu_ref > 0.0 { mu_ref } else { 1.0 };
-        let mut scale = cfg.gain_scale;
-        if cfg.normalize_reaction {
-            if let Reaction::Psi = cfg.reaction {
-                // Expected query count under the uniform allocation:
-                // y* = |S|/x̄ with x̄ = ρ|S|/|I|.
-                let y_ref = (items as f64 / rho.max(1) as f64).max(1.0);
-                let psi_ref = utility.psi(y_ref, servers as f64, mu_ref);
-                if psi_ref.is_finite() && psi_ref > 0.0 {
-                    scale /= psi_ref;
-                    // Steepness damping: when ψ grows steeply in y (ratio
-                    // r = ψ(2y*)/ψ(y*) > 1, e.g. ψ(y) = y³ for α = −2), a
-                    // half-replicated item mints r× the normal batch, the
-                    // resulting overshoot knocks other items down, and the
-                    // allocation oscillates instead of settling. Damping
-                    // by r³ (calibrated across the power and step
-                    // families; see the ablation bench) trades
-                    // convergence speed for stability; the equilibrium
-                    // itself is scale-free (Property 2).
-                    let psi_2ref = utility.psi(2.0 * y_ref, servers as f64, mu_ref);
-                    let r = psi_2ref / psi_ref;
-                    if r.is_finite() && r > 1.0 {
-                        scale /= r * r * r;
-                    }
-                }
-            }
-        }
+        let scale = reaction_scale(&cfg, utility.as_ref(), servers, mu_ref, items, rho);
         Qcr {
             cfg,
             utility,
@@ -270,6 +245,50 @@ impl Qcr {
             set_mandates(&mut self.mandates[b], item, total - to_a);
         }
     }
+}
+
+/// The combined reaction multiplier (gain_scale × ψ-normalization ×
+/// steepness damping) a [`Qcr`] built from `cfg` uses when minting.
+///
+/// Exported so the distributed runtime (`impatience-net`) mints from the
+/// *identical* ψ scaling as the in-process engine: a welfare difference
+/// between the two can then only come from the transport, never from a
+/// drifted normalization constant. `mu_ref` must already be positive.
+pub fn reaction_scale(
+    cfg: &QcrConfig,
+    utility: &dyn DelayUtility,
+    servers: usize,
+    mu_ref: f64,
+    items: usize,
+    rho: usize,
+) -> f64 {
+    let mut scale = cfg.gain_scale;
+    if cfg.normalize_reaction {
+        if let Reaction::Psi = cfg.reaction {
+            // Expected query count under the uniform allocation:
+            // y* = |S|/x̄ with x̄ = ρ|S|/|I|.
+            let y_ref = (items as f64 / rho.max(1) as f64).max(1.0);
+            let psi_ref = utility.psi(y_ref, servers as f64, mu_ref);
+            if psi_ref.is_finite() && psi_ref > 0.0 {
+                scale /= psi_ref;
+                // Steepness damping: when ψ grows steeply in y (ratio
+                // r = ψ(2y*)/ψ(y*) > 1, e.g. ψ(y) = y³ for α = −2), a
+                // half-replicated item mints r× the normal batch, the
+                // resulting overshoot knocks other items down, and the
+                // allocation oscillates instead of settling. Damping
+                // by r³ (calibrated across the power and step
+                // families; see the ablation bench) trades
+                // convergence speed for stability; the equilibrium
+                // itself is scale-free (Property 2).
+                let psi_2ref = utility.psi(2.0 * y_ref, servers as f64, mu_ref);
+                let r = psi_2ref / psi_ref;
+                if r.is_finite() && r > 1.0 {
+                    scale /= r * r * r;
+                }
+            }
+        }
+    }
+    scale
 }
 
 fn set_mandates(pool: &mut BTreeMap<u32, u64>, item: u32, count: u64) {

@@ -39,13 +39,18 @@ use impatience_core::utility::{parse_utility, DelayUtility};
 use impatience_core::welfare::HeterogeneousSystem;
 use impatience_exp::{run_spec, CheckOutcome, ExecContext, ExpError, Registry, Spec};
 use impatience_json::Json;
+use impatience_net::{
+    run_net_trials_observed, ChaosEvent, ChaosKind, NetAggregate, NetConfig, NetError,
+};
 use impatience_obs::{
     render_diff, AtomicFile, Event, JsonlSink, Manifest, MemorySink, MetricsRegistry, Progress,
     Recorder, Sink, TallySink, TraceSummary,
 };
-use impatience_oracle::{run_matrix, summary_table, write_report, CheckStatus, MatrixOptions};
+use impatience_oracle::{
+    net_vs_engine, run_matrix, summary_table, write_report, CheckStatus, MatrixOptions,
+};
 use impatience_sim::config::SimConfig;
-use impatience_sim::faults::{CacheFaults, Churn, ContactDrop, FaultConfig};
+use impatience_sim::faults::{CacheFaults, Churn, ContactDrop, FaultConfig, MsgFaults};
 use impatience_sim::policy::PolicyKind;
 use impatience_sim::runner::{
     run_trials_observed_with_workers, run_trials_sharded, CampaignOutcome,
@@ -108,6 +113,15 @@ enum CliError {
     /// `reproduce --check` regenerated results that differ from the
     /// committed baselines.
     Drift { drifted: usize, checked: usize },
+    /// The distributed runtime failed: conservation violation, strict
+    /// transport timeout, codec corruption, or a bad `NetConfig`.
+    Net(NetError),
+    /// The distributed batch finished but some trials were degraded
+    /// (supervisor condemned a node, or the event cap tripped).
+    NetDegraded { degraded: usize, trials: usize },
+    /// `netrun --verify` ran, but the distributed runtime disagreed with
+    /// the engine on at least one scenario.
+    NetVerify { failed: usize, scenarios: usize },
 }
 
 impl CliError {
@@ -128,6 +142,9 @@ impl CliError {
                 _ => "config",
             },
             CliError::Drift { .. } => "drift",
+            CliError::Net(_) => "net",
+            CliError::NetDegraded { .. } => "degraded",
+            CliError::NetVerify { .. } => "verify",
         }
     }
 
@@ -148,6 +165,9 @@ impl CliError {
                 _ => 3,
             },
             CliError::Drift { .. } => 11,
+            CliError::Net(_) => 12,
+            CliError::NetDegraded { .. } => 9,
+            CliError::NetVerify { .. } => 10,
         })
     }
 }
@@ -176,6 +196,18 @@ impl std::fmt::Display for CliError {
                 f,
                 "reproduction drift: {drifted} of {checked} artifact(s) \
                  differ from the committed results (details above)"
+            ),
+            CliError::Net(e) => write!(f, "{e}"),
+            CliError::NetDegraded { degraded, trials } => write!(
+                f,
+                "distributed batch degraded: {degraded} of {trials} trial(s) \
+                 finished under a supervisor kill or the event cap; \
+                 conservation held in all of them (details above)"
+            ),
+            CliError::NetVerify { failed, scenarios } => write!(
+                f,
+                "distributed runtime disagreed with the engine on {failed} of \
+                 {scenarios} scenario(s); details above"
             ),
         }
     }
@@ -223,6 +255,12 @@ impl From<ExpError> for CliError {
     }
 }
 
+impl From<NetError> for CliError {
+    fn from(e: NetError) -> CliError {
+        CliError::Net(e)
+    }
+}
+
 impl From<CampaignError> for CliError {
     fn from(e: CampaignError) -> CliError {
         // Unwrap the typed causes so the exit code reflects the root.
@@ -248,6 +286,13 @@ USAGE:
                             [--items N --rho N --utility SPEC --policy P --trials N
                              --seed N --verbose --profile] [fault injection]
   impatience resume   CKPT
+  impatience netrun   [TRACE | --nodes N --mu F --duration T] [--items N --rho N
+                       --utility SPEC --trials N --seed N --workers N]
+                      [--loss-p F --dup-p F --reorder N] [fault injection]
+                      [--window MIN --msg-delay MIN --deadline MIN]
+                      [--kill T:NODE:DOWN] [--stall T:NODE]
+                      [--trace-out FILE] [--verbose]
+  impatience netrun   --verify [--quick] [--seed N] [--z F]
   impatience verify   [--quick|--full] [--seed N] [-o FILE] [--trace-out FILE] [--limit N]
                       [--profile]
   impatience reproduce [SPEC..] [--fig N | --all] [--list] [--check] [--resume]
@@ -312,6 +357,35 @@ FAULT INJECTION (simulate; seeded, deterministic, off by default):
   --truncate F           end each trial at fraction F of the horizon (0<F<=1)
   --fault-seed N         dedicated RNG stream for the fault processes
 
+DISTRIBUTED RUNTIME (netrun; the message-passing QCR kernel):
+  Runs QCR as independent node tasks exchanging a typed 5-message
+  protocol (advert/request/fulfill/handoff/ack) over an unreliable
+  in-process transport driven by the same contact stream as the engine.
+  Every mandate movement is a two-phase acked transfer with capped
+  exponential backoff; a quiesce-time audit proves exact mandate
+  conservation (minted = executed + discarded + pooled + escrowed) or
+  the run exits 12. Churn (--churn-up/--churn-down) crashes and
+  restarts node tasks from their last checkpoint; a heartbeat
+  supervisor condemns wedged nodes and degrades the run (exit 9)
+  instead of hanging it.
+  --loss-p F         drop each wire message with probability F
+  --dup-p F          deliver each message twice with probability F
+  --reorder N        extra per-message jitter of U(0,N) delay slots
+                     (messages up to N slots apart can swap order)
+  --window MIN       contact link-up window (default 0.05)
+  --msg-delay MIN    one-way message delay (default 0.002)
+  --deadline MIN     abandon requests older than this (default: horizon)
+  --kill T:NODE:DOWN crash NODE at minute T, restart DOWN minutes later
+  --stall T:NODE     wedge NODE at minute T (supervisor must condemn it)
+  --trace-out FILE   JSONL events + manifest + a Prometheus .prom
+                     sibling carrying the transport/protocol counters
+  --verify           differential mode: run clean-transport scenarios
+                     through both this runtime and the engine on paired
+                     seeds and require agreement within the CLT budget
+                     (exit 10 on disagreement), then a lossy sweep that
+                     must terminate conserving at 5/10/20% loss.
+                     --quick shrinks horizons for CI; --z sets the gate.
+
 VERIFICATION (verify; deterministic given --seed):
   Runs the oracle conformance matrix — 5 utility families x 3 population
   shapes x {hom,het} contacts x {clean,faults} — and checks each cell
@@ -351,8 +425,9 @@ CHECKPOINTING (simulate):
 EXIT CODES:
   0 ok | 2 usage | 3 config | 4 solver | 5 trace | 6 checkpoint
   7 campaign | 8 io | 9 degraded (some trials skipped)
-  10 verify (conformance invariant violated)
+  10 verify (conformance invariant violated, or netrun --verify disagreed)
   11 drift (reproduce --check differs from committed results)
+  12 net (distributed runtime: conservation violation or transport fault)
 
 COMMON OPTIONS (defaults):
   --items 50  --rho 5  --omega 1.0  --utility step:10  --trials 15  --seed 42
@@ -385,6 +460,7 @@ impl Args {
                         | "resume"
                         | "profile"
                         | "prom"
+                        | "verify"
                 ) {
                     options.insert(name.to_string(), "true".to_string());
                     continue;
@@ -451,6 +527,7 @@ fn run() -> Result<(), CliError> {
         "solve" => solve(&args),
         "simulate" => simulate(&args, &raw),
         "resume" => resume(args.positional.first()),
+        "netrun" => netrun(&args),
         "verify" => verify(&args),
         "reproduce" => reproduce(&args, &raw),
         "trace" => trace_cmd(&args),
@@ -999,6 +1076,497 @@ fn simulate_sharded(args: &Args) -> Result<(), CliError> {
     if profiling {
         emit_profile(&Recorder::disabled(), None, None)?;
     }
+    Ok(())
+}
+
+/// Contact source for `netrun`: a trace positional, or the synthetic
+/// homogeneous family via `--nodes/--mu/--duration`.
+fn net_source(args: &Args) -> Result<(ContactSource, usize, String), CliError> {
+    match args.positional.first() {
+        Some(path) => {
+            let trace = read_trace_file(Path::new(path))?;
+            let nodes = trace.nodes();
+            Ok((ContactSource::trace(trace), nodes, path.clone()))
+        }
+        None => {
+            let nodes: usize = args.get("nodes", 16)?;
+            let mu: f64 = args.get("mu", 0.05)?;
+            let duration: f64 = args.get("duration", 2_000.0)?;
+            let label = format!("poisson n={nodes} mu={mu} T={duration}");
+            Ok((
+                ContactSource::homogeneous(nodes, mu, duration),
+                nodes,
+                label,
+            ))
+        }
+    }
+}
+
+/// The engine-side fault model for `netrun`: the shared flags from
+/// [`fault_config`] plus the message-layer family
+/// (`--loss-p/--dup-p/--reorder`) that only the net transport consumes.
+fn net_fault_config(args: &Args) -> Result<Option<FaultConfig>, CliError> {
+    let mut fc = match fault_config(args)? {
+        Some(fc) => fc,
+        None => FaultConfig {
+            seed: args.get("fault-seed", 0)?,
+            ..FaultConfig::default()
+        },
+    };
+    let msg = MsgFaults {
+        loss_p: args.get("loss-p", 0.0)?,
+        dup_p: args.get("dup-p", 0.0)?,
+        reorder_window: args.get("reorder", 0)?,
+    };
+    if msg.is_active() {
+        fc.msg = Some(msg);
+    }
+    if fc.is_active() {
+        fc.validate()?;
+        Ok(Some(fc))
+    } else {
+        Ok(None)
+    }
+}
+
+/// The [`NetConfig`] for `netrun`, from defaults plus the CLI overrides
+/// and the `--kill/--stall` chaos injections.
+fn net_run_config(args: &Args) -> Result<NetConfig, CliError> {
+    let d = NetConfig::default();
+    let mut net = NetConfig {
+        window: args.get("window", d.window)?,
+        msg_delay: args.get("msg-delay", d.msg_delay)?,
+        rto_base: args.get("rto-base", d.rto_base)?,
+        rto_cap: args.get("rto-cap", d.rto_cap)?,
+        max_attempts: args.get("max-attempts", d.max_attempts)?,
+        deadline: args.get_opt("deadline")?,
+        max_events: args.get("max-events", 0)?,
+        ..d
+    };
+    if let Some(spec) = args.options.get("kill") {
+        let parts: Vec<&str> = spec.split(':').collect();
+        let bad = || CliError::Usage(format!("--kill wants T:NODE:DOWN_FOR, got `{spec}`"));
+        if parts.len() != 3 {
+            return Err(bad());
+        }
+        net.chaos.push(ChaosEvent {
+            t: parts[0].parse().map_err(|_| bad())?,
+            node: parts[1].parse().map_err(|_| bad())?,
+            kind: ChaosKind::Kill {
+                down_for: parts[2].parse().map_err(|_| bad())?,
+            },
+        });
+    }
+    if let Some(spec) = args.options.get("stall") {
+        let parts: Vec<&str> = spec.split(':').collect();
+        let bad = || CliError::Usage(format!("--stall wants T:NODE, got `{spec}`"));
+        if parts.len() != 2 {
+            return Err(bad());
+        }
+        net.chaos.push(ChaosEvent {
+            t: parts[0].parse().map_err(|_| bad())?,
+            node: parts[1].parse().map_err(|_| bad())?,
+            kind: ChaosKind::Stall,
+        });
+    }
+    net.validate()?;
+    Ok(net)
+}
+
+/// The transport/protocol counters and conservation terms of a
+/// distributed batch as a Prometheus registry, merged with whatever the
+/// recorder tallied.
+fn net_registry<S: Sink>(rec: &Recorder<S>, agg: &NetAggregate) -> MetricsRegistry {
+    let mut reg = MetricsRegistry::new();
+    reg.absorb_recorder(rec);
+    let s = &agg.stats;
+    let counters: [(&str, &str, u64); 17] = [
+        (
+            "net_msgs_sent",
+            "Frames submitted to an open link",
+            s.msgs_sent,
+        ),
+        (
+            "net_msgs_delivered",
+            "Frames delivered to a live node",
+            s.msgs_delivered,
+        ),
+        (
+            "net_msgs_lost",
+            "Frames destroyed by injected loss",
+            s.msgs_lost,
+        ),
+        (
+            "net_msgs_duplicated",
+            "Extra copies from duplication faults",
+            s.msgs_duplicated,
+        ),
+        (
+            "net_transport_closed",
+            "Sends or deliveries on a dead link",
+            s.transport_closed,
+        ),
+        ("net_retries", "Protocol retransmissions", s.retries),
+        (
+            "net_ack_timeouts",
+            "Transfers parked after the retry budget",
+            s.ack_timeouts,
+        ),
+        (
+            "net_handshake_timeouts",
+            "Windows closed without an advert exchange",
+            s.handshake_timeouts,
+        ),
+        (
+            "net_handoffs_started",
+            "Two-phase mandate transfers initiated",
+            s.handoffs_started,
+        ),
+        (
+            "net_handoffs_applied",
+            "Custody handoffs applied at the receiver",
+            s.handoffs_applied,
+        ),
+        (
+            "net_acks_received",
+            "Acks received back at the escrow holder",
+            s.acks_received,
+        ),
+        (
+            "net_execs_applied",
+            "Mandated copies written by execute transfers",
+            s.execs_applied,
+        ),
+        (
+            "net_crashes",
+            "Node crashes (churn plus chaos kills)",
+            s.crashes,
+        ),
+        ("net_restarts", "Node restarts from checkpoint", s.restarts),
+        (
+            "net_stalls",
+            "Nodes condemned by the heartbeat supervisor",
+            s.stalls,
+        ),
+        (
+            "net_requests_expired",
+            "Requests abandoned by the deadline budget",
+            s.requests_expired,
+        ),
+        (
+            "net_heartbeats",
+            "Heartbeats observed by the supervisor",
+            s.heartbeats,
+        ),
+    ];
+    for (name, help, v) in counters {
+        reg.counter_add(&format!("impatience_{name}_total"), help, &[], v as f64);
+    }
+    let c = &agg.conservation;
+    for (term, v) in [
+        ("minted", c.minted),
+        ("executed", c.executed),
+        ("discarded", c.discarded),
+        ("pooled", c.pooled),
+        ("escrowed", c.escrowed),
+    ] {
+        reg.gauge_set(
+            "impatience_net_mandates",
+            "Mandate conservation terms at quiesce (minted = sum of the rest)",
+            &[("term", term)],
+            v as f64,
+        );
+    }
+    reg.gauge_set(
+        "impatience_net_degraded_trials",
+        "Trials that finished under a supervisor kill or the event cap",
+        &[],
+        agg.degraded_trials as f64,
+    );
+    reg
+}
+
+/// Result panel for a distributed batch.
+fn net_report(agg: &NetAggregate, utility: &Arc<dyn DelayUtility>, source: &str, verbose: bool) {
+    let s = &agg.stats;
+    let c = &agg.conservation;
+    println!(
+        "distributed QCR over {} trials (utility {}, source {source}):",
+        agg.trials,
+        utility.kind()
+    );
+    println!("  mean observed utility : {:>10.5} /min", agg.mean_rate);
+    println!(
+        "  5–95% band            : {:>10.5} … {:.5}",
+        agg.p5_rate, agg.p95_rate
+    );
+    println!("  unfulfilled/trial     : {:>10.1}", agg.mean_unfulfilled);
+    println!(
+        "  messages              : {:>10} sent · {} delivered · {} lost · {} dup",
+        s.msgs_sent, s.msgs_delivered, s.msgs_lost, s.msgs_duplicated
+    );
+    println!(
+        "  retries/timeouts      : {:>10} retries · {} ack · {} handshake",
+        s.retries, s.ack_timeouts, s.handshake_timeouts
+    );
+    println!(
+        "  mandate two-phase     : {:>10} handoffs · {} acks · {} executes",
+        s.handoffs_started, s.acks_received, s.execs_applied
+    );
+    println!(
+        "  conservation          : {} minted = {} executed + {} discarded + {} pooled + {} escrowed",
+        c.minted, c.executed, c.discarded, c.pooled, c.escrowed
+    );
+    if verbose || s.crashes + s.stalls + s.requests_expired > 0 {
+        println!(
+            "  churn/deadline        : {:>10} crashes · {} restarts · {} condemned · {} expired",
+            s.crashes, s.restarts, s.stalls, s.requests_expired
+        );
+    }
+    if agg.degraded_trials > 0 {
+        println!("  degraded trials       : {:>10}", agg.degraded_trials);
+    }
+    if verbose {
+        println!("  workers               : {:>10}", agg.workers);
+        println!("  wall time             : {:>10.3} s", agg.wall_s);
+    }
+}
+
+/// `impatience netrun`: run QCR on the distributed message-passing
+/// kernel (`impatience-net`) — independent node tasks, a typed
+/// five-message protocol, an unreliable transport, two-phase acked
+/// mandate transfers, and an exact conservation audit at quiesce.
+/// `--verify` switches to the differential mode instead.
+fn netrun(args: &Args) -> Result<(), CliError> {
+    if args.options.contains_key("verify") {
+        return netrun_verify(args);
+    }
+    let (source, nodes, source_label) = net_source(args)?;
+    let items: usize = args.get("items", 20)?;
+    let rho: usize = args.get("rho", 4)?;
+    let omega: f64 = args.get("omega", 1.0)?;
+    let trials: usize = args.get("trials", 10)?;
+    let seed: u64 = args.get("seed", 42)?;
+    let workers: Option<usize> = args.get_opt("workers")?;
+    let utility = args.utility()?;
+    let verbose = args.verbose();
+
+    let demand = Popularity::pareto(items, omega).demand_rates(1.0);
+    let mut builder = SimConfig::builder(items, rho)
+        .demand(demand)
+        .profile(DemandProfile::uniform(items, nodes))
+        .utility(utility.clone())
+        .bin(60.0)
+        .warmup_fraction(0.25);
+    let faults = net_fault_config(args)?;
+    if let Some(fc) = faults.clone() {
+        builder = builder.faults(fc);
+    }
+    let config = builder.build();
+    let net = net_run_config(args)?;
+
+    let agg = match args.options.get("trace-out") {
+        Some(out) => {
+            let path = Path::new(out);
+            let file = AtomicFile::create(path)
+                .map_err(|e| CliError::Io(format!("cannot create {out}: {e}")))?;
+            let mut rec = Recorder::new(JsonlSink::new(file));
+            let agg =
+                run_net_trials_observed(&config, &source, &net, trials, seed, workers, &mut rec)?;
+            let reg = net_registry(&rec, &agg);
+            rec.into_sink()
+                .into_inner()
+                .and_then(AtomicFile::commit)
+                .map_err(|e| CliError::Io(format!("writing {out}: {e}")))?;
+            let prom = path.with_extension("prom");
+            reg.write_prom(&prom)
+                .map_err(|e| CliError::Io(format!("cannot write {}: {e}", prom.display())))?;
+
+            let mut manifest = Manifest::new("netrun");
+            manifest.set("source", source_label.as_str());
+            manifest.set("trials", trials as u64);
+            manifest.set("base_seed", seed);
+            manifest.set("mean_rate", agg.mean_rate);
+            manifest.set("degraded_trials", agg.degraded_trials as u64);
+            manifest.set("msgs_sent", agg.stats.msgs_sent);
+            manifest.set("msgs_lost", agg.stats.msgs_lost);
+            manifest.set("retries", agg.stats.retries);
+            manifest.set("mandates_minted", agg.conservation.minted);
+            let mpath = Manifest::sibling_path(path);
+            manifest
+                .write_to(&mpath)
+                .map_err(|e| CliError::Io(format!("cannot write {}: {e}", mpath.display())))?;
+            println!("events  → {out}");
+            println!("metrics → {}", prom.display());
+            println!("manifest→ {}", mpath.display());
+            agg
+        }
+        None => run_net_trials_observed(
+            &config,
+            &source,
+            &net,
+            trials,
+            seed,
+            workers,
+            &mut Recorder::disabled(),
+        )?,
+    };
+
+    net_report(&agg, &utility, &source_label, verbose);
+    if agg.degraded_trials > 0 {
+        return Err(CliError::NetDegraded {
+            degraded: agg.degraded_trials,
+            trials,
+        });
+    }
+    Ok(())
+}
+
+/// One cell of the `netrun --verify` differential panel.
+struct NetScenario {
+    name: &'static str,
+    utility: &'static str,
+    nodes: usize,
+    mu: f64,
+    items: usize,
+    rho: usize,
+    omega: f64,
+    dedicated: Option<usize>,
+}
+
+impl NetScenario {
+    fn build(&self, duration: f64) -> Result<(SimConfig, ContactSource), CliError> {
+        let utility = parse_utility(self.utility).map_err(|e| CliError::Usage(e.to_string()))?;
+        let mut builder = SimConfig::builder(self.items, self.rho)
+            .demand(Popularity::pareto(self.items, self.omega).demand_rates(1.0))
+            .utility(utility)
+            .bin(60.0)
+            .warmup_fraction(0.25);
+        if let Some(servers) = self.dedicated {
+            builder = builder.dedicated_servers(servers);
+        }
+        Ok((
+            builder.build(),
+            ContactSource::homogeneous(self.nodes, self.mu, duration),
+        ))
+    }
+}
+
+/// The clean-transport differential panel: utility families ×
+/// populations × contact regimes, every cell run through both runtimes
+/// on paired seeds.
+#[rustfmt::skip]
+const NET_SCENARIOS: [NetScenario; 10] = [
+    NetScenario { name: "step10-small",  utility: "step:10", nodes: 10, mu: 0.10, items: 10, rho: 2, omega: 1.0, dedicated: None },
+    NetScenario { name: "step25-mid",    utility: "step:25", nodes: 16, mu: 0.05, items: 12, rho: 3, omega: 1.0, dedicated: None },
+    NetScenario { name: "exp-fast",      utility: "exp:0.1", nodes: 12, mu: 0.10, items: 10, rho: 2, omega: 1.0, dedicated: None },
+    NetScenario { name: "exp-slow",      utility: "exp:0.02", nodes: 20, mu: 0.04, items: 16, rho: 4, omega: 1.0, dedicated: None },
+    NetScenario { name: "power-0.5",     utility: "power:0.5", nodes: 12, mu: 0.08, items: 10, rho: 2, omega: 1.0, dedicated: None },
+    NetScenario { name: "neglog-ded",    utility: "neglog", nodes: 12, mu: 0.08, items: 10, rho: 2, omega: 1.0, dedicated: Some(4) },
+    NetScenario { name: "flat-demand",   utility: "step:10", nodes: 14, mu: 0.06, items: 12, rho: 3, omega: 0.5, dedicated: None },
+    NetScenario { name: "skewed-demand", utility: "step:10", nodes: 14, mu: 0.06, items: 12, rho: 3, omega: 2.0, dedicated: None },
+    NetScenario { name: "dedicated",     utility: "step:10", nodes: 16, mu: 0.08, items: 10, rho: 3, omega: 1.0, dedicated: Some(4) },
+    NetScenario { name: "dense",         utility: "step:10", nodes: 24, mu: 0.12, items: 8, rho: 2, omega: 1.0, dedicated: None },
+];
+
+/// `impatience netrun --verify [--quick]`: run every clean-transport
+/// scenario through both the distributed kernel and the engine on paired
+/// seeds and require statistical agreement, then sweep message loss and
+/// require every run to terminate with conservation intact.
+fn netrun_verify(args: &Args) -> Result<(), CliError> {
+    let quick = args.options.contains_key("quick");
+    let seed: u64 = args.get("seed", 42)?;
+    let z: f64 = args.get("z", 3.5)?;
+    let (trials, duration) = if quick { (4usize, 900.0) } else { (8, 2_000.0) };
+    let net = NetConfig::default();
+
+    println!("netrun --verify: distributed runtime vs engine on paired seeds");
+    println!(
+        "({} scenarios × {trials} trials, z = {z}, horizon {duration} min)",
+        NET_SCENARIOS.len()
+    );
+    println!(
+        "{:<14} {:>11} {:>12} {:>10} {:>10}  verdict",
+        "scenario", "engine", "distributed", "diff", "budget"
+    );
+    let mut failed = 0;
+    let mut clean_rate = f64::NAN;
+    for (i, s) in NET_SCENARIOS.iter().enumerate() {
+        let (config, source) = s.build(duration)?;
+        let cmp = net_vs_engine(
+            &config,
+            &source,
+            &net,
+            trials,
+            seed.wrapping_add(i as u64 * 1_000),
+            z,
+        )?;
+        let ok = cmp.agrees();
+        if i == 0 {
+            clean_rate = cmp.estimate;
+        }
+        println!(
+            "{:<14} {:>11.5} {:>12.5} {:>+10.2e} {:>10.2e}  {}",
+            s.name,
+            cmp.reference,
+            cmp.estimate,
+            cmp.difference(),
+            cmp.half_width + cmp.allowance,
+            if ok { "agree" } else { "MISMATCH" }
+        );
+        if !ok {
+            failed += 1;
+        }
+    }
+
+    println!();
+    println!("lossy sweep on {} ({trials} trials each; every run must terminate with the conservation audit intact):", NET_SCENARIOS[0].name);
+    println!(
+        "{:<6} {:>11} {:>7} {:>9} {:>9} {:>9}",
+        "loss", "welfare", "ratio", "retries", "lost", "degraded"
+    );
+    for loss in [0.05, 0.10, 0.20] {
+        let (mut config, source) = NET_SCENARIOS[0].build(duration)?;
+        config.faults = Some(FaultConfig {
+            seed: 7,
+            msg: Some(MsgFaults {
+                loss_p: loss,
+                dup_p: loss / 5.0,
+                reorder_window: 3,
+            }),
+            ..FaultConfig::default()
+        });
+        let agg = run_net_trials_observed(
+            &config,
+            &source,
+            &net,
+            trials,
+            seed,
+            None,
+            &mut Recorder::disabled(),
+        )?;
+        println!(
+            "{:<6} {:>11.5} {:>7.3} {:>9} {:>9} {:>9}",
+            format!("{:.0}%", loss * 100.0),
+            agg.mean_rate,
+            agg.mean_rate / clean_rate,
+            agg.stats.retries,
+            agg.stats.msgs_lost,
+            agg.degraded_trials
+        );
+    }
+
+    if failed > 0 {
+        return Err(CliError::NetVerify {
+            failed,
+            scenarios: NET_SCENARIOS.len(),
+        });
+    }
+    println!();
+    println!(
+        "all {} scenarios agree; lossy sweep conserved at every rate",
+        NET_SCENARIOS.len()
+    );
     Ok(())
 }
 

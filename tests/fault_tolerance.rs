@@ -45,7 +45,7 @@ fn all_faults(seed: u64) -> FaultConfig {
         }),
         cache: Some(CacheFaults { rate: 0.002 }),
         truncate_fraction: Some(0.9),
-        panic_on_seeds: Vec::new(),
+        ..FaultConfig::default()
     }
 }
 

@@ -1,0 +1,220 @@
+//! Contracts of the distributed QCR runtime's message layer: the wire
+//! codec round-trips every frame and rejects truncation/corruption with
+//! typed errors; the message-fault family is inert on the in-process
+//! engine (bit-identical trajectories with or without it attached); the
+//! distributed batch is deterministic per seed and independent of the
+//! worker count; message loss degrades welfare boundedly instead of
+//! wedging; and the clean-transport runtime statistically matches the
+//! engine under the oracle's paired-seed differential.
+
+use std::sync::Arc;
+
+use impatience_core::demand::Popularity;
+use impatience_core::utility::Step;
+use impatience_net::{run_net_trials_observed, Msg, NetConfig, WireError};
+use impatience_obs::Recorder;
+use impatience_oracle::net_vs_engine;
+use impatience_sim::config::{ContactSource, SimConfig};
+use impatience_sim::engine::run_trial;
+use impatience_sim::faults::{FaultConfig, MsgFaults};
+use impatience_sim::policy::PolicyKind;
+use proptest::prelude::*;
+
+fn small_config(items: usize, rho: usize) -> SimConfig {
+    SimConfig::builder(items, rho)
+        .demand(Popularity::pareto(items, 1.0).demand_rates(0.5))
+        .utility(Arc::new(Step::new(10.0)))
+        .bin(100.0)
+        .build()
+}
+
+fn with_msg_faults(mut config: SimConfig, msg: MsgFaults) -> SimConfig {
+    config.faults = Some(FaultConfig {
+        seed: 5,
+        msg: Some(msg),
+        ..FaultConfig::default()
+    });
+    config
+}
+
+// ---------------------------------------------------------------- codec
+
+fn arb_u32s(max_len: usize) -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0u32..1_000_000, 0..max_len)
+}
+
+fn arb_msg() -> impl Strategy<Value = Msg> {
+    prop_oneof![
+        (
+            0u64..u64::MAX,
+            arb_u32s(24),
+            proptest::collection::vec((0u32..1_000_000, 0u64..1_000_000_000), 0..24),
+        )
+            .prop_map(|(window, items, mandates)| Msg::CacheAdvert {
+                window,
+                items,
+                mandates,
+            }),
+        (0u64..u64::MAX, arb_u32s(24)).prop_map(|(window, wants)| Msg::Request { window, wants }),
+        (0u64..u64::MAX, arb_u32s(24)).prop_map(|(window, grants)| Msg::Fulfill { window, grants }),
+        (
+            0u64..u64::MAX,
+            0u32..1_000_000,
+            0u64..1_000_000_000,
+            0u32..2
+        )
+            .prop_map(|(xfer, item, count, execute)| Msg::MandateHandoff {
+                xfer,
+                item,
+                count,
+                execute: execute == 1,
+            }),
+        (0u64..u64::MAX, 0u64..1_000_000_000)
+            .prop_map(|(xfer, consumed)| Msg::MandateAck { xfer, consumed }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn codec_round_trips_every_frame(msg in arb_msg()) {
+        let bytes = msg.encode();
+        prop_assert_eq!(Msg::decode(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn truncated_frames_fail_typed(msg in arb_msg(), cut in 0usize..64) {
+        let bytes = msg.encode();
+        let cut = cut % bytes.len();
+        // Every prefix fails with a typed [`WireError`] — truncation,
+        // bad magic, checksum mismatch — never a panic or a bogus frame.
+        let decoded: Result<Msg, WireError> = Msg::decode(&bytes[..cut]);
+        prop_assert!(decoded.is_err());
+    }
+
+    #[test]
+    fn corrupted_frames_fail_typed(msg in arb_msg(), pos in 0usize..4096, bit in 0u32..8) {
+        let mut bytes = msg.encode();
+        let len = bytes.len();
+        bytes[pos % len] ^= 1u8 << bit;
+        // Any single-bit flip breaks the magic, the kind, the payload
+        // checksum, or a length prefix — never yields a clean decode of
+        // a *different* frame, and never panics.
+        if let Ok(decoded) = Msg::decode(&bytes) {
+            prop_assert_eq!(decoded, msg);
+        }
+    }
+}
+
+// --------------------------------------------- engine-inert fault family
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // The message-fault family is consumed only by the net transport:
+    // attaching an *active* config to the in-process engine must leave
+    // its trajectory bit-for-bit unchanged.
+    #[test]
+    fn msg_faults_are_inert_on_the_engine(
+        seed in 0u64..500,
+        loss in 0.01f64..0.9,
+        dup in 0.0f64..0.5,
+        reorder in 0u32..8,
+    ) {
+        let clean = small_config(8, 2);
+        let faulty = with_msg_faults(
+            small_config(8, 2),
+            MsgFaults { loss_p: loss, dup_p: dup, reorder_window: reorder },
+        );
+        let source = ContactSource::homogeneous(10, 0.08, 600.0);
+        let a = run_trial(&clean, &source, PolicyKind::qcr_default(), seed);
+        let b = run_trial(&faulty, &source, PolicyKind::qcr_default(), seed);
+        prop_assert_eq!(a.final_replicas, b.final_replicas);
+        prop_assert_eq!(
+            a.metrics.observed_rate_series(),
+            b.metrics.observed_rate_series()
+        );
+    }
+}
+
+// ------------------------------------------------- batch determinism
+
+fn batch(config: &SimConfig, source: &ContactSource, workers: usize) -> (Vec<f64>, String) {
+    let agg = run_net_trials_observed(
+        config,
+        source,
+        &NetConfig::default(),
+        6,
+        42,
+        Some(workers),
+        &mut Recorder::disabled(),
+    )
+    .expect("batch must conserve");
+    let stats = format!("{:?} {:?}", agg.stats, agg.conservation);
+    (agg.rates, stats)
+}
+
+#[test]
+fn net_batches_are_worker_count_independent() {
+    let config = with_msg_faults(
+        small_config(10, 2),
+        MsgFaults {
+            loss_p: 0.08,
+            dup_p: 0.02,
+            reorder_window: 3,
+        },
+    );
+    let source = ContactSource::homogeneous(12, 0.08, 1_000.0);
+    let one = batch(&config, &source, 1);
+    assert_eq!(one, batch(&config, &source, 2), "2 workers diverged");
+    assert_eq!(one, batch(&config, &source, 8), "8 workers diverged");
+}
+
+// ------------------------------------------------------- bounded loss
+
+#[test]
+fn loss_degrades_welfare_boundedly() {
+    let source = ContactSource::homogeneous(12, 0.08, 1_500.0);
+    let clean = batch(&small_config(10, 2), &source, 2).0;
+    let lossy = batch(
+        &with_msg_faults(
+            small_config(10, 2),
+            MsgFaults {
+                loss_p: 0.10,
+                dup_p: 0.02,
+                reorder_window: 3,
+            },
+        ),
+        &source,
+        2,
+    )
+    .0;
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let (c, l) = (mean(&clean), mean(&lossy));
+    assert!(c > 0.0, "clean batch should fulfill");
+    assert!(
+        l > 0.5 * c,
+        "10% loss should be mostly masked by retries, got {l} vs clean {c}"
+    );
+}
+
+// ----------------------------------------------- differential agreement
+
+#[test]
+fn clean_transport_matches_engine_within_clt_budget() {
+    let config = SimConfig::builder(10, 2)
+        .demand(Popularity::pareto(10, 1.0).demand_rates(1.0))
+        .utility(Arc::new(Step::new(10.0)))
+        .bin(60.0)
+        .warmup_fraction(0.25)
+        .build();
+    let source = ContactSource::homogeneous(12, 0.1, 1_200.0);
+    let cmp = net_vs_engine(&config, &source, &NetConfig::default(), 5, 42, 3.5)
+        .expect("differential batch must conserve");
+    assert!(
+        cmp.agrees(),
+        "distributed QCR diverged from the engine: {}",
+        cmp.describe()
+    );
+}

@@ -1,0 +1,85 @@
+//! Incremental re-optimization micro-benchmarks: the `DeltaSolver`
+//! absorbing bounded delta batches vs a from-scratch greedy re-solve,
+//! plus the cost of a bounded-staleness certificate. The committed
+//! baseline (with the acceptance ratios) lives in
+//! `BENCH_solver_incremental.json` at the repo root.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+use impatience_core::demand::Popularity;
+use impatience_core::solver::greedy::greedy_homogeneous;
+use impatience_core::solver::incremental::{Delta, DeltaSolver};
+use impatience_core::types::SystemModel;
+use impatience_core::utility::{DelayUtility, Step};
+
+const ITEMS: usize = 1000;
+
+fn setting() -> SystemModel {
+    SystemModel::pure_p2p(50, 5, 0.05)
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let system = setting();
+    let demand = Popularity::pareto(ITEMS, 1.0).demand_rates(1.0);
+    let utility: Arc<dyn DelayUtility> = Arc::new(Step::new(10.0));
+
+    let mut group = c.benchmark_group("solver_incremental");
+    group.warm_up_time(Duration::from_millis(800));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(20);
+
+    // Baseline: what a per-epoch re-solve costs without the DeltaSolver.
+    group.bench_function("scratch_n1000", |b| {
+        b.iter(|| black_box(greedy_homogeneous(&system, &demand, utility.as_ref())));
+    });
+
+    // Exact incremental mode at growing batch sizes. Each iteration
+    // toggles the chosen items between their base rate and 1.5x it, so
+    // every apply() does real rebalancing work in steady state.
+    for &batch in &[1usize, 8, 64] {
+        let mut solver = DeltaSolver::new(system, &demand, Arc::clone(&utility));
+        let mut flip = false;
+        group.bench_with_input(BenchmarkId::new("delta", batch), &batch, |b, &batch| {
+            b.iter(|| {
+                flip = !flip;
+                let scale = if flip { 1.5 } else { 1.0 };
+                let deltas: Vec<Delta> = (0..batch)
+                    .map(|j| {
+                        let item = (j * 97) % ITEMS;
+                        Delta::Demand {
+                            item,
+                            rate: demand.rate(item) * scale,
+                        }
+                    })
+                    .collect();
+                black_box(solver.apply(&deltas).expect("demand deltas cannot fail"))
+            });
+        });
+    }
+
+    // Bounded-staleness mode under tiny nudges: the steady-state cost of
+    // evaluating (and accepting) a weak-duality certificate instead of
+    // re-solving.
+    let mut certified =
+        DeltaSolver::new(system, &demand, Arc::clone(&utility)).with_staleness(0.05);
+    let mut flip = false;
+    group.bench_function("certified_reuse", |b| {
+        b.iter(|| {
+            flip = !flip;
+            let scale = if flip { 1.001 } else { 1.0 };
+            let deltas = [Delta::Demand {
+                item: 0,
+                rate: demand.rate(0) * scale,
+            }];
+            black_box(certified.apply(&deltas).expect("demand deltas cannot fail"))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental);
+criterion_main!(benches);

@@ -9,6 +9,7 @@
 mod gamma;
 mod quadrature;
 mod roots;
+pub mod tolerances;
 
 pub use gamma::gamma;
 pub use quadrature::{

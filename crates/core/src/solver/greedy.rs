@@ -30,41 +30,52 @@ use crate::welfare::{expected_gain_continuous, expected_gain_pure_p2p};
 /// solve, down from O(|I|·ρ|S|)) and replays the cached value thereafter.
 /// Quadrature is deterministic, so the memoized marginals are
 /// bit-identical to the recomputed ones.
-struct GainTable<'a> {
-    system: &'a SystemModel,
-    utility: &'a dyn DelayUtility,
+///
+/// The memo is decoupled from any one solve so [`crate::solver::incremental`]
+/// can carry it across delta re-solves: demand changes leave `G` untouched
+/// (it never depends on `d_i`), so the cached values survive entirely.
+pub(crate) struct GainMemo {
     /// `cache[x]` is `Some(G(x))` once evaluated; indices `0..=|S|`.
     cache: Vec<Cell<Option<f64>>>,
-    /// Quadrature evaluations actually performed (cache misses).
+    /// Quadrature evaluations actually performed (cache misses),
+    /// cumulative across `reset` calls.
     evaluations: Cell<u64>,
 }
 
-impl<'a> GainTable<'a> {
-    fn new(system: &'a SystemModel, utility: &'a dyn DelayUtility) -> Self {
-        GainTable {
-            system,
-            utility,
-            cache: vec![Cell::new(None); system.servers() + 1],
+impl GainMemo {
+    /// An empty memo for a system with `servers` cache columns.
+    pub(crate) fn new(servers: usize) -> Self {
+        GainMemo {
+            cache: vec![Cell::new(None); servers + 1],
             evaluations: Cell::new(0),
         }
     }
 
+    /// Forget every cached value (the evaluation counter keeps
+    /// accumulating). Required when the contact rate μ changes: `G`
+    /// depends on the system shape, not just the utility.
+    pub(crate) fn reset(&mut self) {
+        for slot in &self.cache {
+            slot.set(None);
+        }
+    }
+
+    /// Quadrature evaluations performed so far (cache misses).
+    pub(crate) fn evaluations(&self) -> u64 {
+        self.evaluations.get()
+    }
+
     /// `G(x)`, evaluated by quadrature on first use and cached.
-    fn gain(&self, x: u32) -> f64 {
+    pub(crate) fn gain(&self, system: &SystemModel, utility: &dyn DelayUtility, x: u32) -> f64 {
         let slot = &self.cache[x as usize];
         if let Some(cached) = slot.get() {
             return cached;
         }
         self.evaluations.set(self.evaluations.get() + 1);
-        let value = if self.system.population.is_pure_p2p() {
-            expected_gain_pure_p2p(
-                self.utility,
-                x as f64,
-                self.system.clients(),
-                self.system.contact_rate,
-            )
+        let value = if system.population.is_pure_p2p() {
+            expected_gain_pure_p2p(utility, x as f64, system.clients(), system.contact_rate)
         } else {
-            expected_gain_continuous(self.utility, x as f64, self.system.contact_rate)
+            expected_gain_continuous(utility, x as f64, system.contact_rate)
         };
         slot.set(Some(value));
         value
@@ -72,9 +83,9 @@ impl<'a> GainTable<'a> {
 
     /// Marginal welfare of going from `x` to `x+1` replicas, per unit
     /// demand.
-    fn marginal(&self, x: u32) -> f64 {
-        let next = self.gain(x + 1);
-        let curr = self.gain(x);
+    pub(crate) fn marginal(&self, system: &SystemModel, utility: &dyn DelayUtility, x: u32) -> f64 {
+        let next = self.gain(system, utility, x + 1);
+        let curr = self.gain(system, utility, x);
         if curr == f64::NEG_INFINITY {
             // First replica of a cost-type utility: infinitely valuable.
             return f64::INFINITY;
@@ -151,9 +162,9 @@ pub fn try_greedy_homogeneous_observed<S: Sink>(
     // cost-type utility) all sort to the top and are ordered among
     // themselves by demand, which is the limit order of d_i·ΔG as the
     // marginals diverge.
-    let gains = GainTable::new(system, utility);
+    let gains = GainMemo::new(servers);
     let key_for = |x: u32, i: usize| {
-        let m = gains.marginal(x);
+        let m = gains.marginal(system, utility, x);
         if m.is_infinite() {
             HeapKey::new(f64::INFINITY, demand.rate(i))
         } else {
@@ -182,7 +193,7 @@ pub fn try_greedy_homogeneous_observed<S: Sink>(
         rec.solver_done(
             "greedy",
             placed,
-            gains.evaluations.get(),
+            gains.evaluations(),
             start.elapsed().as_secs_f64(),
         );
     }
@@ -450,7 +461,7 @@ mod tests {
             SystemModel::pure_p2p(8, 3, 0.05),
             SystemModel::dedicated(40, 8, 3, 0.05),
         ] {
-            let table = GainTable::new(&system, &utility);
+            let table = GainMemo::new(system.servers());
             for x in 0..system.servers() as u32 {
                 let uncached = if system.population.is_pure_p2p() {
                     let at = |v: f64| {
@@ -462,15 +473,18 @@ mod tests {
                     at(x as f64 + 1.0) - at(x as f64)
                 };
                 assert_eq!(
-                    table.marginal(x).to_bits(),
+                    table.marginal(&system, &utility, x).to_bits(),
                     uncached.to_bits(),
                     "memoized marginal at x={x} must be bit-identical"
                 );
                 // Second call hits the cache and must not drift.
-                assert_eq!(table.marginal(x).to_bits(), uncached.to_bits());
+                assert_eq!(
+                    table.marginal(&system, &utility, x).to_bits(),
+                    uncached.to_bits()
+                );
             }
             // |S|+1 distinct gain levels were touched, once each.
-            assert_eq!(table.evaluations.get(), system.servers() as u64 + 1);
+            assert_eq!(table.evaluations(), system.servers() as u64 + 1);
         }
     }
 

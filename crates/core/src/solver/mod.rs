@@ -12,10 +12,16 @@
 //!   of Theorem 1 / Nemhauser et al.
 //! * [`fixed`] — the perfect-control-channel heuristics of §6.1:
 //!   UNI, SQRT, PROP, DOM.
+//! * [`incremental`] — live re-optimization: a [`incremental::DeltaSolver`]
+//!   carries the memoized gain table and last allocation across demand /
+//!   budget / contact-rate deltas, re-solving incrementally
+//!   (bit-identical to scratch greedy) or certifying a stale allocation
+//!   within ε via the relaxed upper bound.
 
 pub mod fixed;
 pub mod greedy;
 pub mod het_greedy;
+pub mod incremental;
 pub mod relaxed;
 
 /// A solver instance rejected before (or while) solving.

@@ -151,6 +151,34 @@ pub fn try_relaxed_optimum_observed<S: Sink>(
     utility: &dyn DelayUtility,
     rec: &mut Recorder<S>,
 ) -> Result<RelaxedAllocation, SolverError> {
+    water_fill_observed(system, demand, utility, rec, None)
+}
+
+/// [`try_relaxed_optimum`] warm-started from a previous solve's water
+/// level. The outer bisection brackets around `hint` (`[λ₀/4, 4λ₀]`,
+/// expanded geometrically if the level moved further) instead of the
+/// cold `[1e-12, 1]` start, so after a small demand delta the level is
+/// typically re-bracketed in O(1) probes. The solution satisfies the
+/// same budget-residual convergence criterion as the cold solve; the
+/// *probe sequence* differs, so results are equal to solver tolerance
+/// but not guaranteed bit-identical to a cold solve. A `None` or
+/// non-finite/non-positive hint falls back to the cold bracket exactly.
+pub fn try_relaxed_optimum_warm(
+    system: &SystemModel,
+    demand: &DemandRates,
+    utility: &dyn DelayUtility,
+    hint: Option<f64>,
+) -> Result<RelaxedAllocation, SolverError> {
+    water_fill_observed(system, demand, utility, &mut Recorder::disabled(), hint)
+}
+
+fn water_fill_observed<S: Sink>(
+    system: &SystemModel,
+    demand: &DemandRates,
+    utility: &dyn DelayUtility,
+    rec: &mut Recorder<S>,
+    hint: Option<f64>,
+) -> Result<RelaxedAllocation, SolverError> {
     let _span = impatience_obs::span!("solve.relaxed");
     if utility.requires_dedicated() && system.population.is_pure_p2p() {
         return Err(SolverError::RequiresDedicated {
@@ -202,8 +230,12 @@ pub fn try_relaxed_optimum_observed<S: Sink>(
     };
 
     // Bracket the level: λ high ⇒ small allocations, λ low ⇒ saturated.
-    let mut lo = 1e-12;
-    let mut hi = 1.0;
+    // A warm hint centers the bracket on the previous solve's level; the
+    // expansion loops below recover if the level moved outside it.
+    let (mut lo, mut hi) = match hint {
+        Some(h) if h.is_finite() && h > 0.0 => ((h / 4.0).max(1e-300), (h * 4.0).min(1e300)),
+        _ => (1e-12, 1.0),
+    };
     while total_at(hi) > budget {
         hi *= 4.0;
         if hi >= 1e300 {

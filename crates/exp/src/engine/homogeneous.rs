@@ -8,6 +8,7 @@ use std::time::Instant;
 use impatience_core::demand::{DemandProfile, DemandRates};
 use impatience_core::solver::fixed::uniform;
 use impatience_core::solver::greedy::greedy_homogeneous;
+use impatience_core::solver::incremental::{Delta, DeltaSolver};
 use impatience_core::types::SystemModel;
 use impatience_core::utility::{DelayUtility, Power};
 use impatience_obs::Sink;
@@ -359,15 +360,33 @@ pub fn dynamic_demand<S: Sink>(
     let source = ContactSource::homogeneous(s.nodes, s.mu, s.duration);
     let system = SystemModel::pure_p2p(s.nodes, s.rho, s.mu);
 
+    // One incremental solver carries the allocation across the epoch
+    // boundary: its initial solve is OPT for the pre-shift demand, and
+    // absorbing the shift as per-item deltas re-solves for the post-shift
+    // demand — each bit-identical to a from-scratch greedy solve, at a
+    // fraction of the work.
+    let mut resolver = DeltaSolver::new(system, &before, utility.clone());
+    let stale_counts = resolver.counts().clone();
+    let shift: Vec<Delta> = after
+        .rates()
+        .iter()
+        .enumerate()
+        .map(|(item, &rate)| Delta::Demand { item, rate })
+        .collect();
+    resolver
+        .apply(&shift)
+        .map_err(|e| ExpError::spec(&spec.name, format!("re-solving the demand shift: {e}")))?;
+    let fresh_counts = resolver.counts().clone();
+
     let policies = vec![
         PolicyKind::qcr_default(),
         PolicyKind::Static {
             label: "OPT-stale",
-            counts: greedy_homogeneous(&system, &before, utility.as_ref()),
+            counts: stale_counts,
         },
         PolicyKind::Static {
             label: "OPT-fresh",
-            counts: greedy_homogeneous(&system, &after, utility.as_ref()),
+            counts: fresh_counts,
         },
         PolicyKind::Static {
             label: "UNI",

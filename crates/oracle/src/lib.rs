@@ -18,6 +18,11 @@
 //!   CLT-derived confidence intervals (disagreement is flagged only when
 //!   statistically significant, never on a fixed epsilon), plus the
 //!   discrete→continuous slot-refinement convergence check;
+//! * [`delta`] — the `delta_vs_scratch` differential: incremental
+//!   re-optimization ([`impatience_core::solver::incremental`]) checked
+//!   for bit-identity against from-scratch greedy solves, welfare
+//!   optimality on brute-forced tiny instances, and soundness of every
+//!   bounded-staleness certificate;
 //! * [`netdiff`] — the distributed message-passing QCR runtime
 //!   (`impatience-net`) against the in-process engine on paired seeds,
 //!   with an explicit allowance for its documented protocol biases;
@@ -35,12 +40,14 @@
 #![deny(unsafe_code)]
 
 pub mod brute;
+pub mod delta;
 pub mod differential;
 pub mod netdiff;
 pub mod report;
 pub mod scenario;
 
 pub use brute::{brute_force_heterogeneous, brute_force_homogeneous};
+pub use delta::{delta_vs_scratch, DeltaSweepReport};
 pub use differential::{
     clt_interval, engines_match, mc_gain_estimate, slot_refinement_errors, Comparison,
 };

@@ -117,7 +117,7 @@ mod tests {
             parsed.get("name").and_then(Json::as_str),
             Some("step/dedicated/hom/clean")
         );
-        assert_eq!(parsed.get("passed").and_then(Json::as_u64), Some(7));
+        assert_eq!(parsed.get("passed").and_then(Json::as_u64), Some(8));
         assert_eq!(parsed.get("skipped").and_then(Json::as_u64), Some(1));
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -13,9 +13,11 @@ use std::time::Instant;
 
 use impatience_core::allocation::{AllocationMatrix, ReplicaCounts};
 use impatience_core::demand::{DemandProfile, DemandRates, Popularity};
+use impatience_core::numeric::tolerances;
 use impatience_core::rng::Xoshiro256;
 use impatience_core::solver::greedy::greedy_homogeneous;
 use impatience_core::solver::het_greedy::greedy_heterogeneous;
+use impatience_core::solver::incremental::{Delta, DeltaOutcome, DeltaSolver};
 use impatience_core::solver::relaxed::try_relaxed_optimum;
 use impatience_core::types::SystemModel;
 use impatience_core::utility::{Custom, DelayUtility, Exponential, NegLog, Power, Step};
@@ -50,6 +52,7 @@ pub const INVARIANTS: &[&str] = &[
     "greedy_vs_brute",
     "determinism",
     "slot_refinement",
+    "solver_variants",
     "analytic_mc",
     "engine_duality",
 ];
@@ -461,6 +464,9 @@ fn run_scenario(
     record
         .results
         .push(check_slot_refinement(pop, mu_mean, &demand, util));
+    record
+        .results
+        .push(check_solver_variants(pop, mu_mean, &demand, &utility, seed));
 
     if opts.quick {
         record
@@ -543,7 +549,7 @@ fn check_submodularity(
             }
         }
     }
-    let tol = 1e-9;
+    let tol = tolerances::MARGINAL_SLACK;
     InvariantResult::check(
         "submodularity",
         worst <= tol,
@@ -572,7 +578,7 @@ fn check_equilibrium(
             let residual = relaxed.equilibrium_residual(&system, demand, utility);
             InvariantResult::check(
                 "equilibrium",
-                residual < 1e-6,
+                residual < tolerances::EQUILIBRIUM_RESIDUAL,
                 residual,
                 "max relative deviation of d_i·φ(x̃_i) from the water level over interior items",
             )
@@ -622,7 +628,7 @@ fn check_monotonicity(
             }
         }
     }
-    let tol = 1e-9;
+    let tol = tolerances::MARGINAL_SLACK;
     InvariantResult::check(
         "monotonicity",
         worst <= tol,
@@ -653,14 +659,14 @@ fn check_greedy_vs_brute(
     let greedy = greedy_heterogeneous(system, demand, profile, utility);
     let w_greedy = social_welfare_heterogeneous(system, &greedy, demand, profile, utility);
     let scale = w_opt.abs().max(1.0);
-    if w_greedy > w_opt + 1e-9 * scale {
+    if w_greedy > w_opt + tolerances::WELFARE_REL * scale {
         ok = false;
         details.push(format!("greedy {w_greedy} above true optimum {w_opt}"));
     }
     if non_negative(utility) {
         let bound = (1.0 - 1.0 / std::f64::consts::E) * w_opt;
         worst_gap = (bound - w_greedy) / scale;
-        if w_greedy < bound - 1e-9 * scale {
+        if w_greedy < bound - tolerances::WELFARE_REL * scale {
             ok = false;
             details.push(format!(
                 "Theorem 1: greedy {w_greedy} < (1−1/e)·OPT = {bound}"
@@ -699,7 +705,7 @@ fn check_greedy_vs_brute(
             let w_g = social_welfare_homogeneous(&hom, demand, utility, &g.as_f64());
             let gap = (w_b - w_g).abs() / w_b.abs().max(1.0);
             worst_gap = worst_gap.max(gap);
-            if gap > 1e-9 {
+            if gap > tolerances::WELFARE_REL {
                 ok = false;
                 details.push(format!(
                     "Theorem 2: greedy {w_g} ≠ brute {w_b} (opt counts {:?})",
@@ -826,13 +832,124 @@ fn check_slot_refinement(
     // families converge like O(δ); Power(α=0.5)'s √t cusp only reaches
     // O(√δ) and step utilities oscillate at coarse δ from grid alignment
     // with τ — both still satisfy this certificate.
-    let finest_is_best = errs.iter().all(|&e| last <= e + 1e-12);
+    let finest_is_best = errs.iter().all(|&e| last <= e + tolerances::SEQUENCE_SLACK);
     let rate_bound = first * (deltas[deltas.len() - 1] / deltas[0]).powf(0.4);
     InvariantResult::check(
         "slot_refinement",
-        finest_is_best && last <= rate_bound.max(1e-9),
+        finest_is_best && last <= rate_bound.max(tolerances::MARGINAL_SLACK),
         last,
         format!("|U_δ − U| over δ = {deltas:?}: {errs:?}"),
+    )
+}
+
+/// Solver variants {scratch, incremental, stale-ε} on the homogeneous
+/// reduction: a [`DeltaSolver`] replays a short seeded demand-delta
+/// sequence and must stay bit-identical to from-scratch greedy (and
+/// therefore brute-force optimal, Theorem 2) at every step, while its
+/// bounded-staleness twin may only reuse a stale allocation under a
+/// *sound* certificate (true gap dominated by the certified gap).
+fn check_solver_variants(
+    pop: PopKind,
+    mu: f64,
+    demand: &DemandRates,
+    utility: &Arc<dyn DelayUtility>,
+    seed: u64,
+) -> InvariantResult {
+    let Some(system) = pop.reduction(mu) else {
+        return InvariantResult::skipped(
+            "solver_variants",
+            "incremental solver is defined on the homogeneous model",
+        );
+    };
+    let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xDE17A);
+    let mut exact = DeltaSolver::new(system, demand, Arc::clone(utility));
+    let mut stale = DeltaSolver::new(system, demand, Arc::clone(utility)).with_staleness(0.05);
+    let mut worst = 0.0f64;
+    let mut certified = 0u32;
+    for step in 0..4 {
+        let deltas = [Delta::Demand {
+            item: rng.index(ITEMS),
+            rate: rng.range(0.05, 2.0),
+        }];
+        if let Err(e) = exact.apply(&deltas) {
+            return InvariantResult::fail(
+                "solver_variants",
+                f64::NAN,
+                format!("exact delta solve failed at step {step}: {e}"),
+            );
+        }
+        let current = DemandRates::new(exact.rates().to_vec());
+        let scratch = greedy_homogeneous(&system, &current, utility.as_ref());
+        if *exact.counts() != scratch {
+            return InvariantResult::fail(
+                "solver_variants",
+                f64::NAN,
+                format!(
+                    "step {step}: incremental {:?} ≠ scratch greedy {:?}",
+                    exact.counts().counts(),
+                    scratch.counts()
+                ),
+            );
+        }
+        let (_, w_b) = brute_force_homogeneous(&system, &current, utility.as_ref());
+        let w_inc = social_welfare_homogeneous(
+            &system,
+            &current,
+            utility.as_ref(),
+            &exact.counts().as_f64(),
+        );
+        let scale = w_b.abs().max(1.0);
+        let gap = if w_inc == f64::NEG_INFINITY && w_b == f64::NEG_INFINITY {
+            0.0
+        } else {
+            (w_inc - w_b).abs() / scale
+        };
+        worst = worst.max(gap);
+        if gap > tolerances::WELFARE_REL {
+            return InvariantResult::fail(
+                "solver_variants",
+                gap,
+                format!("step {step}: incremental welfare {w_inc} ≠ brute optimum {w_b}"),
+            );
+        }
+        match stale.apply(&deltas) {
+            Ok(DeltaOutcome::CertifiedStale(cert)) => {
+                certified += 1;
+                let w_fresh = social_welfare_homogeneous(
+                    &system,
+                    &current,
+                    utility.as_ref(),
+                    &scratch.as_f64(),
+                );
+                if w_fresh - cert.stale_welfare > cert.gap + tolerances::WELFARE_REL * cert.scale {
+                    return InvariantResult::fail(
+                        "solver_variants",
+                        w_fresh - cert.stale_welfare,
+                        format!(
+                            "step {step}: unsound certificate — true gap {} over certified {}",
+                            w_fresh - cert.stale_welfare,
+                            cert.gap
+                        ),
+                    );
+                }
+            }
+            Ok(_) => {}
+            Err(e) => {
+                return InvariantResult::fail(
+                    "solver_variants",
+                    f64::NAN,
+                    format!("stale-ε delta solve failed at step {step}: {e}"),
+                );
+            }
+        }
+    }
+    InvariantResult::pass(
+        "solver_variants",
+        worst,
+        format!(
+            "4 delta steps bit-identical to scratch and brute-optimal; \
+             {certified} staleness certificates accepted, all sound"
+        ),
     )
 }
 

@@ -33,6 +33,7 @@ use age_of_impatience::prelude::*;
 use impatience_core::demand::DemandProfile;
 use impatience_core::rng::Xoshiro256;
 use impatience_core::solver::greedy::try_greedy_homogeneous_observed;
+use impatience_core::solver::incremental::{Delta, DeltaOutcome, DeltaSolver};
 use impatience_core::solver::relaxed::try_relaxed_optimum;
 use impatience_core::solver::SolverError;
 use impatience_core::utility::{parse_utility, DelayUtility};
@@ -47,7 +48,8 @@ use impatience_obs::{
     Recorder, Sink, TallySink, TraceSummary,
 };
 use impatience_oracle::{
-    net_vs_engine, run_matrix, summary_table, write_report, CheckStatus, MatrixOptions,
+    delta_vs_scratch, net_vs_engine, run_matrix, summary_table, write_report, CheckStatus,
+    MatrixOptions,
 };
 use impatience_sim::config::SimConfig;
 use impatience_sim::faults::{CacheFaults, Churn, ContactDrop, FaultConfig, MsgFaults};
@@ -279,6 +281,7 @@ USAGE:
   impatience generate <poisson|conference|vehicular> [opts] -o FILE
   impatience stats    TRACE
   impatience solve    [--items N --servers N --rho N --mu F --omega F --utility SPEC]
+                      [--incremental [--deltas N] [--stale-eps F] [--seed N]]
   impatience simulate TRACE [--items N --rho N --utility SPEC --policy P --trials N --seed N]
                             [--trace-out FILE] [--verbose] [--workers N] [--profile]
                             [fault injection] [--checkpoint FILE]
@@ -295,6 +298,7 @@ USAGE:
   impatience netrun   --verify [--quick] [--seed N] [--z F]
   impatience verify   [--quick|--full] [--seed N] [-o FILE] [--trace-out FILE] [--limit N]
                       [--profile]
+  impatience verify   --solver-deltas [--quick] [--seed N]
   impatience reproduce [SPEC..] [--fig N | --all] [--list] [--check] [--resume]
                        [--specs DIR] [-o DIR] [--workers N] [--trace-out FILE] [--verbose]
                        [--profile]
@@ -391,13 +395,31 @@ VERIFICATION (verify; deterministic given --seed):
   shapes x {hom,het} contacts x {clean,faults} — and checks each cell
   against the paper's invariants: submodularity, the Property 1
   equilibrium residual, welfare monotonicity, greedy vs brute-force
-  optima (Theorems 1-2), bit-level determinism, and slot-refinement
-  convergence. --full adds the Monte-Carlo differential checks
-  (analytic vs simulated welfare, continuous vs discrete engines);
-  --quick is the default and the CI gate. The JSONL report lands at
-  -o FILE (default conformance.jsonl) with a manifest sibling;
-  --trace-out streams per-scenario events; --limit N truncates the
-  matrix (test hook).
+  optima (Theorems 1-2), bit-level determinism, slot-refinement
+  convergence, and the solver-variant cell (incremental delta solves
+  bit-identical to scratch, staleness certificates sound). --full adds
+  the Monte-Carlo differential checks (analytic vs simulated welfare,
+  continuous vs discrete engines); --quick is the default and the CI
+  gate. The JSONL report lands at -o FILE (default conformance.jsonl)
+  with a manifest sibling; --trace-out streams per-scenario events;
+  --limit N truncates the matrix (test hook).
+  --solver-deltas    run only the delta_vs_scratch differential sweep:
+                     random delta sequences through the incremental
+                     solver, checked for bit-identity against scratch
+                     solves, brute-force optimality on tiny instances,
+                     and soundness of every bounded-staleness
+                     certificate (exit 10 on any violation). --quick
+                     shortens the sequences for CI.
+
+INCREMENTAL SOLVES (solve --incremental):
+  Replays --deltas N (default 16) seeded single-item demand changes
+  through the incremental DeltaSolver and a from-scratch greedy solve
+  side by side, timing both and requiring bit-identical allocations
+  (exit 10 on divergence). --stale-eps F switches the solver to
+  bounded-staleness mode: stale allocations are reused when a
+  weak-duality certificate proves their welfare is within F of fresh,
+  and every accepted certificate is audited against the actual fresh
+  solve.
 
 REPRODUCTION (reproduce; deterministic, seeds live in the specs):
   Compiles the declarative TOML scenario specs in experiments/ (one per
@@ -461,6 +483,8 @@ impl Args {
                         | "profile"
                         | "prom"
                         | "verify"
+                        | "incremental"
+                        | "solver-deltas"
                 ) {
                     options.insert(name.to_string(), "true".to_string());
                     continue;
@@ -677,6 +701,10 @@ fn solve(args: &Args) -> Result<(), CliError> {
     }
     let demand = Popularity::pareto(items, omega).demand_rates(1.0);
 
+    if args.options.contains_key("incremental") {
+        return solve_incremental(args, system, demand, utility);
+    }
+
     let opt = if args.verbose() {
         let mut rec = Recorder::new(MemorySink::new());
         let opt = try_greedy_homogeneous_observed(&system, &demand, utility.as_ref(), &mut rec)?;
@@ -730,6 +758,117 @@ fn solve(args: &Args) -> Result<(), CliError> {
         let w = social_welfare_homogeneous(&system, &demand, utility.as_ref(), &counts.as_f64());
         println!("welfare {label:<5} {w:>12.5} utility/min");
     }
+    Ok(())
+}
+
+/// `solve --incremental`: replay seeded demand deltas through the
+/// incremental solver and a from-scratch greedy side by side, timing
+/// both and checking the incremental path at every step — bit-identity
+/// in exact mode, certificate soundness in `--stale-eps` mode.
+fn solve_incremental(
+    args: &Args,
+    system: SystemModel,
+    demand: DemandRates,
+    utility: Arc<dyn DelayUtility>,
+) -> Result<(), CliError> {
+    let steps: usize = args.get("deltas", 16)?;
+    let seed: u64 = args.get("seed", 42)?;
+    let stale_eps: Option<f64> = args.get_opt("stale-eps")?;
+    if steps == 0 {
+        return Err("--deltas must be at least 1".into());
+    }
+    if let Some(eps) = stale_eps {
+        if !eps.is_finite() || eps < 0.0 {
+            return Err("--stale-eps must be finite and non-negative".into());
+        }
+    }
+    let items = demand.items();
+    let mut solver = DeltaSolver::try_new(system, &demand, Arc::clone(&utility))?;
+    if let Some(eps) = stale_eps {
+        solver = solver.with_staleness(eps);
+    }
+
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let (mut inc_wall, mut scratch_wall) = (0.0f64, 0.0f64);
+    let mut divergences = 0u32;
+    for step in 0..steps {
+        let delta = [Delta::Demand {
+            item: rng.index(items),
+            rate: rng.range(0.01, 2.0),
+        }];
+        let t = std::time::Instant::now();
+        let outcome = solver.apply(&delta)?;
+        inc_wall += t.elapsed().as_secs_f64();
+
+        let current = DemandRates::new(solver.rates().to_vec());
+        let t = std::time::Instant::now();
+        let fresh = try_greedy_homogeneous(&system, &current, utility.as_ref())?;
+        scratch_wall += t.elapsed().as_secs_f64();
+
+        match outcome {
+            DeltaOutcome::CertifiedStale(cert) => {
+                let w_fresh = social_welfare_homogeneous(
+                    &system,
+                    &current,
+                    utility.as_ref(),
+                    &fresh.as_f64(),
+                );
+                if w_fresh - cert.stale_welfare > cert.gap + 1e-9 * cert.scale {
+                    divergences += 1;
+                    eprintln!(
+                        "step {step}: unsound certificate — true gap {} over certified {}",
+                        w_fresh - cert.stale_welfare,
+                        cert.gap
+                    );
+                }
+            }
+            _ => {
+                if *solver.counts() != fresh {
+                    divergences += 1;
+                    eprintln!(
+                        "step {step}: incremental {:?} != scratch {:?}",
+                        solver.counts().counts(),
+                        fresh.counts()
+                    );
+                }
+            }
+        }
+    }
+
+    let stats = solver.stats();
+    println!(
+        "incremental: {steps} deltas over |I|={items} |S|={} ρ={} utility={}{}",
+        system.servers(),
+        system.cache_capacity,
+        utility.kind(),
+        match stale_eps {
+            Some(eps) => format!(" (bounded staleness ε={eps})"),
+            None => String::new(),
+        }
+    );
+    println!(
+        "  delta solves {:>4}   replicas moved {:>6}   rebuilds {}",
+        stats.delta_solves, stats.replicas_moved, stats.rebuilds
+    );
+    if stale_eps.is_some() {
+        println!(
+            "  certificates {:>4}   reused stale  {:>6}   fell back {}",
+            stats.certificates, stats.certified_reuses, stats.certificate_fallbacks
+        );
+    }
+    println!(
+        "  wall: incremental {:.3} ms vs scratch {:.3} ms ({:.1}x)",
+        inc_wall * 1e3,
+        scratch_wall * 1e3,
+        scratch_wall / inc_wall.max(1e-12)
+    );
+    if divergences > 0 {
+        return Err(CliError::Verify {
+            failed: divergences,
+            scenarios: steps,
+        });
+    }
+    println!("  every step checked against a from-scratch solve: ok");
     Ok(())
 }
 
@@ -1576,7 +1715,30 @@ fn netrun_verify(args: &Args) -> Result<(), CliError> {
 /// covers the solver-side invariants plus short determinism trials;
 /// `--full` adds the Monte-Carlo differential checks (analytic vs
 /// simulated welfare, continuous vs discrete engine duality).
+/// `verify --solver-deltas`: only the `delta_vs_scratch` differential
+/// sweep, reported to stdout; any violation exits 10.
+fn verify_solver_deltas(args: &Args) -> Result<(), CliError> {
+    let quick = args.options.contains_key("quick");
+    let seed: u64 = args.get("seed", 42)?;
+    let report = delta_vs_scratch(seed, quick);
+    print!("{}", report.describe());
+    if !report.ok() {
+        let failed = (report.exact_mismatches
+            + report.brute_mismatches
+            + report.certificate_violations) as u32
+            + u32::from(!report.clt_ok());
+        return Err(CliError::Verify {
+            failed,
+            scenarios: report.cases as usize,
+        });
+    }
+    Ok(())
+}
+
 fn verify(args: &Args) -> Result<(), CliError> {
+    if args.options.contains_key("solver-deltas") {
+        return verify_solver_deltas(args);
+    }
     let quick = args.options.contains_key("quick");
     let full = args.options.contains_key("full");
     if quick && full {

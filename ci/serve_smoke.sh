@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Smoke-test the allocation service end to end against a real server
+# process: readiness via the serve.addr file, /healthz, a synchronous
+# solve (plus the machine-readable error envelope), a tiny campaign run
+# to completion, its SSE feed and content-addressed artifact, and a
+# /metrics scrape that must parse as Prometheus text exposition
+# (`impatience trace lint-prom`). Finishes with the loadtest's p99
+# latency gate at reduced (--quick) load against the committed
+# BENCH_serve.json.
+#
+# Usage: ci/serve_smoke.sh   (from the repo root, after a release build)
+#   BIN=...      override the impatience binary (default target/release)
+#   LOADTEST=... override the serve_loadtest binary
+set -euo pipefail
+
+BIN=${BIN:-target/release/impatience}
+LOADTEST=${LOADTEST:-target/release/serve_loadtest}
+DATA=$(mktemp -d)
+SRV=""
+cleanup() {
+    [ -n "$SRV" ] && kill "$SRV" 2>/dev/null || true
+    rm -rf "$DATA"
+}
+trap cleanup EXIT
+
+"$BIN" serve --addr 127.0.0.1:0 --data-dir "$DATA" --queue 8 &
+SRV=$!
+
+# Readiness: the server writes its bound (ephemeral) address atomically.
+for _ in $(seq 1 100); do
+    [ -s "$DATA/serve.addr" ] && break
+    sleep 0.1
+done
+[ -s "$DATA/serve.addr" ] || { echo "serve.addr never appeared"; exit 1; }
+BASE="http://$(cat "$DATA/serve.addr")"
+echo "server ready at $BASE"
+
+# Liveness.
+curl -fsS "$BASE/healthz" | grep '"status":"ok"' > /dev/null
+
+# Synchronous solve on the warm pool.
+curl -fsS -X POST "$BASE/v1/solve" \
+    -d '{"nodes":40,"rho":2,"mu":0.05,"items":12,"utility":"step:10"}' \
+    | grep '"outcome":"resolved"' > /dev/null
+
+# Bounded-staleness mode round-trips per request.
+curl -fsS -X POST "$BASE/v1/solve" \
+    -d '{"nodes":40,"rho":2,"mu":0.05,"items":12,"stale_eps":0.05}' \
+    | grep '"outcome"' > /dev/null
+
+# Malformed input answers with the error envelope, not a hang or a 500:
+# exit_code 2 is the CLI usage code (see API.md's mapping table).
+curl -s -X POST "$BASE/v1/solve" -d '{"rho":2}' | grep '"exit_code":2' > /dev/null
+
+# A tiny campaign, run to completion.
+SUBMIT=$(curl -fsS -X POST "$BASE/v1/campaigns" \
+    -d '{"nodes":14,"mu":0.05,"duration":200.0,"items":6,"rho":2,"trials":2,"seed":11}')
+JOB=$(printf '%s' "$SUBMIT" | sed -n 's/.*"job":"\([^"]*\)".*/\1/p')
+[ -n "$JOB" ] || { echo "submit reply had no job id: $SUBMIT"; exit 1; }
+echo "campaign $JOB accepted"
+
+STATE=""
+for _ in $(seq 1 600); do
+    STATUS=$(curl -fsS "$BASE/v1/campaigns/$JOB")
+    STATE=$(printf '%s' "$STATUS" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')
+    [ "$STATE" = "done" ] && break
+    [ "$STATE" = "failed" ] && { echo "campaign failed: $STATUS"; exit 1; }
+    sleep 0.1
+done
+[ "$STATE" = "done" ] || { echo "campaign stuck in state '$STATE'"; exit 1; }
+echo "campaign $JOB done"
+
+# The SSE feed replays the full event stream and ends with a terminal
+# frame naming the job's final state.
+SSE=$(curl -fsS "$BASE/v1/campaigns/$JOB/events?follow=0")
+FRAMES=$(printf '%s' "$SSE" | grep -c '^data:')
+[ "$FRAMES" -gt 10 ] || { echo "SSE snapshot looked empty ($FRAMES frames)"; exit 1; }
+printf '%s' "$SSE" | grep '^event: end' > /dev/null
+echo "SSE snapshot: $FRAMES frames"
+
+# The result artifact round-trips through its content address.
+HASH=$(curl -fsS "$BASE/v1/campaigns/$JOB" | sed -n 's/.*"artifact":"\([^"]*\)".*/\1/p')
+[ -n "$HASH" ] || { echo "done job had no artifact hash"; exit 1; }
+curl -fsS "$BASE/v1/artifacts/$HASH" | grep '"schema":"impatience-serve-result\/1"' > /dev/null
+echo "artifact $HASH fetched"
+
+# The metrics scrape must parse as Prometheus text exposition.
+curl -fsS "$BASE/metrics" -o "$DATA/metrics.prom"
+"$BIN" trace lint-prom "$DATA/metrics.prom"
+grep -q impatience_http_requests_total "$DATA/metrics.prom"
+grep -q impatience_campaigns_total "$DATA/metrics.prom"
+
+kill "$SRV"
+wait "$SRV" 2>/dev/null || true
+SRV=""
+
+# Latency regression gate: measured solve p99 (at reduced load) must
+# stay within the slack of the committed bench.
+"$LOADTEST" --quick --gate BENCH_serve.json
+echo "serve smoke: all checks passed"

@@ -225,6 +225,53 @@ impl DeltaSolver {
         self
     }
 
+    /// Set or clear bounded-staleness mode in place.
+    ///
+    /// The borrowing form of [`with_staleness`](DeltaSolver::with_staleness),
+    /// for long-lived solvers whose tolerance varies per request — the
+    /// `impatience serve` solver pool reuses one warm solver across
+    /// requests that each carry their own `stale_eps`. Passing `None`
+    /// restores exact mode.
+    ///
+    /// # Panics
+    /// Panics unless `eps` is `None` or finite and ≥ 0.
+    pub fn set_staleness(&mut self, eps: Option<f64>) {
+        if let Some(e) = eps {
+            assert!(e.is_finite() && e >= 0.0, "ε must be finite and ≥ 0");
+        }
+        self.eps = eps;
+    }
+
+    /// Re-target the solver at an absolute demand vector, expressed as
+    /// the delta batch between the current rates and `target`.
+    ///
+    /// Items whose rate already matches contribute no delta, so a warm
+    /// solver serving a request stream pays only for the coordinates
+    /// that actually moved. Returns the outcome of the implied
+    /// [`apply`](DeltaSolver::apply) (`Resolved { moved: 0 }` when
+    /// nothing changed).
+    ///
+    /// # Panics
+    /// Panics if `target.len()` differs from the catalog size or any
+    /// rate is non-finite or negative — same contract as
+    /// [`DemandRates::new`](crate::demand::DemandRates::new).
+    pub fn rebase_demand(&mut self, target: &[f64]) -> Result<DeltaOutcome, SolverError> {
+        assert_eq!(
+            target.len(),
+            self.rates.len(),
+            "demand vector length {} != catalog size {}",
+            target.len(),
+            self.rates.len()
+        );
+        let deltas: Vec<Delta> = target
+            .iter()
+            .enumerate()
+            .filter(|&(i, &rate)| rate != self.rates[i])
+            .map(|(i, &rate)| Delta::Demand { item: i, rate })
+            .collect();
+        self.apply(&deltas)
+    }
+
     /// The current allocation. In exact mode this is bit-identical to a
     /// scratch greedy solve on the current instance; in bounded-staleness
     /// mode it may be a certified-stale allocation.
@@ -649,6 +696,67 @@ mod tests {
                 "after d[{item}] = {rate}"
             );
         }
+    }
+
+    #[test]
+    fn rebase_demand_tracks_scratch_and_skips_unchanged() {
+        let system = SystemModel::pure_p2p(20, 3, 0.05);
+        let demand = Popularity::pareto(12, 1.0).demand_rates(1.0);
+        let mut solver = DeltaSolver::new(system, &demand, Arc::new(Step::new(5.0)));
+
+        // Rebase onto the identical vector: a no-op.
+        let before = solver.stats();
+        let out = solver.rebase_demand(demand.rates()).unwrap();
+        assert!(matches!(out, DeltaOutcome::Resolved { moved: 0 }));
+        assert_eq!(solver.stats().replicas_moved, before.replicas_moved);
+
+        // Rebase onto a shuffled vector: bit-identical to scratch.
+        let mut target = demand.rates().to_vec();
+        target.reverse();
+        solver.rebase_demand(&target).unwrap();
+        assert_eq!(solver.rates(), &target[..]);
+        assert_eq!(*solver.counts(), scratch(&solver));
+    }
+
+    #[test]
+    #[should_panic(expected = "catalog size")]
+    fn rebase_demand_rejects_wrong_length() {
+        let system = SystemModel::pure_p2p(10, 2, 0.05);
+        let demand = DemandRates::new(vec![1.0, 0.5, 0.2]);
+        let mut solver = DeltaSolver::new(system, &demand, Arc::new(Step::new(5.0)));
+        let _ = solver.rebase_demand(&[1.0, 0.5]);
+    }
+
+    #[test]
+    fn set_staleness_toggles_certificate_mode_in_place() {
+        let system = SystemModel::pure_p2p(40, 4, 0.05);
+        let demand = Popularity::pareto(16, 1.0).demand_rates(1.0);
+        let utility: Arc<dyn DelayUtility> = Arc::new(Exponential::new(0.5));
+        let mut solver = DeltaSolver::new(system, &demand, Arc::clone(&utility));
+
+        let nudge = |d: &DemandRates, k: f64| Delta::Demand {
+            item: 8,
+            rate: d.rate(8) * k,
+        };
+        // Exact mode: the nudge re-solves.
+        let out = solver.apply(&[nudge(&demand, 1.001)]).unwrap();
+        assert!(matches!(out, DeltaOutcome::Resolved { .. }));
+
+        // Loose ε in place: the next nudge certifies stale.
+        solver.set_staleness(Some(0.05));
+        let out = solver.apply(&[nudge(&demand, 1.002)]).unwrap();
+        assert!(matches!(out, DeltaOutcome::CertifiedStale(_)));
+
+        // Back to exact: allocation snaps back to scratch-greedy.
+        solver.set_staleness(None);
+        let out = solver.apply(&[nudge(&demand, 1.003)]).unwrap();
+        assert!(matches!(out, DeltaOutcome::Resolved { .. }));
+        let fresh = greedy_homogeneous(
+            solver.system(),
+            &DemandRates::new(solver.rates().to_vec()),
+            utility.as_ref(),
+        );
+        assert_eq!(*solver.counts(), fresh);
     }
 
     #[test]

@@ -193,6 +193,44 @@ impl Json {
             }
         }
     }
+
+    /// Serialize with `indent`-space indentation (no trailing newline).
+    /// Scalars render exactly as [`Json::write`] does, so a re-parse is
+    /// value-identical; only whitespace differs. Used for the committed
+    /// human-diffed documents (`BENCH_*.json`, API examples).
+    pub fn write_pretty(&self, out: &mut String, indent: usize) {
+        self.write_pretty_at(out, indent, 0);
+    }
+
+    fn write_pretty_at(&self, out: &mut String, indent: usize, depth: usize) {
+        match self {
+            Json::Array(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    out.push_str(if i > 0 { ",\n" } else { "\n" });
+                    out.push_str(&" ".repeat(indent * (depth + 1)));
+                    v.write_pretty_at(out, indent, depth + 1);
+                }
+                out.push('\n');
+                out.push_str(&" ".repeat(indent * depth));
+                out.push(']');
+            }
+            Json::Object(pairs) if !pairs.is_empty() => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    out.push_str(if i > 0 { ",\n" } else { "\n" });
+                    out.push_str(&" ".repeat(indent * (depth + 1)));
+                    write_escaped(k, out);
+                    out.push_str(": ");
+                    v.write_pretty_at(out, indent, depth + 1);
+                }
+                out.push('\n');
+                out.push_str(&" ".repeat(indent * depth));
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
 }
 
 /// Write `x` exactly as [`Json::Float`] serializes it: shortest
@@ -317,6 +355,26 @@ impl<T: Into<Json>> From<Vec<T>> for Json {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pretty_print_reparses_identically() {
+        let v = Json::obj([
+            ("name", Json::from("bench")),
+            ("empty_obj", Json::obj::<&str, _>([])),
+            ("empty_arr", Json::Array(vec![])),
+            (
+                "rows",
+                Json::Array(vec![Json::from(1i64), Json::from(2.5), Json::Null]),
+            ),
+            ("nested", Json::obj([("p99", Json::from(3.25))])),
+        ]);
+        let mut pretty = String::new();
+        v.write_pretty(&mut pretty, 2);
+        assert_eq!(Json::parse(&pretty).unwrap(), v);
+        assert!(pretty.contains("{\n  \"name\": \"bench\""));
+        assert!(pretty.contains("\"empty_obj\": {}"));
+        assert!(pretty.contains("\"nested\": {\n    \"p99\": 3.25\n  }"));
+    }
 
     #[test]
     fn roundtrip_scalars() {

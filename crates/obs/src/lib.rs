@@ -46,6 +46,7 @@ pub mod registry;
 pub mod sink;
 pub mod span;
 pub mod stats;
+pub mod stream;
 pub mod trace;
 
 pub use atomic::{write_atomic, AtomicFile};
@@ -59,6 +60,7 @@ pub use registry::{parse_prometheus, HistSnapshot, MetricKind, MetricsRegistry, 
 pub use sink::{JsonlSink, MemorySink, NoopSink, Sink, TallySink};
 pub use span::{PhaseAgg, PhaseReport, PhaseStat, SpanGuard};
 pub use stats::{nearest_rank, percentile, percentile_sorted};
+pub use stream::{EventStream, StreamCursor, StreamProgress, StreamSink};
 pub use trace::{render_diff, TraceSummary};
 
 /// The common imports: `use impatience_obs::prelude::*;`.
@@ -74,5 +76,6 @@ pub mod prelude {
     pub use crate::sink::{JsonlSink, MemorySink, NoopSink, Sink, TallySink};
     pub use crate::span::{PhaseAgg, PhaseReport, PhaseStat, SpanGuard};
     pub use crate::stats::{nearest_rank, percentile, percentile_sorted};
+    pub use crate::stream::{EventStream, StreamCursor, StreamSink};
     pub use crate::trace::{render_diff, TraceSummary};
 }

@@ -1,0 +1,513 @@
+//! Live event streaming: the sink → SSE bridge used by `impatience serve`.
+//!
+//! A [`StreamSink`] is a [`Sink`] that batches serialized JSONL event
+//! lines exactly like [`JsonlSink`](crate::JsonlSink) (same 64 KiB
+//! threshold, same checkpoint-boundary `flush`), but drains into a
+//! shared, append-only, in-memory [`EventStream`] instead of a writer.
+//! Any number of subscribers ([`StreamCursor`]) can then replay the
+//! stream from an arbitrary offset and block for new lines — which is
+//! precisely what a Server-Sent-Events endpoint needs for
+//! `Last-Event-ID` reconnect semantics.
+//!
+//! ## Flush on subscriber attach
+//!
+//! Batching alone would hand a fresh SSE client a view up to 64 KiB
+//! stale: events sit in the sink-local batch buffer until a checkpoint
+//! boundary. Subscribing therefore bumps a shared attach epoch;
+//! [`StreamSink::record`] compares the epoch on every event and drains
+//! its batch as soon as it notices a new subscriber, so the stale
+//! window closes at the next recorded event rather than the next
+//! checkpoint. (The subscriber cannot drain the sink directly — the
+//! sink is owned by the campaign thread — so the epoch check is the
+//! lock-free signal that crosses threads.)
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+use crate::event::Event;
+use crate::sink::Sink;
+
+/// What a blocking wait on an [`EventStream`] observed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamProgress {
+    /// Total number of published lines at the time of return.
+    pub len: usize,
+    /// Whether the stream has been closed (no more lines will arrive).
+    pub closed: bool,
+}
+
+#[derive(Default)]
+struct StreamState {
+    lines: Vec<Arc<str>>,
+    closed: bool,
+}
+
+struct StreamShared {
+    state: Mutex<StreamState>,
+    cond: Condvar,
+    /// Bumped by every `subscribe`; sinks drain when they see it move.
+    attach_epoch: AtomicU64,
+}
+
+/// A shared, append-only sequence of serialized JSONL event lines.
+///
+/// Cloning is cheap (an `Arc` bump); one handle feeds a [`StreamSink`]
+/// on the producing thread while any number of clones serve readers.
+/// Lines are indexed from 0 and never mutated once published, so an
+/// SSE endpoint can use the index directly as the event id.
+#[derive(Clone)]
+pub struct EventStream {
+    shared: Arc<StreamShared>,
+}
+
+impl Default for EventStream {
+    fn default() -> Self {
+        EventStream::new()
+    }
+}
+
+impl EventStream {
+    /// An empty, open stream.
+    pub fn new() -> Self {
+        EventStream {
+            shared: Arc::new(StreamShared {
+                state: Mutex::new(StreamState::default()),
+                cond: Condvar::new(),
+                attach_epoch: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, StreamState> {
+        // A poisoned mutex only means a publisher panicked mid-append;
+        // the published prefix is still valid for readers.
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Current attach-epoch value (bumped by [`EventStream::subscribe`]).
+    pub fn attach_epoch(&self) -> u64 {
+        self.shared.attach_epoch.load(Ordering::Acquire)
+    }
+
+    /// Register a new subscriber and return a cursor positioned at
+    /// `offset` (clamped to the current length on reads past the end
+    /// only when the stream is closed; otherwise reads block).
+    ///
+    /// This is the flush-on-attach hook: it bumps the shared epoch so
+    /// the producing [`StreamSink`] drains its batch buffer at the next
+    /// recorded event instead of waiting for a checkpoint boundary.
+    pub fn subscribe(&self, offset: usize) -> StreamCursor {
+        self.shared.attach_epoch.fetch_add(1, Ordering::AcqRel);
+        StreamCursor {
+            stream: self.clone(),
+            next: offset,
+        }
+    }
+
+    /// Append one line (no trailing newline) and wake waiting readers.
+    pub fn publish(&self, line: impl Into<Arc<str>>) {
+        let mut st = self.lock();
+        if st.closed {
+            return;
+        }
+        st.lines.push(line.into());
+        drop(st);
+        self.shared.cond.notify_all();
+    }
+
+    /// Append every newline-separated line in `batch`, then wake readers.
+    ///
+    /// This is the [`StreamSink`] drain path: one lock acquisition per
+    /// 64 KiB batch rather than per event.
+    pub fn publish_batch(&self, batch: &str) {
+        if batch.is_empty() {
+            return;
+        }
+        let mut st = self.lock();
+        if st.closed {
+            return;
+        }
+        for line in batch.lines() {
+            if !line.is_empty() {
+                st.lines.push(Arc::from(line));
+            }
+        }
+        drop(st);
+        self.shared.cond.notify_all();
+    }
+
+    /// Mark the stream complete: readers drain the remainder and stop.
+    pub fn close(&self) {
+        let mut st = self.lock();
+        st.closed = true;
+        drop(st);
+        self.shared.cond.notify_all();
+    }
+
+    /// Whether [`EventStream::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    /// Number of lines published so far.
+    pub fn len(&self) -> usize {
+        self.lock().lines.len()
+    }
+
+    /// Whether no lines have been published yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The line at `idx`, if published.
+    pub fn get(&self, idx: usize) -> Option<Arc<str>> {
+        self.lock().lines.get(idx).cloned()
+    }
+
+    /// A snapshot of lines `[from, len)`.
+    pub fn snapshot_from(&self, from: usize) -> Vec<Arc<str>> {
+        let st = self.lock();
+        if from >= st.lines.len() {
+            return Vec::new();
+        }
+        st.lines[from..].to_vec()
+    }
+
+    /// Block until the stream grows past `idx`, closes, or `timeout`
+    /// elapses; returns the progress observed at wakeup.
+    pub fn wait_beyond(&self, idx: usize, timeout: Duration) -> StreamProgress {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = self.lock();
+        loop {
+            if st.lines.len() > idx || st.closed {
+                return StreamProgress {
+                    len: st.lines.len(),
+                    closed: st.closed,
+                };
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return StreamProgress {
+                    len: st.lines.len(),
+                    closed: st.closed,
+                };
+            }
+            let (guard, _timed_out) = self
+                .shared
+                .cond
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            st = guard;
+        }
+    }
+}
+
+impl std::fmt::Debug for EventStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.lock();
+        f.debug_struct("EventStream")
+            .field("len", &st.lines.len())
+            .field("closed", &st.closed)
+            .finish()
+    }
+}
+
+/// A subscriber's position in an [`EventStream`].
+///
+/// Obtained from [`EventStream::subscribe`]; yields `(index, line)`
+/// pairs in publication order, blocking (bounded by a caller-supplied
+/// timeout) while the stream is open and drained lines run out.
+pub struct StreamCursor {
+    stream: EventStream,
+    next: usize,
+}
+
+impl StreamCursor {
+    /// The index the next returned line will have.
+    pub fn position(&self) -> usize {
+        self.next
+    }
+
+    /// Next line if one is already published — never blocks.
+    pub fn try_next(&mut self) -> Option<(usize, Arc<str>)> {
+        let line = self.stream.get(self.next)?;
+        let idx = self.next;
+        self.next += 1;
+        Some((idx, line))
+    }
+
+    /// Next line, waiting up to `timeout` for one to be published.
+    ///
+    /// Returns `None` on timeout or when the stream is closed and fully
+    /// drained — callers distinguish the two via
+    /// [`StreamCursor::finished`].
+    pub fn next_timeout(&mut self, timeout: Duration) -> Option<(usize, Arc<str>)> {
+        if let Some(hit) = self.try_next() {
+            return Some(hit);
+        }
+        self.stream.wait_beyond(self.next, timeout);
+        self.try_next()
+    }
+
+    /// Whether the stream is closed and this cursor has read every line.
+    pub fn finished(&self) -> bool {
+        self.stream.is_closed() && self.next >= self.stream.len()
+    }
+}
+
+/// A [`Sink`] that batches JSONL lines into an [`EventStream`].
+///
+/// Identical batching discipline to [`JsonlSink`](crate::JsonlSink)
+/// (drain at [`StreamSink::BATCH_BYTES`], on [`Sink::flush`] at
+/// checkpoint boundaries, and on drop), plus the flush-on-attach rule:
+/// if the stream's attach epoch moved since the last drain — a new SSE
+/// subscriber arrived — the very next [`Sink::record`] drains first, so
+/// fresh subscribers never sit behind a stale 64 KiB window.
+pub struct StreamSink {
+    stream: EventStream,
+    buf: String,
+    seen_epoch: u64,
+}
+
+impl StreamSink {
+    /// Drain the batch buffer into the stream past this size.
+    pub const BATCH_BYTES: usize = 64 * 1024;
+
+    /// Batch events into `stream`.
+    pub fn new(stream: EventStream) -> Self {
+        let seen_epoch = stream.attach_epoch();
+        StreamSink {
+            stream,
+            buf: String::with_capacity(Self::BATCH_BYTES + 4096),
+            seen_epoch,
+        }
+    }
+
+    /// The stream this sink publishes into.
+    pub fn stream(&self) -> &EventStream {
+        &self.stream
+    }
+
+    /// Bytes currently batched but not yet published.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn drain(&mut self) {
+        self.stream.publish_batch(&self.buf);
+        self.buf.clear();
+    }
+
+    /// Drain any remainder and mark the stream closed.
+    pub fn finish(mut self) -> EventStream {
+        self.drain();
+        self.stream.close();
+        self.stream.clone()
+    }
+}
+
+impl Sink for StreamSink {
+    fn record(&mut self, event: &Event) {
+        // Flush-on-attach: a subscriber arriving between checkpoints
+        // bumps the epoch; drain the stale batch before appending.
+        let epoch = self.stream.attach_epoch();
+        if epoch != self.seen_epoch {
+            self.seen_epoch = epoch;
+            self.drain();
+        }
+        event.write_jsonl(&mut self.buf);
+        self.buf.push('\n');
+        if self.buf.len() >= Self::BATCH_BYTES {
+            self.drain();
+        }
+    }
+
+    fn flush(&mut self) {
+        self.drain();
+    }
+}
+
+impl Drop for StreamSink {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+impl std::fmt::Debug for StreamSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamSink")
+            .field("pending_bytes", &self.buf.len())
+            .field("stream", &self.stream)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn contact(t: f64) -> Event {
+        Event::Contact { t, a: 0, b: 1 }
+    }
+
+    #[test]
+    fn publishes_parseable_lines_in_order() {
+        let stream = EventStream::new();
+        let mut sink = StreamSink::new(stream.clone());
+        for i in 0..10 {
+            sink.record(&contact(i as f64));
+        }
+        sink.flush();
+        assert_eq!(stream.len(), 10);
+        for i in 0..10 {
+            let line = stream.get(i).unwrap();
+            let json = impatience_json::Json::parse(&line).unwrap();
+            assert_eq!(json.get("ev").and_then(|k| k.as_str()), Some("contact"));
+            assert_eq!(
+                json.get("t").and_then(|t| t.as_f64()),
+                Some(i as f64),
+                "line {i} out of order"
+            );
+        }
+    }
+
+    #[test]
+    fn batches_until_flush() {
+        let stream = EventStream::new();
+        let mut sink = StreamSink::new(stream.clone());
+        for i in 0..100 {
+            sink.record(&contact(i as f64));
+        }
+        assert_eq!(stream.len(), 0, "events must batch, not write through");
+        assert!(sink.pending_bytes() > 0);
+        sink.flush();
+        assert_eq!(stream.len(), 100);
+    }
+
+    #[test]
+    fn drains_at_batch_threshold() {
+        let stream = EventStream::new();
+        let mut sink = StreamSink::new(stream.clone());
+        let n = StreamSink::BATCH_BYTES / 20;
+        for i in 0..n {
+            sink.record(&Event::Replication {
+                t: i as f64,
+                count: i as u64,
+            });
+        }
+        assert!(
+            !stream.is_empty(),
+            "crossing BATCH_BYTES must publish without an explicit flush"
+        );
+    }
+
+    #[test]
+    fn subscribe_triggers_drain_on_next_record() {
+        let stream = EventStream::new();
+        let mut sink = StreamSink::new(stream.clone());
+        for i in 0..5 {
+            sink.record(&contact(i as f64));
+        }
+        assert_eq!(stream.len(), 0, "below threshold: all 5 still batched");
+
+        // A fresh SSE subscriber attaches mid-batch...
+        let mut cursor = stream.subscribe(0);
+        assert!(cursor.try_next().is_none(), "nothing drained yet");
+
+        // ...and the very next recorded event drains the stale window.
+        sink.record(&contact(5.0));
+        assert_eq!(
+            stream.len(),
+            5,
+            "attach epoch must force the pre-subscribe batch out"
+        );
+        let (idx, first) = cursor.try_next().unwrap();
+        assert_eq!(idx, 0);
+        assert!(first.contains("\"contact\""));
+        // The triggering event itself is in the fresh batch; a flush
+        // delivers it too.
+        sink.flush();
+        assert_eq!(stream.len(), 6);
+    }
+
+    #[test]
+    fn cursor_replays_from_offset() {
+        let stream = EventStream::new();
+        for i in 0..8 {
+            stream.publish(format!("line-{i}"));
+        }
+        let mut cursor = stream.subscribe(5);
+        let (idx, line) = cursor.try_next().unwrap();
+        assert_eq!((idx, &*line), (5, "line-5"));
+        let (idx, line) = cursor.try_next().unwrap();
+        assert_eq!((idx, &*line), (6, "line-6"));
+        assert_eq!(cursor.position(), 7);
+    }
+
+    #[test]
+    fn wait_wakes_on_publish_and_close() {
+        let stream = EventStream::new();
+        let publisher = {
+            let stream = stream.clone();
+            thread::spawn(move || {
+                stream.publish("a");
+                stream.publish("b");
+                stream.close();
+            })
+        };
+        let mut cursor = stream.subscribe(0);
+        let mut seen = Vec::new();
+        while !cursor.finished() {
+            if let Some((_, line)) = cursor.next_timeout(Duration::from_secs(5)) {
+                seen.push(line.to_string());
+            }
+        }
+        publisher.join().unwrap();
+        assert_eq!(seen, vec!["a", "b"]);
+        assert!(cursor.finished());
+    }
+
+    #[test]
+    fn wait_times_out_on_idle_open_stream() {
+        let stream = EventStream::new();
+        let progress = stream.wait_beyond(0, Duration::from_millis(10));
+        assert_eq!(
+            progress,
+            StreamProgress {
+                len: 0,
+                closed: false
+            }
+        );
+    }
+
+    #[test]
+    fn finish_closes_after_final_drain() {
+        let stream = EventStream::new();
+        let mut sink = StreamSink::new(stream.clone());
+        sink.record(&contact(1.0));
+        let stream = sink.finish();
+        assert!(stream.is_closed());
+        assert_eq!(stream.len(), 1);
+        // Publishing after close is a no-op.
+        stream.publish("late");
+        assert_eq!(stream.len(), 1);
+    }
+
+    #[test]
+    fn recorder_integration() {
+        use crate::recorder::Recorder;
+        let stream = EventStream::new();
+        let mut rec = Recorder::new(StreamSink::new(stream.clone()));
+        rec.contact(1.0, 0, 1);
+        rec.replications(1.0, 3);
+        rec.sink_mut().flush();
+        assert_eq!(stream.len(), 2);
+        let done = rec.into_sink().finish();
+        assert!(done.is_closed());
+    }
+}

@@ -1,0 +1,295 @@
+//! A deliberately small HTTP/1.1 subset over `std::net::TcpStream`.
+//!
+//! Enough for the service surface and nothing more: request line +
+//! headers + `Content-Length` bodies in, status + headers + body (or a
+//! streamed SSE body) out, every connection `Connection: close`. No
+//! chunked encoding, no keep-alive, no TLS — the repo's no-async,
+//! no-dependency discipline applied to the wire.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+use crate::error::ApiError;
+
+/// Maximum accepted header block size (request line included).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Maximum accepted request body size.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path component, percent-decoding not applied (the API uses none).
+    pub path: String,
+    /// `?key=value&…` parameters, last occurrence wins.
+    pub query: BTreeMap<String, String>,
+    /// Lower-cased header name → value.
+    pub headers: BTreeMap<String, String>,
+    /// Request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Read one request from `stream`.
+    pub fn read_from(stream: &mut TcpStream) -> Result<Request, ApiError> {
+        let mut reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| ApiError::Io(format!("cannot clone stream: {e}")))?,
+        );
+
+        let mut line = String::new();
+        let mut head_bytes = 0usize;
+        reader
+            .read_line(&mut line)
+            .map_err(|e| ApiError::Io(format!("reading request line: {e}")))?;
+        head_bytes += line.len();
+        let mut parts = line.split_whitespace();
+        let method = parts
+            .next()
+            .ok_or_else(|| ApiError::BadRequest("empty request line".into()))?
+            .to_ascii_uppercase();
+        let target = parts
+            .next()
+            .ok_or_else(|| ApiError::BadRequest("request line lacks a path".into()))?
+            .to_string();
+
+        let mut headers = BTreeMap::new();
+        loop {
+            let mut h = String::new();
+            let n = reader
+                .read_line(&mut h)
+                .map_err(|e| ApiError::Io(format!("reading headers: {e}")))?;
+            head_bytes += n;
+            if head_bytes > MAX_HEAD_BYTES {
+                return Err(ApiError::TooLarge {
+                    limit: MAX_HEAD_BYTES,
+                });
+            }
+            let h = h.trim_end();
+            if n == 0 || h.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = h.split_once(':') {
+                headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+            }
+        }
+
+        let mut body = Vec::new();
+        if let Some(len) = headers.get("content-length") {
+            let len: usize = len
+                .parse()
+                .map_err(|_| ApiError::BadRequest(format!("bad content-length `{len}`")))?;
+            if len > MAX_BODY_BYTES {
+                return Err(ApiError::TooLarge {
+                    limit: MAX_BODY_BYTES,
+                });
+            }
+            body.resize(len, 0);
+            reader
+                .read_exact(&mut body)
+                .map_err(|e| ApiError::Io(format!("reading body: {e}")))?;
+        }
+
+        let (path, query) = parse_target(&target);
+        Ok(Request {
+            method,
+            path,
+            query,
+            headers,
+            body,
+        })
+    }
+
+    /// The request body as UTF-8 JSON.
+    pub fn json(&self) -> Result<impatience_json::Json, ApiError> {
+        let text = std::str::from_utf8(&self.body)
+            .map_err(|_| ApiError::BadRequest("body is not UTF-8".into()))?;
+        impatience_json::Json::parse(text)
+            .map_err(|e| ApiError::BadRequest(format!("body is not valid JSON: {e}")))
+    }
+}
+
+fn parse_target(target: &str) -> (String, BTreeMap<String, String>) {
+    let mut query = BTreeMap::new();
+    let (path, qs) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    for pair in qs.split('&').filter(|p| !p.is_empty()) {
+        match pair.split_once('=') {
+            Some((k, v)) => query.insert(k.to_string(), v.to_string()),
+            None => query.insert(pair.to_string(), String::new()),
+        };
+    }
+    (path.to_string(), query)
+}
+
+fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "",
+    }
+}
+
+/// Write head + body for a fixed-length response (`Connection: close`).
+pub fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        status,
+        status_text(status),
+        content_type,
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Serialize `json` and send it with the given status.
+pub fn respond_json(
+    stream: &mut TcpStream,
+    status: u16,
+    json: &impatience_json::Json,
+) -> std::io::Result<()> {
+    let mut body = String::new();
+    json.write(&mut body);
+    body.push('\n');
+    respond(stream, status, "application/json", body.as_bytes())
+}
+
+/// Send the error envelope for `err`.
+pub fn respond_error(stream: &mut TcpStream, err: &ApiError) -> std::io::Result<()> {
+    respond_json(stream, err.http_status(), &err.envelope())
+}
+
+/// Start a streamed (SSE) response: head only, body follows via
+/// [`write_sse_event`]. The connection stays open until the handler
+/// returns and the stream drops.
+pub fn start_sse(stream: &mut TcpStream) -> std::io::Result<()> {
+    stream.write_all(
+        b"HTTP/1.1 200 OK\r\ncontent-type: text/event-stream\r\ncache-control: no-cache\r\nconnection: close\r\n\r\n",
+    )?;
+    stream.flush()
+}
+
+/// Write one SSE frame: `id: N`, optional `event:`, one `data:` line.
+pub fn write_sse_event(
+    stream: &mut TcpStream,
+    id: Option<usize>,
+    event: Option<&str>,
+    data: &str,
+) -> std::io::Result<()> {
+    let mut frame = String::new();
+    if let Some(id) = id {
+        frame.push_str("id: ");
+        frame.push_str(&id.to_string());
+        frame.push('\n');
+    }
+    if let Some(event) = event {
+        frame.push_str("event: ");
+        frame.push_str(event);
+        frame.push('\n');
+    }
+    // The JSONL payloads are single-line by construction, but split
+    // defensively: a bare newline inside `data:` would desynchronize
+    // the SSE framing.
+    for line in data.lines() {
+        frame.push_str("data: ");
+        frame.push_str(line);
+        frame.push('\n');
+    }
+    frame.push('\n');
+    stream.write_all(frame.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_parsing_splits_path_and_query() {
+        let (path, query) = parse_target("/v1/campaigns/j0001/events?offset=12&follow=0");
+        assert_eq!(path, "/v1/campaigns/j0001/events");
+        assert_eq!(query.get("offset").map(String::as_str), Some("12"));
+        assert_eq!(query.get("follow").map(String::as_str), Some("0"));
+        let (path, query) = parse_target("/healthz");
+        assert_eq!(path, "/healthz");
+        assert!(query.is_empty());
+    }
+
+    #[test]
+    fn request_roundtrip_over_socket() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"POST /v1/solve?x=1 HTTP/1.1\r\nHost: t\r\nContent-Length: 2\r\n\r\n{}")
+                .unwrap();
+            let mut out = String::new();
+            s.read_to_string(&mut out).unwrap();
+            out
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let req = Request::read_from(&mut conn).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/solve");
+        assert_eq!(req.query.get("x").map(String::as_str), Some("1"));
+        assert_eq!(req.body, b"{}");
+        assert!(req.json().unwrap().as_object().unwrap().is_empty());
+        respond_json(
+            &mut conn,
+            200,
+            &impatience_json::Json::obj([("ok", true.into())]),
+        )
+        .unwrap();
+        drop(conn);
+        let reply = client.join().unwrap();
+        assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(reply.contains("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn oversized_body_is_rejected() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let head = format!(
+                "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                MAX_BODY_BYTES + 1
+            );
+            let _ = s.write_all(head.as_bytes());
+            let mut out = String::new();
+            let _ = s.read_to_string(&mut out);
+            out
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let err = Request::read_from(&mut conn).unwrap_err();
+        assert_eq!(err.http_status(), 413);
+        respond_error(&mut conn, &err).unwrap();
+        drop(conn);
+        let reply = client.join().unwrap();
+        assert!(reply.starts_with("HTTP/1.1 413"));
+    }
+}

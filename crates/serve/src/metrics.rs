@@ -1,0 +1,152 @@
+//! The server's shared [`MetricsRegistry`] and the metric names it owns.
+//!
+//! One registry per [`Server`](crate::Server) instance (not the
+//! process-global one, so parallel tests don't cross-contaminate),
+//! rendered on demand by `GET /metrics` in Prometheus text exposition
+//! format — the same format `impatience trace lint-prom` and
+//! `obs::parse_prometheus` consume.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use impatience_obs::{Histogram, MetricsRegistry};
+
+/// Solve-latency histogram range (milliseconds). With 4096 buckets the
+/// exported power-of-two edge grid is 1 ms, 2 ms, …, 4096 ms.
+const LATENCY_RANGE_MS: f64 = 4096.0;
+const LATENCY_BUCKETS: usize = 4096;
+
+/// Shared handle on the server's metrics state.
+#[derive(Clone)]
+pub struct ServeMetrics {
+    inner: Arc<Mutex<Inner>>,
+}
+
+struct Inner {
+    registry: MetricsRegistry,
+    solve_latency: Histogram,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        ServeMetrics::new()
+    }
+}
+
+impl ServeMetrics {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        ServeMetrics {
+            inner: Arc::new(Mutex::new(Inner {
+                registry: MetricsRegistry::new(),
+                solve_latency: Histogram::new(LATENCY_RANGE_MS, LATENCY_BUCKETS),
+            })),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Count one handled HTTP request by route template and status.
+    pub fn http_request(&self, route: &str, status: u16) {
+        let status = status.to_string();
+        self.lock().registry.counter_add(
+            "impatience_http_requests_total",
+            "HTTP requests handled, by route template and status code.",
+            &[("route", route), ("status", &status)],
+            1.0,
+        );
+    }
+
+    /// Record one synchronous solve: wall latency plus pool reuse.
+    pub fn solve(&self, latency_ms: f64, pool_hit: bool) {
+        let mut inner = self.lock();
+        inner.solve_latency.record(latency_ms);
+        let outcome = if pool_hit { "hit" } else { "miss" };
+        inner.registry.counter_add(
+            "impatience_solver_pool_total",
+            "Warm DeltaSolver pool checkouts, by hit/miss.",
+            &[("outcome", outcome)],
+            1.0,
+        );
+    }
+
+    /// Track the campaign queue depth gauge.
+    pub fn queue_depth(&self, depth: usize) {
+        self.lock().registry.gauge_set(
+            "impatience_campaign_queue_depth",
+            "Campaign jobs currently queued (accepted, not yet running).",
+            &[],
+            depth as f64,
+        );
+    }
+
+    /// Count one campaign reaching a terminal disposition
+    /// (`done` / `failed` / `shed`).
+    pub fn campaign(&self, disposition: &str) {
+        self.lock().registry.counter_add(
+            "impatience_campaigns_total",
+            "Campaign jobs by terminal disposition.",
+            &[("disposition", disposition)],
+            1.0,
+        );
+    }
+
+    /// Count SSE frames actually written to subscribers.
+    pub fn sse_events(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.lock().registry.counter_add(
+            "impatience_sse_events_streamed_total",
+            "Server-sent event frames delivered to subscribers.",
+            &[],
+            n as f64,
+        );
+    }
+
+    /// Render the Prometheus exposition, folding in the latency
+    /// histogram snapshot.
+    pub fn render(&self) -> String {
+        let mut inner = self.lock();
+        if inner.solve_latency.count() > 0 {
+            let hist = inner.solve_latency.clone();
+            inner.registry.histogram_observe(
+                "impatience_solve_latency_ms",
+                "POST /v1/solve wall latency (milliseconds).",
+                &[],
+                &hist,
+            );
+        }
+        inner.registry.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impatience_obs::parse_prometheus;
+
+    #[test]
+    fn exposition_parses_and_carries_all_families() {
+        let m = ServeMetrics::new();
+        m.http_request("/v1/solve", 200);
+        m.http_request("/v1/campaigns", 429);
+        m.solve(3.5, true);
+        m.solve(7.0, false);
+        m.queue_depth(2);
+        m.campaign("done");
+        m.sse_events(17);
+        let text = m.render();
+        let samples = parse_prometheus(&text).unwrap();
+        let has = |name: &str| samples.iter().any(|s| s.name.starts_with(name));
+        assert!(has("impatience_http_requests_total"));
+        assert!(has("impatience_solver_pool_total"));
+        assert!(has("impatience_campaign_queue_depth"));
+        assert!(has("impatience_campaigns_total"));
+        assert!(has("impatience_sse_events_streamed_total"));
+        assert!(has("impatience_solve_latency_ms"));
+    }
+}

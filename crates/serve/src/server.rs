@@ -1,0 +1,509 @@
+//! The HTTP server: socket lifecycle, routing, and handlers.
+
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use impatience_json::Json;
+use impatience_obs::write_atomic;
+
+use crate::artifacts::ArtifactStore;
+use crate::error::ApiError;
+use crate::http::{respond, respond_error, respond_json, start_sse, write_sse_event, Request};
+use crate::jobs::{JobManager, JobSpec};
+use crate::metrics::ServeMetrics;
+use crate::pool::ThreadPool;
+use crate::solve::{SolveRequest, SolverPool};
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:0` (port 0 = ephemeral).
+    pub addr: String,
+    /// State directory: `jobs/`, `artifacts/`, and `serve.addr` live here.
+    pub data_dir: PathBuf,
+    /// Campaign queue capacity (submissions beyond it shed with 429).
+    pub queue_cap: usize,
+    /// Connection-handling worker threads.
+    pub http_threads: usize,
+    /// Idle warm solvers kept per system shape.
+    pub solver_pool_per_key: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            data_dir: PathBuf::from("serve-data"),
+            queue_cap: 32,
+            http_threads: 8,
+            solver_pool_per_key: 8,
+        }
+    }
+}
+
+struct Ctx {
+    jobs: JobManager,
+    store: ArtifactStore,
+    solvers: SolverPool,
+    metrics: ServeMetrics,
+    started: Instant,
+    shutting_down: AtomicBool,
+}
+
+/// A running `impatience serve` instance.
+///
+/// Binds in [`Server::start`]; [`Server::shutdown`] (or drop) stops the
+/// accept loop, drains in-flight connections, and joins the campaign
+/// runner after its current job.
+pub struct Server {
+    addr: std::net::SocketAddr,
+    ctx: Arc<Ctx>,
+    accept: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Bind, recover persisted jobs, and start serving.
+    ///
+    /// Writes the bound address to `<data_dir>/serve.addr` (atomic) so
+    /// scripts and tests can discover an ephemeral port.
+    pub fn start(config: ServeConfig) -> Result<Server, ApiError> {
+        std::fs::create_dir_all(&config.data_dir)
+            .map_err(|e| ApiError::Io(format!("cannot create data dir: {e}")))?;
+        let metrics = ServeMetrics::new();
+        let store = ArtifactStore::open(&config.data_dir.join("artifacts"))?;
+        let jobs = JobManager::start(
+            &config.data_dir.join("jobs"),
+            store.clone(),
+            metrics.clone(),
+            config.queue_cap,
+        )?;
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| ApiError::Io(format!("cannot bind {}: {e}", config.addr)))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ApiError::Io(format!("cannot resolve bound address: {e}")))?;
+        write_atomic(
+            &config.data_dir.join("serve.addr"),
+            format!("{addr}\n").as_bytes(),
+        )
+        .map_err(|e| ApiError::Io(format!("cannot write serve.addr: {e}")))?;
+
+        let ctx = Arc::new(Ctx {
+            jobs,
+            store,
+            solvers: SolverPool::new(config.solver_pool_per_key),
+            metrics,
+            started: Instant::now(),
+            shutting_down: AtomicBool::new(false),
+        });
+        let accept = {
+            let ctx = Arc::clone(&ctx);
+            let threads = config.http_threads;
+            std::thread::Builder::new()
+                .name("serve-accept".into())
+                .spawn(move || accept_loop(&listener, &ctx, threads))
+                .map_err(|e| ApiError::Io(format!("cannot spawn accept loop: {e}")))?
+        };
+        Ok(Server {
+            addr,
+            ctx,
+            accept: Mutex::new(Some(accept)),
+        })
+    }
+
+    /// The bound socket address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Base URL, e.g. `http://127.0.0.1:41234`.
+    pub fn url(&self) -> String {
+        format!("http://{}", self.addr)
+    }
+
+    /// Stop accepting connections and wait for in-flight work
+    /// (including the currently running campaign, if any) to finish.
+    pub fn shutdown(&self) {
+        self.ctx.shutting_down.store(true, Ordering::SeqCst);
+        // Poke the accept loop out of `accept()`.
+        let _ = TcpStream::connect(self.addr);
+        let handle = self
+            .accept
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+        self.ctx.jobs.shutdown();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, ctx: &Arc<Ctx>, threads: usize) {
+    let pool = ThreadPool::new(threads, "serve-http");
+    for conn in listener.incoming() {
+        if ctx.shutting_down.load(Ordering::SeqCst) {
+            break; // drop the pool: drains queued connections, joins
+        }
+        let Ok(stream) = conn else { continue };
+        let ctx = Arc::clone(ctx);
+        pool.execute(move || handle_connection(stream, &ctx));
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, ctx: &Arc<Ctx>) {
+    // A stalled peer must not wedge a pool worker forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_nodelay(true);
+    let req = match Request::read_from(&mut stream) {
+        Ok(req) => req,
+        Err(err) => {
+            ctx.metrics.http_request("*", err.http_status());
+            let _ = respond_error(&mut stream, &err);
+            return;
+        }
+    };
+    route(stream, req, ctx);
+}
+
+/// Split `/v1/campaigns/{id}[/events]` into its parts.
+fn campaign_route(path: &str) -> Option<(&str, bool)> {
+    let rest = path.strip_prefix("/v1/campaigns/")?;
+    match rest.strip_suffix("/events") {
+        Some(id) if !id.is_empty() && !id.contains('/') => Some((id, true)),
+        None if !rest.is_empty() && !rest.contains('/') => Some((rest, false)),
+        _ => None,
+    }
+}
+
+fn route(mut stream: TcpStream, req: Request, ctx: &Arc<Ctx>) {
+    let (template, result): (&str, Result<(), ApiError>) =
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => ("/healthz", handle_healthz(&mut stream, ctx)),
+            ("GET", "/metrics") => ("/metrics", handle_metrics(&mut stream, ctx)),
+            ("POST", "/v1/solve") => ("/v1/solve", handle_solve(&mut stream, &req, ctx)),
+            ("POST", "/v1/campaigns") => ("/v1/campaigns", handle_submit(&mut stream, &req, ctx)),
+            ("GET", "/v1/campaigns") => ("/v1/campaigns", handle_list(&mut stream, ctx)),
+            ("GET", path) if path.starts_with("/v1/artifacts/") => (
+                "/v1/artifacts/{hash}",
+                handle_artifact(&mut stream, path, ctx),
+            ),
+            ("GET", path) => match campaign_route(path) {
+                Some((id, true)) => {
+                    // SSE long-polls; hand the connection its own thread
+                    // so pool workers stay available for short requests.
+                    let id = id.to_string();
+                    let ctx2 = Arc::clone(ctx);
+                    let offset = sse_offset(&req);
+                    let follow = req.query.get("follow").map(String::as_str) != Some("0");
+                    let _ = std::thread::Builder::new()
+                        .name("serve-sse".into())
+                        .spawn(move || {
+                            let status = match handle_events(stream, &id, offset, follow, &ctx2) {
+                                Ok(()) => 200,
+                                Err(e) => e.http_status(),
+                            };
+                            ctx2.metrics
+                                .http_request("/v1/campaigns/{id}/events", status);
+                        });
+                    return;
+                }
+                Some((id, false)) => ("/v1/campaigns/{id}", handle_status(&mut stream, id, ctx)),
+                None => ("*", Err(ApiError::NotFound(format!("no route {path}")))),
+            },
+            (method, path) => {
+                let known = matches!(
+                    path,
+                    "/healthz" | "/metrics" | "/v1/solve" | "/v1/campaigns"
+                ) || campaign_route(path).is_some()
+                    || path.starts_with("/v1/artifacts/");
+                if known {
+                    (
+                        "*",
+                        Err(ApiError::MethodNotAllowed(format!("{method} {path}"))),
+                    )
+                } else {
+                    ("*", Err(ApiError::NotFound(format!("no route {path}"))))
+                }
+            }
+        };
+    match result {
+        Ok(()) => ctx.metrics.http_request(template, 200),
+        Err(err) => {
+            ctx.metrics.http_request(template, err.http_status());
+            let _ = respond_error(&mut stream, &err);
+        }
+    }
+}
+
+fn handle_healthz(stream: &mut TcpStream, ctx: &Arc<Ctx>) -> Result<(), ApiError> {
+    let body = Json::obj([
+        ("status", Json::from("ok")),
+        ("queued", Json::from(ctx.jobs.queued())),
+        ("running", Json::from(ctx.jobs.running())),
+        ("solver_pool_idle", Json::from(ctx.solvers.idle())),
+        ("uptime_s", Json::from(ctx.started.elapsed().as_secs_f64())),
+    ]);
+    respond_json(stream, 200, &body).map_err(|e| ApiError::Io(e.to_string()))
+}
+
+fn handle_metrics(stream: &mut TcpStream, ctx: &Arc<Ctx>) -> Result<(), ApiError> {
+    let text = ctx.metrics.render();
+    respond(stream, 200, "text/plain; version=0.0.4", text.as_bytes())
+        .map_err(|e| ApiError::Io(e.to_string()))
+}
+
+fn handle_solve(stream: &mut TcpStream, req: &Request, ctx: &Arc<Ctx>) -> Result<(), ApiError> {
+    let t0 = Instant::now();
+    let body = req.json()?;
+    let solve_req = SolveRequest::from_json(&body)?;
+    let reply = ctx.solvers.solve(&solve_req)?;
+    ctx.metrics
+        .solve(t0.elapsed().as_secs_f64() * 1e3, reply.pool_hit);
+    respond_json(stream, 200, &reply.to_json()).map_err(|e| ApiError::Io(e.to_string()))
+}
+
+fn handle_submit(stream: &mut TcpStream, req: &Request, ctx: &Arc<Ctx>) -> Result<(), ApiError> {
+    if ctx.shutting_down.load(Ordering::SeqCst) {
+        return Err(ApiError::ShuttingDown);
+    }
+    let body = req.json()?;
+    let spec = JobSpec::from_json(&body)?;
+    let id = ctx.jobs.submit(spec)?;
+    let reply = Json::obj([
+        ("job", Json::from(id.as_str())),
+        ("state", Json::from("queued")),
+        ("events", Json::from(format!("/v1/campaigns/{id}/events"))),
+        ("status_url", Json::from(format!("/v1/campaigns/{id}"))),
+    ]);
+    respond_json(stream, 202, &reply).map_err(|e| ApiError::Io(e.to_string()))
+}
+
+fn handle_list(stream: &mut TcpStream, ctx: &Arc<Ctx>) -> Result<(), ApiError> {
+    let (jobs, completed) = ctx.jobs.list();
+    let body = Json::obj([
+        (
+            "jobs",
+            Json::Array(jobs.iter().map(|j| j.to_json()).collect()),
+        ),
+        (
+            "completed_order",
+            Json::Array(completed.iter().map(|id| Json::from(id.as_str())).collect()),
+        ),
+    ]);
+    respond_json(stream, 200, &body).map_err(|e| ApiError::Io(e.to_string()))
+}
+
+fn handle_status(stream: &mut TcpStream, id: &str, ctx: &Arc<Ctx>) -> Result<(), ApiError> {
+    let status = ctx
+        .jobs
+        .status(id)
+        .ok_or_else(|| ApiError::NotFound(format!("no job {id}")))?;
+    respond_json(stream, 200, &status.to_json()).map_err(|e| ApiError::Io(e.to_string()))
+}
+
+fn handle_artifact(stream: &mut TcpStream, path: &str, ctx: &Arc<Ctx>) -> Result<(), ApiError> {
+    let hash = path.trim_start_matches("/v1/artifacts/");
+    let bytes = ctx.store.get(hash)?;
+    respond(stream, 200, "application/json", &bytes).map_err(|e| ApiError::Io(e.to_string()))
+}
+
+/// Starting index for an SSE subscription: `?offset=N` wins, else
+/// `Last-Event-ID + 1` (the header names the last frame the client
+/// *received*), else 0.
+fn sse_offset(req: &Request) -> usize {
+    if let Some(off) = req.query.get("offset") {
+        return off.parse().unwrap_or(0);
+    }
+    if let Some(last) = req.headers.get("last-event-id") {
+        if let Ok(n) = last.parse::<usize>() {
+            return n + 1;
+        }
+    }
+    0
+}
+
+/// Stream a job's recorder events as SSE frames.
+///
+/// Subscribing flushes the producing sink's batch (the attach-epoch
+/// bump in `obs::stream`), so a fresh client never waits behind a
+/// 64 KiB-stale window. Frames carry the published line index as the
+/// SSE `id`, making `Last-Event-ID` reconnects gapless; a terminal
+/// `event: end` frame reports the job's final state.
+fn handle_events(
+    mut stream: TcpStream,
+    id: &str,
+    offset: usize,
+    follow: bool,
+    ctx: &Arc<Ctx>,
+) -> Result<(), ApiError> {
+    let events = ctx
+        .jobs
+        .stream(id)
+        .ok_or_else(|| ApiError::NotFound(format!("no job {id}")))?;
+    // SSE connections outlive the read timeout set for parsing; writes
+    // block only as long as the client reads.
+    let _ = stream.set_read_timeout(None);
+    start_sse(&mut stream).map_err(|e| ApiError::Io(e.to_string()))?;
+    let mut cursor = events.subscribe(offset);
+    let mut delivered: u64 = 0;
+    loop {
+        match cursor.next_timeout(Duration::from_millis(250)) {
+            Some((idx, line)) => {
+                if write_sse_event(&mut stream, Some(idx), None, &line).is_err() {
+                    break; // client went away
+                }
+                delivered += 1;
+            }
+            None => {
+                if cursor.finished() {
+                    let state = ctx
+                        .jobs
+                        .status(id)
+                        .map(|s| s.state.as_str())
+                        .unwrap_or("unknown");
+                    let mut data = String::new();
+                    Json::obj([
+                        ("job", Json::from(id)),
+                        ("state", Json::from(state)),
+                        ("events", Json::from(cursor.position())),
+                    ])
+                    .write(&mut data);
+                    let _ = write_sse_event(&mut stream, None, Some("end"), &data);
+                    break;
+                }
+                if !follow {
+                    // Snapshot mode: caught up, don't wait for more.
+                    let mut data = String::new();
+                    Json::obj([
+                        ("job", Json::from(id)),
+                        ("state", Json::from("snapshot")),
+                        ("events", Json::from(cursor.position())),
+                    ])
+                    .write(&mut data);
+                    let _ = write_sse_event(&mut stream, None, Some("end"), &data);
+                    break;
+                }
+            }
+        }
+    }
+    ctx.metrics.sse_events(delivered);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    fn temp_data_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("impatience-serve-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+        request(addr, "GET", path, None)
+    }
+
+    fn request(
+        addr: std::net::SocketAddr,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> (u16, String) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        s.write_all(head.as_bytes()).unwrap();
+        s.write_all(body.as_bytes()).unwrap();
+        let mut reply = String::new();
+        s.read_to_string(&mut reply).unwrap();
+        let status: u16 = reply
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let payload = reply
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, payload)
+    }
+
+    #[test]
+    fn healthz_solve_metrics_and_404_over_real_socket() {
+        let dir = temp_data_dir("unit");
+        let server = Server::start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            data_dir: dir.clone(),
+            queue_cap: 2,
+            http_threads: 2,
+            solver_pool_per_key: 2,
+        })
+        .unwrap();
+        let addr = server.addr();
+
+        // serve.addr is discoverable.
+        let advertised = std::fs::read_to_string(dir.join("serve.addr")).unwrap();
+        assert_eq!(advertised.trim(), addr.to_string());
+
+        let (status, body) = get(addr, "/healthz");
+        assert_eq!(status, 200);
+        let json = Json::parse(body.trim()).unwrap();
+        assert_eq!(json.get("status").unwrap().as_str(), Some("ok"));
+
+        let (status, body) = request(
+            addr,
+            "POST",
+            "/v1/solve",
+            Some(r#"{"nodes":20,"rho":2,"mu":0.05,"items":8,"utility":"step:5"}"#),
+        );
+        assert_eq!(status, 200, "{body}");
+        let json = Json::parse(body.trim()).unwrap();
+        assert_eq!(json.get("outcome").unwrap().as_str(), Some("resolved"));
+        assert!(json.get("welfare").unwrap().as_f64().unwrap() > 0.0);
+
+        // Error envelope on a malformed solve.
+        let (status, body) = request(addr, "POST", "/v1/solve", Some(r#"{"rho":2}"#));
+        assert_eq!(status, 400);
+        let json = Json::parse(body.trim()).unwrap();
+        assert_eq!(
+            json.get("error")
+                .unwrap()
+                .get("exit_code")
+                .unwrap()
+                .as_i64(),
+            Some(2)
+        );
+
+        let (status, _) = get(addr, "/v1/nope");
+        assert_eq!(status, 404);
+        let (status, _) = request(addr, "POST", "/healthz", None);
+        assert_eq!(status, 405);
+
+        let (status, text) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        let samples = impatience_obs::parse_prometheus(&text).unwrap();
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "impatience_http_requests_total"));
+
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,500 @@
+//! `POST /v1/solve`: synchronous analytic solves on a warm
+//! [`DeltaSolver`] pool.
+//!
+//! A request names a homogeneous system (population, cache budget ρ,
+//! contact rate μ, delay utility) plus a demand vector — either
+//! explicit `demand` rates or a synthetic Pareto catalog
+//! (`items` + `omega`). The handler checks a warm solver out of a pool
+//! keyed by everything *except* demand, rebases its demand onto the
+//! request ([`DeltaSolver::rebase_demand`] — only the coordinates that
+//! moved pay), applies any explicit deltas, and answers with the
+//! allocation and welfare. `stale_eps` switches the checkout into
+//! bounded-staleness mode per request ([`DeltaSolver::set_staleness`]).
+//!
+//! Pool hits skip the dominant cost — the gain-table quadrature — which
+//! is what makes p99 solve latency servable; the hit/miss ratio is
+//! exported as `impatience_solver_pool_total`.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use impatience_core::demand::{DemandRates, Popularity};
+use impatience_core::solver::incremental::{Delta, DeltaOutcome, DeltaSolver};
+use impatience_core::types::SystemModel;
+use impatience_core::utility::{parse_utility, DelayUtility};
+use impatience_json::Json;
+
+use crate::error::ApiError;
+
+/// A validated solve request.
+#[derive(Debug)]
+pub struct SolveRequest {
+    system: SystemModel,
+    utility_spec: String,
+    utility: Arc<dyn DelayUtility>,
+    demand: Vec<f64>,
+    stale_eps: Option<f64>,
+    deltas: Vec<Delta>,
+}
+
+fn get_usize(json: &Json, key: &str) -> Result<Option<usize>, ApiError> {
+    match json.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(|n| Some(n as usize))
+            .ok_or_else(|| ApiError::BadRequest(format!("`{key}` must be a non-negative integer"))),
+    }
+}
+
+fn get_f64(json: &Json, key: &str) -> Result<Option<f64>, ApiError> {
+    match json.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| ApiError::BadRequest(format!("`{key}` must be a number"))),
+    }
+}
+
+impl SolveRequest {
+    /// Parse and validate the request body.
+    ///
+    /// Validation is strict up front because the underlying
+    /// [`DeltaSolver::apply`] contract is panic-on-malformed: nothing
+    /// invalid may reach the solver thread.
+    pub fn from_json(body: &Json) -> Result<SolveRequest, ApiError> {
+        if body.as_object().is_none() {
+            return Err(ApiError::BadRequest(
+                "request body must be an object".into(),
+            ));
+        }
+        let nodes = get_usize(body, "nodes")?
+            .ok_or_else(|| ApiError::BadRequest("`nodes` is required".into()))?;
+        let rho = get_usize(body, "rho")?
+            .ok_or_else(|| ApiError::BadRequest("`rho` is required".into()))?;
+        let mu =
+            get_f64(body, "mu")?.ok_or_else(|| ApiError::BadRequest("`mu` is required".into()))?;
+        if !(mu.is_finite() && mu > 0.0) {
+            return Err(ApiError::Config(format!(
+                "`mu` must be finite and > 0, got {mu}"
+            )));
+        }
+        let servers = get_usize(body, "servers")?;
+        let system = match servers {
+            None | Some(0) => {
+                if nodes == 0 {
+                    return Err(ApiError::Config("`nodes` must be ≥ 1".into()));
+                }
+                SystemModel::pure_p2p(nodes, rho, mu)
+            }
+            Some(s) => {
+                if !(s >= 1 && s < nodes) {
+                    return Err(ApiError::Config(format!(
+                        "`servers` must satisfy 1 ≤ servers < nodes, got {s} of {nodes}"
+                    )));
+                }
+                SystemModel::dedicated(nodes - s, s, rho, mu)
+            }
+        };
+
+        let utility_spec = match body.get("utility") {
+            None => "step:10".to_string(),
+            Some(v) => v
+                .as_str()
+                .ok_or_else(|| ApiError::BadRequest("`utility` must be a string".into()))?
+                .to_string(),
+        };
+        let utility = parse_utility(&utility_spec).map_err(|e| ApiError::Config(e.to_string()))?;
+
+        let demand: Vec<f64> = match body.get("demand") {
+            Some(v) => {
+                let arr = v
+                    .as_array()
+                    .ok_or_else(|| ApiError::BadRequest("`demand` must be an array".into()))?;
+                let mut rates = Vec::with_capacity(arr.len());
+                for (i, r) in arr.iter().enumerate() {
+                    let r = r.as_f64().ok_or_else(|| {
+                        ApiError::BadRequest(format!("`demand[{i}]` must be a number"))
+                    })?;
+                    if !(r.is_finite() && r >= 0.0) {
+                        return Err(ApiError::Config(format!(
+                            "`demand[{i}]` must be finite and ≥ 0, got {r}"
+                        )));
+                    }
+                    rates.push(r);
+                }
+                rates
+            }
+            None => {
+                let items = get_usize(body, "items")?.ok_or_else(|| {
+                    ApiError::BadRequest("either `demand` or `items` is required".into())
+                })?;
+                if items == 0 {
+                    return Err(ApiError::Config("`items` must be ≥ 1".into()));
+                }
+                let omega = get_f64(body, "omega")?.unwrap_or(1.0);
+                if !(omega.is_finite() && omega > 0.0) {
+                    return Err(ApiError::Config(format!(
+                        "`omega` must be finite and > 0, got {omega}"
+                    )));
+                }
+                Popularity::pareto(items, omega)
+                    .demand_rates(1.0)
+                    .rates()
+                    .to_vec()
+            }
+        };
+        if demand.is_empty() {
+            return Err(ApiError::Config("demand catalog must be non-empty".into()));
+        }
+
+        let stale_eps = get_f64(body, "stale_eps")?;
+        if let Some(eps) = stale_eps {
+            if !(eps.is_finite() && eps >= 0.0) {
+                return Err(ApiError::Config(format!(
+                    "`stale_eps` must be finite and ≥ 0, got {eps}"
+                )));
+            }
+        }
+
+        let mut deltas = Vec::new();
+        if let Some(v) = body.get("deltas") {
+            let arr = v
+                .as_array()
+                .ok_or_else(|| ApiError::BadRequest("`deltas` must be an array".into()))?;
+            for (i, d) in arr.iter().enumerate() {
+                if let Some(item) = d.get("item") {
+                    let item = item.as_u64().ok_or_else(|| {
+                        ApiError::BadRequest(format!("`deltas[{i}].item` must be an integer"))
+                    })? as usize;
+                    if item >= demand.len() {
+                        return Err(ApiError::Config(format!(
+                            "`deltas[{i}].item` {item} out of range (catalog size {})",
+                            demand.len()
+                        )));
+                    }
+                    let rate = get_f64(d, "rate")?.ok_or_else(|| {
+                        ApiError::BadRequest(format!("`deltas[{i}]` needs a `rate`"))
+                    })?;
+                    if !(rate.is_finite() && rate >= 0.0) {
+                        return Err(ApiError::Config(format!(
+                            "`deltas[{i}].rate` must be finite and ≥ 0, got {rate}"
+                        )));
+                    }
+                    deltas.push(Delta::Demand { item, rate });
+                } else if let Some(mu) = get_f64(d, "mu")? {
+                    if !(mu.is_finite() && mu > 0.0) {
+                        return Err(ApiError::Config(format!(
+                            "`deltas[{i}].mu` must be finite and > 0, got {mu}"
+                        )));
+                    }
+                    deltas.push(Delta::ContactRate(mu));
+                } else if let Some(rho) = get_usize(d, "rho")? {
+                    deltas.push(Delta::CacheBudget(rho));
+                } else {
+                    return Err(ApiError::BadRequest(format!(
+                        "`deltas[{i}]` must be {{item,rate}}, {{mu}}, or {{rho}}"
+                    )));
+                }
+            }
+        }
+
+        Ok(SolveRequest {
+            system,
+            utility_spec,
+            utility,
+            demand,
+            stale_eps,
+            deltas,
+        })
+    }
+}
+
+/// Pool key: everything about a solver that demand deltas cannot change.
+fn key_of(system: &SystemModel, utility_spec: &str, items: usize) -> String {
+    format!(
+        "{:?}|rho={}|mu={}|u={}|n={}",
+        system.population,
+        system.cache_capacity,
+        system.contact_rate.to_bits(),
+        utility_spec,
+        items
+    )
+}
+
+/// A pool of warm [`DeltaSolver`]s keyed by system shape.
+///
+/// Checkout pops a warm solver (pool **hit**: the memoized gain table
+/// survives) or builds a fresh one (**miss**: pays the quadrature).
+/// Check-in re-keys from the solver's *current* system, so a request
+/// whose deltas moved μ or ρ parks the solver under its new shape.
+#[derive(Default)]
+pub struct SolverPool {
+    pools: Mutex<HashMap<String, Vec<DeltaSolver>>>,
+    /// Cap on idle solvers kept per key (memory bound under fan-in).
+    per_key: usize,
+}
+
+/// Outcome of one pooled solve, ready to serialize.
+#[derive(Debug)]
+pub struct SolveReply {
+    /// Final allocation, one replica count per item.
+    pub counts: Vec<u32>,
+    /// Social welfare of the returned allocation.
+    pub welfare: f64,
+    /// Which path the solver took (`resolved`, `rebuilt`,
+    /// `certified_stale`).
+    pub outcome: &'static str,
+    /// Replicas moved by the exchange (0 for certified-stale reuse).
+    pub moved: u64,
+    /// Certificate details when the outcome is `certified_stale`.
+    pub certificate: Option<Json>,
+    /// Whether the pool had a warm solver for this shape.
+    pub pool_hit: bool,
+}
+
+impl SolverPool {
+    /// An empty pool keeping at most `per_key` idle solvers per shape.
+    pub fn new(per_key: usize) -> SolverPool {
+        SolverPool {
+            pools: Mutex::new(HashMap::new()),
+            per_key: per_key.max(1),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, HashMap<String, Vec<DeltaSolver>>> {
+        self.pools
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Serve one request end to end.
+    pub fn solve(&self, req: &SolveRequest) -> Result<SolveReply, ApiError> {
+        let key = key_of(&req.system, &req.utility_spec, req.demand.len());
+        let warm = self.lock().get_mut(&key).and_then(Vec::pop);
+        let pool_hit = warm.is_some();
+        let mut solver = match warm {
+            Some(s) => s,
+            None => {
+                let demand = DemandRates::new(req.demand.clone());
+                DeltaSolver::try_new(req.system, &demand, Arc::clone(&req.utility))
+                    .map_err(|e| ApiError::Solver(e.to_string()))?
+            }
+        };
+
+        solver.set_staleness(req.stale_eps);
+        let mut outcome = if pool_hit {
+            solver
+                .rebase_demand(&req.demand)
+                .map_err(|e| ApiError::Solver(e.to_string()))?
+        } else {
+            DeltaOutcome::Resolved { moved: 0 }
+        };
+        if !req.deltas.is_empty() {
+            outcome = solver
+                .apply(&req.deltas)
+                .map_err(|e| ApiError::Solver(e.to_string()))?;
+        }
+
+        let (kind, moved, certificate) = match &outcome {
+            DeltaOutcome::Resolved { moved } => ("resolved", *moved, None),
+            DeltaOutcome::Rebuilt => ("rebuilt", 0, None),
+            DeltaOutcome::CertifiedStale(cert) => (
+                "certified_stale",
+                0,
+                Some(Json::obj([
+                    ("accepted", Json::from(cert.accepted)),
+                    ("eps", Json::from(cert.eps)),
+                    ("gap", Json::from(cert.gap)),
+                    ("scale", Json::from(cert.scale)),
+                ])),
+            ),
+        };
+        let reply = SolveReply {
+            counts: solver.counts().counts().to_vec(),
+            welfare: solver.welfare(),
+            outcome: kind,
+            moved,
+            certificate,
+            pool_hit,
+        };
+
+        // Park the solver for reuse under its (possibly delta-moved)
+        // current shape; exact mode so a stale certificate can't leak
+        // into the next request's baseline.
+        solver.set_staleness(None);
+        let park_key = key_of(solver.system(), &req.utility_spec, solver.rates().len());
+        let mut pools = self.lock();
+        let slot = pools.entry(park_key).or_default();
+        if slot.len() < self.per_key {
+            slot.push(solver);
+        }
+        Ok(reply)
+    }
+
+    /// Total idle solvers currently parked (for health reporting).
+    pub fn idle(&self) -> usize {
+        self.lock().values().map(Vec::len).sum()
+    }
+}
+
+impl SolveReply {
+    /// Serialize as the response body.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("welfare", Json::from(self.welfare)),
+            (
+                "counts",
+                Json::Array(self.counts.iter().map(|&c| Json::from(c)).collect()),
+            ),
+            (
+                "total_replicas",
+                Json::from(self.counts.iter().map(|&c| u64::from(c)).sum::<u64>()),
+            ),
+            ("outcome", Json::from(self.outcome)),
+            ("moved", Json::from(self.moved)),
+            (
+                "pool",
+                Json::from(if self.pool_hit { "hit" } else { "miss" }),
+            ),
+        ];
+        if let Some(cert) = &self.certificate {
+            fields.push(("certificate", cert.clone()));
+        }
+        Json::obj(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impatience_core::solver::greedy::try_greedy_homogeneous;
+
+    fn req(body: &str) -> SolveRequest {
+        SolveRequest::from_json(&Json::parse(body).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn solve_matches_scratch_greedy() {
+        let pool = SolverPool::new(4);
+        let r = req(r#"{"nodes":40,"rho":3,"mu":0.05,"items":12,"utility":"step:5"}"#);
+        let reply = pool.solve(&r).unwrap();
+        assert!(!reply.pool_hit);
+        let demand = Popularity::pareto(12, 1.0).demand_rates(1.0);
+        let fresh = try_greedy_homogeneous(
+            &SystemModel::pure_p2p(40, 3, 0.05),
+            &demand,
+            parse_utility("step:5").unwrap().as_ref(),
+        )
+        .unwrap();
+        assert_eq!(reply.counts, fresh.counts());
+
+        // Second request with the same shape: pool hit, same answer.
+        let reply2 = pool.solve(&r).unwrap();
+        assert!(reply2.pool_hit);
+        assert_eq!(reply2.counts, reply.counts);
+        assert_eq!(reply2.welfare.to_bits(), reply.welfare.to_bits());
+    }
+
+    #[test]
+    fn explicit_demand_and_deltas() {
+        let pool = SolverPool::new(4);
+        let r = req(r#"{"nodes":20,"rho":2,"mu":0.05,"demand":[1.0,0.5,0.2],
+                "deltas":[{"item":2,"rate":3.0}],"utility":"step:5"}"#);
+        let reply = pool.solve(&r).unwrap();
+        let demand = DemandRates::new(vec![1.0, 0.5, 3.0]);
+        let fresh = try_greedy_homogeneous(
+            &SystemModel::pure_p2p(20, 2, 0.05),
+            &demand,
+            parse_utility("step:5").unwrap().as_ref(),
+        )
+        .unwrap();
+        assert_eq!(reply.counts, fresh.counts());
+    }
+
+    #[test]
+    fn stale_eps_certifies_small_nudges_on_warm_solver() {
+        let pool = SolverPool::new(4);
+        let base = r#"{"nodes":40,"rho":4,"mu":0.05,"items":16,"utility":"exp:0.5"}"#;
+        pool.solve(&req(base)).unwrap();
+        // Nudge one mid-rank item by 0.1 % — certifiably negligible at
+        // ε = 0.05 — keeping the rest of the catalog identical so the
+        // warm checkout's rebase is a no-op.
+        let nudge = Popularity::pareto(16, 1.0).demand_rates(1.0).rate(8) * 1.001;
+        let nudged = req(&format!(
+            r#"{{"nodes":40,"rho":4,"mu":0.05,"items":16,"utility":"exp:0.5",
+                "stale_eps":0.05,"deltas":[{{"item":8,"rate":{nudge}}}]}}"#
+        ));
+        let reply = pool.solve(&nudged).unwrap();
+        assert!(reply.pool_hit);
+        // The nudge is within ε of the Pareto baseline rate for item 8,
+        // so the warm solver certifies instead of re-solving.
+        assert_eq!(reply.outcome, "certified_stale");
+        assert!(reply.certificate.is_some());
+    }
+
+    #[test]
+    fn rekeys_on_structural_delta() {
+        let pool = SolverPool::new(4);
+        let r = req(
+            r#"{"nodes":20,"rho":2,"mu":0.05,"items":6,"utility":"step:5",
+                "deltas":[{"mu":0.1}]}"#,
+        );
+        let reply = pool.solve(&r).unwrap();
+        assert_eq!(reply.outcome, "rebuilt");
+        // The parked solver now has μ = 0.1: a fresh μ = 0.1 request hits.
+        let r2 = req(r#"{"nodes":20,"rho":2,"mu":0.1,"items":6,"utility":"step:5"}"#);
+        let reply2 = pool.solve(&r2).unwrap();
+        assert!(reply2.pool_hit);
+        // And a μ = 0.05 request misses (the old key has no solver).
+        let r3 = req(r#"{"nodes":20,"rho":2,"mu":0.05,"items":6,"utility":"step:5"}"#);
+        assert!(!pool.solve(&r3).unwrap().pool_hit);
+    }
+
+    #[test]
+    fn validation_rejects_malformed_requests() {
+        for (body, want_status) in [
+            (r#"[1,2]"#, 400),
+            (r#"{"rho":2,"mu":0.05,"items":6}"#, 400), // no nodes
+            (r#"{"nodes":20,"rho":2,"items":6}"#, 400), // no mu
+            (r#"{"nodes":20,"rho":2,"mu":0.0,"items":6}"#, 422), // bad mu
+            (r#"{"nodes":20,"rho":2,"mu":0.05}"#, 400), // no demand
+            (r#"{"nodes":20,"rho":2,"mu":0.05,"items":0}"#, 422), // empty catalog
+            (
+                r#"{"nodes":20,"servers":20,"rho":2,"mu":0.05,"items":6}"#,
+                422,
+            ),
+            (r#"{"nodes":20,"rho":2,"mu":0.05,"demand":[1.0,-2.0]}"#, 422),
+            (
+                r#"{"nodes":20,"rho":2,"mu":0.05,"items":6,"stale_eps":-1}"#,
+                422,
+            ),
+            (
+                r#"{"nodes":20,"rho":2,"mu":0.05,"items":6,"deltas":[{"item":9,"rate":1}]}"#,
+                422,
+            ),
+            (
+                r#"{"nodes":20,"rho":2,"mu":0.05,"items":6,"deltas":[{"x":1}]}"#,
+                400,
+            ),
+            (
+                r#"{"nodes":20,"rho":2,"mu":0.05,"items":6,"utility":"warp:9"}"#,
+                422,
+            ),
+        ] {
+            let err = SolveRequest::from_json(&Json::parse(body).unwrap()).unwrap_err();
+            assert_eq!(err.http_status(), want_status, "body: {body}");
+        }
+    }
+
+    #[test]
+    fn solver_error_maps_to_422() {
+        // NegLog requires a dedicated population: pure P2P must be a
+        // typed solver error, not a panic.
+        let r = req(r#"{"nodes":20,"rho":2,"mu":0.05,"items":6,"utility":"neglog"}"#);
+        let err = SolverPool::new(1).solve(&r).unwrap_err();
+        assert!(matches!(err, ApiError::Solver(_)));
+        assert_eq!(err.http_status(), 422);
+    }
+}

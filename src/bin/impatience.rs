@@ -44,13 +44,14 @@ use impatience_net::{
     run_net_trials_observed, ChaosEvent, ChaosKind, NetAggregate, NetConfig, NetError,
 };
 use impatience_obs::{
-    render_diff, AtomicFile, Event, JsonlSink, Manifest, MemorySink, MetricsRegistry, Progress,
-    Recorder, Sink, TallySink, TraceSummary,
+    parse_prometheus, render_diff, AtomicFile, Event, JsonlSink, Manifest, MemorySink,
+    MetricsRegistry, Progress, Recorder, Sink, TallySink, TraceSummary,
 };
 use impatience_oracle::{
     delta_vs_scratch, net_vs_engine, run_matrix, summary_table, write_report, CheckStatus,
     MatrixOptions,
 };
+use impatience_serve::{ServeConfig, Server};
 use impatience_sim::config::SimConfig;
 use impatience_sim::faults::{CacheFaults, Churn, ContactDrop, FaultConfig, MsgFaults};
 use impatience_sim::policy::PolicyKind;
@@ -305,6 +306,9 @@ USAGE:
   impatience trace    summarize FILE [--top K]
   impatience trace    diff FILE_A FILE_B
   impatience trace    export FILE --prom [-o FILE]
+  impatience trace    lint-prom FILE
+  impatience serve    [--addr HOST:PORT] [--data-dir DIR] [--queue N]
+                      [--http-threads N] [--solver-pool N]
   impatience help
 
 UTILITY SPECS:  step:<tau> | exp:<nu> | power:<alpha> | neglog
@@ -338,6 +342,27 @@ TRACE ANALYSIS (trace; operates on --trace-out JSONL files):
                      between two traces (new/missing kinds flagged)
   export FILE --prom re-render a trace's tallies as Prometheus text
                      exposition; -o FILE writes atomically, else stdout
+  lint-prom FILE     parse FILE as Prometheus text exposition and report
+                     the sample count; any malformed line exits 5 with
+                     its line number (CI gate for /metrics scrapes)
+
+SERVICE MODE (serve; the allocation-as-a-service HTTP server):
+  Runs the dependency-free HTTP/1.1 server from impatience-serve until
+  killed: POST /v1/solve (warm incremental solver pool, per-request
+  --stale-eps), POST /v1/campaigns (bounded FIFO queue, 429 shedding,
+  checkpointed jobs that resume bit-identically after a crash),
+  GET /v1/campaigns/{id}/events (live SSE with Last-Event-ID replay),
+  GET /v1/artifacts/{hash} (content-addressed results), /healthz, and
+  /metrics. The bound address lands in DIR/serve.addr for scripts.
+  See API.md for the endpoint reference and DESIGN.md §17 for the
+  architecture.
+  --addr HOST:PORT   bind address (default 127.0.0.1:7199; port 0 picks
+                     an ephemeral port)
+  --data-dir DIR     state directory for jobs, checkpoints, and
+                     artifacts (default serve-data)
+  --queue N          campaign queue capacity before 429s (default 32)
+  --http-threads N   connection worker threads (default 8)
+  --solver-pool N    idle warm solvers kept per system shape (default 8)
 
 SCALE RUNS (simulate --shards; the intra-trial sharded engine):
   --shards W         run each trial on the sharded engine with W worker
@@ -555,6 +580,7 @@ fn run() -> Result<(), CliError> {
         "verify" => verify(&args),
         "reproduce" => reproduce(&args, &raw),
         "trace" => trace_cmd(&args),
+        "serve" => serve_cmd(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -1942,9 +1968,87 @@ fn trace_cmd(args: &Args) -> Result<(), CliError> {
             }
             Ok(())
         }
+        "lint-prom" => {
+            let path = args
+                .positional
+                .get(1)
+                .ok_or("trace lint-prom needs a Prometheus text file")?;
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
+            let samples = parse_prometheus(&text).map_err(|(line, msg)| {
+                CliError::Trace(TraceError::Format {
+                    line,
+                    message: format!("{path}: not valid Prometheus exposition: {msg}"),
+                })
+            })?;
+            let families: std::collections::BTreeSet<&str> = samples
+                .iter()
+                .map(|s| {
+                    s.name
+                        .strip_suffix("_bucket")
+                        .or_else(|| s.name.strip_suffix("_sum"))
+                        .or_else(|| s.name.strip_suffix("_count"))
+                        .unwrap_or(&s.name)
+                })
+                .collect();
+            println!(
+                "{path}: ok — {} sample(s) across {} metric famil{}",
+                samples.len(),
+                families.len(),
+                if families.len() == 1 { "y" } else { "ies" }
+            );
+            Ok(())
+        }
         other => Err(CliError::Usage(format!(
-            "unknown trace subcommand `{other}` (summarize | diff | export)"
+            "unknown trace subcommand `{other}` (summarize | diff | export | lint-prom)"
         ))),
+    }
+}
+
+/// `impatience serve`: run the allocation-as-a-service HTTP server until
+/// the process is killed. The bound address is printed on stdout and
+/// written to `<data-dir>/serve.addr`, so scripts can poll for
+/// readiness; campaign jobs checkpoint continuously, so a killed server
+/// resumes its queue bit-identically on the next start.
+fn serve_cmd(args: &Args) -> Result<(), CliError> {
+    if !args.positional.is_empty() {
+        return Err(CliError::Usage(format!(
+            "serve takes no positional arguments (got `{}`)",
+            args.positional[0]
+        )));
+    }
+    let config = ServeConfig {
+        addr: args
+            .options
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:7199".to_string()),
+        data_dir: PathBuf::from(
+            args.options
+                .get("data-dir")
+                .map(String::as_str)
+                .unwrap_or("serve-data"),
+        ),
+        queue_cap: args.get("queue", 32)?,
+        http_threads: args.get("http-threads", 8)?,
+        solver_pool_per_key: args.get("solver-pool", 8)?,
+    };
+    if config.queue_cap == 0 || config.http_threads == 0 {
+        return Err("serve needs --queue >= 1 and --http-threads >= 1".into());
+    }
+    let data_dir = config.data_dir.clone();
+    let server = Server::start(config).map_err(|e| CliError::Io(e.message()))?;
+    println!("impatience serve listening on {}", server.url());
+    println!(
+        "  data dir  {}  (address file: {})",
+        data_dir.display(),
+        data_dir.join("serve.addr").display()
+    );
+    println!("  endpoints /healthz /metrics /v1/solve /v1/campaigns /v1/artifacts");
+    // Serve until killed. Recovery on the next start replays the job
+    // queue from the persisted specs and checkpoints.
+    loop {
+        std::thread::park();
     }
 }
 

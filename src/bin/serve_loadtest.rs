@@ -1,0 +1,537 @@
+//! `serve_loadtest` — load bench for the `impatience serve` HTTP server.
+//!
+//! Spins an in-process [`impatience_serve::Server`] on an ephemeral port
+//! and drives it through three phases:
+//!
+//! 1. **solve storm** — `--clients` threads each issue `--per-client`
+//!    `POST /v1/solve` requests (demand deltas vary per request, so the
+//!    warm solver pool sees both hits and misses); reports p50/p90/p99
+//!    wall latency and throughput.
+//! 2. **campaigns + SSE** — `--campaigns` jobs run to completion, each
+//!    with a live SSE subscriber from offset 0; every frame id must be
+//!    contiguous and the terminal `event: end` count must equal frames
+//!    delivered (zero drops), then each result artifact is fetched and
+//!    re-hashed. Reports campaigns/hour.
+//! 3. **shedding** — a second server with a tiny queue takes a
+//!    submission burst; reports accepted vs 429-shed and re-checks
+//!    `/healthz` afterwards (graceful degradation, not collapse).
+//!
+//! The JSON document on stdout (or `-o FILE`, atomic) is the committed
+//! `BENCH_serve.json`. `--gate FILE [--slack F]` instead compares the
+//! measured solve p99 against the committed one and exits 1 if it
+//! regressed beyond `slack`× (the CI latency gate; default slack 3.0
+//! absorbs shared-runner noise).
+//!
+//! ```text
+//! cargo run --release --bin serve_loadtest -- -o BENCH_serve.json
+//! cargo run --release --bin serve_loadtest -- --quick --gate BENCH_serve.json
+//! ```
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::{Duration, Instant, SystemTime};
+
+use impatience_json::Json;
+use impatience_obs::write_atomic;
+use impatience_serve::{fnv1a_hash, ServeConfig, Server};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("serve_loadtest: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+struct Opts {
+    clients: usize,
+    per_client: usize,
+    campaigns: usize,
+    gate: Option<PathBuf>,
+    slack: f64,
+    out: Option<PathBuf>,
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut opts = Opts {
+        clients: 50,
+        per_client: 24,
+        campaigns: 3,
+        gate: None,
+        slack: 3.0,
+        out: None,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--quick" => {
+                opts.clients = 8;
+                opts.per_client = 8;
+                opts.campaigns = 2;
+            }
+            "--clients" => opts.clients = num(&value("--clients")?)?,
+            "--per-client" => opts.per_client = num(&value("--per-client")?)?,
+            "--campaigns" => opts.campaigns = num(&value("--campaigns")?)?,
+            "--gate" => opts.gate = Some(PathBuf::from(value("--gate")?)),
+            "--slack" => {
+                opts.slack = value("--slack")?
+                    .parse()
+                    .map_err(|_| "cannot parse --slack".to_string())?
+            }
+            "-o" => opts.out = Some(PathBuf::from(value("-o")?)),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    if opts.clients == 0 || opts.per_client == 0 || opts.campaigns == 0 {
+        return Err("--clients, --per-client, --campaigns must be >= 1".into());
+    }
+    Ok(opts)
+}
+
+fn num(v: &str) -> Result<usize, String> {
+    v.parse().map_err(|_| format!("cannot parse `{v}`"))
+}
+
+fn run() -> Result<ExitCode, String> {
+    let opts = parse_opts()?;
+    let dir = std::env::temp_dir().join(format!("serve-loadtest-{}", std::process::id()));
+    let result = bench(&opts, &dir);
+    std::fs::remove_dir_all(&dir).ok();
+    let doc = result?;
+
+    if let Some(gate) = &opts.gate {
+        return gate_check(&doc, gate, opts.slack);
+    }
+    let mut text = String::new();
+    doc.write_pretty(&mut text, 2);
+    text.push('\n');
+    match &opts.out {
+        Some(path) => {
+            write_atomic(path, text.as_bytes()).map_err(|e| format!("cannot write: {e}"))?;
+            eprintln!("bench → {}", path.display());
+        }
+        None => print!("{text}"),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Compare this run's solve p99 against the committed bench document.
+fn gate_check(measured: &Json, committed: &Path, slack: f64) -> Result<ExitCode, String> {
+    let text = std::fs::read_to_string(committed)
+        .map_err(|e| format!("cannot read {}: {e}", committed.display()))?;
+    let doc = Json::parse(text.trim()).map_err(|e| format!("{}: {e}", committed.display()))?;
+    let p99 = |d: &Json| -> Option<f64> { d.get("solve")?.get("p99_ms")?.as_f64() };
+    let committed_p99 = p99(&doc).ok_or("committed bench lacks solve.p99_ms")?;
+    let measured_p99 = p99(measured).ok_or("measured bench lacks solve.p99_ms")?;
+    let budget = committed_p99 * slack;
+    let verdict = if measured_p99 <= budget { "ok" } else { "FAIL" };
+    eprintln!(
+        "p99 gate: measured {measured_p99:.2} ms vs committed {committed_p99:.2} ms \
+         (slack {slack}x → budget {budget:.2} ms): {verdict}"
+    );
+    if measured_p99 <= budget {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::from(1))
+    }
+}
+
+fn bench(opts: &Opts, dir: &Path) -> Result<Json, String> {
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        data_dir: dir.join("main"),
+        ..ServeConfig::default()
+    })
+    .map_err(|e| e.message())?;
+    let addr = server.addr();
+    eprintln!(
+        "server on {addr}: {} clients x {} solves, {} campaigns",
+        opts.clients, opts.per_client, opts.campaigns
+    );
+
+    let solve = solve_storm(addr, opts.clients, opts.per_client)?;
+    let campaigns = campaign_phase(addr, opts.campaigns)?;
+    server.shutdown();
+    let shedding = shed_phase(&dir.join("shed"))?;
+
+    Ok(Json::obj([
+        ("bench", Json::from("serve_loadtest")),
+        (
+            "refresh",
+            Json::from("cargo run --release --bin serve_loadtest -- -o BENCH_serve.json"),
+        ),
+        ("measured", Json::from(today())),
+        (
+            "host",
+            Json::from(
+                "single-vCPU container (nproc=1), loopback TCP, one connection per \
+                 request; latencies include connect+parse, compare medians",
+            ),
+        ),
+        ("solve", solve),
+        ("campaigns", campaigns),
+        ("shedding", shedding),
+    ]))
+}
+
+/// Phase 1: concurrent `POST /v1/solve` storm.
+fn solve_storm(addr: SocketAddr, clients: usize, per_client: usize) -> Result<Json, String> {
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        handles.push(std::thread::spawn(move || -> (Vec<f64>, usize, usize) {
+            let mut latencies = Vec::with_capacity(per_client);
+            let (mut hits, mut errors) = (0, 0);
+            for k in 0..per_client {
+                // Same system shape throughout (warms the pool); demand
+                // deltas vary per request so solves do real work.
+                let item = (c * per_client + k) % 16;
+                let rate = 0.012 + 0.0008 * ((c + k) % 7) as f64;
+                let body = format!(
+                    r#"{{"nodes":40,"rho":2,"mu":0.05,"items":16,"omega":1.0,"deltas":[{{"item":{item},"rate":{rate}}}]}}"#
+                );
+                let t = Instant::now();
+                match request(addr, "POST", "/v1/solve", Some(&body)) {
+                    Ok((200, reply)) => {
+                        latencies.push(t.elapsed().as_secs_f64() * 1e3);
+                        if reply.contains(r#""pool":"hit""#) {
+                            hits += 1;
+                        }
+                    }
+                    _ => errors += 1,
+                }
+            }
+            (latencies, hits, errors)
+        }));
+    }
+    let mut latencies = Vec::new();
+    let (mut hits, mut errors) = (0usize, 0usize);
+    for h in handles {
+        let (l, h2, e) = h.join().map_err(|_| "solve client panicked")?;
+        latencies.extend(l);
+        hits += h2;
+        errors += e;
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let pct = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        latencies[idx]
+    };
+    let total = clients * per_client;
+    eprintln!(
+        "solve storm: {total} requests in {wall:.2}s ({:.0} rps), \
+         p50 {:.2} ms p99 {:.2} ms, {errors} errors",
+        total as f64 / wall,
+        pct(0.50),
+        pct(0.99)
+    );
+    Ok(Json::obj([
+        ("requests", Json::from(total)),
+        ("clients", Json::from(clients)),
+        ("wall_s", Json::from(round3(wall))),
+        ("throughput_rps", Json::from(round3(total as f64 / wall))),
+        ("p50_ms", Json::from(round3(pct(0.50)))),
+        ("p90_ms", Json::from(round3(pct(0.90)))),
+        ("p99_ms", Json::from(round3(pct(0.99)))),
+        ("max_ms", Json::from(round3(pct(1.0)))),
+        (
+            "pool_hit_rate",
+            Json::from(round3(hits as f64 / total.max(1) as f64)),
+        ),
+        ("errors", Json::from(errors)),
+    ]))
+}
+
+/// Phase 2: campaigns to completion with live SSE subscribers.
+fn campaign_phase(addr: SocketAddr, jobs: usize) -> Result<Json, String> {
+    let t0 = Instant::now();
+    let spec = r#"{"nodes":20,"mu":0.05,"duration":300.0,"items":8,"rho":2,"trials":4,"seed":7,"checkpoint_every":2}"#;
+    let mut ids = Vec::new();
+    for _ in 0..jobs {
+        let (status, body) = request(addr, "POST", "/v1/campaigns", Some(spec))
+            .map_err(|e| format!("submit: {e}"))?;
+        if status != 202 {
+            return Err(format!("campaign submit got {status}: {body}"));
+        }
+        let json = Json::parse(body.trim()).map_err(|e| format!("submit reply: {e}"))?;
+        let id = json
+            .get("job")
+            .and_then(|j| j.as_str().map(str::to_string))
+            .ok_or("submit reply lacks job id")?;
+        ids.push(id);
+    }
+
+    // One live subscriber per job, from offset 0, until `event: end`.
+    let mut readers = Vec::new();
+    for id in &ids {
+        let id = id.clone();
+        readers.push(std::thread::spawn(move || read_sse(addr, &id)));
+    }
+    let (mut delivered, mut expected) = (0usize, 0usize);
+    let mut contiguous = true;
+    for r in readers {
+        let sse = r.join().map_err(|_| "sse reader panicked")??;
+        delivered += sse.frames;
+        expected += sse.end_events;
+        contiguous &= sse.ids_contiguous;
+        if sse.end_state != "done" {
+            return Err(format!("job finished in state `{}`", sse.end_state));
+        }
+    }
+    if !contiguous {
+        return Err("SSE frame ids were not contiguous".into());
+    }
+    if delivered != expected {
+        return Err(format!(
+            "SSE drop: delivered {delivered} frames, server recorded {expected}"
+        ));
+    }
+    let wall = t0.elapsed().as_secs_f64();
+
+    // Artifact round-trip: fetch each job's result and re-hash it.
+    let mut roundtrips = 0usize;
+    for id in &ids {
+        let (status, body) = request(addr, "GET", &format!("/v1/campaigns/{id}"), None)
+            .map_err(|e| format!("status: {e}"))?;
+        if status != 200 {
+            return Err(format!("job status got {status}"));
+        }
+        let json = Json::parse(body.trim()).map_err(|e| format!("status reply: {e}"))?;
+        let hash = json
+            .get("artifact")
+            .and_then(|a| a.as_str().map(str::to_string))
+            .ok_or("done job lacks artifact hash")?;
+        let (status, artifact) = request(addr, "GET", &format!("/v1/artifacts/{hash}"), None)
+            .map_err(|e| format!("artifact: {e}"))?;
+        if status != 200 {
+            return Err(format!("artifact fetch got {status}"));
+        }
+        if fnv1a_hash(artifact.as_bytes()) != hash {
+            return Err("artifact bytes do not match their content address".into());
+        }
+        roundtrips += 1;
+    }
+    eprintln!(
+        "campaigns: {jobs} jobs in {wall:.2}s, {delivered} SSE frames, zero dropped, \
+         {roundtrips} artifact round-trips"
+    );
+    Ok(Json::obj([
+        ("jobs", Json::from(jobs)),
+        ("trials_per_job", Json::from(4usize)),
+        ("wall_s", Json::from(round3(wall))),
+        (
+            "campaigns_per_hour",
+            Json::from(round3(jobs as f64 * 3600.0 / wall)),
+        ),
+        ("sse_frames_delivered", Json::from(delivered)),
+        ("sse_frames_expected", Json::from(expected)),
+        ("sse_dropped", Json::from(delivered.abs_diff(expected))),
+        ("artifact_roundtrips", Json::from(roundtrips)),
+    ]))
+}
+
+/// Phase 3: saturate a tiny queue and verify graceful 429 shedding.
+fn shed_phase(dir: &Path) -> Result<Json, String> {
+    const QUEUE_CAP: usize = 2;
+    const BURST: usize = 12;
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        data_dir: dir.to_path_buf(),
+        queue_cap: QUEUE_CAP,
+        ..ServeConfig::default()
+    })
+    .map_err(|e| e.message())?;
+    let addr = server.addr();
+    let spec = r#"{"nodes":12,"mu":0.05,"duration":150.0,"items":5,"rho":1,"trials":2,"seed":3}"#;
+    let (mut accepted, mut shed) = (0usize, 0usize);
+    for _ in 0..BURST {
+        match request(addr, "POST", "/v1/campaigns", Some(spec)) {
+            Ok((202, _)) => accepted += 1,
+            Ok((429, _)) => shed += 1,
+            Ok((status, body)) => return Err(format!("burst got {status}: {body}")),
+            Err(e) => return Err(format!("burst: {e}")),
+        }
+    }
+    let (health, _) =
+        request(addr, "GET", "/healthz", None).map_err(|e| format!("healthz: {e}"))?;
+    server.shutdown();
+    if shed == 0 {
+        return Err(format!(
+            "expected shedding with queue_cap={QUEUE_CAP} and burst={BURST}"
+        ));
+    }
+    if health != 200 {
+        return Err(format!("healthz degraded to {health} under saturation"));
+    }
+    eprintln!("shedding: {accepted} accepted, {shed} shed with 429, healthz 200");
+    Ok(Json::obj([
+        ("queue_cap", Json::from(QUEUE_CAP)),
+        ("burst", Json::from(BURST)),
+        ("accepted", Json::from(accepted)),
+        ("shed_429", Json::from(shed)),
+        ("healthz_after", Json::from(i64::from(health))),
+    ]))
+}
+
+// ---------------------------------------------------------------- client
+
+/// One `Connection: close` HTTP exchange; returns (status, body).
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply)?;
+    let status: u16 = reply
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let payload = reply
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, payload))
+}
+
+struct SseOutcome {
+    frames: usize,
+    ids_contiguous: bool,
+    end_events: usize,
+    end_state: String,
+}
+
+/// Subscribe to a job's SSE feed from offset 0 and read to the terminal
+/// `event: end` frame, verifying frame-id contiguity along the way.
+fn read_sse(addr: SocketAddr, job: &str) -> Result<SseOutcome, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("sse connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(300)))
+        .map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    let head = format!(
+        "GET /v1/campaigns/{job}/events?offset=0 HTTP/1.1\r\nHost: bench\r\nAccept: text/event-stream\r\n\r\n"
+    );
+    reader
+        .get_mut()
+        .write_all(head.as_bytes())
+        .map_err(|e| format!("sse write: {e}"))?;
+
+    // Headers.
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("sse status: {e}"))?;
+    if !line.starts_with("HTTP/1.1 200") {
+        return Err(format!("sse got: {}", line.trim()));
+    }
+    loop {
+        line.clear();
+        reader.read_line(&mut line).map_err(|e| e.to_string())?;
+        if line == "\r\n" || line == "\n" || line.is_empty() {
+            break;
+        }
+    }
+
+    // Frames: `id:`/`event:`/`data:` fields, blank-line terminated.
+    let mut outcome = SseOutcome {
+        frames: 0,
+        ids_contiguous: true,
+        end_events: 0,
+        end_state: String::new(),
+    };
+    let (mut id, mut event, mut data): (Option<usize>, Option<String>, String) =
+        (None, None, String::new());
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line).map_err(|e| e.to_string())?;
+        if n == 0 {
+            return Err("sse stream ended without `event: end`".into());
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            // Frame boundary.
+            if event.as_deref() == Some("end") {
+                let end = Json::parse(&data).map_err(|e| format!("end frame: {e}"))?;
+                outcome.end_events = end
+                    .get("events")
+                    .and_then(|v| v.as_i64())
+                    .unwrap_or(-1)
+                    .max(0) as usize;
+                outcome.end_state = end
+                    .get("state")
+                    .and_then(|v| v.as_str().map(str::to_string))
+                    .unwrap_or_default();
+                return Ok(outcome);
+            }
+            if !data.is_empty() {
+                if id != Some(outcome.frames) {
+                    outcome.ids_contiguous = false;
+                }
+                outcome.frames += 1;
+            }
+            id = None;
+            event = None;
+            data.clear();
+        } else if let Some(v) = trimmed.strip_prefix("id:") {
+            id = v.trim().parse().ok();
+        } else if let Some(v) = trimmed.strip_prefix("event:") {
+            event = Some(v.trim().to_string());
+        } else if let Some(v) = trimmed.strip_prefix("data:") {
+            data.push_str(v.trim_start());
+        }
+    }
+}
+
+// ---------------------------------------------------------------- misc
+
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
+/// Today as `YYYY-MM-DD` (UTC), from the Unix clock — no date crate.
+fn today() -> String {
+    let secs = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    // Howard Hinnant's civil-from-days.
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}

@@ -1,0 +1,460 @@
+//! End-to-end contracts of the `impatience serve` HTTP API, exercised
+//! over real sockets: solve answers match a from-scratch greedy solve,
+//! campaigns drain in FIFO order, a full queue sheds with 429 while the
+//! server stays healthy, SSE reconnects replay gaplessly from any
+//! offset, artifacts round-trip through their content address, and a
+//! server killed mid-campaign resumes after restart with a
+//! bit-identical result artifact.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use impatience_core::demand::Popularity;
+use impatience_core::solver::greedy::try_greedy_homogeneous;
+use impatience_core::types::SystemModel;
+use impatience_core::utility::parse_utility;
+use impatience_json::Json;
+use impatience_serve::{fnv1a_hash, ServeConfig, Server};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("serve-e2e-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn start(dir: &Path, queue_cap: usize) -> Server {
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        data_dir: dir.to_path_buf(),
+        queue_cap,
+        http_threads: 4,
+        solver_pool_per_key: 4,
+    })
+    .unwrap()
+}
+
+/// One `Connection: close` HTTP exchange; returns (status, body).
+fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: e2e\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body.as_bytes()).unwrap();
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).unwrap();
+    let status: u16 = reply
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let payload = reply
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, payload)
+}
+
+fn get_json(addr: SocketAddr, path: &str) -> (u16, Json) {
+    let (status, body) = request(addr, "GET", path, None);
+    let json = Json::parse(body.trim()).unwrap_or(Json::Null);
+    (status, json)
+}
+
+fn submit(addr: SocketAddr, spec: &str) -> (u16, Json) {
+    let (status, body) = request(addr, "POST", "/v1/campaigns", Some(spec));
+    let json = Json::parse(body.trim()).unwrap_or(Json::Null);
+    (status, json)
+}
+
+/// Poll a job's status until it reaches `want` (or panic on timeout /
+/// a terminal mismatch).
+fn wait_for_state(addr: SocketAddr, job: &str, want: &str, timeout: Duration) -> Json {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let (status, json) = get_json(addr, &format!("/v1/campaigns/{job}"));
+        assert_eq!(status, 200, "status poll for {job}");
+        let state = json.get("state").and_then(Json::as_str).unwrap_or("?");
+        if state == want {
+            return json;
+        }
+        assert_ne!(state, "failed", "job {job} failed: {json}");
+        assert!(
+            Instant::now() < deadline,
+            "job {job} stuck in `{state}` waiting for `{want}`"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Read a job's SSE feed from `offset` in snapshot mode (`follow=0`):
+/// returns the frames as (id, data) pairs plus the `end` frame payload.
+fn sse_snapshot(addr: SocketAddr, job: &str, offset: usize) -> (Vec<(usize, String)>, Json) {
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let mut reader = BufReader::new(stream);
+    let head = format!(
+        "GET /v1/campaigns/{job}/events?offset={offset}&follow=0 HTTP/1.1\r\n\
+         Host: e2e\r\nAccept: text/event-stream\r\n\r\n"
+    );
+    reader.get_mut().write_all(head.as_bytes()).unwrap();
+
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("HTTP/1.1 200"), "sse got {line}");
+    loop {
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        if line == "\r\n" || line == "\n" || line.is_empty() {
+            break;
+        }
+    }
+
+    let mut frames = Vec::new();
+    let (mut id, mut event, mut data): (Option<usize>, Option<String>, String) =
+        (None, None, String::new());
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line).unwrap();
+        assert!(n > 0, "sse stream for {job} ended without `event: end`");
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            if event.as_deref() == Some("end") {
+                return (frames, Json::parse(&data).unwrap());
+            }
+            if !data.is_empty() {
+                frames.push((id.expect("data frame without id"), data.clone()));
+            }
+            id = None;
+            event = None;
+            data.clear();
+        } else if let Some(v) = trimmed.strip_prefix("id:") {
+            id = v.trim().parse().ok();
+        } else if let Some(v) = trimmed.strip_prefix("event:") {
+            event = Some(v.trim().to_string());
+        } else if let Some(v) = trimmed.strip_prefix("data:") {
+            data.push_str(v.trim_start());
+        }
+    }
+}
+
+// ---------------------------------------------------------------- solve
+
+#[test]
+fn solve_over_http_matches_scratch_greedy() {
+    let dir = temp_dir("solve");
+    let server = start(&dir, 4);
+    let addr = server.addr();
+
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/v1/solve",
+        Some(r#"{"nodes":40,"rho":3,"mu":0.05,"items":12,"utility":"step:5"}"#),
+    );
+    assert_eq!(status, 200, "{body}");
+    let reply = Json::parse(body.trim()).unwrap();
+    let counts: Vec<u64> = reply
+        .get("counts")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .map(|c| c.as_u64().unwrap())
+        .collect();
+
+    let demand = Popularity::pareto(12, 1.0).demand_rates(1.0);
+    let fresh = try_greedy_homogeneous(
+        &SystemModel::pure_p2p(40, 3, 0.05),
+        &demand,
+        parse_utility("step:5").unwrap().as_ref(),
+    )
+    .unwrap();
+    let scratch: Vec<u64> = fresh.counts().iter().map(|&c| c as u64).collect();
+    assert_eq!(counts, scratch, "HTTP solve diverged from scratch greedy");
+    assert!(reply.get("welfare").unwrap().as_f64().unwrap() > 0.0);
+
+    // Same shape again: warm pool, identical allocation.
+    let (_, body2) = request(
+        addr,
+        "POST",
+        "/v1/solve",
+        Some(r#"{"nodes":40,"rho":3,"mu":0.05,"items":12,"utility":"step:5"}"#),
+    );
+    let reply2 = Json::parse(body2.trim()).unwrap();
+    assert_eq!(reply2.get("pool").unwrap().as_str(), Some("hit"));
+    assert_eq!(reply2.get("counts").unwrap(), reply.get("counts").unwrap());
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ------------------------------------------------------------- campaigns
+
+const TINY_SPEC: &str =
+    r#"{"nodes":14,"mu":0.05,"duration":200.0,"items":6,"rho":2,"trials":2,"seed":11}"#;
+
+#[test]
+fn campaigns_drain_in_fifo_order() {
+    let dir = temp_dir("fifo");
+    let server = start(&dir, 8);
+    let addr = server.addr();
+
+    let mut submitted = Vec::new();
+    for seed in [1u64, 2, 3] {
+        let spec = format!(
+            r#"{{"nodes":14,"mu":0.05,"duration":200.0,"items":6,"rho":2,"trials":2,"seed":{seed}}}"#
+        );
+        let (status, reply) = submit(addr, &spec);
+        assert_eq!(status, 202, "{reply}");
+        submitted.push(reply.get("job").and_then(Json::as_str).unwrap().to_string());
+    }
+    for id in &submitted {
+        wait_for_state(addr, id, "done", Duration::from_secs(120));
+    }
+
+    let (status, list) = get_json(addr, "/v1/campaigns");
+    assert_eq!(status, 200);
+    let completed: Vec<String> = list
+        .get("completed_order")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .map(|j| j.as_str().unwrap().to_string())
+        .collect();
+    assert_eq!(
+        completed, submitted,
+        "jobs must complete in submission (FIFO) order"
+    );
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn full_queue_sheds_with_429_and_stays_healthy() {
+    let dir = temp_dir("shed");
+    let server = start(&dir, 1);
+    let addr = server.addr();
+
+    let (mut accepted, mut shed) = (0, 0);
+    for _ in 0..10 {
+        let (status, reply) = submit(addr, TINY_SPEC);
+        match status {
+            202 => accepted += 1,
+            429 => {
+                shed += 1;
+                // The 429 carries the machine-readable error envelope
+                // with the CLI's `degraded` exit code.
+                let err = reply.get("error").unwrap();
+                assert_eq!(err.get("kind").unwrap().as_str(), Some("queue_full"));
+                assert_eq!(err.get("exit_code").unwrap().as_i64(), Some(9));
+            }
+            other => panic!("burst submit got {other}: {reply}"),
+        }
+    }
+    assert!(accepted >= 1, "at least one submission must land");
+    assert!(shed >= 1, "queue_cap=1 must shed under a burst of 10");
+
+    let (status, health) = get_json(addr, "/healthz");
+    assert_eq!(status, 200, "server must stay healthy while shedding");
+    assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ------------------------------------------------------------------ SSE
+
+#[test]
+fn sse_replay_from_offset_is_gapless_after_reconnect() {
+    let dir = temp_dir("sse");
+    let server = start(&dir, 4);
+    let addr = server.addr();
+
+    let (status, reply) = submit(addr, TINY_SPEC);
+    assert_eq!(status, 202, "{reply}");
+    let job = reply.get("job").and_then(Json::as_str).unwrap().to_string();
+    wait_for_state(addr, &job, "done", Duration::from_secs(120));
+
+    // First connection: the full feed from offset 0.
+    let (full, end) = sse_snapshot(addr, &job, 0);
+    assert!(
+        full.len() > 10,
+        "expected a real event stream, got {} frames",
+        full.len()
+    );
+    for (expect, (id, _)) in full.iter().enumerate() {
+        assert_eq!(*id, expect, "frame ids must be contiguous from 0");
+    }
+    assert_eq!(
+        end.get("events").and_then(Json::as_u64),
+        Some(full.len() as u64),
+        "terminal frame must account for every event"
+    );
+
+    // Simulate a dropped connection after frame k: reconnect with
+    // `?offset=k+1` (what a client derives from `Last-Event-ID: k`).
+    let k = full.len() / 2;
+    let (tail, _) = sse_snapshot(addr, &job, k + 1);
+    assert_eq!(tail.len(), full.len() - (k + 1));
+    assert_eq!(
+        tail,
+        full[k + 1..],
+        "replay after reconnect must be gapless and byte-identical"
+    );
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ------------------------------------------------------------- artifacts
+
+#[test]
+fn artifact_roundtrip_and_unknown_hash_404s() {
+    let dir = temp_dir("artifact");
+    let server = start(&dir, 4);
+    let addr = server.addr();
+
+    let (status, reply) = submit(addr, TINY_SPEC);
+    assert_eq!(status, 202, "{reply}");
+    let job = reply.get("job").and_then(Json::as_str).unwrap().to_string();
+    let done = wait_for_state(addr, &job, "done", Duration::from_secs(120));
+
+    let hash = done.get("artifact").and_then(Json::as_str).unwrap();
+    let url = done.get("artifact_url").and_then(Json::as_str).unwrap();
+    assert_eq!(url, format!("/v1/artifacts/{hash}"));
+    let (status, bytes) = request(addr, "GET", url, None);
+    assert_eq!(status, 200);
+    assert_eq!(
+        fnv1a_hash(bytes.as_bytes()),
+        hash,
+        "served artifact must match its content address"
+    );
+    let doc = Json::parse(bytes.trim()).unwrap();
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("impatience-serve-result/1")
+    );
+
+    let (status, body) = request(addr, "GET", "/v1/artifacts/fnv1a:0000000000000000", None);
+    assert_eq!(status, 404, "{body}");
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ------------------------------------------------- crash-recovery (e2e)
+
+/// Start `impatience serve` as a real subprocess on an ephemeral port,
+/// returning the child and its discovered address.
+fn spawn_serve(dir: &Path) -> (std::process::Child, SocketAddr) {
+    let addr_file = dir.join("serve.addr");
+    std::fs::remove_file(&addr_file).ok();
+    let child = std::process::Command::new(env!("CARGO_BIN_EXE_impatience"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--data-dir",
+            dir.to_str().unwrap(),
+            "--queue",
+            "4",
+            "--http-threads",
+            "2",
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let addr = loop {
+        if let Ok(text) = std::fs::read_to_string(&addr_file) {
+            if let Ok(addr) = text.trim().parse() {
+                break addr;
+            }
+        }
+        assert!(Instant::now() < deadline, "serve.addr never appeared");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    (child, addr)
+}
+
+#[test]
+fn kill_mid_campaign_then_restart_resumes_bit_identically() {
+    // A spec long enough that SIGKILL reliably lands mid-run, with
+    // frequent checkpoints so the restart has work to restore.
+    let spec = r#"{"nodes":16,"mu":0.05,"duration":250.0,"items":6,"rho":2,"trials":24,"seed":9,"checkpoint_every":2}"#;
+
+    // Reference: the same spec through an uninterrupted in-process run.
+    let clean_dir = temp_dir("clean");
+    let clean = start(&clean_dir, 4);
+    let (status, reply) = submit(clean.addr(), spec);
+    assert_eq!(status, 202, "{reply}");
+    let job = reply.get("job").and_then(Json::as_str).unwrap().to_string();
+    let done = wait_for_state(clean.addr(), &job, "done", Duration::from_secs(300));
+    let clean_hash = done
+        .get("artifact")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+    let (_, clean_bytes) = request(
+        clean.addr(),
+        "GET",
+        &format!("/v1/artifacts/{clean_hash}"),
+        None,
+    );
+    clean.shutdown();
+    std::fs::remove_dir_all(&clean_dir).ok();
+
+    // Victim: a real `impatience serve` subprocess, killed once the
+    // job's checkpoint file shows up (some chunks done, more to go).
+    let dir = temp_dir("kill");
+    let (mut child, addr) = spawn_serve(&dir);
+    let (status, reply) = submit(addr, spec);
+    assert_eq!(status, 202, "{reply}");
+    let job = reply.get("job").and_then(Json::as_str).unwrap().to_string();
+    let ckpt = dir.join("jobs").join(format!("{job}.ckpt"));
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while !ckpt.exists() {
+        assert!(Instant::now() < deadline, "checkpoint never appeared");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    child.kill().unwrap();
+    child.wait().unwrap();
+    assert!(
+        !dir.join("jobs").join(format!("{job}.result.json")).exists(),
+        "job must not have finished before the kill"
+    );
+
+    // Restart over the same state directory: recovery re-enqueues the
+    // job and its checkpoint turns the re-run into a resume.
+    let (mut child, addr) = spawn_serve(&dir);
+    let done = wait_for_state(addr, &job, "done", Duration::from_secs(300));
+    assert!(
+        done.get("resumed").and_then(Json::as_u64).unwrap() > 0,
+        "restart must restore checkpointed trials, not redo them"
+    );
+    let hash = done.get("artifact").and_then(Json::as_str).unwrap();
+    assert_eq!(hash, clean_hash, "content address must match a clean run");
+    let (status, bytes) = request(addr, "GET", &format!("/v1/artifacts/{hash}"), None);
+    assert_eq!(status, 200);
+    assert_eq!(
+        bytes, clean_bytes,
+        "resumed artifact must be byte-identical to the uninterrupted run"
+    );
+
+    child.kill().unwrap();
+    child.wait().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
